@@ -1,0 +1,61 @@
+// E17 (extension) -- the k-ported postal model: relaxing the single
+// send-port assumption (Section 5's "relax this assumption" direction;
+// CM-5-class machines had multi-ported interfaces).
+//
+// For each (lambda, k) the bench reports the exact optimal broadcast time
+// f_{lambda,k}(n) -- achieved by the generalized BCAST schedule and
+// certified by the k-ported validator -- and the speedup over the paper's
+// single-port optimum.
+#include <iostream>
+
+#include "model/genfib.hpp"
+#include "sched/kported.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace postal;
+  std::cout << "=== E17 (extension): k send ports ===\n\n";
+  bool all_ok = true;
+
+  TextTable table({"lambda", "n", "k=1 (paper)", "k=2", "k=4", "k=8",
+                   "k=8 speedup"});
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(8)}) {
+    for (const std::uint64_t n : {64ULL, 1024ULL, 16384ULL}) {
+      const PostalParams params(n, lambda);
+      std::vector<std::string> row{lambda.str(), std::to_string(n)};
+      Rational base;
+      Rational last;
+      for (const std::uint64_t k : {1ULL, 2ULL, 4ULL, 8ULL}) {
+        const Rational t = predict_kported_bcast(params, k);
+        // Triple agreement: schedule == closed form == greedy frontier.
+        all_ok = all_ok && t == kported_optimal_greedy(params, k);
+        if (n <= 1024) {
+          const KPortedReport report =
+              validate_kported(kported_bcast_schedule(params, k), params, k);
+          all_ok = all_ok && report.ok && report.completion == t;
+        }
+        if (k == 1) base = t;
+        last = t;
+        row.push_back(t.str());
+      }
+      row.push_back(fmt(base.to_double() / last.to_double(), 2) + "x");
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+
+  // Sanity anchor: k = 1 equals the paper's f_lambda(n).
+  {
+    GenFib fib(Rational(5, 2));
+    all_ok = all_ok &&
+             predict_kported_bcast(PostalParams(1024, Rational(5, 2)), 1) ==
+                 fib.f(1024);
+  }
+
+  std::cout << "\nShape checks: k = 1 reproduces Theorem 6 exactly; extra ports "
+               "help most in the telephone regime (base log(1+k) growth) and "
+               "fade as lambda dominates (the latency, not the port, is the "
+               "bottleneck) -- speedup well below k everywhere.\n";
+  std::cout << "E17 verdict: " << (all_ok ? "CONSISTENT" : "MISMATCH") << "\n";
+  return all_ok ? 0 : 1;
+}

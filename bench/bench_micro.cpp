@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: the
+// generalized Fibonacci evaluator, schedule generation for each algorithm,
+// and full postal-model validation. These are engineering benchmarks (how
+// fast is the implementation), not paper-reproduction benchmarks.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/hetero.hpp"
+#include "brute/multi_search.hpp"
+#include "model/genfib.hpp"
+#include "net/packet_sim.hpp"
+#include "sched/bcast.hpp"
+#include "sched/kported.hpp"
+#include "sched/dtree.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/repeat.hpp"
+#include "sim/validator.hpp"
+
+namespace postal {
+namespace {
+
+void BM_GenFibIndex(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    GenFib fib(Rational(5, 2));  // cold evaluator each iteration
+    benchmark::DoNotOptimize(fib.f(n));
+  }
+}
+BENCHMARK(BM_GenFibIndex)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_GenFibIndexWarm(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  GenFib fib(Rational(5, 2));
+  benchmark::DoNotOptimize(fib.f(n));  // warm the memo once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.f(n));
+  }
+}
+BENCHMARK(BM_GenFibIndexWarm)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_BcastSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const PostalParams params(n, Rational(5, 2));
+  GenFib fib(params.lambda());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast_schedule(params, fib));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_BcastSchedule)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RepeatSchedule(benchmark::State& state) {
+  const PostalParams params(static_cast<std::uint64_t>(state.range(0)), Rational(5, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repeat_schedule(params, 16));
+  }
+}
+BENCHMARK(BM_RepeatSchedule)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_PipelineSchedule(benchmark::State& state) {
+  const PostalParams params(static_cast<std::uint64_t>(state.range(0)), Rational(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline_schedule(params, 16));
+  }
+}
+BENCHMARK(BM_PipelineSchedule)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_DTreeSchedule(benchmark::State& state) {
+  const PostalParams params(static_cast<std::uint64_t>(state.range(0)), Rational(5, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtree_schedule(params, 16, 4));
+  }
+}
+BENCHMARK(BM_DTreeSchedule)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_ValidateBcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const PostalParams params(n, Rational(5, 2));
+  const Schedule schedule = bcast_schedule(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_schedule(schedule, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(schedule.size()));
+}
+BENCHMARK(BM_ValidateBcast)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GenFibKIndex(benchmark::State& state) {
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    GenFibK fib(Rational(5, 2), k);
+    benchmark::DoNotOptimize(fib.f(1 << 20));
+  }
+}
+BENCHMARK(BM_GenFibKIndex)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_HeteroGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const HeteroLatency lat = HeteroLatency::random(n, Rational(1), Rational(6), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hetero_greedy_broadcast(lat));
+  }
+}
+BENCHMARK(BM_HeteroGreedy)->Arg(32)->Arg(128);
+
+void BM_ExhaustiveGapSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multi_broadcast_optimum(4, 3, 2, true));
+  }
+}
+BENCHMARK(BM_ExhaustiveGapSearch);
+
+void BM_PacketNetworkBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const PostalParams params(n, Rational(4));
+  GenFib fib(params.lambda());
+  const Schedule schedule = bcast_schedule(params, fib);
+  for (auto _ : state) {
+    PacketNetwork net(Topology::complete(n, Rational(1)), NetConfig{});
+    net.submit_schedule(schedule);
+    benchmark::DoNotOptimize(net.run());
+  }
+}
+BENCHMARK(BM_PacketNetworkBroadcast)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace postal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E10 -- Section 2/3 model anchors and Section 4.1 lower bounds:
+//   * lambda = 1 degenerates to the telephone model: f_1(n) = ceil(log2 n)
+//     and the optimal tree is the binomial tree;
+//   * Lemma 8 / Corollary 9 dominance audit over every algorithm;
+//   * the simultaneous-I/O and latency-window semantics (spot-checked via
+//     deliberately broken schedules the validator must reject).
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "sched/registry.hpp"
+#include "sim/validator.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace postal;
+  std::cout << "=== E10: model sanity -- telephone degeneration & lower bounds ===\n\n";
+  bool all_ok = true;
+
+  std::cout << "--- lambda = 1: telephone model (binomial broadcast) ---\n";
+  TextTable t1({"n", "f_1(n)", "ceil(log2 n)", "binomial tree", "match"});
+  GenFib fib1(Rational(1));
+  for (std::uint64_t n : {2ULL, 3ULL, 7ULL, 16ULL, 100ULL, 1000ULL, 4096ULL}) {
+    std::int64_t clog = 0;
+    for (std::uint64_t reach = 1; reach < n; reach *= 2) ++clog;
+    const BroadcastTree binomial = BroadcastTree::binomial(n);
+    const Rational tree_time = binomial.completion_time(Rational(1));
+    const bool ok = fib1.f(n) == Rational(clog) && tree_time == Rational(clog);
+    all_ok = all_ok && ok;
+    t1.add_row({std::to_string(n), fib1.f(n).str(), std::to_string(clog),
+                tree_time.str(), ok ? "yes" : "NO"});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n--- Lemma 8 / Corollary 9 dominance audit ---\n";
+  TextTable t2({"lambda", "n", "m", "min over algos", "Lemma 8", "Cor 9(1)",
+                "Cor 9(2)"});
+  for (const Rational lambda : {Rational(3, 2), Rational(3), Rational(6)}) {
+    GenFib fib(lambda);
+    for (const std::uint64_t n : {8ULL, 64ULL, 512ULL}) {
+      const PostalParams params(n, lambda);
+      for (const std::uint64_t m : {1ULL, 8ULL, 64ULL}) {
+        Rational best;
+        bool first = true;
+        for (const MultiAlgo algo : all_multi_algos()) {
+          const Rational t = predict_multi(algo, params, m);
+          if (first || t < best) best = t;
+          first = false;
+        }
+        const Rational l8 = lemma8_lower(fib, n, m);
+        const double c91 = cor9_lower_log(lambda, n, m);
+        const Rational c92 = cor9_lower_latency(lambda, m);
+        const bool ok =
+            best >= l8 && best.to_double() >= c91 - 1e-9 && best >= c92;
+        all_ok = all_ok && ok;
+        t2.add_row({lambda.str(), std::to_string(n), std::to_string(m),
+                    best.str() + (ok ? "" : " (!)"), l8.str(), fmt(c91, 2),
+                    c92.str()});
+      }
+    }
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n--- model semantics: the validator rejects broken schedules ---\n";
+  const PostalParams params(3, Rational(5, 2));
+  struct Broken {
+    const char* what;
+    Schedule schedule;
+  };
+  std::vector<Broken> broken(3);
+  broken[0].what = "two simultaneous sends from one processor";
+  broken[0].schedule.add(0, 1, 0, Rational(0));
+  broken[0].schedule.add(0, 2, 0, Rational(1, 2));
+  broken[1].what = "two overlapping receives at one processor";
+  broken[1].schedule.add(0, 2, 0, Rational(0));
+  broken[1].schedule.add(1, 2, 0, Rational(1, 4));
+  broken[2].what = "forwarding before the message has arrived";
+  broken[2].schedule.add(0, 1, 0, Rational(0));
+  broken[2].schedule.add(1, 2, 0, Rational(2));
+  for (auto& b : broken) {
+    ValidatorOptions options;
+    options.require_coverage = false;
+    options.messages = 1;
+    // Give p1 nothing up front: only p0 originates.
+    const SimReport report = validate_schedule(b.schedule, params, options);
+    std::cout << "  " << b.what << ": "
+              << (report.ok ? "accepted (UNEXPECTED)" : "rejected") << "\n";
+    all_ok = all_ok && !report.ok;
+  }
+
+  std::cout << "\nE10 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// E13 -- substitution audit: do postal-model predictions transfer to a
+// concrete packet-switched network (the role the 1992 hardware played)?
+//
+// Pipeline per network: calibrate an effective lambda with probe packets,
+// build the generalized Fibonacci broadcast schedule for that lambda,
+// replay it on the wire, and compare the observed completion to the postal
+// prediction. The binomial (lambda-oblivious) tree is replayed too.
+//
+// Expected shapes:
+//   * complete graph, no jitter: observed == predicted exactly (the
+//     network *is* the postal model there);
+//   * mesh/torus/jitter: ratios stay close to 1 (the complete-graph
+//     abstraction of Section 1 is a good approximation);
+//   * the Fibonacci tree beats the binomial tree on high-latency networks.
+#include <iostream>
+
+#include "model/genfib.hpp"
+#include "net/calibrate.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace postal;
+  std::cout << "=== E13: postal predictions on packet networks ===\n\n";
+  bool all_ok = true;
+
+  struct NetCase {
+    const char* name;
+    Topology topology;
+    NetConfig config;
+    bool exact;  ///< expect observed == predicted
+  };
+
+  NetConfig plain;
+  NetConfig heavy;
+  heavy.send_overhead = Rational(2);
+  heavy.recv_overhead = Rational(2);
+  NetConfig jittery;
+  jittery.jitter_max = Rational(1, 4);
+
+  std::vector<NetCase> cases;
+  cases.push_back({"complete/prop=4", Topology::complete(32, Rational(4)), plain, true});
+  cases.push_back({"complete/heavy-sw", Topology::complete(32, Rational(6)), heavy, true});
+  cases.push_back({"complete/jitter", Topology::complete(32, Rational(4)), jittery, false});
+  cases.push_back({"mesh 6x6", Topology::mesh2d(6, 6, Rational(1)), plain, false});
+  cases.push_back({"torus 6x6", Topology::torus2d(6, 6, Rational(1)), plain, false});
+
+  TextTable table({"network", "lambda_est", "fib predicted", "fib observed",
+                   "ratio", "binomial observed", "fib speedup"});
+  for (auto& c : cases) {
+    PacketNetwork net(c.topology, c.config);
+    const std::uint64_t n = c.topology.n();
+    const CalibrationReport cal = calibrate_lambda(net, 64, /*seed=*/11);
+    const Rational lambda = cal.lambda_snapped;
+    GenFib fib(lambda);
+    const PostalParams params(n, lambda);
+
+    const ReplayReport fib_run =
+        replay_schedule(net, bcast_schedule(params, fib), fib.f(n));
+    const BroadcastTree binom = BroadcastTree::binomial(n);
+    const ReplayReport bin_run = replay_schedule(net, binom.greedy_schedule(lambda),
+                                                 binom.completion_time(lambda));
+
+    const double speedup =
+        bin_run.observed.to_double() / fib_run.observed.to_double();
+    if (c.exact) {
+      all_ok = all_ok && fib_run.observed == fib_run.predicted;
+    } else {
+      all_ok = all_ok && fib_run.ratio > 0.5 && fib_run.ratio < 2.5;
+    }
+    all_ok = all_ok && speedup >= 0.95;
+
+    table.add_row({c.name, lambda.str(), fib_run.predicted.str(),
+                   fib_run.observed.str(), fmt(fib_run.ratio, 3),
+                   bin_run.observed.str(), fmt(speedup, 3) + "x"});
+  }
+  table.print(std::cout);
+
+  // --- Load study: the paper assumes lambda "does not fluctuate too much
+  // under normal conditions of operation". Quantify what happens when the
+  // load is NOT normal: replay an all-to-all (n*(n-1) packets) on a mesh
+  // whose lambda was calibrated idle.
+  std::cout << "\n--- congestion probe: idle-calibrated lambda under all-to-all load ---\n";
+  {
+    PacketNetwork net(Topology::mesh2d(6, 6, Rational(1)), plain);
+    const std::uint64_t n = net.topology().n();
+    const CalibrationReport cal = calibrate_lambda(net, 64, 11);
+    const PostalParams params(n, cal.lambda_snapped);
+    // An optimal postal all-to-all: rotated exchange (see collectives).
+    Schedule alltoall;
+    for (std::uint64_t p = 0; p < n; ++p) {
+      for (std::uint64_t k = 0; k + 1 < n; ++k) {
+        alltoall.add(static_cast<ProcId>(p), static_cast<ProcId>((p + 1 + k) % n),
+                     /*msg=*/0, Rational(static_cast<std::int64_t>(k)));
+      }
+    }
+    const Rational postal_prediction =
+        Rational(static_cast<std::int64_t>(n) - 2) + cal.lambda_snapped;
+    const ReplayReport loaded = replay_schedule(net, alltoall, postal_prediction);
+    std::cout << "postal prediction " << loaded.predicted << ", observed "
+              << loaded.observed << ", ratio " << fmt(loaded.ratio, 2)
+              << " -- congestion inflates the effective latency well past the "
+                 "idle calibration, exactly the regime the paper excludes.\n";
+    all_ok = all_ok && loaded.ratio > 1.05;
+  }
+
+  std::cout << "\nShape checks: exact transfer on the jitter-free complete graph; "
+               "near-1 ratios elsewhere; the latency-aware Fibonacci tree never "
+               "loses to the binomial tree on the wire; heavy load breaks the "
+               "uniform-lambda assumption as Section 2 anticipates.\n";
+  std::cout << "E13 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  return all_ok ? 0 : 1;
+}

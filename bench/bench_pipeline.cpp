@@ -1,0 +1,103 @@
+// E6 -- Lemmas 14 & 16 / Corollaries 15 & 17: Algorithm PIPELINE.
+//
+//   PIPELINE-1 (m <= lambda): T = m * f_{lambda/m}(n) + (m-1)
+//   PIPELINE-2 (m >= lambda): T = lambda * f_{m/lambda}(n) + (lambda-1)
+//
+// Sweeps across the regime boundary m = lambda, validates every schedule
+// (the role-reversal of PIPELINE-2 is the subtle part -- the simulator
+// checks every port window), compares with the exact formulas, and shows
+// PIPELINE beating PACK thanks to stream nonatomicity.
+//
+// Includes the ablation from DESIGN.md: a naive PIPELINE-2 that *ignores*
+// the role reversal (physical sender keeps the continuing-sender role) is
+// rejected by the validator -- its send port would need to transmit two
+// streams at once.
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "sched/bcast.hpp"
+#include "sched/pack.hpp"
+#include "sched/pipeline.hpp"
+#include "sim/validator.hpp"
+#include "support/table.hpp"
+
+namespace postal {
+namespace {
+
+/// Deliberately wrong PIPELINE-2: applies the PIPELINE-1 expansion (no
+/// role reversal) in the m > lambda regime.
+Schedule naive_pipeline2(const PostalParams& params, std::uint64_t m) {
+  // Use the PIPELINE-2 normalization but the straight BCAST role mapping:
+  // each normalized send at tau becomes a stream at real lambda*tau.
+  const Rational lambda_prime = pipeline2_lambda(params.lambda(), m);
+  GenFib fib(lambda_prime);
+  Schedule base;
+  bcast_emit(base, fib, 0, params.n(), Rational(0), 0);
+  Schedule out;
+  for (const SendEvent& e : base.events()) {
+    for (std::uint64_t k = 0; k < m; ++k) {
+      out.add(e.src, e.dst, static_cast<MsgId>(k),
+              params.lambda() * e.t + Rational(static_cast<std::int64_t>(k)));
+    }
+  }
+  out.sort();
+  return out;
+}
+
+}  // namespace
+}  // namespace postal
+
+int main() {
+  using namespace postal;
+  std::cout << "=== E6: Lemmas 14/16 -- Algorithm PIPELINE (both regimes) ===\n\n";
+  bool all_ok = true;
+
+  TextTable table({"lambda", "n", "m", "regime", "simulated", "lemma formula",
+                   "PACK", "Lemma 8 lower"});
+  for (const Rational lambda : {Rational(2), Rational(4), Rational(8)}) {
+    GenFib fib(lambda);
+    for (const std::uint64_t n : {14ULL, 64ULL, 256ULL}) {
+      const PostalParams params(n, lambda);
+      for (const std::uint64_t m : {1ULL, 2ULL, 4ULL, 8ULL, 32ULL, 128ULL}) {
+        const Schedule s = pipeline_schedule(params, m);
+        ValidatorOptions options;
+        options.messages = static_cast<std::uint32_t>(m);
+        const SimReport report = validate_schedule(s, params, options);
+        const Rational predicted = predict_pipeline(lambda, n, m);
+        const Rational pack = predict_pack(lambda, n, m);
+        const Rational lower = lemma8_lower(fib, n, m);
+        const bool regime1 = Rational(static_cast<std::int64_t>(m)) <= lambda;
+        const bool ok = report.ok && report.order_preserving &&
+                        report.makespan == predicted && lower <= predicted &&
+                        predicted <= pack;
+        all_ok = all_ok && ok;
+        table.add_row({lambda.str(), std::to_string(n), std::to_string(m),
+                       regime1 ? "PL-1" : "PL-2",
+                       report.makespan.str() + (ok ? "" : " (!)"), predicted.str(),
+                       pack.str(), lower.str()});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Ablation: PIPELINE-2 without the role reversal is not even a legal
+  // postal schedule.
+  std::cout << "\n--- Ablation: PIPELINE-2 without role reversal ---\n";
+  const PostalParams params(32, Rational(2));
+  const Schedule bad = naive_pipeline2(params, /*m=*/8);
+  ValidatorOptions options;
+  options.messages = 8;
+  const SimReport bad_report = validate_schedule(bad, params, options);
+  std::cout << "validator verdict on the naive variant: "
+            << (bad_report.ok ? "accepted (UNEXPECTED)" : "rejected") << " with "
+            << bad_report.violations.size() << " violations (send-port overlap: the "
+            << "sender would have to transmit two streams at once)\n";
+  all_ok = all_ok && !bad_report.ok;
+
+  std::cout << "\nShape checks: measured == lemma formulas exactly in both regimes; "
+               "regimes agree at m = lambda; PIPELINE <= PACK everywhere "
+               "(nonatomicity of the stream, paper Section 4.2); the role reversal "
+               "is necessary, not cosmetic.\n";
+  std::cout << "E6 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  return all_ok ? 0 : 1;
+}

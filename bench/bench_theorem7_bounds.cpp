@@ -1,0 +1,97 @@
+// E3 -- Theorem 7: the two-sided bounds on F_lambda(t) and f_lambda(n),
+// parts (1)-(4), plus the appendix's alpha(lambda) refinement.
+//
+// Prints the measured functions against each bound and verifies the
+// inequalities hold at every grid point. The paper notes the part (1)/(2)
+// bounds are loose ("the upper bound is roughly the square of the lower
+// bound"); the tables below show exactly that gap, and how part (3)/(4)
+// tighten it for large lambda.
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace postal;
+  std::cout << "=== E3: Theorem 7 -- bounds on F_lambda(t) and f_lambda(n) ===\n\n";
+  bool all_ok = true;
+
+  // Part (1): lower <= F <= upper on a t-grid.
+  std::cout << "--- Part (1): (ceil(L)+1)^floor(t/2L) <= F_L(t) <= (ceil(L)+1)^floor(t/L) ---\n";
+  TextTable t1({"lambda", "t", "lower", "F_lambda(t)", "upper"});
+  for (const Rational lambda : {Rational(3, 2), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::int64_t k = 0; k <= 36; k += 6) {
+      const Rational t(k, 2);
+      const std::uint64_t value = fib.F(t);
+      const std::uint64_t lo = thm7_F_lower(lambda, t);
+      const std::uint64_t hi = thm7_F_upper(lambda, t);
+      all_ok = all_ok && lo <= value && value <= hi;
+      t1.add_row({lambda.str(), t.str(), std::to_string(lo), std::to_string(value),
+                  std::to_string(hi)});
+    }
+  }
+  t1.print(std::cout);
+
+  // Part (2): bracket on f_lambda(n).
+  std::cout << "\n--- Part (2): L*log n/log(ceil(L)+1) <= f_L(n) <= 2L + 2L*log n/log(ceil(L)+1) ---\n";
+  TextTable t2({"lambda", "n", "lower", "f_lambda(n)", "upper"});
+  for (const Rational lambda : {Rational(3, 2), Rational(5, 2), Rational(4), Rational(8)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {4ULL, 64ULL, 1024ULL, 65536ULL}) {
+      const double f = fib.f(n).to_double();
+      const double lo = thm7_f_lower(lambda, n);
+      const double hi = thm7_f_upper(lambda, n);
+      all_ok = all_ok && lo <= f + 1e-9 && f <= hi + 1e-9;
+      t2.add_row({lambda.str(), std::to_string(n), fmt(lo), fmt(f), fmt(hi)});
+    }
+  }
+  t2.print(std::cout);
+
+  // Parts (3)-(4): asymptotic refinement.
+  std::cout << "\n--- Parts (3)-(4): alpha(lambda) refinement for large lambda ---\n";
+  TextTable t3({"lambda", "alpha", "n", "f_lambda(n)", "part-4 bound",
+                "part-2 bound", "p4/p2"});
+  // The part-4 bound is asymptotic: it undercuts part 2 only once
+  // alpha(lambda) < 2 (lambda in the several-hundreds) AND n >= 2^lambda --
+  // beyond 64-bit n. What *is* checkable numerically: the bound holds, and
+  // its ratio to part 2 improves monotonically as lambda grows (alpha -> 1).
+  double prev_ratio = 1e9;
+  for (const Rational lambda : {Rational(32), Rational(64), Rational(128)}) {
+    GenFib fib(lambda);
+    const double alpha = thm7_alpha(lambda);
+    double ratio_at_largest_n = 0;
+    for (std::uint64_t n : {1ULL << 10, 1ULL << 16, 1ULL << 22}) {
+      const double f = fib.f(n).to_double();
+      const double p4 = thm7_part4_f_upper(lambda, n);
+      const double p2 = thm7_f_upper(lambda, n);
+      all_ok = all_ok && f <= p4 + 1e-9;
+      ratio_at_largest_n = p4 / p2;
+      t3.add_row({lambda.str(), fmt(alpha), std::to_string(n), fmt(f), fmt(p4),
+                  fmt(p2), fmt(p4 / p2)});
+    }
+    all_ok = all_ok && ratio_at_largest_n < prev_ratio;
+    prev_ratio = ratio_at_largest_n;
+  }
+  t3.print(std::cout);
+
+  // Part (3) spot check.
+  const Rational big(64);
+  GenFib fib(big);
+  bool p3_ok = true;
+  for (std::int64_t t = 0; t <= 400; t += 25) {
+    const std::uint64_t value = fib.F(Rational(t));
+    if (value < kSaturated &&
+        static_cast<double>(value) * (1 + 1e-12) < thm7_part3_F_lower(big, Rational(t))) {
+      p3_ok = false;
+    }
+  }
+  all_ok = all_ok && p3_ok;
+  std::cout << "\npart (3) F-lower bound at lambda=64: " << (p3_ok ? "holds" : "VIOLATED")
+            << "\n";
+  std::cout << "\nShape checks: all four bounds hold; part-1 upper/lower gap is "
+               "~quadratic as the paper remarks; the part-4/part-2 ratio falls "
+               "toward alpha/2 as lambda grows (the asymptotic tightening).\n";
+  std::cout << "E3 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  return all_ok ? 0 : 1;
+}

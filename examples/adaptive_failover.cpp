@@ -1,0 +1,68 @@
+// Scenario: broadcasting through a congestion event, and across a
+// two-level machine -- the paper's Section 5 "further research" made
+// runnable.
+//
+//   ./adaptive_failover [n]
+//
+// Part 1: mid-broadcast the network latency spikes (2 -> 8). A static plan
+// keeps using the stale lambda; an adaptive plan replans every split with
+// the latency in force; an estimator-driven plan learns it from observed
+// deliveries. The example prints all three completions.
+//
+// Part 2: the same n processors arranged as clusters (cheap intra-cluster
+// wires, expensive inter-cluster wires). A flat postal plan at the
+// conservative lambda is compared with a hierarchy-aware two-level plan.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "adaptive/hierarchical.hpp"
+#include "adaptive/time_varying.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace postal;
+
+  const std::uint64_t n = argc > 1 ? std::stoull(argv[1]) : 256;
+
+  std::cout << "Part 1: latency spike during a broadcast to n=" << n
+            << " processors\n";
+  const LatencyProfile spike =
+      LatencyProfile::step(Rational(2), Rational(8), Rational(3));
+  std::cout << "profile: lambda = 2 for t < 3, lambda = 8 afterwards\n\n";
+
+  TextTable t1({"planner", "completion", "vs adaptive"});
+  const Rational adaptive =
+      adaptive_broadcast(n, spike, AdaptPolicy::kAdaptive).completion;
+  const Rational fixed = adaptive_broadcast(n, spike, AdaptPolicy::kStatic).completion;
+  const Rational learned =
+      adaptive_broadcast(n, spike, AdaptPolicy::kEstimated).completion;
+  t1.add_row({"static (plans with stale lambda=2)", fixed.str(),
+              fmt(fixed.to_double() / adaptive.to_double(), 3) + "x"});
+  t1.add_row({"adaptive (true lambda at each send)", adaptive.str(), "1.000x"});
+  t1.add_row({"estimated (EWMA from deliveries)", learned.str(),
+              fmt(learned.to_double() / adaptive.to_double(), 3) + "x"});
+  t1.print(std::cout);
+
+  std::cout << "\nPart 2: two-level machine (clusters of 8; lambda_intra=1, "
+               "lambda_inter=8)\n\n";
+  const TwoLevelParams two_level{n, 8, Rational(1), Rational(8)};
+  const HeteroReport flat =
+      simulate_two_level(hierarchical_flat_schedule(two_level), two_level);
+  const HeteroReport hier =
+      simulate_two_level(hierarchical_two_level_schedule(two_level), two_level);
+  if (!flat.ok || !hier.ok) {
+    std::cerr << "internal error: hierarchical schedules failed validation\n";
+    return 1;
+  }
+  TextTable t2({"plan", "completion", "speedup"});
+  t2.add_row({"flat (single tree at lambda_inter)", flat.completion.str(), "1.000x"});
+  t2.add_row({"two-level (leaders first, then clusters)", hier.completion.str(),
+              fmt(flat.completion.to_double() / hier.completion.to_double(), 3) + "x"});
+  t2.print(std::cout);
+
+  std::cout << "\nTakeaway: adapting to the latency in force never loses, and a "
+               "latency hierarchy is worth exploiting -- both open directions "
+               "from the paper's Section 5.\n";
+  return 0;
+}

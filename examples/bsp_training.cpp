@@ -1,0 +1,66 @@
+// Scenario: a bulk-synchronous data-parallel training loop -- the modern
+// workload whose communication layer is exactly the collectives this
+// library plans.
+//
+//   ./bsp_training [workers] [steps] [compute_time]
+//
+// Every step, each worker computes for `compute_time` units, then the
+// fleet allreduces gradients. The example sweeps the interconnect latency
+// lambda from "same rack" to "cross region" and reports, per lambda:
+//   * the best allreduce strategy (tree vs gossip) and the crossover;
+//   * total epoch time under the postal-optimal plan vs two naive plans
+//     (ring allreduce, and a binomial-tree allreduce that ignores lambda);
+//   * the fraction of the epoch spent communicating.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "collectives/allgather.hpp"
+#include "collectives/allreduce.hpp"
+#include "model/genfib.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace postal;
+
+  const std::uint64_t workers = argc > 1 ? std::stoull(argv[1]) : 64;
+  const std::uint64_t steps = argc > 2 ? std::stoull(argv[2]) : 100;
+  const Rational compute = argc > 3 ? Rational::parse(argv[3]) : Rational(20);
+
+  std::cout << "Data-parallel loop: " << workers << " workers, " << steps
+            << " steps, compute = " << compute << " per step\n\n";
+
+  TextTable table({"lambda", "best allreduce", "T_comm/step", "ring", "binomial-tree",
+                   "epoch (best)", "comm share"});
+  for (const Rational lambda :
+       {Rational(1), Rational(2), Rational(4), Rational(16), Rational(64),
+        Rational(256)}) {
+    const PostalParams params(workers, lambda);
+
+    const AllreduceStrategy strategy = allreduce_auto(params);
+    const Rational comm = predict_allreduce(params, strategy);
+
+    // Naive baseline 1: ring allreduce (allgather around the ring).
+    const Rational ring = predict_allgather_ring(params);
+    // Naive baseline 2: tree allreduce with a lambda-oblivious binomial
+    // tree in both phases (what a telephone-model library would build).
+    const BroadcastTree binomial = BroadcastTree::binomial(workers);
+    const Rational binom = Rational(2) * binomial.completion_time(lambda);
+
+    const Rational steps_r(static_cast<std::int64_t>(steps));
+    const Rational epoch = steps_r * (compute + comm);
+    const double share = (comm / (comm + compute)).to_double();
+
+    table.add_row({lambda.str(), allreduce_strategy_name(strategy), comm.str(),
+                   ring.str(), binom.str(), epoch.str(), fmt(100.0 * share, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: the tree allreduce wins while lambda is "
+               "small; past lambda ~ n the single-latency gossip exchange takes "
+               "over -- and both beat the ring (which pays lambda per hop) and "
+               "the lambda-oblivious binomial tree, the paper's core message "
+               "applied to a 2020s workload.\n";
+  return 0;
+}

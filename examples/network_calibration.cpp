@@ -1,0 +1,74 @@
+// Scenario: deploying the postal model on a real fabric.
+//
+//   ./network_calibration [rows] [cols] [topology: mesh|torus|complete]
+//
+// A cluster's interconnect is rarely documented as a single lambda. This
+// example measures one: it probes a packet-level network simulation with
+// ping packets, snaps the measured latency onto a rational grid, plans the
+// optimal generalized Fibonacci broadcast for that lambda, replays the
+// plan on the wire, and reports how well the postal prediction transferred
+// -- alongside the lambda-oblivious binomial tree an MPI library in
+// telephone-model mindset would have used.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "model/genfib.hpp"
+#include "net/calibrate.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace postal;
+
+  const std::uint64_t rows = argc > 1 ? std::stoull(argv[1]) : 6;
+  const std::uint64_t cols = argc > 2 ? std::stoull(argv[2]) : 6;
+  const std::string kind = argc > 3 ? argv[3] : "mesh";
+
+  NetConfig config;
+  config.send_overhead = Rational(1);
+  config.recv_overhead = Rational(1);
+  config.wire_time = Rational(1);
+
+  Topology topology = kind == "torus"    ? Topology::torus2d(rows, cols, Rational(1))
+                      : kind == "complete" ? Topology::complete(rows * cols, Rational(3))
+                                           : Topology::mesh2d(rows, cols, Rational(1));
+  PacketNetwork net(std::move(topology), config);
+  const std::uint64_t n = net.topology().n();
+
+  std::cout << "Calibrating a " << rows << "x" << cols << " " << kind << " ("
+            << n << " nodes)\n\n";
+
+  const CalibrationReport cal = calibrate_lambda(net, /*pairs=*/128, /*seed=*/17);
+  TextTable cal_table({"probes", "lambda min", "lambda mean", "lambda max",
+                       "lambda snapped"});
+  cal_table.add_row({std::to_string(cal.probes), cal.lambda_min.str(),
+                     cal.lambda_mean.str(), cal.lambda_max.str(),
+                     cal.lambda_snapped.str()});
+  cal_table.print(std::cout);
+
+  const Rational lambda = cal.lambda_snapped;
+  const PostalParams params(n, lambda);
+  GenFib fib(lambda);
+
+  std::cout << "\nPlanning BCAST for MPS(" << n << ", " << lambda
+            << "): predicted completion f_lambda(n) = " << fib.f(n) << "\n\n";
+
+  const ReplayReport fib_run =
+      replay_schedule(net, bcast_schedule(params, fib), fib.f(n));
+  const BroadcastTree binomial = BroadcastTree::binomial(n);
+  const ReplayReport bin_run = replay_schedule(
+      net, binomial.greedy_schedule(lambda), binomial.completion_time(lambda));
+
+  TextTable run_table({"plan", "postal prediction", "observed on wire", "ratio"});
+  run_table.add_row({"Fibonacci tree (postal-optimal)", fib_run.predicted.str(),
+                     fib_run.observed.str(), fmt(fib_run.ratio, 3)});
+  run_table.add_row({"binomial tree (lambda-oblivious)", bin_run.predicted.str(),
+                     bin_run.observed.str(), fmt(bin_run.ratio, 3)});
+  run_table.print(std::cout);
+
+  const double speedup = bin_run.observed.to_double() / fib_run.observed.to_double();
+  std::cout << "\nlatency-aware speedup on the wire: " << fmt(speedup, 3) << "x\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// postal_cli: a single command-line entry point to the library.
+//
+//   postal_cli tree <n> <lambda>                render the optimal broadcast tree
+//   postal_cli plan <n> <m> <lambda>            pick the best multi-message algorithm
+//   postal_cli collectives <n> <lambda>         exact times for every collective
+//   postal_cli calibrate <rows> <cols> <kind>   measure lambda on a packet network
+//   postal_cli bounds <n> <lambda>              Theorem 7 numbers for one point
+//
+// Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/communicator.hpp"
+#include "model/bounds.hpp"
+#include "net/calibrate.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace postal;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  postal_cli tree <n> <lambda>\n"
+            << "  postal_cli plan <n> <m> <lambda>\n"
+            << "  postal_cli collectives <n> <lambda>\n"
+            << "  postal_cli calibrate <rows> <cols> <mesh|torus|complete>\n"
+            << "  postal_cli bounds <n> <lambda>\n";
+  return 2;
+}
+
+int cmd_tree(std::uint64_t n, const Rational& lambda) {
+  const BroadcastTree tree = BroadcastTree::fibonacci(n, lambda);
+  std::cout << "optimal broadcast tree for MPS(" << n << ", " << lambda
+            << "), completion t = " << tree.completion_time(lambda) << ":\n"
+            << tree.render(lambda);
+  return 0;
+}
+
+int cmd_plan(std::uint64_t n, std::uint64_t m, const Rational& lambda) {
+  Communicator comm(n, lambda);
+  const PostalParams params(n, lambda);
+  TextTable table({"algorithm", "predicted T"});
+  for (const MultiAlgo algo : all_multi_algos()) {
+    table.add_row({algo_name(algo), predict_multi(algo, params, m).str()});
+  }
+  table.print(std::cout);
+  const CollectivePlan plan = comm.broadcast(m);
+  std::cout << "\nrecommended: " << plan.algorithm << "  (T = " << plan.completion
+            << ", lower bound " << plan.lower_bound << ", verified "
+            << (plan.verified ? "yes" : "no") << ")\n";
+  return 0;
+}
+
+int cmd_collectives(std::uint64_t n, const Rational& lambda) {
+  Communicator comm(n, lambda);
+  TextTable table({"collective", "algorithm", "T", "lower bound"});
+  struct Row {
+    const char* name;
+    CollectivePlan plan;
+  };
+  const Row rows[] = {
+      {"broadcast", comm.broadcast()}, {"reduce", comm.reduce()},
+      {"scatter", comm.scatter()},     {"gather", comm.gather()},
+      {"allgather", comm.allgather()}, {"alltoall", comm.alltoall()},
+      {"barrier", comm.barrier()},     {"scan", comm.scan()},
+  };
+  for (const Row& row : rows) {
+    table.add_row({row.name, row.plan.algorithm, row.plan.completion.str(),
+                   row.plan.lower_bound.str()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_calibrate(std::uint64_t rows, std::uint64_t cols, const std::string& kind) {
+  Topology topology = kind == "torus"      ? Topology::torus2d(rows, cols, Rational(1))
+                      : kind == "complete" ? Topology::complete(rows * cols, Rational(3))
+                                           : Topology::mesh2d(rows, cols, Rational(1));
+  PacketNetwork net(std::move(topology), NetConfig{});
+  const CalibrationReport cal = calibrate_lambda(net, 128, 1);
+  std::cout << "effective lambda on " << rows << "x" << cols << " " << kind
+            << ": min " << cal.lambda_min << ", mean " << cal.lambda_mean
+            << ", max " << cal.lambda_max << ", snapped " << cal.lambda_snapped
+            << "\n";
+  return 0;
+}
+
+int cmd_bounds(std::uint64_t n, const Rational& lambda) {
+  GenFib fib(lambda);
+  std::cout << "f_lambda(n)          = " << fib.f(n) << "\n";
+  std::cout << "Theorem 7 lower      = " << fmt(thm7_f_lower(lambda, n)) << "\n";
+  std::cout << "Theorem 7 upper      = " << fmt(thm7_f_upper(lambda, n)) << "\n";
+  std::cout << "Lemma 8 (m=1) lower  = " << lemma8_lower(fib, n, 1) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "tree" && args.size() == 2) {
+      return cmd_tree(std::stoull(args[0]), Rational::parse(args[1]));
+    }
+    if (cmd == "plan" && args.size() == 3) {
+      return cmd_plan(std::stoull(args[0]), std::stoull(args[1]),
+                      Rational::parse(args[2]));
+    }
+    if (cmd == "collectives" && args.size() == 2) {
+      return cmd_collectives(std::stoull(args[0]), Rational::parse(args[1]));
+    }
+    if (cmd == "calibrate" && args.size() == 3) {
+      return cmd_calibrate(std::stoull(args[0]), std::stoull(args[1]), args[2]);
+    }
+    if (cmd == "bounds" && args.size() == 2) {
+      return cmd_bounds(std::stoull(args[0]), Rational::parse(args[1]));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

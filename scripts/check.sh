@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build, run the test suite, and
+# regenerate every paper artifact (each bench exits nonzero on mismatch).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  [ "$(basename "$b")" = "bench_micro" ] && continue
+  echo "== $(basename "$b")"
+  "$b" > /dev/null
+done
+echo "ALL CHECKS PASSED"

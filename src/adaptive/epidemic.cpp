@@ -1,0 +1,77 @@
+#include "adaptive/epidemic.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/prng.hpp"
+
+namespace postal {
+
+EpidemicResult run_epidemic(const PostalParams& params, std::uint64_t seed) {
+  const std::uint64_t n = params.n();
+  EpidemicResult result;
+  if (n == 1) {
+    result.finished = true;
+    return result;
+  }
+
+  Xoshiro256 rng(seed);
+  std::vector<bool> informed(n, false);
+  informed[0] = true;
+  std::uint64_t informed_count = 1;
+
+  // Events are "processor p performs a send at time t". A processor's
+  // sends are at inform_time + k, k = 0, 1, 2, ... Processing in global
+  // time order makes first-delivery-wins exact.
+  struct SendSlot {
+    ProcId p;
+  };
+  EventQueue<SendSlot> queue;
+  queue.push(Rational(0), SendSlot{0});
+
+  // Safety cap: epidemic broadcast finishes in O(lambda log n) rounds whp;
+  // 64 * n * 64 sends is far beyond any plausible run at our sizes.
+  const std::uint64_t cap = 64ULL * 64ULL * n;
+  while (informed_count < n && result.total_sends < cap) {
+    auto [t, slot] = queue.pop();
+    ++result.total_sends;
+    // Uniform random target other than the sender.
+    auto target = static_cast<ProcId>(rng.uniform(0, n - 2));
+    if (target >= slot.p) ++target;
+    const Rational arrival = t + params.lambda();
+    if (informed[target]) {
+      ++result.duplicate_deliveries;
+    } else {
+      informed[target] = true;
+      ++informed_count;
+      result.completion = rmax(result.completion, arrival);
+      queue.push(arrival, SendSlot{target});
+    }
+    queue.push(t + Rational(1), SendSlot{slot.p});
+  }
+  result.finished = informed_count == n;
+  return result;
+}
+
+EpidemicStats epidemic_stats(const PostalParams& params, std::uint64_t trials,
+                             std::uint64_t seed) {
+  POSTAL_REQUIRE(trials >= 1, "epidemic_stats: need at least one trial");
+  EpidemicStats stats;
+  stats.trials = trials;
+  Rational sum(0);
+  double duplicates = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const EpidemicResult run = run_epidemic(params, seed + i);
+    POSTAL_CHECK(run.finished);
+    sum += run.completion;
+    stats.worst_completion = rmax(stats.worst_completion, run.completion);
+    duplicates += static_cast<double>(run.duplicate_deliveries);
+  }
+  stats.mean_completion = sum / Rational(static_cast<std::int64_t>(trials));
+  stats.mean_duplicates_per_proc =
+      duplicates / static_cast<double>(trials) / static_cast<double>(params.n());
+  return stats;
+}
+
+}  // namespace postal

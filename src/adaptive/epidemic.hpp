@@ -1,0 +1,50 @@
+// Randomized (epidemic / rumor-spreading) broadcast in the postal model:
+// every informed processor sends to a *uniformly random* other processor
+// every unit of time, with no coordination, no ranges, and no knowledge of
+// who is informed. The classic gossip baseline.
+//
+// Purpose: quantify the price of obliviousness against Theorem 6. The
+// epidemic completes in O(lambda * log n) with high probability -- a
+// constant factor above the optimal generalized Fibonacci tree (largest,
+// ~1.85x, in the telephone regime) -- and burns Theta(log n) duplicate
+// deliveries per processor; the bench maps both costs.
+//
+// Modeling note: duplicate arrivals at an already-informed processor are
+// counted but not charged to its receive port (the hardware discards
+// them); the *informing* arrivals respect postal timing exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "model/params.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// One epidemic run.
+struct EpidemicResult {
+  Rational completion;          ///< time the last processor was informed
+  std::uint64_t total_sends = 0;
+  std::uint64_t duplicate_deliveries = 0;  ///< arrivals at already-informed procs
+  bool finished = false;        ///< false only if the safety cap tripped
+};
+
+/// Simulate one epidemic broadcast from p_0 (deterministic in `seed`).
+/// Every informed processor sends to a random target (not itself) at its
+/// inform time, inform time + 1, ... until everyone is informed. The run
+/// aborts (finished == false) after a generous safety cap of sends.
+[[nodiscard]] EpidemicResult run_epidemic(const PostalParams& params,
+                                          std::uint64_t seed);
+
+/// Aggregate over `trials` independent runs.
+struct EpidemicStats {
+  Rational mean_completion;  ///< exact rational mean
+  Rational worst_completion;
+  double mean_duplicates_per_proc = 0.0;
+  std::uint64_t trials = 0;
+};
+
+[[nodiscard]] EpidemicStats epidemic_stats(const PostalParams& params,
+                                           std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace postal

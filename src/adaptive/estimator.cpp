@@ -1,0 +1,32 @@
+#include "adaptive/estimator.hpp"
+
+#include "support/error.hpp"
+
+namespace postal {
+
+Rational quantize(const Rational& value, std::int64_t grid) {
+  POSTAL_REQUIRE(grid >= 1, "quantize: grid must be >= 1");
+  // round(value * grid) with half-up ties, then divide back.
+  const Rational scaled = value * Rational(grid);
+  const Rational shifted = scaled + Rational(1, 2);
+  return Rational(shifted.floor(), grid);
+}
+
+LatencyEstimator::LatencyEstimator(Rational alpha, Rational initial, std::int64_t grid)
+    : alpha_(std::move(alpha)), estimate_(std::move(initial)), grid_(grid) {
+  POSTAL_REQUIRE(alpha_ > Rational(0) && alpha_ <= Rational(1),
+                 "LatencyEstimator: alpha must be in (0, 1]");
+  POSTAL_REQUIRE(estimate_ >= Rational(1),
+                 "LatencyEstimator: initial estimate must be >= 1");
+  POSTAL_REQUIRE(grid_ >= 1, "LatencyEstimator: grid must be >= 1");
+  estimate_ = quantize(estimate_, grid_);
+}
+
+void LatencyEstimator::observe(const Rational& sample) {
+  POSTAL_REQUIRE(sample >= Rational(0), "LatencyEstimator: sample must be >= 0");
+  estimate_ = estimate_ + alpha_ * (sample - estimate_);
+  estimate_ = rmax(quantize(estimate_, grid_), Rational(1));
+  ++samples_;
+}
+
+}  // namespace postal

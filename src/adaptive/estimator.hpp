@@ -1,0 +1,45 @@
+// Online latency estimation -- groundwork for the paper's Section 5
+// direction "explore time-changing values of lambda and design algorithms
+// that adapt to changing lambda".
+//
+// The estimator is an exponentially weighted moving average over observed
+// one-way latencies, kept in exact rational arithmetic but re-quantized to
+// a fixed grid after every update so denominators stay bounded no matter
+// how many samples arrive.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Quantize `value` to the nearest multiple of 1/grid (round half up).
+[[nodiscard]] Rational quantize(const Rational& value, std::int64_t grid);
+
+/// EWMA latency estimator: est <- est + alpha * (sample - est), clamped to
+/// >= 1 (the postal model's domain) and quantized to `grid`.
+class LatencyEstimator {
+ public:
+  /// alpha in (0, 1]; grid >= 1. Starts at `initial` (default lambda = 1).
+  explicit LatencyEstimator(Rational alpha = Rational(1, 4),
+                            Rational initial = Rational(1),
+                            std::int64_t grid = 64);
+
+  /// Feed one observed latency sample (must be >= 0).
+  void observe(const Rational& sample);
+
+  /// Current estimate; always >= 1 and a multiple of 1/grid.
+  [[nodiscard]] const Rational& estimate() const noexcept { return estimate_; }
+
+  /// Number of samples observed so far.
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  Rational alpha_;
+  Rational estimate_;
+  std::int64_t grid_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace postal

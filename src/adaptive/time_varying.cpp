@@ -1,0 +1,112 @@
+#include "adaptive/time_varying.hpp"
+
+#include <map>
+#include <optional>
+
+#include "model/genfib.hpp"
+#include "sim/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+
+LatencyProfile::LatencyProfile(std::vector<std::pair<Rational, Rational>> pieces)
+    : pieces_(std::move(pieces)) {
+  POSTAL_REQUIRE(!pieces_.empty(), "LatencyProfile: need at least one piece");
+  POSTAL_REQUIRE(pieces_.front().first == Rational(0),
+                 "LatencyProfile: first piece must start at t = 0");
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    POSTAL_REQUIRE(pieces_[i].second >= Rational(1),
+                   "LatencyProfile: lambda must be >= 1 everywhere");
+    if (i > 0) {
+      POSTAL_REQUIRE(pieces_[i - 1].first < pieces_[i].first,
+                     "LatencyProfile: piece starts must strictly increase");
+    }
+  }
+}
+
+LatencyProfile LatencyProfile::constant(const Rational& lambda) {
+  return LatencyProfile({{Rational(0), lambda}});
+}
+
+LatencyProfile LatencyProfile::step(const Rational& from, const Rational& to,
+                                    const Rational& when) {
+  POSTAL_REQUIRE(when > Rational(0), "LatencyProfile::step: step time must be > 0");
+  return LatencyProfile({{Rational(0), from}, {when, to}});
+}
+
+const Rational& LatencyProfile::at(const Rational& t) const {
+  POSTAL_REQUIRE(t >= Rational(0), "LatencyProfile::at: t must be >= 0");
+  const Rational* lambda = &pieces_.front().second;
+  for (const auto& [start, value] : pieces_) {
+    if (start <= t) {
+      lambda = &value;
+    } else {
+      break;
+    }
+  }
+  return *lambda;
+}
+
+AdaptiveRunResult adaptive_broadcast(std::uint64_t n, const LatencyProfile& profile,
+                                     AdaptPolicy policy) {
+  POSTAL_REQUIRE(n >= 1, "adaptive_broadcast: n must be >= 1");
+  POSTAL_REQUIRE(n <= static_cast<std::uint64_t>(INT64_MAX),
+                 "adaptive_broadcast: n out of range");
+
+  AdaptiveRunResult result;
+  if (n == 1) return result;
+
+  const Rational lambda0 = profile.at(Rational(0));
+  LatencyEstimator estimator(Rational(1, 4), lambda0);
+  std::map<Rational, GenFib> fib_cache;
+  auto fib_for = [&fib_cache](const Rational& lambda) -> GenFib& {
+    auto it = fib_cache.find(lambda);
+    if (it == fib_cache.end()) it = fib_cache.emplace(lambda, GenFib(lambda)).first;
+    return it->second;
+  };
+
+  auto belief = [&](const Rational& now) -> Rational {
+    switch (policy) {
+      case AdaptPolicy::kStatic:
+        return lambda0;
+      case AdaptPolicy::kAdaptive:
+        return profile.at(now);
+      case AdaptPolicy::kEstimated:
+        return estimator.estimate();
+    }
+    throw LogicError("adaptive_broadcast: unknown policy");
+  };
+
+  struct HolderTask {
+    std::uint64_t lo;
+    std::uint64_t hi;
+    std::optional<Rational> observed_latency;  ///< set when spawned by a delivery
+  };
+  EventQueue<HolderTask> queue;
+  queue.push(Rational(0), HolderTask{0, n, std::nullopt});
+
+  while (!queue.empty()) {
+    auto [now, task] = queue.pop();
+    if (task.observed_latency.has_value() && policy == AdaptPolicy::kEstimated) {
+      estimator.observe(*task.observed_latency);
+    }
+    const std::uint64_t count = task.hi - task.lo;
+    if (count < 2) continue;
+    const Rational lambda_belief = belief(now);
+    const std::uint64_t j = fib_for(lambda_belief).bcast_split(count);
+    const std::uint64_t target = task.lo + j;
+    const Rational& lambda_true = profile.at(now);
+    result.schedule.add(static_cast<ProcId>(task.lo), static_cast<ProcId>(target),
+                        /*msg=*/0, now);
+    result.completion = rmax(result.completion, now + lambda_true);
+    // Recipient starts broadcasting its sub-range when informed.
+    queue.push(now + lambda_true, HolderTask{target, task.hi, lambda_true});
+    // The holder continues on its own sub-range one unit later.
+    queue.push(now + Rational(1), HolderTask{task.lo, target, std::nullopt});
+  }
+
+  result.schedule.sort();
+  return result;
+}
+
+}  // namespace postal

@@ -1,0 +1,75 @@
+// Time-varying latency profiles and broadcasting under them -- the paper's
+// Section 5 open problem "explore time-changing values of lambda and design
+// algorithms that adapt to changing lambda".
+//
+// Semantics: a send started at time t experiences the latency in force at
+// its start, lambda(t); the recipient is informed at t + lambda(t). (Sends
+// still occupy the sender for one unit; lambda(t) >= 1 always.)
+//
+// Three planners are compared:
+//   * static  -- plans the whole generalized Fibonacci tree with lambda(0)
+//                and never revises it;
+//   * adaptive-- every holder re-plans its split with the latency in force
+//                at each send (an idealized, perfectly informed adapter);
+//   * estimated -- holders share an EWMA estimator fed by every completed
+//                delivery and plan with its current output (a realistic
+//                adapter).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "adaptive/estimator.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// A piecewise-constant latency profile lambda(t) >= 1.
+class LatencyProfile {
+ public:
+  /// Pieces: (start_time, lambda) with strictly increasing start times,
+  /// first start at 0. Throws InvalidArgument otherwise.
+  explicit LatencyProfile(std::vector<std::pair<Rational, Rational>> pieces);
+
+  /// Constant profile.
+  [[nodiscard]] static LatencyProfile constant(const Rational& lambda);
+
+  /// Profile that steps from `from` to `to` at time `when`.
+  [[nodiscard]] static LatencyProfile step(const Rational& from, const Rational& to,
+                                           const Rational& when);
+
+  /// The latency in force at time t >= 0.
+  [[nodiscard]] const Rational& at(const Rational& t) const;
+
+  [[nodiscard]] const std::vector<std::pair<Rational, Rational>>& pieces() const noexcept {
+    return pieces_;
+  }
+
+ private:
+  std::vector<std::pair<Rational, Rational>> pieces_;
+};
+
+/// Which planner drives the broadcast under a varying profile.
+enum class AdaptPolicy {
+  kStatic,     ///< plan with lambda(0) forever
+  kAdaptive,   ///< plan each send with the true lambda at that instant
+  kEstimated,  ///< plan each send with a shared EWMA estimate
+};
+
+/// Result of a time-varying broadcast run.
+struct AdaptiveRunResult {
+  Schedule schedule;    ///< the sends performed (send times only)
+  Rational completion;  ///< last inform time under the profile
+};
+
+/// Broadcast one message from p_0 to n processors under `profile` using
+/// `policy`. Event-driven: each holder keeps sending into its remaining
+/// range every unit of time, choosing each split with the planner's
+/// current latency belief. Completion is exact under the profile.
+[[nodiscard]] AdaptiveRunResult adaptive_broadcast(std::uint64_t n,
+                                                   const LatencyProfile& profile,
+                                                   AdaptPolicy policy);
+
+}  // namespace postal

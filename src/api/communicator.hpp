@@ -1,0 +1,87 @@
+// The high-level facade: one object that plans, predicts, and verifies
+// every collective this library implements -- the API a downstream user
+// (e.g. an MPI-library implementor evaluating latency-aware collectives)
+// would program against.
+//
+//   postal::Communicator comm(64, postal::Rational(5, 2));
+//   auto plan = comm.broadcast(12);       // best multi-message plan
+//   plan.schedule                          // the sends to execute
+//   plan.completion                        // exact predicted finish time
+//   plan.verified                          // certified by the simulator
+//
+// Every plan returned by a Communicator has already been validated against
+// the full postal model; `verified` is recorded for transparency and the
+// class throws LogicError if any internal plan ever fails validation
+// (which would be a library bug).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/genfib.hpp"
+#include "model/params.hpp"
+#include "sched/registry.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// A planned collective: the schedule, its exact completion time, the
+/// relevant lower bound, and the algorithm label.
+struct CollectivePlan {
+  Schedule schedule;
+  Rational completion;
+  Rational lower_bound;
+  std::string algorithm;
+  bool verified = false;
+};
+
+/// Plans optimal (or best-known) collectives for one MPS(n, lambda).
+class Communicator {
+ public:
+  /// Throws InvalidArgument unless n >= 1 and lambda >= 1.
+  Communicator(std::uint64_t n, Rational lambda);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return params_.n(); }
+  [[nodiscard]] const Rational& lambda() const noexcept { return params_.lambda(); }
+
+  /// Optimal single-message broadcast (Algorithm BCAST, Theorem 6); for
+  /// m > 1, the best algorithm in the registry for this (n, m, lambda).
+  [[nodiscard]] CollectivePlan broadcast(std::uint64_t m = 1);
+
+  /// Broadcast with a specific Section 4 algorithm.
+  [[nodiscard]] CollectivePlan broadcast_with(MultiAlgo algo, std::uint64_t m);
+
+  /// Optimal combining into p_0 (time-reversed BCAST).
+  [[nodiscard]] CollectivePlan reduce();
+
+  /// Optimal personalized one-to-all / all-to-one.
+  [[nodiscard]] CollectivePlan scatter();
+  [[nodiscard]] CollectivePlan gather();
+
+  /// Optimal gossip (direct exchange).
+  [[nodiscard]] CollectivePlan allgather();
+
+  /// Optimal personalized all-to-all (rotated exchange).
+  [[nodiscard]] CollectivePlan alltoall();
+
+  /// Two-phase barrier (combine + release broadcast).
+  [[nodiscard]] CollectivePlan barrier();
+
+  /// Two-phase exclusive prefix (up-sweep + down-sweep).
+  [[nodiscard]] CollectivePlan scan();
+
+  /// k-source gossip: sources[i] holds message i; everyone gets all k
+  /// (gather-to-hub + PIPELINE broadcast).
+  [[nodiscard]] CollectivePlan multi_source(const std::vector<ProcId>& sources);
+
+  /// The exact optimal broadcast time f_lambda(n) (Theorem 6).
+  [[nodiscard]] Rational broadcast_time();
+
+ private:
+  PostalParams params_;
+  GenFib fib_;
+};
+
+}  // namespace postal

@@ -1,0 +1,177 @@
+#include "brute/multi_search.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "brute/optimal_search.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+
+namespace {
+
+constexpr std::int64_t kNone = -1;
+
+struct Searcher {
+  std::uint64_t n;
+  std::uint64_t m;
+  std::int64_t lambda;
+  std::int64_t horizon;
+  bool order;
+  std::uint32_t full;
+
+  // State (copied down the recursion; tiny):
+  //   holds[p]        -- bitmask of fully received messages
+  //   arrival[p*m+j]  -- in-flight arrival time of message j at p, or kNone
+  std::unordered_set<std::uint64_t> failed;  // (t, state) proven infeasible
+
+  [[nodiscard]] std::uint64_t encode(std::int64_t t,
+                                     const std::vector<std::uint32_t>& holds,
+                                     const std::vector<std::int64_t>& arrival) const {
+    // Per (p, j): 0 = missing, 1..lambda = arrives in (arrival - t) units,
+    // lambda+1 = held. Needs ceil(log2(lambda+2)) bits; sizes are capped so
+    // the whole state plus t fits in 64 bits.
+    std::uint64_t key = static_cast<std::uint64_t>(t);
+    for (std::uint64_t p = 0; p < n; ++p) {
+      for (std::uint64_t j = 0; j < m; ++j) {
+        std::uint64_t code;
+        if ((holds[p] >> j) & 1U) {
+          code = static_cast<std::uint64_t>(lambda) + 1;
+        } else if (arrival[p * m + j] == kNone) {
+          code = 0;
+        } else {
+          code = static_cast<std::uint64_t>(arrival[p * m + j] - t);
+        }
+        key = key * (static_cast<std::uint64_t>(lambda) + 2) + code;
+      }
+    }
+    return key;
+  }
+
+  bool dfs(std::int64_t t, std::vector<std::uint32_t> holds,
+           std::vector<std::int64_t> arrival) {
+    // Deliver everything arriving exactly now.
+    for (std::uint64_t p = 0; p < n; ++p) {
+      for (std::uint64_t j = 0; j < m; ++j) {
+        if (arrival[p * m + j] == t) {
+          holds[p] |= (1U << j);
+          arrival[p * m + j] = kNone;
+        }
+      }
+    }
+    bool done = true;
+    bool all_remaining_in_flight = true;
+    for (std::uint64_t p = 0; p < n; ++p) {
+      done = done && holds[p] == full;
+      std::int64_t not_in_flight = 0;
+      for (std::uint64_t j = 0; j < m; ++j) {
+        if (((holds[p] >> j) & 1U) == 0 && arrival[p * m + j] == kNone) {
+          ++not_in_flight;
+        }
+      }
+      all_remaining_in_flight = all_remaining_in_flight && not_in_flight == 0;
+      // Optimistic completion bound: the missing messages must still be
+      // sent, landing one per unit from t + lambda on.
+      if (not_in_flight > 0 && t + lambda + not_in_flight - 1 > horizon) return false;
+    }
+    if (done) return true;
+    if (all_remaining_in_flight) {
+      // Just wait: every in-flight arrival is <= horizon by construction
+      // (sends past the horizon are never enumerated).
+      return true;
+    }
+    // Some message still needs a send; it cannot land in time past here.
+    if (t + lambda > horizon) return false;
+
+    const std::uint64_t key = encode(t, holds, arrival);
+    if (failed.contains(key)) return false;
+
+    // Enumerate one action (idle or a useful send) per processor, with
+    // distinct destinations within the step (one arrival per receive port
+    // per instant).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sends;  // (dst, msg)
+    const bool ok = choose(0, t, holds, arrival, 0U, sends);
+    if (!ok) failed.insert(key);
+    return ok;
+  }
+
+  bool choose(std::uint64_t p, std::int64_t t, const std::vector<std::uint32_t>& holds,
+              const std::vector<std::int64_t>& arrival, std::uint32_t used_dsts,
+              std::vector<std::pair<std::uint64_t, std::uint64_t>>& sends) {
+    if (p == n) {
+      auto next_arrival = arrival;
+      for (const auto& [dst, msg] : sends) {
+        next_arrival[dst * m + msg] = t + lambda;
+      }
+      return dfs(t + 1, holds, std::move(next_arrival));
+    }
+    // Option: this processor stays idle.
+    if (choose(p + 1, t, holds, arrival, used_dsts, sends)) return true;
+    // Options: every useful send.
+    for (std::uint64_t j = 0; j < m; ++j) {
+      if (((holds[p] >> j) & 1U) == 0) continue;  // sender must hold it
+      for (std::uint64_t dst = 0; dst < n; ++dst) {
+        if (dst == p || ((used_dsts >> dst) & 1U)) continue;
+        if ((holds[dst] >> j) & 1U) continue;           // already held
+        if (arrival[dst * m + j] != kNone) continue;    // already in flight
+        if (order) {
+          // Order preservation: every lower-numbered message must reach
+          // dst no later than this one (held, or in flight strictly
+          // earlier than t + lambda -- equal is impossible on the grid).
+          bool legal = true;
+          for (std::uint64_t i = 0; i < j && legal; ++i) {
+            legal = ((holds[dst] >> i) & 1U) != 0 || arrival[dst * m + i] != kNone;
+          }
+          if (!legal) continue;
+        }
+        sends.emplace_back(dst, j);
+        const bool ok =
+            choose(p + 1, t, holds, arrival, used_dsts | (1U << dst), sends);
+        sends.pop_back();
+        if (ok) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool multi_broadcast_feasible(std::uint64_t n, std::uint64_t m, std::int64_t lambda,
+                              std::int64_t horizon, bool require_order) {
+  POSTAL_REQUIRE(n >= 1 && n <= 5, "multi_broadcast_feasible: n must be in [1, 5]");
+  POSTAL_REQUIRE(m >= 1 && m <= 4, "multi_broadcast_feasible: m must be in [1, 4]");
+  POSTAL_REQUIRE(lambda >= 1 && lambda <= 6,
+                 "multi_broadcast_feasible: integer lambda in [1, 6]");
+  POSTAL_REQUIRE(horizon >= 0, "multi_broadcast_feasible: horizon must be >= 0");
+  if (n == 1) return true;
+  Searcher searcher;
+  searcher.n = n;
+  searcher.m = m;
+  searcher.lambda = lambda;
+  searcher.horizon = horizon;
+  searcher.order = require_order;
+  searcher.full = static_cast<std::uint32_t>((1U << m) - 1);
+  std::vector<std::uint32_t> holds(n, 0);
+  holds[0] = searcher.full;
+  std::vector<std::int64_t> arrival(n * m, kNone);
+  return searcher.dfs(0, std::move(holds), std::move(arrival));
+}
+
+std::int64_t multi_broadcast_optimum(std::uint64_t n, std::uint64_t m,
+                                     std::int64_t lambda, bool require_order,
+                                     std::int64_t max_horizon) {
+  if (n == 1) return 0;
+  // Start at Lemma 8's bound (integral for integer lambda).
+  const Rational f = optimal_broadcast_dp(n, Rational(lambda));
+  POSTAL_CHECK(f.is_integer());
+  for (std::int64_t horizon = static_cast<std::int64_t>(m) - 1 + f.num();
+       horizon <= max_horizon; ++horizon) {
+    if (multi_broadcast_feasible(n, m, lambda, horizon, require_order)) {
+      return horizon;
+    }
+  }
+  throw LogicError("multi_broadcast_optimum: no feasible horizon found");
+}
+
+}  // namespace postal

@@ -1,0 +1,46 @@
+// Exhaustive search for optimal multi-message broadcast on tiny instances
+// -- a computational probe of the paper's Section 5 open problem: "This
+// paper leaves a gap between the lower bounds for broadcasting multiple
+// messages and the performance of the algorithms presented in Section 4
+// ... It would be interesting either to develop improved event-driven
+// algorithms that preserve the order of messages or to improve the lower
+// bound for such situations."
+//
+// For integer lambda, the search explores every schedule whose sends start
+// at integer times (a natural grid restriction at integer lambda),
+// depth-first with pruning:
+//   * only useful sends (the target lacks the message and no copy is in
+//     flight to it) -- duplicates can never help;
+//   * optimistic completion bound per processor (its missing messages
+//     must still arrive, one per unit, the first no sooner than lambda).
+//
+// Two modes: unrestricted, and order-preserving (a message may only be
+// sent to a processor that will have received all lower-numbered messages
+// by that arrival). Comparing the two optima against Lemma 8 measures the
+// gap exactly -- on instances small enough to enumerate.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// True iff some integer-grid schedule broadcasts m messages from p_0 to
+/// all n processors within `horizon` time units under latency `lambda`
+/// (an integer >= 1). `require_order` restricts to order-preserving
+/// schedules. Intended for n <= 4, m <= 3, small horizons.
+[[nodiscard]] bool multi_broadcast_feasible(std::uint64_t n, std::uint64_t m,
+                                            std::int64_t lambda, std::int64_t horizon,
+                                            bool require_order);
+
+/// The optimal integer-grid completion time: the smallest feasible horizon,
+/// scanned upward from Lemma 8's bound (which is integral here). Throws
+/// LogicError if nothing is feasible within `max_horizon` (a search bug --
+/// the Section 4 algorithms give a finite upper bound).
+[[nodiscard]] std::int64_t multi_broadcast_optimum(std::uint64_t n, std::uint64_t m,
+                                                   std::int64_t lambda,
+                                                   bool require_order,
+                                                   std::int64_t max_horizon = 64);
+
+}  // namespace postal

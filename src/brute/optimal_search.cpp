@@ -1,0 +1,51 @@
+#include "brute/optimal_search.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace postal {
+
+Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda) {
+  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_dp: n must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_dp: lambda must be >= 1");
+  std::vector<Rational> T(n + 1, Rational(0));
+  for (std::uint64_t k = 2; k <= n; ++k) {
+    // First split: the holder keeps j processors (continuing one unit
+    // later), the recipient takes k - j (starting lambda later). Scan all j.
+    Rational best = Rational(1) + T[k - 1];  // j = k-1 as the initial bound
+    best = rmax(best, lambda + T[1]);
+    for (std::uint64_t j = 1; j + 1 <= k - 1; ++j) {
+      const Rational cand = rmax(Rational(1) + T[j], lambda + T[k - j]);
+      best = rmin(best, cand);
+    }
+    T[k] = best;
+  }
+  return T[n];
+}
+
+Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda) {
+  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_greedy: n must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_greedy: lambda must be >= 1");
+  if (n == 1) return Rational(0);
+  // Heap of candidate inform times. Popping a candidate materializes the
+  // next sibling (same sender, one unit later) and the new processor's own
+  // first child (lambda after it is informed).
+  std::priority_queue<Rational, std::vector<Rational>, std::greater<>> heap;
+  heap.push(lambda);  // p_0's first recipient is informed at lambda
+  std::uint64_t informed = 1;
+  Rational last(0);
+  while (informed < n) {
+    POSTAL_CHECK(!heap.empty());
+    const Rational t = heap.top();
+    heap.pop();
+    ++informed;
+    last = t;
+    heap.push(t + Rational(1));  // sender's next send, one unit later
+    heap.push(t + lambda);       // new processor's first own recipient
+  }
+  return last;
+}
+
+}  // namespace postal

@@ -1,0 +1,35 @@
+// Independent computations of the optimal single-message broadcast time,
+// used by the property tests to confirm Theorem 6 without trusting the
+// generalized-Fibonacci machinery.
+//
+// Two routes, neither of which evaluates F_lambda:
+//
+//  * optimal_broadcast_dp: the split recursion
+//        T(1) = 0,
+//        T(k) = min_{1 <= j <= k-1} max(1 + T(j), lambda + T(k-j)),
+//    which scans *every* possible first-split size instead of the paper's
+//    closed-form choice j = F_lambda(f_lambda(k)-1).
+//
+//  * optimal_broadcast_greedy: frontier expansion with a priority queue --
+//    every informed processor sends to a new processor every unit of time,
+//    and the n earliest inform times are taken. (Idling or re-informing a
+//    processor can only delay completion, so this greedy is optimal; it is
+//    the constructive reading of the paper's Lemma 5 argument.)
+//
+// Theorem 6 says both equal f_lambda(n) exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Optimal broadcast time via the exhaustive split recursion. O(n^2) time,
+/// O(n) memo; intended for n up to a few thousand.
+[[nodiscard]] Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda);
+
+/// Optimal broadcast time via greedy frontier expansion. O(n log n).
+[[nodiscard]] Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda);
+
+}  // namespace postal

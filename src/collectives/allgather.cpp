@@ -1,0 +1,91 @@
+#include "collectives/allgather.hpp"
+
+#include "sched/pipeline.hpp"
+
+namespace postal {
+
+Schedule allgather_direct_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+      // Rotation keeps every receive port loaded exactly once per unit.
+      const std::uint64_t dst = (p + 1 + k) % n;
+      schedule.add(static_cast<ProcId>(p), static_cast<ProcId>(dst),
+                   static_cast<MsgId>(p), Rational(static_cast<std::int64_t>(k)));
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_allgather_direct(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  return Rational(static_cast<std::int64_t>(params.n()) - 2) + params.lambda();
+}
+
+Schedule allgather_ring_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+      // At "ring step" k processor p forwards message (p - k mod n); the
+      // message only arrived k*lambda ago, so the step time is k*lambda.
+      const std::uint64_t msg = (p + n - k % n) % n;
+      schedule.add(static_cast<ProcId>(p), static_cast<ProcId>((p + 1) % n),
+                   static_cast<MsgId>(msg),
+                   Rational(static_cast<std::int64_t>(k)) * params.lambda());
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_allgather_ring(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  return Rational(static_cast<std::int64_t>(params.n()) - 1) * params.lambda();
+}
+
+Schedule allgather_gather_bcast_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  // Phase 1: optimal gather -- processor p streams its contribution (id p)
+  // to the root so arrivals land back to back.
+  for (std::uint64_t p = 1; p < n; ++p) {
+    schedule.add(static_cast<ProcId>(p), /*dst=*/0, static_cast<MsgId>(p),
+                 Rational(static_cast<std::int64_t>(p) - 1));
+  }
+  const Rational gather_done =
+      Rational(static_cast<std::int64_t>(n) - 2) + params.lambda();
+  // Phase 2: PIPELINE-broadcast all n messages from the root.
+  const Schedule bcast = pipeline_schedule(params, /*m=*/n);
+  schedule.append_shifted(bcast, gather_done, /*msg_offset=*/0);
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_allgather_gather_bcast(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  const Rational gather_done =
+      Rational(static_cast<std::int64_t>(params.n()) - 2) + params.lambda();
+  return gather_done + predict_pipeline(params.lambda(), params.n(), params.n());
+}
+
+Rational allgather_lower_bound(const PostalParams& params) {
+  return predict_allgather_direct(params);
+}
+
+ValidatorOptions allgather_goal(const PostalParams& params) {
+  ValidatorOptions options;
+  const std::uint64_t n = params.n();
+  options.messages = static_cast<std::uint32_t>(n);
+  for (std::uint64_t p = 0; p < n; ++p) {
+    options.origins.push_back(static_cast<ProcId>(p));
+  }
+  return options;
+}
+
+}  // namespace postal

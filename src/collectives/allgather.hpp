@@ -1,0 +1,64 @@
+// Allgather / gossiping in the postal model -- Section 5 "other problems".
+//
+// Every processor p starts with its own atomic message; every processor
+// must end up holding all n messages.
+//
+// Lower bound: each processor must *receive* n-1 distinct atomic messages
+// through a receive port that absorbs one message per unit of time, and
+// the last of them still pays the latency of its final hop, so
+//     T >= (n-2) + lambda.
+//
+// Three algorithms, with an instructive contrast to broadcast:
+//
+//  * Direct exchange (rotated all-to-all): processor p sends its message
+//    to p+1+k (mod n) at time k, for k = 0..n-2. Every receive port takes
+//    one message per unit; completion is exactly (n-2) + lambda -- the
+//    lower bound. Unlike broadcast, optimal gossiping in the postal model
+//    needs *no* latency awareness at all (full connectivity does the work).
+//
+//  * Ring: at each hop processor p forwards the message it just received
+//    to p+1 (mod n). Every hop pays the full latency, so completion is
+//    (n-1) * lambda -- optimal only at lambda = 1, and progressively worse
+//    as lambda grows. The classic telephone-model idiom mispriced.
+//
+//  * Gather + broadcast: collect everything at p_0 (optimal gather), then
+//    broadcast the n messages with Algorithm PIPELINE.
+#pragma once
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Direct-exchange allgather: n*(n-1) sends, completes at (n-2) + lambda
+/// (the lower bound). Sorted.
+[[nodiscard]] Schedule allgather_direct_schedule(const PostalParams& params);
+
+/// Exact completion of the direct exchange: (n-2) + lambda for n >= 2.
+[[nodiscard]] Rational predict_allgather_direct(const PostalParams& params);
+
+/// Ring allgather: message j moves one hop per lambda; completes at
+/// (n-1) * lambda. Sorted.
+[[nodiscard]] Schedule allgather_ring_schedule(const PostalParams& params);
+
+/// Exact completion of the ring: (n-1) * lambda for n >= 2, else 0.
+[[nodiscard]] Rational predict_allgather_ring(const PostalParams& params);
+
+/// Baseline: optimal gather into p_0, then PIPELINE-broadcast of all n
+/// messages (message ids stay 0..n-1; p_0's own message is id... id p for
+/// processor p's contribution throughout).
+[[nodiscard]] Schedule allgather_gather_bcast_schedule(const PostalParams& params);
+
+/// Exact completion of the gather+broadcast baseline.
+[[nodiscard]] Rational predict_allgather_gather_bcast(const PostalParams& params);
+
+/// Lower bound: (n-2) + lambda for n >= 2, else 0.
+[[nodiscard]] Rational allgather_lower_bound(const PostalParams& params);
+
+/// Validator options for the allgather goal (message p originates at p,
+/// everyone needs everything).
+[[nodiscard]] ValidatorOptions allgather_goal(const PostalParams& params);
+
+}  // namespace postal

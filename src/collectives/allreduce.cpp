@@ -1,0 +1,68 @@
+#include "collectives/allreduce.hpp"
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce.hpp"
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+Schedule allreduce_schedule(const PostalParams& params, AllreduceStrategy strategy) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  switch (strategy) {
+    case AllreduceStrategy::kTree: {
+      // Phase 1: combine into p_0; phase 2: broadcast the result (id n).
+      const Schedule arrive = reduce_schedule(params);
+      for (const SendEvent& e : arrive.events()) schedule.add(e);
+      const Rational arrive_done = predict_reduce(params);
+      const Schedule release = bcast_schedule(params);
+      for (const SendEvent& e : release.events()) {
+        schedule.add(e.src, e.dst, static_cast<MsgId>(n), e.t + arrive_done);
+      }
+      break;
+    }
+    case AllreduceStrategy::kGossip: {
+      schedule = allgather_direct_schedule(params);
+      break;
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_allreduce(const PostalParams& params, AllreduceStrategy strategy) {
+  if (params.n() == 1) return Rational(0);
+  switch (strategy) {
+    case AllreduceStrategy::kTree:
+      return Rational(2) * predict_reduce(params);
+    case AllreduceStrategy::kGossip:
+      return predict_allgather_direct(params);
+  }
+  throw LogicError("predict_allreduce: unknown strategy");
+}
+
+AllreduceStrategy allreduce_auto(const PostalParams& params) {
+  const Rational tree = predict_allreduce(params, AllreduceStrategy::kTree);
+  const Rational gossip = predict_allreduce(params, AllreduceStrategy::kGossip);
+  return tree < gossip ? AllreduceStrategy::kTree : AllreduceStrategy::kGossip;
+}
+
+std::string allreduce_strategy_name(AllreduceStrategy strategy) {
+  switch (strategy) {
+    case AllreduceStrategy::kTree:
+      return "tree (reduce + broadcast)";
+    case AllreduceStrategy::kGossip:
+      return "gossip (allgather + local combine)";
+  }
+  throw LogicError("allreduce_strategy_name: unknown strategy");
+}
+
+Rational allreduce_lower_bound(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  GenFib fib(params.lambda());
+  return rmax(fib.f(params.n()), params.lambda());
+}
+
+}  // namespace postal

@@ -1,0 +1,60 @@
+// Allreduce in the postal model: every processor contributes a value and
+// every processor must end up with the full combination -- the workhorse
+// collective of data-parallel computing, and a natural composition problem
+// over the paper's primitives.
+//
+// Two classical strategies with a genuine crossover:
+//
+//  * tree:    reduce to p_0 (time-reversed BCAST, f_lambda(n)), then BCAST
+//             the result:              T = 2 * f_lambda(n) + ~0
+//             -- wins when n is large relative to lambda
+//               (2 f ~ 2 lambda log n / log lambda << n).
+//
+//  * gossip:  run the optimal direct-exchange allgather and let everyone
+//             combine locally:         T = (n - 2) + lambda
+//             -- wins when lambda is large relative to n
+//               (a single latency beats two tree heights).
+//
+// allreduce_auto picks the cheaper one exactly; the bench maps the
+// crossover line.
+#pragma once
+
+#include <string>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Which composition realizes the allreduce.
+enum class AllreduceStrategy {
+  kTree,    ///< reduce to p_0 + broadcast the result
+  kGossip,  ///< direct-exchange allgather + local combine
+};
+
+/// The allreduce schedule under the chosen strategy. Message encoding for
+/// kTree: ids 0..n-1 are the partial results (as in reduce), id n is the
+/// combined result being broadcast. For kGossip: id p is p's contribution.
+[[nodiscard]] Schedule allreduce_schedule(const PostalParams& params,
+                                          AllreduceStrategy strategy);
+
+/// Exact completion time of allreduce_schedule.
+[[nodiscard]] Rational predict_allreduce(const PostalParams& params,
+                                         AllreduceStrategy strategy);
+
+/// The cheaper strategy for these parameters (ties go to kGossip, which
+/// needs no combining tree at all).
+[[nodiscard]] AllreduceStrategy allreduce_auto(const PostalParams& params);
+
+/// Human-readable strategy name.
+[[nodiscard]] std::string allreduce_strategy_name(AllreduceStrategy strategy);
+
+/// Lower bound: information must still cross the machine, so
+/// T >= f_lambda(n); and everyone must hear from everyone, so for n >= 2
+/// T >= (n-2) + lambda is NOT required (combining compresses), but the
+/// receive-port of any processor must absorb at least one message:
+/// T >= lambda. The tight bound is max(f_lambda(n), lambda).
+[[nodiscard]] Rational allreduce_lower_bound(const PostalParams& params);
+
+}  // namespace postal

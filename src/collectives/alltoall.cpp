@@ -1,0 +1,56 @@
+#include "collectives/alltoall.hpp"
+
+namespace postal {
+
+MsgId alltoall_msg_id(const PostalParams& params, ProcId src, ProcId dst) {
+  const std::uint64_t n = params.n();
+  POSTAL_REQUIRE(src < n && dst < n && src != dst,
+                 "alltoall_msg_id: need two distinct processors");
+  const std::uint64_t rot = (dst + n - src - 1) % n;  // in [0, n-2]
+  POSTAL_CHECK(rot <= n - 2);
+  return static_cast<MsgId>(src * (n - 1) + rot);
+}
+
+Schedule alltoall_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    for (std::uint64_t k = 0; k + 1 < n; ++k) {
+      const auto dst = static_cast<ProcId>((p + 1 + k) % n);
+      schedule.add(static_cast<ProcId>(p), dst,
+                   alltoall_msg_id(params, static_cast<ProcId>(p), dst),
+                   Rational(static_cast<std::int64_t>(k)));
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_alltoall(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  return Rational(static_cast<std::int64_t>(params.n()) - 2) + params.lambda();
+}
+
+Rational alltoall_lower_bound(const PostalParams& params) {
+  return predict_alltoall(params);
+}
+
+ValidatorOptions alltoall_goal(const PostalParams& params) {
+  ValidatorOptions options;
+  const std::uint64_t n = params.n();
+  options.messages = static_cast<std::uint32_t>(n >= 2 ? n * (n - 1) : 0);
+  options.origins.resize(options.messages);
+  for (std::uint64_t src = 0; src < n; ++src) {
+    for (std::uint64_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const MsgId id = alltoall_msg_id(params, static_cast<ProcId>(src),
+                                       static_cast<ProcId>(dst));
+      options.origins[id] = static_cast<ProcId>(src);
+      options.required.emplace_back(static_cast<ProcId>(dst), id);
+    }
+  }
+  return options;
+}
+
+}  // namespace postal

@@ -1,0 +1,38 @@
+// All-to-all personalized exchange (MPI_Alltoall) in the postal model --
+// Section 5 "other problems".
+//
+// Every processor p holds n-1 distinct atomic messages, one addressed to
+// each other processor. Lower bound: every receive port must absorb n-1
+// messages, so T >= (n-2) + lambda -- the same bound as gossip, and the
+// rotated exchange meets it exactly: at step k = 0..n-2 processor p sends
+// its message for processor (p+1+k) mod n directly. Each receive port sees
+// exactly one arrival per unit of time.
+//
+// Message id encoding: the message processor `src` addresses to `dst` has
+// id src*(n-1) + rot, where rot = (dst - src - 1) mod n in [0, n-2].
+#pragma once
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The rotated direct exchange: n*(n-1) sends, completes at (n-2)+lambda.
+[[nodiscard]] Schedule alltoall_schedule(const PostalParams& params);
+
+/// Exact completion time: (n-2) + lambda for n >= 2, else 0.
+[[nodiscard]] Rational predict_alltoall(const PostalParams& params);
+
+/// Lower bound (receive-port counting): (n-2) + lambda for n >= 2.
+[[nodiscard]] Rational alltoall_lower_bound(const PostalParams& params);
+
+/// Message id of src's payload addressed to dst (src != dst).
+[[nodiscard]] MsgId alltoall_msg_id(const PostalParams& params, ProcId src, ProcId dst);
+
+/// Validator options describing the goal: message (src -> dst) originates
+/// at src and must reach dst.
+[[nodiscard]] ValidatorOptions alltoall_goal(const PostalParams& params);
+
+}  // namespace postal

@@ -1,0 +1,36 @@
+#include "collectives/barrier.hpp"
+
+#include "collectives/reduce.hpp"
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+Schedule barrier_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  // Phase 1: arrival signals combine toward p_0. The reduce schedule tags
+  // each send with the sender's id; that matches the "ids 0..n-1 are
+  // arrival signals" encoding directly.
+  const Schedule arrive = reduce_schedule(params);
+  for (const SendEvent& e : arrive.events()) schedule.add(e);
+  const Rational arrive_done = predict_reduce(params);
+  // Phase 2: p_0 broadcasts the release message (id n).
+  const Schedule release = bcast_schedule(params);
+  for (const SendEvent& e : release.events()) {
+    schedule.add(e.src, e.dst, static_cast<MsgId>(n), e.t + arrive_done);
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_barrier(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  return Rational(2) * predict_reduce(params);
+}
+
+Rational barrier_release_time(const PostalParams& params) {
+  return predict_barrier(params);
+}
+
+}  // namespace postal

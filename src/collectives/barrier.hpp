@@ -1,0 +1,31 @@
+// Barrier synchronization in the postal model -- Section 5 "other
+// problems". Composition of the two optimal primitives this library
+// already has:
+//
+//   phase 1 (arrive):  optimal reduction of arrival signals into p_0
+//                      (time-reversed BCAST, f_lambda(n));
+//   phase 2 (release): Algorithm BCAST of the release message
+//                      (another f_lambda(n)).
+//
+// Completion: 2 * f_lambda(n). Message encoding: ids 0..n-1 are the
+// arrival signals (id p originates at p; the reduction combines them), and
+// id n is the release message.
+#pragma once
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The two-phase barrier schedule. Sorted by time.
+[[nodiscard]] Schedule barrier_schedule(const PostalParams& params);
+
+/// Exact completion time: 2 * f_lambda(n) (0 for n == 1).
+[[nodiscard]] Rational predict_barrier(const PostalParams& params);
+
+/// Time at which the *last* processor learns the barrier released; equal to
+/// predict_barrier and reported separately only for readability in benches.
+[[nodiscard]] Rational barrier_release_time(const PostalParams& params);
+
+}  // namespace postal

@@ -1,0 +1,151 @@
+#include "collectives/hrelation.hpp"
+
+#include <algorithm>
+
+namespace postal {
+
+namespace {
+
+constexpr std::int64_t kNone = -1;
+
+void check_demands(const PostalParams& params, const std::vector<Demand>& demands) {
+  for (const Demand& d : demands) {
+    POSTAL_REQUIRE(d.src < params.n() && d.dst < params.n(),
+                   "hrelation: processor id out of range");
+    POSTAL_REQUIRE(d.src != d.dst, "hrelation: self-sends are not messages");
+  }
+}
+
+}  // namespace
+
+std::uint64_t relation_degree(const PostalParams& params,
+                              const std::vector<Demand>& demands) {
+  check_demands(params, demands);
+  std::vector<std::uint64_t> out(params.n(), 0);
+  std::vector<std::uint64_t> in(params.n(), 0);
+  std::uint64_t h = 0;
+  for (const Demand& d : demands) {
+    h = std::max({h, ++out[d.src], ++in[d.dst]});
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> color_relation(const PostalParams& params,
+                                          const std::vector<Demand>& demands) {
+  check_demands(params, demands);
+  const std::uint64_t n = params.n();
+  const std::uint64_t h = relation_degree(params, demands);
+  std::vector<std::uint64_t> color(demands.size(), 0);
+  if (demands.empty()) return color;
+
+  // slot tables: sender_slot[u*h + c] / receiver_slot[v*h + c] hold the
+  // demand index colored c at that port, or kNone.
+  std::vector<std::int64_t> sender_slot(n * h, kNone);
+  std::vector<std::int64_t> receiver_slot(n * h, kNone);
+  auto first_free = [&](const std::vector<std::int64_t>& slots, ProcId node) {
+    for (std::uint64_t c = 0; c < h; ++c) {
+      if (slots[node * h + c] == kNone) return c;
+    }
+    throw LogicError("color_relation: no free color (degree bookkeeping bug)");
+  };
+
+  for (std::size_t e = 0; e < demands.size(); ++e) {
+    const ProcId u = demands[e].src;
+    const ProcId v = demands[e].dst;
+    const std::uint64_t a = first_free(sender_slot, u);
+    const std::uint64_t b = first_free(receiver_slot, v);
+    if (a != b) {
+      // Kempe chain: the maximal a/b-alternating path starting at v with
+      // its a-edge. It cannot reach u (parity argument), so flipping it
+      // frees color a at v while keeping a free at u.
+      std::vector<std::size_t> chain;
+      bool at_receiver = true;
+      ProcId node = v;
+      std::uint64_t want = a;
+      while (true) {
+        const std::int64_t next = at_receiver ? receiver_slot[node * h + want]
+                                              : sender_slot[node * h + want];
+        if (next == kNone) break;
+        const auto idx = static_cast<std::size_t>(next);
+        chain.push_back(idx);
+        node = at_receiver ? demands[idx].src : demands[idx].dst;
+        at_receiver = !at_receiver;
+        want = (want == a) ? b : a;
+      }
+      // Clear the chain from the tables, then re-add with swapped colors.
+      for (const std::size_t idx : chain) {
+        sender_slot[demands[idx].src * h + color[idx]] = kNone;
+        receiver_slot[demands[idx].dst * h + color[idx]] = kNone;
+      }
+      for (const std::size_t idx : chain) {
+        color[idx] = (color[idx] == a) ? b : a;
+        POSTAL_CHECK(sender_slot[demands[idx].src * h + color[idx]] == kNone);
+        POSTAL_CHECK(receiver_slot[demands[idx].dst * h + color[idx]] == kNone);
+        sender_slot[demands[idx].src * h + color[idx]] =
+            static_cast<std::int64_t>(idx);
+        receiver_slot[demands[idx].dst * h + color[idx]] =
+            static_cast<std::int64_t>(idx);
+      }
+    }
+    POSTAL_CHECK(sender_slot[u * h + a] == kNone);
+    POSTAL_CHECK(receiver_slot[v * h + a] == kNone);
+    color[e] = a;
+    sender_slot[u * h + a] = static_cast<std::int64_t>(e);
+    receiver_slot[v * h + a] = static_cast<std::int64_t>(e);
+  }
+  return color;
+}
+
+Schedule hrelation_schedule(const PostalParams& params,
+                            const std::vector<Demand>& demands) {
+  const std::vector<std::uint64_t> color = color_relation(params, demands);
+  Schedule schedule;
+  for (std::size_t e = 0; e < demands.size(); ++e) {
+    schedule.add(demands[e].src, demands[e].dst, static_cast<MsgId>(e),
+                 Rational(static_cast<std::int64_t>(color[e])));
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_hrelation(const PostalParams& params,
+                           const std::vector<Demand>& demands) {
+  const std::uint64_t h = relation_degree(params, demands);
+  if (h == 0) return Rational(0);
+  return Rational(static_cast<std::int64_t>(h) - 1) + params.lambda();
+}
+
+Rational hrelation_lower_bound(const PostalParams& params,
+                               const std::vector<Demand>& demands) {
+  return predict_hrelation(params, demands);
+}
+
+ValidatorOptions hrelation_goal(const PostalParams& params,
+                                const std::vector<Demand>& demands) {
+  check_demands(params, demands);
+  ValidatorOptions options;
+  options.messages = static_cast<std::uint32_t>(demands.size());
+  options.origins.reserve(demands.size());
+  for (std::size_t e = 0; e < demands.size(); ++e) {
+    options.origins.push_back(demands[e].src);
+    options.required.emplace_back(demands[e].dst, static_cast<MsgId>(e));
+  }
+  return options;
+}
+
+std::vector<Demand> permutation_demands(const PostalParams& params,
+                                        const std::vector<ProcId>& pi) {
+  POSTAL_REQUIRE(pi.size() == params.n(),
+                 "permutation_demands: pi must have one entry per processor");
+  std::vector<bool> seen(params.n(), false);
+  std::vector<Demand> demands;
+  for (ProcId p = 0; p < params.n(); ++p) {
+    POSTAL_REQUIRE(pi[p] < params.n(), "permutation_demands: target out of range");
+    POSTAL_REQUIRE(!seen[pi[p]], "permutation_demands: pi is not a permutation");
+    seen[pi[p]] = true;
+    if (pi[p] != p) demands.push_back(Demand{p, pi[p]});
+  }
+  return demands;
+}
+
+}  // namespace postal

@@ -1,0 +1,72 @@
+// Permuting and h-relation routing in the postal model -- "permuting" is
+// one of the Section 5 "other problems" (gossiping, combining, permuting,
+// sorting).
+//
+// An h-relation is a set of point-to-point message demands in which every
+// processor sends at most h messages and receives at most h messages.
+// Lower bound: some port is busy h units and the last of its messages
+// still pays the latency, so T >= (h-1) + lambda.
+//
+// The bound is achievable, and the construction is classical: the demands
+// form a bipartite multigraph (senders x receivers) of maximum degree h,
+// which by Konig's edge-coloring theorem can be properly colored with
+// exactly h colors; all edges of color c are pairwise port-disjoint, so
+// they all fire at time c. A permutation is a 1-relation: T = lambda --
+// permuting is *free* in a fully connected postal system, in sharp
+// contrast to store-and-forward networks.
+//
+// The edge coloring is implemented with the standard alternating-path
+// (Kempe chain) argument, in O(E * (n + E)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// One point-to-point demand: src must deliver one message to dst.
+struct Demand {
+  ProcId src = 0;
+  ProcId dst = 0;
+};
+
+/// The relation's h: max over processors of max(out-degree, in-degree).
+/// 0 for an empty demand list.
+[[nodiscard]] std::uint64_t relation_degree(const PostalParams& params,
+                                            const std::vector<Demand>& demands);
+
+/// Proper h-coloring of the demands (Konig): returns one color in [0, h)
+/// per demand such that demands sharing a sender or a receiver get
+/// distinct colors. Throws InvalidArgument on self-sends or bad ids.
+[[nodiscard]] std::vector<std::uint64_t> color_relation(
+    const PostalParams& params, const std::vector<Demand>& demands);
+
+/// The optimal routing schedule: demand with color c is sent at time c.
+/// Message id = index into `demands`. Completes at (h-1) + lambda.
+[[nodiscard]] Schedule hrelation_schedule(const PostalParams& params,
+                                          const std::vector<Demand>& demands);
+
+/// Exact completion: (h-1) + lambda (0 for an empty relation).
+[[nodiscard]] Rational predict_hrelation(const PostalParams& params,
+                                         const std::vector<Demand>& demands);
+
+/// Lower bound == predict (the schedule is optimal).
+[[nodiscard]] Rational hrelation_lower_bound(const PostalParams& params,
+                                             const std::vector<Demand>& demands);
+
+/// Validator options for the goal (demand i originates at its src and must
+/// reach its dst).
+[[nodiscard]] ValidatorOptions hrelation_goal(const PostalParams& params,
+                                              const std::vector<Demand>& demands);
+
+/// Convenience: the demands of a permutation pi (p sends to pi[p],
+/// skipping fixed points). pi must be a permutation of 0..n-1.
+[[nodiscard]] std::vector<Demand> permutation_demands(const PostalParams& params,
+                                                      const std::vector<ProcId>& pi);
+
+}  // namespace postal

@@ -1,0 +1,89 @@
+#include "collectives/multi_source.hpp"
+
+#include <algorithm>
+
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+#include "sched/pipeline.hpp"
+
+namespace postal {
+
+namespace {
+
+void check_sources(const PostalParams& params, const std::vector<ProcId>& sources) {
+  POSTAL_REQUIRE(!sources.empty(), "multi_source: need at least one source");
+  POSTAL_REQUIRE(sources.size() <= params.n(),
+                 "multi_source: more sources than processors");
+  std::vector<ProcId> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    POSTAL_REQUIRE(sorted[i] < params.n(), "multi_source: source out of range");
+    POSTAL_REQUIRE(i == 0 || sorted[i] != sorted[i - 1],
+                   "multi_source: sources must be distinct");
+  }
+}
+
+}  // namespace
+
+Schedule multi_source_schedule(const PostalParams& params,
+                               const std::vector<ProcId>& sources) {
+  check_sources(params, sources);
+  const std::uint64_t n = params.n();
+  const std::uint64_t k = sources.size();
+  const ProcId hub = sources[0];
+  Schedule schedule;
+  if (n == 1) return schedule;
+
+  // Phase 1: non-hub sources stream into the hub, arrivals back to back.
+  for (std::uint64_t i = 1; i < k; ++i) {
+    schedule.add(sources[i], hub, static_cast<MsgId>(i),
+                 Rational(static_cast<std::int64_t>(i) - 1));
+  }
+  const Rational shift =
+      k >= 2 ? Rational(static_cast<std::int64_t>(k) - 2) + params.lambda()
+             : Rational(0);
+
+  // Phase 2: the hub PIPELINE-broadcasts all k messages; processor ids are
+  // rotated so the hub plays p_0's role.
+  const Schedule pipeline = pipeline_schedule(params, k);
+  for (const SendEvent& e : pipeline.events()) {
+    const auto src = static_cast<ProcId>((e.src + hub) % n);
+    const auto dst = static_cast<ProcId>((e.dst + hub) % n);
+    schedule.add(src, dst, e.msg, e.t + shift);
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_multi_source(const PostalParams& params,
+                              const std::vector<ProcId>& sources) {
+  check_sources(params, sources);
+  if (params.n() == 1) return Rational(0);
+  const std::uint64_t k = sources.size();
+  const Rational shift =
+      k >= 2 ? Rational(static_cast<std::int64_t>(k) - 2) + params.lambda()
+             : Rational(0);
+  return shift + predict_pipeline(params.lambda(), params.n(), k);
+}
+
+Rational multi_source_lower_bound(const PostalParams& params, std::uint64_t k) {
+  POSTAL_REQUIRE(k >= 1, "multi_source_lower_bound: k must be >= 1");
+  GenFib fib(params.lambda());
+  Rational bound = fib.f(params.n());
+  if (k >= 2) {
+    bound = rmax(bound,
+                 Rational(static_cast<std::int64_t>(k) - 1) + params.lambda());
+  }
+  return bound;
+}
+
+ValidatorOptions multi_source_goal(const PostalParams& params,
+                                   const std::vector<ProcId>& sources) {
+  check_sources(params, sources);
+  ValidatorOptions options;
+  options.messages = static_cast<std::uint32_t>(sources.size());
+  options.origins = sources;
+  return options;
+}
+
+}  // namespace postal

@@ -1,0 +1,45 @@
+// Multi-source broadcast: k distinct processors each hold one message and
+// *everyone* must end up with all k -- the k-source gossip that sits
+// between broadcast (k = 1) and allgather (k = n). Another of the paper's
+// Section 5 "other problems".
+//
+// Lower bounds: every processor must receive at least k-1 messages
+// (k, if it is not a source), so T >= k - 1 + lambda for k >= 2; and the
+// last message still has to reach everyone, so T >= f_lambda(n).
+//
+// Algorithm (gather + pipeline): sources stream their messages to source 0
+// back to back (arrivals saturate its receive port), then source 0
+// broadcasts the k messages with Algorithm PIPELINE. Completion:
+//     (k - 2) + lambda + T_PIPELINE(n, k, lambda)
+// which is within a small constant of max(k, f_lambda(n)).
+#pragma once
+
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Gather+pipeline multi-source broadcast. `sources[i]` holds message i;
+/// sources must be distinct, nonempty, and sources[0] acts as the hub.
+/// Sorted by time.
+[[nodiscard]] Schedule multi_source_schedule(const PostalParams& params,
+                                             const std::vector<ProcId>& sources);
+
+/// Exact completion time of multi_source_schedule.
+[[nodiscard]] Rational predict_multi_source(const PostalParams& params,
+                                            const std::vector<ProcId>& sources);
+
+/// Lower bound: max(k - 1 + lambda  [k >= 2], f_lambda(n)).
+[[nodiscard]] Rational multi_source_lower_bound(const PostalParams& params,
+                                                std::uint64_t k);
+
+/// Validator options for the goal (message i originates at sources[i];
+/// everyone needs everything).
+[[nodiscard]] ValidatorOptions multi_source_goal(const PostalParams& params,
+                                                 const std::vector<ProcId>& sources);
+
+}  // namespace postal

@@ -1,0 +1,138 @@
+#include "collectives/scan.hpp"
+
+#include <algorithm>
+
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Structural facts about the generalized Fibonacci tree that both sweeps
+/// share: parent links, each node's contiguous subtree range [lo, hi), and
+/// the (down-sweep relative) send/arrival times from the BCAST schedule.
+struct TreeInfo {
+  struct Node {
+    ProcId parent = 0;
+    std::uint64_t hi = 0;          ///< full subtree range at receive: [self, hi)
+    std::uint64_t remaining = 0;   ///< shrinking range during the replay
+    Rational down_send;            ///< parent's send time in BCAST
+    std::vector<ProcId> children;  ///< in BCAST send order
+  };
+  std::vector<Node> nodes;
+};
+
+TreeInfo build_tree(const PostalParams& params, GenFib& fib) {
+  TreeInfo info;
+  info.nodes.resize(params.n());
+  info.nodes[0].hi = params.n();
+  info.nodes[0].remaining = params.n();
+  const Schedule schedule = bcast_schedule(params, fib);
+  // BCAST semantics: a send u -> v at time t hands v the trailing part of
+  // u's current range; u's working range shrinks to [u, v), but u remains
+  // responsible for its *original* range [u, hi). Replaying events in time
+  // order keeps the working ranges consistent (a node's sends come after
+  // its own receive).
+  for (const SendEvent& e : schedule.events()) {
+    info.nodes[e.dst].parent = e.src;
+    info.nodes[e.dst].hi = info.nodes[e.src].remaining;
+    info.nodes[e.dst].remaining = info.nodes[e.src].remaining;
+    info.nodes[e.dst].down_send = e.t;
+    info.nodes[e.src].remaining = e.dst;
+    info.nodes[e.src].children.push_back(e.dst);
+  }
+  return info;
+}
+
+}  // namespace
+
+Schedule scan_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  if (n == 1) return schedule;
+  GenFib fib(params.lambda());
+  const Rational T = fib.f(n);
+  const Schedule bcast = bcast_schedule(params, fib);
+  // Up-sweep: time-reversed BCAST; message id = sender.
+  for (const SendEvent& e : bcast.events()) {
+    schedule.add(e.dst, e.src, /*msg=*/e.dst, T - e.t - params.lambda());
+  }
+  // Down-sweep: BCAST again, shifted by T; message id = n + receiver.
+  for (const SendEvent& e : bcast.events()) {
+    schedule.add(e.src, e.dst, static_cast<MsgId>(n + e.dst), e.t + T);
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_scan(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  GenFib fib(params.lambda());
+  return Rational(2) * fib.f(params.n());
+}
+
+std::vector<std::int64_t> scan_values(const PostalParams& params,
+                                      const std::vector<std::int64_t>& inputs) {
+  const std::uint64_t n = params.n();
+  POSTAL_REQUIRE(inputs.size() == n, "scan_values: need one input per processor");
+  std::vector<std::int64_t> prefix(n, 0);
+  if (n == 1) return prefix;
+
+  GenFib fib(params.lambda());
+  const TreeInfo tree = build_tree(params, fib);
+  const Rational T = fib.f(n);
+
+  // Up-sweep: subtree sums flow to parents along the reversed tree. The
+  // reversed-BCAST timing guarantees a node has heard from all its
+  // children before it sends; verify that explicitly.
+  std::vector<std::int64_t> subtree(n);
+  for (ProcId p = 0; p < n; ++p) {
+    std::int64_t sum = 0;
+    for (std::uint64_t i = p; i < tree.nodes[p].hi; ++i) sum += inputs[i];
+    subtree[p] = sum;
+  }
+  for (ProcId p = 1; p < n; ++p) {
+    const Rational up_send = T - tree.nodes[p].down_send - params.lambda();
+    for (const ProcId c : tree.nodes[p].children) {
+      const Rational child_arrival = T - tree.nodes[c].down_send;
+      POSTAL_CHECK(child_arrival <= up_send);
+    }
+  }
+
+  // Down-sweep: each parent derives every child's exclusive prefix from
+  // its own prefix, its own input, and the up-sweep subtree sums of the
+  // children it already handed off (which cover [child, previous-hi)).
+  // Children are in send order (first child took the largest trailing
+  // range), so a running subtraction from the parent's subtree sum gives
+  // sum over [parent, child).
+  for (ProcId u = 0; u < n; ++u) {
+    std::int64_t trailing = 0;  // sum of subtree sums of children sent so far
+    for (const ProcId c : tree.nodes[u].children) {
+      trailing += subtree[c];
+      const std::int64_t left_of_c = subtree[u] - trailing;  // sum over [u, c)
+      prefix[c] = prefix[u] + left_of_c;
+      // Timing: u sends c's prefix at T + down_send(c); it needs its own
+      // prefix (arrived T + down_send(u) + lambda for u != 0, or held at 0)
+      // and the up-sweep partials (all arrived by T).
+      const Rational send_time = T + tree.nodes[c].down_send;
+      if (u != 0) {
+        const Rational own_prefix_arrival =
+            T + tree.nodes[u].down_send + params.lambda();
+        POSTAL_CHECK(own_prefix_arrival <= send_time);
+      }
+      POSTAL_CHECK(T <= send_time);
+    }
+  }
+
+  // Semantic ground truth: the compositional prefixes must equal direct
+  // prefix sums (any mismatch is a tree-range bug).
+  std::int64_t running = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    POSTAL_CHECK(prefix[p] == running);
+    running += inputs[p];
+  }
+  return prefix;
+}
+
+}  // namespace postal

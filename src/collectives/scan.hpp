@@ -1,0 +1,48 @@
+// Parallel prefix (exclusive scan) in the postal model -- Section 5
+// "other problems".
+//
+// Every processor p holds a value x_p; processor p must learn
+// x_0 (+) ... (+) x_{p-1} (exclusive prefix; the root's prefix is the
+// identity). The generalized Fibonacci tree is ideal for this because the
+// BCAST recursion assigns every subtree a *contiguous* processor range:
+//
+//   up-sweep   -- the time-reversed BCAST schedule (exactly reduce):
+//                 every node sends the combined value of its contiguous
+//                 subtree range to its parent; completes at f_lambda(n);
+//   down-sweep -- the BCAST schedule re-run with personalized payloads:
+//                 each parent sends every child the prefix of everything
+//                 to the child's left; completes f_lambda(n) later.
+//
+// Total: 2 * f_lambda(n), matching barrier (and twice broadcast).
+//
+// scan_values() actually pushes integer payloads through both sweeps,
+// enforcing the postal timing as it goes, so tests can check the
+// *semantics* (each processor ends with the right prefix), not just the
+// schedule's legality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The two-phase scan schedule. Message ids: 0..n-2 are up-sweep partials
+/// (id = sender), n..2n-2 are down-sweep prefixes (id = n + receiver).
+[[nodiscard]] Schedule scan_schedule(const PostalParams& params);
+
+/// Exact completion time: 2 * f_lambda(n) (0 for n == 1).
+[[nodiscard]] Rational predict_scan(const PostalParams& params);
+
+/// Execute the scan on concrete values (summing with +). Returns the
+/// exclusive prefix at each processor and checks, while executing, that
+/// every message is sent only after the data it carries is available at
+/// the sender (throws LogicError on any timing inconsistency -- that would
+/// be a library bug, not a caller error).
+[[nodiscard]] std::vector<std::int64_t> scan_values(
+    const PostalParams& params, const std::vector<std::int64_t>& inputs);
+
+}  // namespace postal

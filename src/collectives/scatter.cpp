@@ -1,0 +1,58 @@
+#include "collectives/scatter.hpp"
+
+namespace postal {
+
+Schedule scatter_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    schedule.add(/*src=*/0, static_cast<ProcId>(i + 1), static_cast<MsgId>(i),
+                 Rational(static_cast<std::int64_t>(i)));
+  }
+  return schedule;
+}
+
+Rational predict_scatter(const PostalParams& params) {
+  if (params.n() == 1) return Rational(0);
+  return Rational(static_cast<std::int64_t>(params.n()) - 2) + params.lambda();
+}
+
+ValidatorOptions scatter_goal(const PostalParams& params) {
+  ValidatorOptions options;
+  options.origin = 0;
+  const std::uint64_t n = params.n();
+  options.messages = static_cast<std::uint32_t>(n > 0 ? n - 1 : 0);
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    options.required.emplace_back(static_cast<ProcId>(i + 1), static_cast<MsgId>(i));
+  }
+  return options;
+}
+
+Schedule gather_schedule(const PostalParams& params) {
+  Schedule schedule;
+  const std::uint64_t n = params.n();
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    schedule.add(static_cast<ProcId>(i + 1), /*dst=*/0, static_cast<MsgId>(i),
+                 Rational(static_cast<std::int64_t>(i)));
+  }
+  return schedule;
+}
+
+Rational predict_gather(const PostalParams& params) { return predict_scatter(params); }
+
+ValidatorOptions gather_goal(const PostalParams& params) {
+  ValidatorOptions options;
+  const std::uint64_t n = params.n();
+  options.messages = static_cast<std::uint32_t>(n > 0 ? n - 1 : 0);
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    options.origins.push_back(static_cast<ProcId>(i + 1));
+    options.required.emplace_back(/*dst=*/0, static_cast<MsgId>(i));
+  }
+  return options;
+}
+
+Rational scatter_gather_lower_bound(const PostalParams& params) {
+  return predict_scatter(params);
+}
+
+}  // namespace postal

@@ -1,0 +1,49 @@
+// Scatter and gather (personalized one-to-all / all-to-one) in the postal
+// model -- Section 5 "other problems".
+//
+// Scatter: p_0 holds n-1 distinct atomic messages, message i addressed to
+// processor p_{i+1}. Messages are atomic (Section 2), so no bundling is
+// possible: the root itself must perform n-1 unit-time sends, giving the
+// lower bound T >= (n-2) + lambda, which the direct schedule below meets
+// exactly -- in a fully connected postal system, relaying personalized data
+// through intermediaries only adds latency.
+//
+// Gather is the time reversal: every processor sends its message straight
+// to the root, staggered so the root's receive port takes one message per
+// unit of time; T = (n-2) + lambda, again optimal (the root must spend
+// n-1 units receiving).
+#pragma once
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Direct scatter: p_0 sends message i to p_{i+1} at time i. Sorted.
+[[nodiscard]] Schedule scatter_schedule(const PostalParams& params);
+
+/// Exact scatter completion time: (n-2) + lambda for n >= 2, else 0.
+[[nodiscard]] Rational predict_scatter(const PostalParams& params);
+
+/// Validator options describing the scatter goal (message i must reach
+/// p_{i+1}; all messages originate at p_0).
+[[nodiscard]] ValidatorOptions scatter_goal(const PostalParams& params);
+
+/// Direct gather: p_{i+1} sends its message i to p_0 at time i, so arrivals
+/// land back to back at the root. Sorted.
+[[nodiscard]] Schedule gather_schedule(const PostalParams& params);
+
+/// Exact gather completion time: (n-2) + lambda for n >= 2, else 0.
+[[nodiscard]] Rational predict_gather(const PostalParams& params);
+
+/// Validator options describing the gather goal (message i originates at
+/// p_{i+1} and must reach p_0).
+[[nodiscard]] ValidatorOptions gather_goal(const PostalParams& params);
+
+/// Lower bound for either problem: the root port is busy n-1 units and the
+/// last unit-message still pays the latency: T >= (n-2) + lambda.
+[[nodiscard]] Rational scatter_gather_lower_bound(const PostalParams& params);
+
+}  // namespace postal

@@ -1,0 +1,58 @@
+#include "collectives/sort.hpp"
+
+#include <algorithm>
+
+#include "collectives/allgather.hpp"
+
+namespace postal {
+
+Schedule sort_schedule(const PostalParams& params) {
+  return allgather_direct_schedule(params);
+}
+
+Rational predict_sort(const PostalParams& params) {
+  return predict_allgather_direct(params);
+}
+
+std::vector<std::int64_t> sort_values(const PostalParams& params,
+                                      const std::vector<std::int64_t>& keys) {
+  POSTAL_REQUIRE(keys.size() == params.n(), "sort_values: one key per processor");
+  // After the gossip every processor holds every key; processor p selects
+  // the key of rank p locally (ties broken by original owner id so the
+  // result is a permutation of the inputs even with duplicates).
+  std::vector<std::pair<std::int64_t, std::uint64_t>> tagged;
+  tagged.reserve(keys.size());
+  for (std::uint64_t p = 0; p < keys.size(); ++p) tagged.emplace_back(keys[p], p);
+  std::sort(tagged.begin(), tagged.end());
+  std::vector<std::int64_t> out(keys.size());
+  for (std::uint64_t rank = 0; rank < tagged.size(); ++rank) {
+    out[rank] = tagged[rank].first;
+  }
+  return out;
+}
+
+OddEvenResult odd_even_sort(const PostalParams& params,
+                            const std::vector<std::int64_t>& keys) {
+  POSTAL_REQUIRE(keys.size() == params.n(), "odd_even_sort: one key per processor");
+  OddEvenResult result;
+  result.values = keys;
+  const std::uint64_t n = params.n();
+  // The classic bound: n rounds always suffice. Each round, adjacent pairs
+  // exchange keys (one postal message each way, overlapping in time) and
+  // keep min/max -- a full round costs lambda.
+  for (std::uint64_t round = 0; round < n; ++round) {
+    const std::uint64_t start = round % 2;  // even rounds pair (0,1),(2,3)...
+    for (std::uint64_t i = start; i + 1 < n; i += 2) {
+      if (result.values[i] > result.values[i + 1]) {
+        std::swap(result.values[i], result.values[i + 1]);
+      }
+    }
+    ++result.rounds;
+  }
+  POSTAL_CHECK(std::is_sorted(result.values.begin(), result.values.end()));
+  result.completion =
+      Rational(static_cast<std::int64_t>(result.rounds)) * params.lambda();
+  return result;
+}
+
+}  // namespace postal

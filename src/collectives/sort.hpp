@@ -1,0 +1,57 @@
+// Sorting in the postal model -- the last of the Section 5 "other
+// problems" (gossiping, combining, permuting, sorting).
+//
+// Setting: processor p holds one key; afterwards processor p must hold the
+// key of rank p. Two algorithms with an instructive gap:
+//
+//  * gossip sort -- run the optimal direct-exchange allgather, then every
+//    processor locally selects the key of its own rank:
+//        T = (n-2) + lambda,
+//    and one more lambda + permutation if only the *owners* may move data
+//    (here keys travel with the gossip, so selection is local and free).
+//    Full connectivity again absorbs the latency.
+//
+//  * odd-even transposition sort -- the classic fixed-connectivity
+//    baseline: n rounds of neighbor exchanges, each round paying a full
+//    round trip of the wire:
+//        T = n * lambda,
+//    i.e. a lambda-factor slower. The postal lens makes the textbook
+//    algorithm's latency bill explicit.
+//
+// sort_values() executes the gossip sort on concrete keys; the odd-even
+// baseline is also executed (round by round, with its exact postal time)
+// so the two can be compared both in answer and in cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The gossip-sort communication schedule (== optimal allgather).
+[[nodiscard]] Schedule sort_schedule(const PostalParams& params);
+
+/// Exact completion of the gossip sort: (n-2) + lambda for n >= 2.
+[[nodiscard]] Rational predict_sort(const PostalParams& params);
+
+/// Execute the gossip sort: returns the keys in rank order (the value
+/// processor p ends up holding at index p).
+[[nodiscard]] std::vector<std::int64_t> sort_values(
+    const PostalParams& params, const std::vector<std::int64_t>& keys);
+
+/// Result of the odd-even transposition baseline.
+struct OddEvenResult {
+  std::vector<std::int64_t> values;  ///< keys after the run (sorted)
+  std::uint64_t rounds = 0;          ///< rounds executed (n, per the classic bound)
+  Rational completion;               ///< rounds * lambda
+};
+
+/// Execute odd-even transposition sort and report its exact postal cost.
+[[nodiscard]] OddEvenResult odd_even_sort(const PostalParams& params,
+                                          const std::vector<std::int64_t>& keys);
+
+}  // namespace postal

@@ -1,0 +1,124 @@
+#include "compaction/blocked.hpp"
+
+#include <numeric>
+
+#include "sched/pipeline.hpp"
+#include "sim/validator.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Common grid denominator of every event time in `s` and lambda itself:
+/// all candidate strides are multiples of 1/Q.
+std::int64_t grid_denominator(const Schedule& s, const Rational& lambda) {
+  std::int64_t q = lambda.den();
+  for (const SendEvent& e : s.events()) {
+    q = std::lcm(q, e.t.den());
+    POSTAL_CHECK(q > 0 && q < (1LL << 32));
+  }
+  return q;
+}
+
+bool copies_valid(const Schedule& iteration, const PostalParams& params,
+                  std::uint32_t msgs_per_iteration, std::uint32_t copies,
+                  const Rational& stride) {
+  Schedule combined;
+  for (std::uint32_t i = 0; i < copies; ++i) {
+    combined.append_shifted(iteration, stride * Rational(static_cast<std::int64_t>(i)),
+                            msgs_per_iteration * i);
+  }
+  ValidatorOptions options;
+  options.messages = msgs_per_iteration * copies;
+  return validate_schedule(combined, params, options).ok;
+}
+
+}  // namespace
+
+Rational minimal_stride(const Schedule& iteration, const PostalParams& params,
+                        std::uint32_t msgs_per_iteration, std::uint32_t copies) {
+  POSTAL_REQUIRE(copies >= 2, "minimal_stride: need at least two copies");
+  POSTAL_REQUIRE(msgs_per_iteration >= 1, "minimal_stride: need at least one message");
+  {
+    ValidatorOptions options;
+    options.messages = msgs_per_iteration;
+    POSTAL_REQUIRE(validate_schedule(iteration, params, options).ok,
+                   "minimal_stride: the iteration template itself is invalid");
+  }
+  if (iteration.empty()) return Rational(0);
+  const std::int64_t q = grid_denominator(iteration, params.lambda());
+  const Rational step(1, q);
+  const Rational upper = iteration.makespan(params.lambda());
+  // Linear scan on the exact grid: validity of shifted interval patterns is
+  // not monotone in the shift in general, so the first valid stride found
+  // scanning upward is the true minimum.
+  for (Rational s = step; s < upper; s += step) {
+    if (copies_valid(iteration, params, msgs_per_iteration, copies, s)) return s;
+  }
+  POSTAL_CHECK(copies_valid(iteration, params, msgs_per_iteration, copies, upper));
+  return upper;
+}
+
+Schedule blocked_schedule(const PostalParams& params, std::uint64_t m, std::uint64_t b) {
+  POSTAL_REQUIRE(m >= 1, "blocked_schedule: m must be >= 1");
+  POSTAL_REQUIRE(b >= 1 && b <= m, "blocked_schedule: block size must be in [1, m]");
+  Schedule combined;
+  if (params.n() == 1) return combined;
+
+  const std::uint64_t blocks = (m + b - 1) / b;
+  Rational last_shift(0);
+  std::uint32_t msg_offset = 0;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    const std::uint64_t bi = std::min<std::uint64_t>(b, m - i * b);
+    const Schedule block = pipeline_schedule(params, bi);
+    if (i == 0) {
+      combined.append_shifted(block, Rational(0), 0);
+    } else {
+      // Greedy compaction: the earliest grid shift after the previous
+      // block's launch at which the combined schedule stays valid.
+      const std::int64_t q = grid_denominator(block, params.lambda());
+      const Rational step(1, q);
+      const Rational upper =
+          last_shift + combined.makespan(params.lambda());
+      Rational shift = last_shift + step;
+      for (;; shift += step) {
+        POSTAL_CHECK(shift <= upper);
+        Schedule candidate = combined;
+        candidate.append_shifted(block, shift, msg_offset);
+        ValidatorOptions options;
+        options.messages = msg_offset + static_cast<std::uint32_t>(bi);
+        if (validate_schedule(candidate, params, options).ok) {
+          combined = std::move(candidate);
+          break;
+        }
+      }
+      last_shift = shift;
+    }
+    msg_offset += static_cast<std::uint32_t>(bi);
+  }
+  combined.sort();
+  return combined;
+}
+
+Rational predict_blocked(const PostalParams& params, std::uint64_t m, std::uint64_t b) {
+  return blocked_schedule(params, m, b).makespan(params.lambda());
+}
+
+BlockedPlan auto_blocked(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "auto_blocked: m must be >= 1");
+  BlockedPlan plan;
+  bool first = true;
+  auto consider = [&](std::uint64_t b) {
+    const Rational t = predict_blocked(params, m, b);
+    if (first || t < plan.completion) {
+      plan.block = b;
+      plan.completion = t;
+      first = false;
+    }
+  };
+  for (std::uint64_t b = 1; b < m; b *= 2) consider(b);
+  consider(m);
+  return plan;
+}
+
+}  // namespace postal

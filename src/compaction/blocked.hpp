@@ -1,0 +1,60 @@
+// Schedule compaction and the blocked broadcast family -- an extension
+// beyond the paper (flagged as such in DESIGN.md).
+//
+// The paper's multi-message algorithms compose one template schedule with a
+// fixed analytic stride: REPEAT restarts BCAST every f_lambda(n) - (lambda-1)
+// time units (Lemma 10's overlap argument). That argument is *sufficient*,
+// not necessary: it only uses the root's idle tail. This module searches
+// for the true minimal stride -- the smallest shift at which every copy of
+// the template remains a legal postal schedule -- by binary-searching on
+// the exact 1/q time grid with the full validator as the oracle.
+//
+// On top of the optimizer sits BLOCKED(b): split the m messages into
+// ceil(m/b) blocks, broadcast each block with PIPELINE(b) (the best
+// per-block primitive), and launch consecutive blocks at the minimal valid
+// stride. b = m recovers PIPELINE; b = 1 recovers stride-optimized REPEAT;
+// intermediate b interpolates. auto_blocked scans b and returns the best.
+#pragma once
+
+#include <cstdint>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The smallest stride s (a multiple of the lambda grid 1/q) such that
+/// `copies` copies of `iteration` -- copy i shifted by i*s, with message
+/// ids offset by i*msgs_per_iteration -- form a valid postal schedule in
+/// `params`. Validity is monotone in s (shifting identical copies further
+/// apart only separates their port windows), so binary search applies.
+///
+/// Requires: `iteration` itself validates with msgs_per_iteration messages
+/// from origin p0. Throws InvalidArgument otherwise.
+[[nodiscard]] Rational minimal_stride(const Schedule& iteration,
+                                      const PostalParams& params,
+                                      std::uint32_t msgs_per_iteration,
+                                      std::uint32_t copies = 3);
+
+/// The BLOCKED(b) schedule: ceil(m/b) PIPELINE blocks at the minimal valid
+/// stride. Requires 1 <= b <= m. The final (possibly short) block reuses
+/// the same stride, which is always sufficient. Sorted by time.
+[[nodiscard]] Schedule blocked_schedule(const PostalParams& params, std::uint64_t m,
+                                        std::uint64_t b);
+
+/// Exact completion time of blocked_schedule (computed, not closed form).
+[[nodiscard]] Rational predict_blocked(const PostalParams& params, std::uint64_t m,
+                                       std::uint64_t b);
+
+/// Result of the block-size scan.
+struct BlockedPlan {
+  std::uint64_t block = 1;   ///< chosen b
+  Rational completion;       ///< its exact completion time
+};
+
+/// Scan b over {1, 2, 4, ..., m} (plus m itself) and return the best
+/// block size for broadcasting m messages in `params`.
+[[nodiscard]] BlockedPlan auto_blocked(const PostalParams& params, std::uint64_t m);
+
+}  // namespace postal

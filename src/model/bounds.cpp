@@ -1,0 +1,138 @@
+#include "model/bounds.hpp"
+
+#include <cmath>
+
+#include "support/saturating.hpp"
+
+namespace postal {
+
+namespace {
+
+/// ceil(lambda) + 1 as an unsigned base for the Theorem 7 powers.
+std::uint64_t ceil_lambda_plus_1(const Rational& lambda) {
+  POSTAL_REQUIRE(lambda >= Rational(1), "bounds: lambda must be >= 1");
+  return static_cast<std::uint64_t>(lambda.ceil()) + 1;
+}
+
+/// Smallest h >= 0 with d^h >= n (exact integer ceil(log_d n) for n >= 1).
+std::uint64_t ceil_log(std::uint64_t d, std::uint64_t n) {
+  POSTAL_REQUIRE(d >= 2, "ceil_log: base must be >= 2");
+  POSTAL_REQUIRE(n >= 1, "ceil_log: n must be >= 1");
+  std::uint64_t h = 0;
+  std::uint64_t power = 1;
+  while (power < n) {
+    power = sat_mul(power, d);
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t thm7_F_lower(const Rational& lambda, const Rational& t) {
+  POSTAL_REQUIRE(t >= Rational(0), "thm7_F_lower: t must be >= 0");
+  const std::int64_t e = (t / (Rational(2) * lambda)).floor();
+  return sat_pow(ceil_lambda_plus_1(lambda), static_cast<std::uint64_t>(e));
+}
+
+std::uint64_t thm7_F_upper(const Rational& lambda, const Rational& t) {
+  POSTAL_REQUIRE(t >= Rational(0), "thm7_F_upper: t must be >= 0");
+  const std::int64_t e = (t / lambda).floor();
+  return sat_pow(ceil_lambda_plus_1(lambda), static_cast<std::uint64_t>(e));
+}
+
+double thm7_f_lower(const Rational& lambda, std::uint64_t n) {
+  POSTAL_REQUIRE(n >= 1, "thm7_f_lower: n must be >= 1");
+  const double base = static_cast<double>(ceil_lambda_plus_1(lambda));
+  return lambda.to_double() * std::log2(static_cast<double>(n)) / std::log2(base);
+}
+
+double thm7_f_upper(const Rational& lambda, std::uint64_t n) {
+  return 2.0 * lambda.to_double() + 2.0 * thm7_f_lower(lambda, n);
+}
+
+double thm7_alpha(const Rational& lambda) {
+  const double l = std::log(lambda.to_double() + 1.0);
+  const double ll = std::log(l) + 1.0;
+  POSTAL_REQUIRE(l > ll, "thm7_alpha: lambda too small for the asymptotic form");
+  return 1.0 + ll / (l - ll);
+}
+
+double thm7_part3_F_lower(const Rational& lambda, const Rational& t) {
+  POSTAL_REQUIRE(t >= Rational(0), "thm7_part3_F_lower: t must be >= 0");
+  const double alpha = thm7_alpha(lambda);
+  const double lam = lambda.to_double();
+  return std::pow(lam + 1.0, t.to_double() / (alpha * lam) - 1.0);
+}
+
+double thm7_part4_f_upper(const Rational& lambda, std::uint64_t n) {
+  POSTAL_REQUIRE(n >= 1, "thm7_part4_f_upper: n must be >= 1");
+  const double alpha = thm7_alpha(lambda);
+  const double lam = lambda.to_double();
+  const double logn = std::log2(static_cast<double>(n));
+  return alpha * lam * (logn / std::log2(lam + 1.0) + 1.0);
+}
+
+Rational lemma8_lower(GenFib& fib, std::uint64_t n, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "lemma8_lower: m must be >= 1");
+  return Rational(static_cast<std::int64_t>(m) - 1) + fib.f(n);
+}
+
+double cor9_lower_log(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "cor9_lower_log: m must be >= 1");
+  return static_cast<double>(m - 1) + thm7_f_lower(lambda, n);
+}
+
+Rational cor9_lower_latency(const Rational& lambda, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "cor9_lower_latency: m must be >= 1");
+  return Rational(static_cast<std::int64_t>(m) - 1) + lambda;
+}
+
+double cor11_repeat_upper(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const double lam = lambda.to_double();
+  const double md = static_cast<double>(m);
+  const double logn = std::log2(static_cast<double>(n));
+  return 2.0 * md * lam * logn / std::log2(lam + 1.0) + md * lam + md + lam - 1.0;
+}
+
+double cor13_pack_upper(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const double lam = lambda.to_double();
+  const double md = static_cast<double>(m);
+  const double logn = std::log2(static_cast<double>(n));
+  const double span = md + lam - 1.0;
+  return 2.0 * span * logn / std::log2(2.0 + (lam - 1.0) / md) + 2.0 * span;
+}
+
+double cor15_pipeline1_upper(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const double lam = lambda.to_double();
+  const double md = static_cast<double>(m);
+  const double logn = std::log2(static_cast<double>(n));
+  return 2.0 * lam + 2.0 * lam * logn / std::log2(1.0 + lam / md) + (md - 1.0);
+}
+
+double cor17_pipeline2_upper(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const double lam = lambda.to_double();
+  const double md = static_cast<double>(m);
+  const double logn = std::log2(static_cast<double>(n));
+  return 2.0 * md * logn / std::log2(1.0 + md / lam) + 2.0 * md + lam - 1.0;
+}
+
+Rational lemma18_dtree_upper(const Rational& lambda, std::uint64_t n, std::uint64_t m,
+                             std::uint64_t d) {
+  POSTAL_REQUIRE(n >= 1, "lemma18_dtree_upper: n must be >= 1");
+  POSTAL_REQUIRE(m >= 1, "lemma18_dtree_upper: m must be >= 1");
+  POSTAL_REQUIRE(d >= 1 && (n == 1 || d <= n - 1),
+                 "lemma18_dtree_upper: d must lie in [1, n-1]");
+  const auto mi = static_cast<std::int64_t>(m);
+  if (d == 1) {
+    // Line: M_m leaves the root at t = m-1 and pays lambda per hop over
+    // the n-1 hops of the path.
+    return Rational(mi - 1) + lambda * Rational(static_cast<std::int64_t>(n) - 1);
+  }
+  const auto di = static_cast<std::int64_t>(d);
+  const auto h = static_cast<std::int64_t>(ceil_log(d, n));
+  return Rational(di) * Rational(mi - 1) +
+         (Rational(di - 1) + lambda) * Rational(h);
+}
+
+}  // namespace postal

@@ -1,0 +1,94 @@
+// Closed-form bounds from the paper: Theorem 7 (with the appendix's
+// asymptotic refinement), the multi-message lower bounds of Lemma 8 /
+// Corollary 9, and the upper-bound corollaries 11/13/15/17.
+//
+// Bounds that are exact count comparisons (Theorem 7 parts 1-2 on F_lambda)
+// are computed in saturating integer arithmetic; bounds that are inherently
+// real-valued (logarithmic forms, the alpha(lambda) refinement) return
+// double and are only ever used for inequality checks with slack, never for
+// exact-equality assertions.
+#pragma once
+
+#include <cstdint>
+
+#include "model/genfib.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+// ---------------------------------------------------------------------------
+// Theorem 7, parts (1)-(2): two-sided bounds via (ceil(lambda)+1).
+// ---------------------------------------------------------------------------
+
+/// Part (1) lower bound: (ceil(lambda)+1)^floor(t/(2*lambda)) <= F_lambda(t).
+[[nodiscard]] std::uint64_t thm7_F_lower(const Rational& lambda, const Rational& t);
+
+/// Part (1) upper bound: F_lambda(t) <= (ceil(lambda)+1)^floor(t/lambda).
+[[nodiscard]] std::uint64_t thm7_F_upper(const Rational& lambda, const Rational& t);
+
+/// Part (2) lower bound: lambda*log2(n) / log2(ceil(lambda)+1) <= f_lambda(n).
+[[nodiscard]] double thm7_f_lower(const Rational& lambda, std::uint64_t n);
+
+/// Part (2) upper bound: f_lambda(n) <= 2*lambda + 2*lambda*log2(n)/log2(ceil(lambda)+1).
+[[nodiscard]] double thm7_f_upper(const Rational& lambda, std::uint64_t n);
+
+// ---------------------------------------------------------------------------
+// Theorem 7, parts (3)-(4): asymptotic refinement for large lambda.
+// ---------------------------------------------------------------------------
+
+/// alpha(lambda) = 1 + (ln ln(lambda+1) + 1) / (ln(lambda+1) - (ln ln(lambda+1) + 1)).
+/// The denominator is x - ln x - 1 at x = ln(lambda+1), which is >= 0 for
+/// all lambda >= 1 and zero only at lambda = e - 1 (where alpha diverges);
+/// throws InvalidArgument at that singular point.
+[[nodiscard]] double thm7_alpha(const Rational& lambda);
+
+/// Part (3): F_lambda(t) >= (lambda+1)^(t/(alpha*lambda) - 1) for large lambda.
+[[nodiscard]] double thm7_part3_F_lower(const Rational& lambda, const Rational& t);
+
+/// Part (4): the asymptotic upper bound
+/// f_lambda(n) <= alpha*lambda*(log2(n)/log2(lambda+1) + 1)
+/// (the proof's bound before folding into the 1+h(lambda) form).
+[[nodiscard]] double thm7_part4_f_upper(const Rational& lambda, std::uint64_t n);
+
+// ---------------------------------------------------------------------------
+// Section 4.1: lower bounds for broadcasting m messages.
+// ---------------------------------------------------------------------------
+
+/// Lemma 8: T >= (m-1) + f_lambda(n) for any algorithm. Exact.
+[[nodiscard]] Rational lemma8_lower(GenFib& fib, std::uint64_t n, std::uint64_t m);
+
+/// Corollary 9(1): T >= m - 1 + lambda*log2(n)/log2(ceil(lambda)+1).
+[[nodiscard]] double cor9_lower_log(const Rational& lambda, std::uint64_t n,
+                                    std::uint64_t m);
+
+/// Corollary 9(2): T > m - 1 + lambda (for n >= 2).
+[[nodiscard]] Rational cor9_lower_latency(const Rational& lambda, std::uint64_t m);
+
+// ---------------------------------------------------------------------------
+// Section 4.2: upper-bound corollaries for the BCAST generalizations.
+// ---------------------------------------------------------------------------
+
+/// Corollary 11 (REPEAT): T <= 2*m*lambda*log2(n)/log2(lambda+1) + m*lambda + m + lambda - 1.
+[[nodiscard]] double cor11_repeat_upper(const Rational& lambda, std::uint64_t n,
+                                        std::uint64_t m);
+
+/// Corollary 13 (PACK): T <= 2*(m+lambda-1)*log2(n)/log2(2+(lambda-1)/m) + 2*(m+lambda-1).
+[[nodiscard]] double cor13_pack_upper(const Rational& lambda, std::uint64_t n,
+                                      std::uint64_t m);
+
+/// Corollary 15 (PIPELINE-1, m <= lambda):
+/// T <= 2*lambda + 2*lambda*log2(n)/log2(1+lambda/m) + (m-1).
+[[nodiscard]] double cor15_pipeline1_upper(const Rational& lambda, std::uint64_t n,
+                                           std::uint64_t m);
+
+/// Corollary 17 (PIPELINE-2, m >= lambda):
+/// T <= 2*m*log2(n)/log2(1+m/lambda) + 2*m + lambda - 1.
+[[nodiscard]] double cor17_pipeline2_upper(const Rational& lambda, std::uint64_t n,
+                                           std::uint64_t m);
+
+/// Lemma 18 (DTREE upper bound): T <= d*(m-1) + (d-1+lambda)*ceil(log_d n);
+/// for d == 1 the tree is a line and the bound is (m-1) + lambda*(n-1).
+[[nodiscard]] Rational lemma18_dtree_upper(const Rational& lambda, std::uint64_t n,
+                                           std::uint64_t m, std::uint64_t d);
+
+}  // namespace postal

@@ -1,0 +1,71 @@
+// The generalized Fibonacci function F_lambda(t) and its index function
+// f_lambda(n) -- Section 3 of the paper.
+//
+//   F_lambda(t) = 1                                  for 0 <= t < lambda
+//   F_lambda(t) = F_lambda(t-1) + F_lambda(t-lambda) for t >= lambda
+//
+//   f_lambda(n) = min{ t : F_lambda(t) >= n }        (the index function)
+//
+// F_lambda is a right-continuous nondecreasing step function whose jumps,
+// for rational lambda = p/q (reduced), all lie on the grid { k/q : k in N }.
+// GenFib therefore memoizes F on that grid exactly, with saturating 64-bit
+// arithmetic (F grows exponentially; only comparisons against n <= 2^63
+// matter, see support/saturating.hpp).
+//
+// Special cases (useful anchors, checked in the tests):
+//   lambda = 1:  F_1(t) = 2^floor(t),       f_1(n) = ceil(log2 n)
+//   lambda = 2:  F_2(t) = Fib(floor(t)+1),  f_2 via classic Fibonacci
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rational.hpp"
+#include "support/saturating.hpp"
+
+namespace postal {
+
+/// Exact evaluator for F_lambda and f_lambda at a fixed rational lambda >= 1.
+///
+/// Thread-compatible (not thread-safe): evaluation extends an internal memo
+/// table. Construct one instance per thread or guard externally.
+class GenFib {
+ public:
+  /// Throws InvalidArgument unless lambda >= 1.
+  explicit GenFib(Rational lambda);
+
+  /// The latency parameter this instance evaluates at.
+  [[nodiscard]] const Rational& lambda() const noexcept { return lambda_; }
+
+  /// F_lambda(t) for t >= 0 (throws InvalidArgument for t < 0). Values are
+  /// clamped to kSaturated once they exceed 64 bits.
+  [[nodiscard]] std::uint64_t F(const Rational& t);
+
+  /// f_lambda(n) = min{ t : F_lambda(t) >= n } for n >= 1. The result is
+  /// always a grid point k/q. Throws InvalidArgument for n == 0 and
+  /// OverflowError if n exceeds the saturation cap.
+  [[nodiscard]] Rational f(std::uint64_t n);
+
+  /// The j used by Algorithm BCAST on a range of size n >= 2:
+  /// j = F_lambda(f_lambda(n) - 1). Satisfies 1 <= j <= n-1 (Lemma 3).
+  [[nodiscard]] std::uint64_t bcast_split(std::uint64_t n);
+
+  /// All t in [0, t_max] where F_lambda jumps, in increasing order.
+  /// Useful for plotting the step function in the benches.
+  [[nodiscard]] std::vector<Rational> breakpoints(const Rational& t_max);
+
+  /// Grid resolution: F_lambda is constant on [k/q, (k+1)/q).
+  [[nodiscard]] std::int64_t grid_denominator() const noexcept { return q_; }
+
+ private:
+  /// F at grid index k (i.e. F_lambda(k/q)); extends the memo as needed.
+  [[nodiscard]] std::uint64_t F_at_index(std::int64_t k);
+  void extend_to(std::int64_t k);
+
+  Rational lambda_;
+  std::int64_t p_;  // lambda = p_/q_, reduced
+  std::int64_t q_;
+  std::vector<std::uint64_t> memo_;  // memo_[k] = F_lambda(k/q)
+};
+
+}  // namespace postal

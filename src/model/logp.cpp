@@ -1,0 +1,59 @@
+#include "model/logp.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace postal {
+
+void LogPParams::validate() const {
+  POSTAL_REQUIRE(g >= Rational(1), "LogPParams: g must be >= 1");
+  POSTAL_REQUIRE(L >= Rational(0), "LogPParams: L must be >= 0");
+  POSTAL_REQUIRE(o >= Rational(0), "LogPParams: o must be >= 0");
+  POSTAL_REQUIRE(P >= 1, "LogPParams: P must be >= 1");
+  POSTAL_REQUIRE(P <= static_cast<std::uint64_t>(INT64_MAX),
+                 "LogPParams: P exceeds exact-arithmetic range");
+  POSTAL_REQUIRE(L + Rational(2) * o >= rmax(o, g),
+                 "LogPParams: need L + 2o >= max(o, g) for the postal mapping");
+}
+
+Rational LogPParams::effective_gap() const { return rmax(o, g); }
+
+Rational LogPParams::postal_lambda() const {
+  validate();
+  return (L + Rational(2) * o) / effective_gap();
+}
+
+Rational logp_broadcast_time(const LogPParams& params) {
+  params.validate();
+  GenFib fib(params.postal_lambda());
+  return params.effective_gap() * fib.f(params.P);
+}
+
+Rational logp_broadcast_time_dp(const LogPParams& params) {
+  params.validate();
+  if (params.P == 1) return Rational(0);
+  // Greedy frontier expansion: every informed processor sends as early and
+  // as often as it can. Heap entries are candidate inform times; popping a
+  // candidate materializes (a) the next sibling from the same sender and
+  // (b) the new processor's own first child. Informing earlier is never
+  // worse, so taking the P smallest candidate times is optimal.
+  const Rational big_lambda = params.L + Rational(2) * params.o;
+  const Rational gap = params.effective_gap();
+  using Entry = Rational;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push(big_lambda);  // root's first child is informed at big_lambda
+  std::uint64_t informed = 1;
+  Rational last(0);
+  while (informed < params.P) {
+    POSTAL_CHECK(!heap.empty());
+    const Rational t = heap.top();
+    heap.pop();
+    ++informed;
+    last = t;
+    heap.push(t + gap);            // next sibling from the same sender
+    heap.push(t + big_lambda);     // the new processor's first child
+  }
+  return last;
+}
+
+}  // namespace postal

@@ -1,0 +1,61 @@
+// The LogP model (Culler et al., 1993) and its relationship to the postal
+// model, which the paper notes in its introduction ("Recently, another
+// model, the LogP model [8], was introduced that bears some similarities to
+// our postal model").
+//
+// LogP parameters: L (wire latency), o (per-message CPU overhead on both
+// sender and receiver), g (gap: minimum interval between consecutive sends
+// or receives at one processor), P (processor count).
+//
+// Mapping (Karp et al.'s broadcast semantics). A processor informed at
+// time r can inject messages at r, r + G, r + 2G, ... where G = max(o, g)
+// (each injection costs o CPU and successive injections must be g apart);
+// a message injected at s is usable at its recipient at s + 2o + L.
+// Measuring time in units of G this is exactly the postal model with
+//     lambda = (L + 2o) / G,
+// which is >= 1 whenever L + 2o >= max(o, g) -- the usual LogP regime
+// (validate() enforces it). The optimal LogP broadcast is therefore the
+// generalized Fibonacci tree at that lambda, which this module both
+// computes through GenFib and cross-checks with a direct dynamic program
+// over inform times.
+#pragma once
+
+#include <cstdint>
+
+#include "model/genfib.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// LogP machine parameters. All quantities are rational multiples of one
+/// CPU cycle; g >= 1 and L, o >= 0.
+struct LogPParams {
+  Rational L;       ///< network latency
+  Rational o;       ///< send/receive CPU overhead
+  Rational g;       ///< gap between consecutive sends (or receives)
+  std::uint64_t P;  ///< number of processors
+
+  /// Validates the parameter domain (including L + 2o >= max(o, g), the
+  /// regime where the postal mapping is exact); throws InvalidArgument.
+  void validate() const;
+
+  /// The effective injection period G = max(o, g).
+  [[nodiscard]] Rational effective_gap() const;
+
+  /// The postal latency equivalent: lambda = (L + 2o)/G, in units of
+  /// G = max(o, g).
+  [[nodiscard]] Rational postal_lambda() const;
+};
+
+/// Optimal single-message LogP broadcast time (in the original LogP time
+/// unit, not the normalized one), computed via the postal equivalence:
+/// T = G * f_lambda(P) with lambda = postal_lambda(), G = max(o, g).
+[[nodiscard]] Rational logp_broadcast_time(const LogPParams& params);
+
+/// Independent cross-check: computes the maximum number of processors that
+/// can be informed by time t in LogP by direct dynamic programming on the
+/// grid of reachable times, then inverts it. Exponential-free but O(P * T);
+/// intended for tests and small instances.
+[[nodiscard]] Rational logp_broadcast_time_dp(const LogPParams& params);
+
+}  // namespace postal

@@ -1,0 +1,37 @@
+#include "model/params.hpp"
+
+namespace postal {
+
+PostalParams::PostalParams(std::uint64_t n, Rational lambda)
+    : n_(n), lambda_(std::move(lambda)) {
+  POSTAL_REQUIRE(n_ >= 1, "PostalParams: need at least one processor");
+  POSTAL_REQUIRE(n_ <= static_cast<std::uint64_t>(INT64_MAX),
+                 "PostalParams: n exceeds exact-arithmetic range");
+  POSTAL_REQUIRE(lambda_ >= Rational(1), "PostalParams: lambda must be >= 1");
+}
+
+Rational pack_lambda(const Rational& lambda, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "pack_lambda: m must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "pack_lambda: lambda must be >= 1");
+  const auto mi = static_cast<std::int64_t>(m);
+  return Rational(1) + (lambda - Rational(1)) / Rational(mi);
+}
+
+Rational pipeline1_lambda(const Rational& lambda, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "pipeline1_lambda: m must be >= 1");
+  const auto mi = static_cast<std::int64_t>(m);
+  POSTAL_REQUIRE(Rational(mi) <= lambda,
+                 "pipeline1_lambda: PIPELINE-1 requires m <= lambda");
+  return lambda / Rational(mi);
+}
+
+Rational pipeline2_lambda(const Rational& lambda, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "pipeline2_lambda: m must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "pipeline2_lambda: lambda must be >= 1");
+  const auto mi = static_cast<std::int64_t>(m);
+  POSTAL_REQUIRE(lambda <= Rational(mi),
+                 "pipeline2_lambda: PIPELINE-2 requires m >= lambda");
+  return Rational(mi) / lambda;
+}
+
+}  // namespace postal

@@ -1,0 +1,51 @@
+// Postal-model parameters and the normalizations used by the multi-message
+// algorithms of Section 4.
+//
+// MPS(n, lambda) -- Definitions 1 and 2 of the paper: n fully connected
+// processors with simultaneous I/O; a send occupies the sender during
+// [t, t+1] and the receiver during [t+lambda-1, t+lambda], lambda >= 1.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Identifies a processor p_0 .. p_{n-1}.
+using ProcId = std::uint32_t;
+
+/// Identifies one atomic message; for multi-message broadcast, message i of
+/// the stream M_1..M_m has id i-1.
+using MsgId = std::uint32_t;
+
+/// Parameters of a message-passing system MPS(n, lambda).
+class PostalParams {
+ public:
+  /// Throws InvalidArgument unless n >= 1 and lambda >= 1.
+  PostalParams(std::uint64_t n, Rational lambda);
+
+  /// Number of processors.
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+
+  /// Communication latency lambda >= 1.
+  [[nodiscard]] const Rational& lambda() const noexcept { return lambda_; }
+
+ private:
+  std::uint64_t n_;
+  Rational lambda_;
+};
+
+/// Normalized latency used by Algorithm PACK (Lemma 12):
+/// lambda' = (lambda + m - 1)/m = 1 + (lambda-1)/m. Requires m >= 1.
+[[nodiscard]] Rational pack_lambda(const Rational& lambda, std::uint64_t m);
+
+/// Normalized latency used by Algorithm PIPELINE-1 (Lemma 14):
+/// lambda' = lambda/m. Requires 1 <= m <= lambda (so lambda' >= 1).
+[[nodiscard]] Rational pipeline1_lambda(const Rational& lambda, std::uint64_t m);
+
+/// Normalized latency used by Algorithm PIPELINE-2 (Lemma 16):
+/// lambda' = m/lambda. Requires m >= lambda >= 1 (so lambda' >= 1).
+[[nodiscard]] Rational pipeline2_lambda(const Rational& lambda, std::uint64_t m);
+
+}  // namespace postal

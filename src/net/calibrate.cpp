@@ -1,0 +1,68 @@
+#include "net/calibrate.hpp"
+
+#include "support/prng.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Round `value` to the nearest multiple of 1/grid (ties up), at least 1.
+Rational snap_up(const Rational& value, std::int64_t grid) {
+  POSTAL_REQUIRE(grid >= 1, "snap_up: grid must be >= 1");
+  const Rational scaled = value * Rational(grid);
+  // ceil to the next grid point: a latency estimate should not be rounded
+  // below the measurement, or schedules would be too optimistic.
+  const Rational snapped(scaled.ceil(), grid);
+  return rmax(snapped, Rational(1));
+}
+
+}  // namespace
+
+CalibrationReport calibrate_lambda(PacketNetwork& net, std::uint64_t pairs,
+                                   std::uint64_t seed, std::int64_t grid) {
+  const std::uint64_t n = net.topology().n();
+  POSTAL_REQUIRE(n >= 2, "calibrate_lambda: need at least two nodes");
+  POSTAL_REQUIRE(pairs >= 1, "calibrate_lambda: need at least one probe");
+
+  Xoshiro256 rng(seed);
+  CalibrationReport report;
+  report.probes = pairs;
+  Rational sum(0);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform(0, n - 1));
+    NodeId dst = src;
+    while (dst == src) dst = static_cast<NodeId>(rng.uniform(0, n - 1));
+    net.submit(src, dst, /*msg=*/0, Rational(0));
+    const std::vector<NetDelivery> out = net.run();
+    POSTAL_CHECK(out.size() == 1);
+    const Rational lambda = (out[0].delivered - out[0].requested) /
+                            net.config().send_overhead;
+    if (i == 0) {
+      report.lambda_min = lambda;
+      report.lambda_max = lambda;
+    } else {
+      report.lambda_min = rmin(report.lambda_min, lambda);
+      report.lambda_max = rmax(report.lambda_max, lambda);
+    }
+    sum += lambda;
+  }
+  report.lambda_mean = sum / Rational(static_cast<std::int64_t>(pairs));
+  report.lambda_snapped = snap_up(report.lambda_mean, grid);
+  return report;
+}
+
+ReplayReport replay_schedule(PacketNetwork& net, const Schedule& schedule,
+                             const Rational& postal_completion) {
+  ReplayReport report;
+  net.submit_schedule(schedule);
+  const std::vector<NetDelivery> out = net.run();
+  report.deliveries = out.size();
+  report.observed = net_makespan(out);
+  report.predicted = postal_completion * net.config().send_overhead;
+  report.ratio = report.predicted == Rational(0)
+                     ? 0.0
+                     : report.observed.to_double() / report.predicted.to_double();
+  return report;
+}
+
+}  // namespace postal

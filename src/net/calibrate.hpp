@@ -1,0 +1,54 @@
+// Calibration: measuring the effective postal lambda of a packet network,
+// and replaying postal schedules on it to check that postal-model
+// predictions transfer to the "real" wire.
+//
+// The postal unit of time is the time a sender is busy per send, i.e.
+// NetConfig::send_overhead. The effective latency of an idle network for a
+// (src, dst) pair is
+//     lambda(src, dst) = (delivered - requested) / send_overhead,
+// measured with one probe packet at a time. The calibrator probes a set of
+// pairs, reports min/mean/max, and snaps the mean to a small rational grid
+// so the result can seed GenFib.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet_sim.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Summary of a calibration run.
+struct CalibrationReport {
+  Rational lambda_min;
+  Rational lambda_mean;  ///< exact rational mean over all probes
+  Rational lambda_max;
+  Rational lambda_snapped;  ///< mean rounded up to the grid, clamped to >= 1
+  std::uint64_t probes = 0;
+};
+
+/// Probe `pairs` random ordered (src, dst) pairs (seeded, deterministic),
+/// one at a time on an idle network, and summarize. `grid` is the
+/// denominator for snapping (e.g. 4 -> quarters).
+[[nodiscard]] CalibrationReport calibrate_lambda(PacketNetwork& net,
+                                                 std::uint64_t pairs,
+                                                 std::uint64_t seed,
+                                                 std::int64_t grid = 4);
+
+/// Result of replaying a postal schedule on the network.
+struct ReplayReport {
+  Rational predicted;   ///< postal-model completion (in network time units)
+  Rational observed;    ///< measured network completion
+  double ratio = 0.0;   ///< observed / predicted (1.0 = perfect transfer)
+  std::uint64_t deliveries = 0;
+};
+
+/// Submit `schedule` (postal times scaled by send_overhead), run the
+/// network, and compare against `postal_completion` (a postal-model time,
+/// also scaled by send_overhead for comparison).
+[[nodiscard]] ReplayReport replay_schedule(PacketNetwork& net, const Schedule& schedule,
+                                           const Rational& postal_completion);
+
+}  // namespace postal

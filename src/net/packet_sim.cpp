@@ -1,0 +1,134 @@
+#include "net/packet_sim.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+
+namespace postal {
+
+void NetConfig::validate() const {
+  POSTAL_REQUIRE(send_overhead > Rational(0), "NetConfig: send_overhead must be > 0");
+  POSTAL_REQUIRE(recv_overhead > Rational(0), "NetConfig: recv_overhead must be > 0");
+  POSTAL_REQUIRE(wire_time > Rational(0), "NetConfig: wire_time must be > 0");
+  POSTAL_REQUIRE(header_time > Rational(0) && header_time <= wire_time,
+                 "NetConfig: need 0 < header_time <= wire_time");
+  POSTAL_REQUIRE(jitter_max >= Rational(0), "NetConfig: jitter_max must be >= 0");
+}
+
+PacketNetwork::PacketNetwork(Topology topology, NetConfig config)
+    : topology_(std::move(topology)), config_(std::move(config)) {
+  config_.validate();
+}
+
+void PacketNetwork::submit(NodeId src, NodeId dst, MsgId msg, const Rational& t) {
+  POSTAL_REQUIRE(src < topology_.n() && dst < topology_.n(),
+                 "PacketNetwork::submit: node out of range");
+  POSTAL_REQUIRE(src != dst, "PacketNetwork::submit: src == dst");
+  POSTAL_REQUIRE(t >= Rational(0), "PacketNetwork::submit: time must be >= 0");
+  pending_.push_back(Pending{src, dst, msg, t});
+}
+
+void PacketNetwork::submit_schedule(const Schedule& schedule) {
+  for (const SendEvent& e : schedule.events()) {
+    submit(e.src, e.dst, e.msg, e.t * config_.send_overhead);
+  }
+}
+
+std::vector<NetDelivery> PacketNetwork::run() {
+  const std::uint64_t n = topology_.n();
+
+  struct Traveling {
+    NodeId at;   ///< node the packet's head has reached
+    NodeId src;
+    NodeId dst;
+    MsgId msg;
+    Rational requested;
+    Rational tail;  ///< time the packet is fully present at `at`
+    bool injected;  ///< false while still waiting in the sender's software
+  };
+
+  EventQueue<Traveling> queue;
+  for (const Pending& p : pending_) {
+    queue.push(p.t,
+               Traveling{p.src, p.src, p.dst, p.msg, p.t, p.t, /*injected=*/false});
+  }
+  pending_.clear();
+
+  std::vector<Rational> egress_free(n, Rational(0));
+  std::vector<Rational> ingress_free(n, Rational(0));
+  std::unordered_map<std::uint64_t, Rational> wire_free;
+  auto wire_key = [n](NodeId u, NodeId v) {
+    return static_cast<std::uint64_t>(u) * n + v;
+  };
+  auto wire_propagation = [this](NodeId u, NodeId v) -> const Rational& {
+    for (const NetLink& link : topology_.links(u)) {
+      if (link.to == v) return link.propagation;
+    }
+    throw LogicError("PacketNetwork: routed over a nonexistent wire");
+  };
+
+  Xoshiro256 rng(config_.jitter_seed);
+  const bool jitter_on = config_.jitter_max > Rational(0);
+  auto jitter = [&]() -> Rational {
+    if (!jitter_on) return Rational(0);
+    // Uniform multiple of jitter_max/64 keeps arithmetic exactly rational.
+    const auto k = static_cast<std::int64_t>(rng.uniform(0, 64));
+    return config_.jitter_max * Rational(k, 64);
+  };
+
+  std::vector<NetDelivery> deliveries;
+  while (!queue.empty()) {
+    auto [now, pkt] = queue.pop();
+    if (!pkt.injected) {
+      // Sender software: one packet at a time.
+      const Rational start = rmax(egress_free[pkt.src], now);
+      egress_free[pkt.src] = start + config_.send_overhead;
+      pkt.injected = true;
+      pkt.tail = start + config_.send_overhead;
+      queue.push(start + config_.send_overhead, pkt);
+      continue;
+    }
+    if (pkt.at == pkt.dst) {
+      // Receiver software: one packet at a time; needs the whole packet.
+      const Rational start = rmax(ingress_free[pkt.dst], pkt.tail);
+      ingress_free[pkt.dst] = start + config_.recv_overhead;
+      deliveries.push_back(NetDelivery{pkt.src, pkt.dst, pkt.msg, pkt.requested,
+                                       start + config_.recv_overhead});
+      continue;
+    }
+    // Forward one hop: serialize onto the wire, then fly. Store-and-forward
+    // begins once the whole packet is present; cut-through streams the head
+    // onward after header_time, paying the full wire_time only at the tail.
+    const NodeId next = topology_.next_hop(pkt.at, pkt.dst);
+    Rational& free_at = wire_free.try_emplace(wire_key(pkt.at, next), Rational(0))
+                            .first->second;
+    const Rational ready =
+        config_.switching == Switching::kStoreAndForward ? pkt.tail : now;
+    const Rational start = rmax(free_at, ready);
+    free_at = start + config_.wire_time;
+    const Rational flight = wire_propagation(pkt.at, next) + jitter();
+    pkt.tail = start + config_.wire_time + flight;
+    const Rational head = config_.switching == Switching::kCutThrough
+                              ? start + config_.header_time + flight
+                              : pkt.tail;
+    pkt.at = next;
+    queue.push(head, pkt);
+  }
+
+  std::sort(deliveries.begin(), deliveries.end(),
+            [](const NetDelivery& a, const NetDelivery& b) {
+              if (a.delivered != b.delivered) return a.delivered < b.delivered;
+              return std::tie(a.src, a.dst, a.msg) < std::tie(b.src, b.dst, b.msg);
+            });
+  return deliveries;
+}
+
+Rational net_makespan(const std::vector<NetDelivery>& deliveries) {
+  Rational latest(0);
+  for (const NetDelivery& d : deliveries) latest = rmax(latest, d.delivered);
+  return latest;
+}
+
+}  // namespace postal

@@ -1,0 +1,103 @@
+// A store-and-forward packet-network simulator.
+//
+// This is the "hardware" substitute for the paper's 1992 machines: a
+// concrete network under the complete-graph abstraction. The model per
+// packet:
+//
+//   source software   -- occupies the sender's egress for `send_overhead`
+//                        (one packet at a time, FIFO);
+//   each routed hop   -- occupies the directed wire for `wire_time`
+//                        (serialization; one packet at a time, FIFO), then
+//                        flies for the wire's propagation delay, plus an
+//                        optional uniform jitter in [0, jitter_max];
+//   destination sw    -- occupies the receiver's ingress for
+//                        `recv_overhead`; the packet is delivered when the
+//                        ingress finishes.
+//
+// With send_overhead as the postal "unit of time", an idle network realizes
+// an effective lambda of
+//   (send_overhead + hops*(wire_time + propagation) + recv_overhead)
+//     / send_overhead,
+// which calibrate.hpp measures empirically instead of assuming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+#include "support/prng.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// How packets traverse multi-hop paths.
+enum class Switching {
+  kStoreAndForward,  ///< each hop waits for the whole packet: per-hop cost
+                     ///< wire_time + propagation
+  kCutThrough,       ///< the head streams ahead once received: per-hop cost
+                     ///< header_time + propagation, full wire_time paid once
+                     ///< at the tail
+};
+
+/// Tunables of the packet network.
+struct NetConfig {
+  Rational send_overhead{1};   ///< sender software time per packet (> 0)
+  Rational recv_overhead{1};   ///< receiver software time per packet (> 0)
+  Rational wire_time{1};       ///< per-hop serialization time (> 0)
+  Rational header_time{1, 4};  ///< cut-through header latching time
+                               ///< (0 < header_time <= wire_time)
+  Rational jitter_max{0};      ///< max per-hop jitter (0 disables; >= 0)
+  Switching switching = Switching::kStoreAndForward;
+  std::uint64_t jitter_seed = 0x9e3779b9;
+
+  void validate() const;
+};
+
+/// One completed end-to-end packet delivery.
+struct NetDelivery {
+  NodeId src = 0;
+  NodeId dst = 0;
+  MsgId msg = 0;
+  Rational requested;  ///< when the sender asked to transmit
+  Rational delivered;  ///< when the receiver software finished
+};
+
+/// The simulator. Submit traffic, then run() to quiescence.
+class PacketNetwork {
+ public:
+  PacketNetwork(Topology topology, NetConfig config);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const NetConfig& config() const noexcept { return config_; }
+
+  /// Ask node `src` to send one packet to `dst` at time `t`.
+  void submit(NodeId src, NodeId dst, MsgId msg, const Rational& t);
+
+  /// Replay a postal schedule: postal time u is mapped to real time
+  /// u * send_overhead (the postal unit is one send).
+  void submit_schedule(const Schedule& schedule);
+
+  /// Process all submitted traffic; returns deliveries sorted by delivery
+  /// time. Resets submitted traffic afterwards (the network object can be
+  /// reused).
+  [[nodiscard]] std::vector<NetDelivery> run();
+
+ private:
+  struct Pending {
+    NodeId src;
+    NodeId dst;
+    MsgId msg;
+    Rational t;
+  };
+
+  Topology topology_;
+  NetConfig config_;
+  std::vector<Pending> pending_;
+};
+
+/// Latest delivery time in a run (0 when empty).
+[[nodiscard]] Rational net_makespan(const std::vector<NetDelivery>& deliveries);
+
+}  // namespace postal

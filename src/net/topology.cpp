@@ -1,0 +1,132 @@
+#include "net/topology.hpp"
+
+#include <queue>
+
+namespace postal {
+
+Topology::Topology(std::vector<std::vector<NetLink>> adjacency)
+    : adjacency_(std::move(adjacency)) {
+  POSTAL_REQUIRE(!adjacency_.empty(), "Topology: need at least one node");
+  build_routes();
+}
+
+Topology Topology::complete(std::uint64_t n, const Rational& propagation) {
+  POSTAL_REQUIRE(n >= 1, "Topology::complete: n must be >= 1");
+  std::vector<std::vector<NetLink>> adj(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      adj[u].push_back(NetLink{static_cast<NodeId>(v), propagation});
+    }
+  }
+  return Topology(std::move(adj));
+}
+
+namespace {
+
+std::vector<std::vector<NetLink>> grid(std::uint64_t rows, std::uint64_t cols,
+                                       const Rational& propagation, bool wrap) {
+  POSTAL_REQUIRE(rows >= 1 && cols >= 1, "Topology grid: rows and cols must be >= 1");
+  const std::uint64_t n = rows * cols;
+  std::vector<std::vector<NetLink>> adj(n);
+  auto id = [cols](std::uint64_t r, std::uint64_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  auto connect = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    adj[a].push_back(NetLink{b, propagation});
+  };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        connect(id(r, c), id(r, c + 1));
+        connect(id(r, c + 1), id(r, c));
+      } else if (wrap && cols > 2) {
+        connect(id(r, c), id(r, 0));
+        connect(id(r, 0), id(r, c));
+      }
+      if (r + 1 < rows) {
+        connect(id(r, c), id(r + 1, c));
+        connect(id(r + 1, c), id(r, c));
+      } else if (wrap && rows > 2) {
+        connect(id(r, c), id(0, c));
+        connect(id(0, c), id(r, c));
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+Topology Topology::mesh2d(std::uint64_t rows, std::uint64_t cols,
+                          const Rational& propagation) {
+  return Topology(grid(rows, cols, propagation, /*wrap=*/false));
+}
+
+Topology Topology::torus2d(std::uint64_t rows, std::uint64_t cols,
+                           const Rational& propagation) {
+  return Topology(grid(rows, cols, propagation, /*wrap=*/true));
+}
+
+const std::vector<NetLink>& Topology::links(NodeId u) const {
+  POSTAL_REQUIRE(u < n(), "Topology::links: node out of range");
+  return adjacency_[u];
+}
+
+void Topology::build_routes() {
+  const std::uint64_t n_nodes = n();
+  next_hop_.assign(n_nodes * n_nodes, 0);
+  // Reverse BFS from every destination; parent pointers give next hops.
+  // Lowest-id neighbors win ties because adjacency lists are id-ordered by
+  // construction and BFS visits in queue order.
+  std::vector<std::vector<NodeId>> reverse_adj(n_nodes);
+  for (std::uint64_t u = 0; u < n_nodes; ++u) {
+    for (const NetLink& link : adjacency_[u]) {
+      reverse_adj[link.to].push_back(static_cast<NodeId>(u));
+    }
+  }
+  std::vector<std::uint32_t> dist(n_nodes);
+  for (NodeId dst = 0; dst < n_nodes; ++dst) {
+    constexpr std::uint32_t kUnreached = UINT32_MAX;
+    dist.assign(n_nodes, kUnreached);
+    dist[dst] = 0;
+    next_hop_[static_cast<std::uint64_t>(dst) * n_nodes + dst] = dst;
+    std::queue<NodeId> frontier;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId u : reverse_adj[v]) {
+        if (dist[u] != kUnreached) continue;
+        dist[u] = dist[v] + 1;
+        // From u, going to v makes progress toward dst.
+        next_hop_[static_cast<std::uint64_t>(dst) * n_nodes + u] = v;
+        frontier.push(u);
+      }
+    }
+    for (std::uint64_t u = 0; u < n_nodes; ++u) {
+      POSTAL_REQUIRE(dist[u] != kUnreached, "Topology: graph is not strongly connected");
+    }
+  }
+}
+
+NodeId Topology::next_hop(NodeId u, NodeId dst) const {
+  POSTAL_REQUIRE(u < n() && dst < n(), "Topology::next_hop: node out of range");
+  POSTAL_REQUIRE(u != dst, "Topology::next_hop: already at destination");
+  return next_hop_[static_cast<std::uint64_t>(dst) * n() + u];
+}
+
+std::uint32_t Topology::hop_count(NodeId u, NodeId dst) const {
+  POSTAL_REQUIRE(u < n() && dst < n(), "Topology::hop_count: node out of range");
+  std::uint32_t hops = 0;
+  NodeId at = u;
+  while (at != dst) {
+    at = next_hop(at, dst);
+    ++hops;
+    POSTAL_CHECK(hops <= n());
+  }
+  return hops;
+}
+
+}  // namespace postal

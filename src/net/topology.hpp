@@ -1,0 +1,64 @@
+// Network topologies for the packet-level substrate.
+//
+// The 1992 systems the paper motivates (Vulcan, CM-5, PARIS/plaNET) are
+// packet-switching networks that present a *complete-graph abstraction*
+// with roughly uniform latency. This module provides concrete topologies
+// -- a complete graph, a 2-D mesh, and a 2-D torus -- over which the
+// packet simulator (packet_sim.hpp) runs real store-and-forward traffic,
+// so the benches can measure an effective postal lambda and check that
+// postal-model predictions transfer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// Node index within a network topology.
+using NodeId = std::uint32_t;
+
+/// A directed point-to-point wire with a fixed propagation delay.
+struct NetLink {
+  NodeId to = 0;
+  Rational propagation;  ///< signal flight time across the wire
+};
+
+/// A static directed network with shortest-path routing tables.
+class Topology {
+ public:
+  /// Fully connected graph: every ordered pair gets a direct wire.
+  [[nodiscard]] static Topology complete(std::uint64_t n, const Rational& propagation);
+
+  /// rows x cols mesh with bidirectional wires between grid neighbors.
+  [[nodiscard]] static Topology mesh2d(std::uint64_t rows, std::uint64_t cols,
+                                       const Rational& propagation);
+
+  /// rows x cols torus (mesh plus wrap-around wires).
+  [[nodiscard]] static Topology torus2d(std::uint64_t rows, std::uint64_t cols,
+                                        const Rational& propagation);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return adjacency_.size(); }
+
+  /// Outgoing wires of node u.
+  [[nodiscard]] const std::vector<NetLink>& links(NodeId u) const;
+
+  /// The next hop on a shortest path from u toward dst (hop-count metric,
+  /// lowest-id tie-break, precomputed). Requires u != dst.
+  [[nodiscard]] NodeId next_hop(NodeId u, NodeId dst) const;
+
+  /// Number of hops on the routed path from u to dst (0 when u == dst).
+  [[nodiscard]] std::uint32_t hop_count(NodeId u, NodeId dst) const;
+
+ private:
+  explicit Topology(std::vector<std::vector<NetLink>> adjacency);
+  void build_routes();
+
+  std::vector<std::vector<NetLink>> adjacency_;
+  // next_hop_[dst * n + u]: next node from u toward dst; u itself when done.
+  std::vector<NodeId> next_hop_;
+};
+
+}  // namespace postal

@@ -1,0 +1,49 @@
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+void bcast_emit(Schedule& schedule, GenFib& fib, ProcId base, std::uint64_t count,
+                const Rational& start, MsgId msg) {
+  // Iterative form of the paper's recursion: the holder keeps sending into
+  // its shrinking range every unit of time; each recipient's sub-broadcast
+  // is recursed explicitly.
+  ProcId holder = base;
+  std::uint64_t remaining = count;
+  Rational now = start;
+  while (remaining >= 2) {
+    const std::uint64_t j = fib.bcast_split(remaining);
+    POSTAL_CHECK(j >= 1 && j <= remaining - 1);
+    // The holder keeps the first j processors [holder, holder+j) and hands
+    // the trailing n'-j processors [holder+j, holder+n') to the recipient.
+    const ProcId recipient = holder + static_cast<ProcId>(j);
+    schedule.add(holder, recipient, msg, now);
+    // Recurse for the recipient: it receives at now + lambda and then runs
+    // BCAST on its own sub-range.
+    const Rational recipient_start = now + fib.lambda();
+    const std::uint64_t recipient_count = remaining - j;
+    if (recipient_count >= 2) {
+      bcast_emit(schedule, fib, recipient, recipient_count, recipient_start, msg);
+    }
+    // The holder continues one unit later on its own sub-range of size j.
+    now += Rational(1);
+    remaining = j;
+  }
+}
+
+Schedule bcast_schedule(const PostalParams& params, GenFib& fib) {
+  POSTAL_REQUIRE(fib.lambda() == params.lambda(),
+                 "bcast_schedule: GenFib lambda differs from params lambda");
+  Schedule schedule;
+  bcast_emit(schedule, fib, /*base=*/0, params.n(), Rational(0), /*msg=*/0);
+  schedule.sort();
+  return schedule;
+}
+
+Schedule bcast_schedule(const PostalParams& params) {
+  GenFib fib(params.lambda());
+  return bcast_schedule(params, fib);
+}
+
+Rational predict_bcast(GenFib& fib, std::uint64_t n) { return fib.f(n); }
+
+}  // namespace postal

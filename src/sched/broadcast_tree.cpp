@@ -1,0 +1,219 @@
+#include "sched/broadcast_tree.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "sched/bcast.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+
+BroadcastTree::BroadcastTree(ProcId root, std::vector<std::vector<ProcId>> children)
+    : root_(root), children_(std::move(children)) {
+  validate();
+}
+
+void BroadcastTree::validate() {
+  const std::uint64_t n = children_.size();
+  POSTAL_REQUIRE(n >= 1, "BroadcastTree: need at least one node");
+  POSTAL_REQUIRE(root_ < n, "BroadcastTree: root out of range");
+  parent_.assign(n, root_);
+  std::vector<bool> seen(n, false);
+  seen[root_] = true;
+  std::uint64_t reached = 1;
+  // Iterative DFS from the root; every node must be reached exactly once.
+  std::vector<ProcId> stack{root_};
+  while (!stack.empty()) {
+    const ProcId p = stack.back();
+    stack.pop_back();
+    for (const ProcId c : children_[p]) {
+      POSTAL_REQUIRE(c < n, "BroadcastTree: child id out of range");
+      POSTAL_REQUIRE(!seen[c], "BroadcastTree: node informed twice (not a tree)");
+      seen[c] = true;
+      parent_[c] = p;
+      ++reached;
+      stack.push_back(c);
+    }
+  }
+  POSTAL_REQUIRE(reached == n, "BroadcastTree: not all processors are reached");
+}
+
+BroadcastTree BroadcastTree::fibonacci(std::uint64_t n, const Rational& lambda) {
+  const PostalParams params(n, lambda);
+  return from_schedule(bcast_schedule(params), n, /*root=*/0);
+}
+
+BroadcastTree BroadcastTree::binomial(std::uint64_t n) {
+  return fibonacci(n, Rational(1));
+}
+
+BroadcastTree BroadcastTree::dary(std::uint64_t n, std::uint64_t d) {
+  POSTAL_REQUIRE(n >= 1, "BroadcastTree::dary: n must be >= 1");
+  if (n >= 2) {
+    POSTAL_REQUIRE(d >= 1 && d <= n - 1, "BroadcastTree::dary: d must lie in [1, n-1]");
+  }
+  std::vector<std::vector<ProcId>> children(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t c = d * i + 1; c <= d * i + d && c < n; ++c) {
+      children[i].push_back(static_cast<ProcId>(c));
+    }
+  }
+  return BroadcastTree(0, std::move(children));
+}
+
+BroadcastTree BroadcastTree::leveled(std::uint64_t n,
+                                     const std::vector<std::uint64_t>& degrees) {
+  POSTAL_REQUIRE(n >= 1, "BroadcastTree::leveled: n must be >= 1");
+  POSTAL_REQUIRE(!degrees.empty(), "BroadcastTree::leveled: need at least one degree");
+  for (const std::uint64_t d : degrees) {
+    POSTAL_REQUIRE(d >= 1, "BroadcastTree::leveled: degrees must be >= 1");
+  }
+  std::vector<std::vector<ProcId>> children(n);
+  // BFS fill: frontier of (node, depth); next id handed out left to right.
+  std::vector<std::pair<ProcId, std::uint32_t>> frontier{{0, 0}};
+  std::size_t head = 0;
+  std::uint64_t next_id = 1;
+  while (next_id < n) {
+    POSTAL_CHECK(head < frontier.size());
+    const auto [node, depth] = frontier[head++];
+    const std::uint64_t d =
+        degrees[std::min<std::size_t>(depth, degrees.size() - 1)];
+    for (std::uint64_t c = 0; c < d && next_id < n; ++c) {
+      children[node].push_back(static_cast<ProcId>(next_id));
+      frontier.emplace_back(static_cast<ProcId>(next_id), depth + 1);
+      ++next_id;
+    }
+  }
+  return BroadcastTree(0, std::move(children));
+}
+
+BroadcastTree BroadcastTree::from_schedule(const Schedule& schedule, std::uint64_t n,
+                                           ProcId root) {
+  POSTAL_REQUIRE(schedule.message_count() <= 1,
+                 "BroadcastTree::from_schedule: schedule carries multiple messages");
+  std::vector<std::vector<std::pair<Rational, ProcId>>> timed(n);
+  std::vector<bool> received(n, false);
+  for (const SendEvent& e : schedule.events()) {
+    POSTAL_REQUIRE(e.src < n && e.dst < n,
+                   "BroadcastTree::from_schedule: processor id out of range");
+    POSTAL_REQUIRE(!received[e.dst],
+                   "BroadcastTree::from_schedule: processor receives twice");
+    received[e.dst] = true;
+    timed[e.src].emplace_back(e.t, e.dst);
+  }
+  POSTAL_REQUIRE(!received[root], "BroadcastTree::from_schedule: root receives the message");
+  std::vector<std::vector<ProcId>> children(n);
+  for (std::uint64_t p = 0; p < n; ++p) {
+    std::sort(timed[p].begin(), timed[p].end());
+    for (const auto& [t, dst] : timed[p]) children[p].push_back(dst);
+  }
+  return BroadcastTree(root, std::move(children));
+}
+
+const std::vector<ProcId>& BroadcastTree::children(ProcId p) const {
+  POSTAL_REQUIRE(p < n(), "BroadcastTree::children: id out of range");
+  return children_[p];
+}
+
+ProcId BroadcastTree::parent(ProcId p) const {
+  POSTAL_REQUIRE(p < n(), "BroadcastTree::parent: id out of range");
+  return parent_[p];
+}
+
+std::vector<std::uint32_t> BroadcastTree::depths() const {
+  std::vector<std::uint32_t> depth(n(), 0);
+  std::vector<ProcId> stack{root_};
+  while (!stack.empty()) {
+    const ProcId p = stack.back();
+    stack.pop_back();
+    for (const ProcId c : children_[p]) {
+      depth[c] = depth[p] + 1;
+      stack.push_back(c);
+    }
+  }
+  return depth;
+}
+
+std::uint64_t BroadcastTree::max_degree() const {
+  std::uint64_t best = 0;
+  for (const auto& kids : children_) best = std::max<std::uint64_t>(best, kids.size());
+  return best;
+}
+
+std::vector<std::uint64_t> BroadcastTree::depth_histogram() const {
+  const std::vector<std::uint32_t> depth = depths();
+  const std::uint32_t deepest = *std::max_element(depth.begin(), depth.end());
+  std::vector<std::uint64_t> histogram(deepest + 1, 0);
+  for (const std::uint32_t d : depth) ++histogram[d];
+  return histogram;
+}
+
+std::vector<std::uint64_t> BroadcastTree::degree_histogram() const {
+  std::vector<std::uint64_t> histogram(max_degree() + 1, 0);
+  for (const auto& kids : children_) ++histogram[kids.size()];
+  return histogram;
+}
+
+Schedule BroadcastTree::greedy_schedule(const Rational& lambda) const {
+  POSTAL_REQUIRE(lambda >= Rational(1), "BroadcastTree::greedy_schedule: lambda >= 1");
+  Schedule schedule;
+  // BFS-free recursion on inform times: node informed at time r sends to
+  // children at r, r+1, r+2, ...
+  std::vector<std::pair<ProcId, Rational>> stack{{root_, Rational(0)}};
+  while (!stack.empty()) {
+    auto [p, informed] = stack.back();
+    stack.pop_back();
+    Rational t = informed;
+    for (const ProcId c : children_[p]) {
+      schedule.add(p, c, /*msg=*/0, t);
+      stack.emplace_back(c, t + lambda);
+      t += Rational(1);
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+std::vector<Rational> BroadcastTree::inform_times(const Rational& lambda) const {
+  std::vector<Rational> informed(n(), Rational(0));
+  std::vector<std::pair<ProcId, Rational>> stack{{root_, Rational(0)}};
+  while (!stack.empty()) {
+    auto [p, r] = stack.back();
+    stack.pop_back();
+    informed[p] = r;
+    Rational t = r;
+    for (const ProcId c : children_[p]) {
+      stack.emplace_back(c, t + lambda);
+      t += Rational(1);
+    }
+  }
+  return informed;
+}
+
+Rational BroadcastTree::completion_time(const Rational& lambda) const {
+  Rational latest(0);
+  for (const Rational& r : inform_times(lambda)) latest = rmax(latest, r);
+  return latest;
+}
+
+std::string BroadcastTree::render(const Rational& lambda) const {
+  const std::vector<Rational> informed = inform_times(lambda);
+  std::ostringstream out;
+  std::function<void(ProcId, std::string, bool)> walk =
+      [&](ProcId p, const std::string& prefix, bool last) {
+        out << prefix;
+        if (p != root_) out << (last ? "`-- " : "|-- ");
+        out << "p" << p << "  (t=" << informed[p] << ")\n";
+        const std::string next_prefix =
+            (p == root_) ? prefix : prefix + (last ? "    " : "|   ");
+        const auto& kids = children_[p];
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+          walk(kids[i], next_prefix, i + 1 == kids.size());
+        }
+      };
+  walk(root_, "", true);
+  return out.str();
+}
+
+}  // namespace postal

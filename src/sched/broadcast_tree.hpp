@@ -1,0 +1,100 @@
+// Rooted ordered broadcast trees.
+//
+// A broadcast tree records *who informs whom* and in what order. The
+// library uses trees in three roles:
+//  * analysis/rendering of BCAST's generalized Fibonacci tree (Figure 1);
+//  * the lambda-oblivious binomial-tree baseline (telephone-model optimal);
+//  * the left-to-right almost-full degree-d trees of Algorithm DTREE.
+//
+// `greedy_schedule` turns any tree into a single-message schedule under a
+// given latency: each informed node sends to its children in order, one
+// send per time unit, starting the instant it is informed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// A rooted tree over processors 0..n-1 with ordered children.
+class BroadcastTree {
+ public:
+  /// Builds a tree from explicit ordered child lists. `children[p]` are the
+  /// processors p informs, in sending order. Throws InvalidArgument unless
+  /// the structure is a tree spanning 0..n-1 rooted at `root`.
+  BroadcastTree(ProcId root, std::vector<std::vector<ProcId>> children);
+
+  /// The generalized Fibonacci tree of Algorithm BCAST for MPS(n, lambda):
+  /// derived from the schedule bcast_schedule produces.
+  [[nodiscard]] static BroadcastTree fibonacci(std::uint64_t n, const Rational& lambda);
+
+  /// The binomial tree (telephone-model optimal; equals fibonacci at
+  /// lambda = 1). The lambda-oblivious baseline of the benches.
+  [[nodiscard]] static BroadcastTree binomial(std::uint64_t n);
+
+  /// The left-to-right, almost-full, degree-d tree of Algorithm DTREE:
+  /// node i's children are d*i+1 .. min(d*i+d, n-1) in left-to-right order.
+  /// Requires 1 <= d <= n-1 for n >= 2 (any d accepted for n == 1).
+  [[nodiscard]] static BroadcastTree dary(std::uint64_t n, std::uint64_t d);
+
+  /// A leveled tree: nodes at depth L have degrees[min(L, degrees.size()-1)]
+  /// children, filled left to right in BFS order until n nodes exist -- the
+  /// per-range degree freedom MacKenzie's analysis [13] exploits. Ids are
+  /// assigned in BFS order. Requires every degree >= 1 for n >= 2.
+  [[nodiscard]] static BroadcastTree leveled(std::uint64_t n,
+                                             const std::vector<std::uint64_t>& degrees);
+
+  /// Reconstruct the tree a single-message schedule induces (each processor
+  /// other than the root must receive exactly once; children are ordered by
+  /// send time). Throws InvalidArgument if the schedule is not a broadcast
+  /// of one message over n processors rooted at `root`.
+  [[nodiscard]] static BroadcastTree from_schedule(const Schedule& schedule,
+                                                   std::uint64_t n, ProcId root = 0);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return children_.size(); }
+  [[nodiscard]] ProcId root() const noexcept { return root_; }
+  [[nodiscard]] const std::vector<ProcId>& children(ProcId p) const;
+  /// Parent of p; the root's parent is itself.
+  [[nodiscard]] ProcId parent(ProcId p) const;
+
+  /// Depth in edges of each node (root = 0).
+  [[nodiscard]] std::vector<std::uint32_t> depths() const;
+  /// Maximum node out-degree.
+  [[nodiscard]] std::uint64_t max_degree() const;
+  /// Node count per depth (index = depth). At lambda = 1 the generalized
+  /// Fibonacci tree is the binomial tree, whose histogram is the binomial
+  /// coefficients -- a shape test the suite exploits.
+  [[nodiscard]] std::vector<std::uint64_t> depth_histogram() const;
+  /// Out-degree count per degree value (index = degree).
+  [[nodiscard]] std::vector<std::uint64_t> degree_histogram() const;
+
+  /// The single-message schedule of sending greedily down this tree: every
+  /// node, once informed (root at t = 0, others at their receive time),
+  /// sends to its children in order at one send per unit of time.
+  [[nodiscard]] Schedule greedy_schedule(const Rational& lambda) const;
+
+  /// Time at which each processor is informed under greedy_schedule
+  /// (root = 0; others = send start + lambda).
+  [[nodiscard]] std::vector<Rational> inform_times(const Rational& lambda) const;
+
+  /// Completion time of greedy_schedule: max inform time.
+  [[nodiscard]] Rational completion_time(const Rational& lambda) const;
+
+  /// Multi-line ASCII rendering with per-node inform times (used to
+  /// reproduce Figure 1).
+  [[nodiscard]] std::string render(const Rational& lambda) const;
+
+ private:
+  void validate();
+
+  ProcId root_ = 0;
+  std::vector<std::vector<ProcId>> children_;
+  std::vector<ProcId> parent_;
+};
+
+}  // namespace postal

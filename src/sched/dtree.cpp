@@ -1,0 +1,139 @@
+#include "sched/dtree.hpp"
+
+#include <algorithm>
+
+namespace postal {
+
+Schedule dtree_schedule(const PostalParams& params, std::uint64_t m, std::uint64_t d) {
+  POSTAL_REQUIRE(m >= 1, "dtree_schedule: m must be >= 1");
+  const std::uint64_t n = params.n();
+  Schedule schedule;
+  if (n == 1) return schedule;
+  const BroadcastTree tree = BroadcastTree::dary(n, d);
+
+  // recv[p][i] = time processor p has fully received message i. The dary
+  // tree numbers nodes in BFS order (children of i are d*i+1 ..), so a
+  // single forward pass over processor ids sees every parent before its
+  // children.
+  std::vector<std::vector<Rational>> recv(n, std::vector<Rational>(m, Rational(0)));
+  for (ProcId p = 0; p < n; ++p) {
+    const auto& kids = tree.children(p);
+    if (kids.empty()) continue;
+    Rational send_ready(0);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      for (const ProcId c : kids) {
+        // Event-driven rule: relay message i as soon as both the output
+        // port is free and the message is in hand.
+        const Rational t = rmax(send_ready, recv[p][i]);
+        schedule.add(p, c, static_cast<MsgId>(i), t);
+        recv[c][i] = t + params.lambda();
+        send_ready = t + Rational(1);
+      }
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_dtree(const PostalParams& params, std::uint64_t m, std::uint64_t d) {
+  return dtree_schedule(params, m, d).makespan(params.lambda());
+}
+
+std::uint64_t dtree_recommended_degree(const PostalParams& params) {
+  const std::uint64_t n = params.n();
+  if (n <= 2) return 1;
+  const auto d = static_cast<std::uint64_t>(params.lambda().ceil()) + 1;
+  return std::min<std::uint64_t>(d, n - 1);
+}
+
+Schedule tree_multicast_schedule(const PostalParams& params, std::uint64_t m,
+                                 const BroadcastTree& tree) {
+  POSTAL_REQUIRE(m >= 1, "tree_multicast_schedule: m must be >= 1");
+  POSTAL_REQUIRE(tree.n() == params.n(),
+                 "tree_multicast_schedule: tree size differs from n");
+  POSTAL_REQUIRE(tree.root() == 0, "tree_multicast_schedule: root must be p0");
+  const std::uint64_t n = params.n();
+  Schedule schedule;
+  if (n == 1) return schedule;
+  // Same event-driven rule as dtree_schedule; ids in BFS order guarantee a
+  // parent's receive times are final before its children are visited.
+  std::vector<std::vector<Rational>> recv(n, std::vector<Rational>(m, Rational(0)));
+  for (ProcId p = 0; p < n; ++p) {
+    const auto& kids = tree.children(p);
+    if (kids.empty()) continue;
+    Rational send_ready(0);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      for (const ProcId c : kids) {
+        POSTAL_REQUIRE(c > p, "tree_multicast_schedule: ids must be in BFS order");
+        const Rational t = rmax(send_ready, recv[p][i]);
+        schedule.add(p, c, static_cast<MsgId>(i), t);
+        recv[c][i] = t + params.lambda();
+        send_ready = t + Rational(1);
+      }
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_tree_multicast(const PostalParams& params, std::uint64_t m,
+                                const BroadcastTree& tree) {
+  return tree_multicast_schedule(params, m, tree).makespan(params.lambda());
+}
+
+LeveledPlan leveled_dtree_auto(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "leveled_dtree_auto: m must be >= 1");
+  const std::uint64_t n = params.n();
+  LeveledPlan plan;
+  if (n == 1) {
+    plan.degrees = {1};
+    return plan;
+  }
+  const std::uint64_t cap = n - 1;
+  bool first = true;
+  auto consider = [&](std::vector<std::uint64_t> degrees) {
+    const BroadcastTree tree = BroadcastTree::leveled(n, degrees);
+    const Rational t = predict_tree_multicast(params, m, tree);
+    if (first || t < plan.completion) {
+      plan.degrees = std::move(degrees);
+      plan.completion = t;
+      first = false;
+    }
+  };
+
+  // Pass 1: every uniform degree (this alone matches the best DTREE).
+  std::uint64_t best_uniform = 1;
+  Rational best_uniform_time;
+  bool first_uniform = true;
+  for (std::uint64_t d = 1; d <= cap; ++d) {
+    const Rational t = predict_dtree(params, m, d);
+    if (first_uniform || t < best_uniform_time) {
+      best_uniform = d;
+      best_uniform_time = t;
+      first_uniform = false;
+    }
+    consider({d});
+  }
+
+  // Pass 2: two-segment profiles over a pruned candidate set anchored at
+  // the best uniform degree (the [13]-style per-range freedom).
+  std::vector<std::uint64_t> candidates{1, 2, dtree_recommended_degree(params),
+                                        best_uniform};
+  if (best_uniform > 1) candidates.push_back(best_uniform - 1);
+  if (best_uniform < cap) candidates.push_back(best_uniform + 1);
+  for (std::uint64_t d = 4; d < cap; d *= 2) candidates.push_back(d);
+  candidates.push_back(cap);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const std::uint64_t a : candidates) {
+    for (const std::uint64_t b : candidates) {
+      if (b == a) continue;
+      consider({a, b});     // one root level at a, then uniform b
+      consider({a, a, b});  // two top levels at a
+    }
+  }
+  return plan;
+}
+
+}  // namespace postal

@@ -1,0 +1,67 @@
+// Algorithm DTREE (Section 4.3): multi-message broadcast over a
+// left-to-right, almost-full, degree-d tree.
+//
+// The root sends d copies of M_1 to its children left to right, then moves
+// on to M_2, and so on. A non-root processor, upon receiving a message from
+// its parent, relays it to its own children left to right. The algorithm
+// interpolates between REPEAT-like (d = n-1, a star) and PIPELINE-like
+// (d = 1, a line) strategies and is order-preserving.
+//
+// Lemma 18: T_DT(n, m, lambda) <= d(m-1) + (d - 1 + lambda) * ceil(log_d n).
+//
+// Interesting degrees (the paper's discussion):
+//   d = 1              near-optimal as m -> infinity (line)
+//   d = 2              within max{2, log(ceil(lambda)+1)} of optimal
+//   d = ceil(lambda)+1 within max{2, ceil(lambda)+1} of optimal; within 3x
+//                      when m <= log n / log(ceil(lambda)+1)
+//   d = n - 1          near-optimal as lambda -> infinity (star)
+#pragma once
+
+#include "model/params.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "sched/schedule.hpp"
+
+namespace postal {
+
+/// Generate the DTREE schedule for broadcasting messages 0..m-1 from p_0
+/// over the almost-full degree-d tree. Requires m >= 1 and, for n >= 2,
+/// 1 <= d <= n-1. Sorted by time.
+[[nodiscard]] Schedule dtree_schedule(const PostalParams& params, std::uint64_t m,
+                                      std::uint64_t d);
+
+/// The *exact* completion time of dtree_schedule (computed analytically by
+/// walking the tree, not an upper bound; always <= lemma18_dtree_upper).
+[[nodiscard]] Rational predict_dtree(const PostalParams& params, std::uint64_t m,
+                                     std::uint64_t d);
+
+/// The paper's recommended degree d = ceil(lambda) + 1, clamped to [1, n-1].
+[[nodiscard]] std::uint64_t dtree_recommended_degree(const PostalParams& params);
+
+/// DTREE generalized to an arbitrary tree topology (node ids must be in
+/// BFS order, as BroadcastTree::dary and ::leveled produce): the root pumps
+/// messages in order, every node relays each message to its children left
+/// to right as soon as port and data allow. Sorted by time.
+[[nodiscard]] Schedule tree_multicast_schedule(const PostalParams& params,
+                                               std::uint64_t m,
+                                               const BroadcastTree& tree);
+
+/// Exact completion time of tree_multicast_schedule.
+[[nodiscard]] Rational predict_tree_multicast(const PostalParams& params,
+                                              std::uint64_t m,
+                                              const BroadcastTree& tree);
+
+/// Result of the leveled-degree search.
+struct LeveledPlan {
+  std::vector<std::uint64_t> degrees;  ///< per-level degree profile
+  Rational completion;
+};
+
+/// Search two-segment leveled profiles (degree a for the top `split`
+/// levels, degree b below) plus the uniform degrees, and return the best
+/// tree for broadcasting m messages -- the per-range freedom that [13]'s
+/// factor-7 construction uses. Search is over a small exact grid; the
+/// result is always at least as good as every uniform DTREE degree tried.
+[[nodiscard]] LeveledPlan leveled_dtree_auto(const PostalParams& params,
+                                             std::uint64_t m);
+
+}  // namespace postal

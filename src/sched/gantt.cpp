@@ -1,0 +1,76 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Common denominator of every event time and lambda.
+std::int64_t common_grid(const Schedule& schedule, const Rational& lambda) {
+  std::int64_t q = lambda.den();
+  for (const SendEvent& e : schedule.events()) {
+    q = std::lcm(q, e.t.den());
+    POSTAL_REQUIRE(q < (1LL << 24), "render_gantt: schedule grid too fine to render");
+  }
+  return q;
+}
+
+void paint(std::string& row, std::int64_t from_cell, std::int64_t cells, char mark) {
+  for (std::int64_t c = from_cell; c < from_cell + cells; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    if (idx >= row.size()) return;
+    row[idx] = (row[idx] == '.') ? mark : '#';
+  }
+}
+
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule, const PostalParams& params,
+                         const GanttOptions& options) {
+  const std::uint64_t n = params.n();
+  const Rational& lambda = params.lambda();
+  std::ostringstream out;
+  if (schedule.empty()) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+
+  const std::int64_t q = common_grid(schedule, lambda);
+  const Rational horizon = schedule.makespan(lambda);
+  const auto total_cells = static_cast<std::size_t>((horizon * Rational(q)).ceil());
+  const std::size_t cells = std::min(total_cells, options.max_columns);
+  const bool truncated = cells < total_cells;
+
+  std::vector<std::string> snd(n, std::string(cells, '.'));
+  std::vector<std::string> rcv(n, std::string(cells, '.'));
+  for (const SendEvent& e : schedule.events()) {
+    POSTAL_REQUIRE(e.src < n && e.dst < n, "render_gantt: processor out of range");
+    const char mark_s = options.show_message_ids
+                            ? static_cast<char>('0' + e.msg % 10)
+                            : 'S';
+    const char mark_r = options.show_message_ids
+                            ? static_cast<char>('0' + e.msg % 10)
+                            : 'R';
+    const std::int64_t send_cell = (e.t * Rational(q)).floor();
+    paint(snd[e.src], send_cell, q, mark_s);
+    const std::int64_t recv_cell = ((e.t + lambda - Rational(1)) * Rational(q)).floor();
+    paint(rcv[e.dst], recv_cell, q, mark_r);
+  }
+
+  out << "time grid: 1 column = 1/" << q << " unit; horizon t = " << horizon;
+  if (truncated) out << " (truncated to " << cells << " columns)";
+  out << "\n";
+  for (ProcId p = 0; p < n; ++p) {
+    out << "p" << p << (p < 10 ? "  " : " ") << "snd |" << snd[p] << "|\n";
+    out << "    " << "rcv |" << rcv[p] << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace postal

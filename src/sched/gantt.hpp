@@ -1,0 +1,30 @@
+// ASCII Gantt rendering of postal schedules: one row per processor, time
+// flowing right, showing exactly when each send ('S') and receive ('R')
+// window occupies each port. Invaluable when debugging why a schedule
+// violates port exclusivity -- overlaps show up as '#'.
+//
+// Time is discretized to the schedule's exact grid (the lcm of all event
+// denominators and lambda's), so nothing is lost to rounding; each output
+// column is one grid cell.
+#pragma once
+
+#include <string>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+
+namespace postal {
+
+/// Rendering options.
+struct GanttOptions {
+  std::size_t max_columns = 160;  ///< truncate wider charts (with a note)
+  bool show_message_ids = false;  ///< digits instead of S/R (msg id mod 10)
+};
+
+/// Render `schedule` under latency `lambda` as an ASCII chart. Each
+/// processor gets two rows (snd / rcv); overlapping occupancy renders '#'.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       const PostalParams& params,
+                                       const GanttOptions& options = {});
+
+}  // namespace postal

@@ -1,0 +1,34 @@
+#include "sched/pack.hpp"
+
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+Schedule pack_schedule(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "pack_schedule: m must be >= 1");
+  Schedule schedule;
+  if (params.n() == 1) return schedule;
+  const Rational lambda_prime = pack_lambda(params.lambda(), m);
+  GenFib fib(lambda_prime);
+  const PostalParams normalized(params.n(), lambda_prime);
+  const Schedule base = bcast_schedule(normalized, fib);
+  const auto mi = static_cast<std::int64_t>(m);
+  for (const SendEvent& e : base.events()) {
+    // One long-message send expands into m consecutive atomic sends.
+    for (std::int64_t k = 0; k < mi; ++k) {
+      schedule.add(e.src, e.dst, static_cast<MsgId>(k),
+                   Rational(mi) * e.t + Rational(k));
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_pack(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "predict_pack: m must be >= 1");
+  if (n == 1) return Rational(0);
+  GenFib fib(pack_lambda(lambda, m));
+  return Rational(static_cast<std::int64_t>(m)) * fib.f(n);
+}
+
+}  // namespace postal

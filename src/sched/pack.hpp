@@ -1,0 +1,29 @@
+// Algorithm PACK (Section 4.2): broadcast m messages as one "long message".
+//
+// Each processor first receives all m atomic messages back-to-back and only
+// then starts forwarding them. Normalizing the time scale t' = t/m turns
+// this into one BCAST run with latency lambda' = (lambda + m - 1)/m =
+// 1 + (lambda-1)/m (Lemma 12):
+//
+//   T_PK(n, m, lambda) = m * f_{1 + (lambda-1)/m}(n).
+//
+// Schedule expansion: each normalized send at time tau becomes m atomic
+// sends at real times m*tau, m*tau + 1, ..., m*tau + m - 1 (messages in
+// order, so PACK is order-preserving).
+#pragma once
+
+#include "model/genfib.hpp"
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+
+namespace postal {
+
+/// Generate the PACK schedule for broadcasting messages 0..m-1 from p_0.
+/// Requires m >= 1. Sorted by time.
+[[nodiscard]] Schedule pack_schedule(const PostalParams& params, std::uint64_t m);
+
+/// Lemma 12's exact running time (0 for n == 1).
+[[nodiscard]] Rational predict_pack(const Rational& lambda, std::uint64_t n,
+                                    std::uint64_t m);
+
+}  // namespace postal

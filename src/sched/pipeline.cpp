@@ -1,0 +1,96 @@
+#include "sched/pipeline.hpp"
+
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+namespace {
+
+/// PIPELINE-2 recursion. The contiguous range [base, base+count) is owned
+/// by its first processor, which holds the stream and can send piece k at
+/// real time lambda*tau + k. Each edge streams all m pieces to a recipient
+/// and then *swaps roles*: the recipient continues as BCAST's sender
+/// (normalized tau+1, sub-range of size j), while the physical sender
+/// becomes BCAST's receiver (normalized tau+lambda', sub-range of size
+/// count-j).
+void pl2_emit(Schedule& schedule, GenFib& fib, const Rational& lambda,
+              std::uint64_t m, ProcId base, std::uint64_t count, const Rational& tau) {
+  if (count < 2) return;
+  const std::uint64_t j = fib.bcast_split(count);
+  const ProcId recipient = base + static_cast<ProcId>(count - j);
+  const Rational real_start = lambda * tau;
+  for (std::uint64_t k = 0; k < m; ++k) {
+    schedule.add(base, recipient, static_cast<MsgId>(k),
+                 real_start + Rational(static_cast<std::int64_t>(k)));
+  }
+  // Role reversal: the recipient is free to forward pieces from
+  // real_start + lambda (normalized tau + 1) and takes the larger
+  // sub-range of size j; the sender is free again at real_start + m
+  // (normalized tau + lambda') with the remaining count - j processors.
+  pl2_emit(schedule, fib, lambda, m, recipient, j, tau + Rational(1));
+  pl2_emit(schedule, fib, lambda, m, base, count - j, tau + fib.lambda());
+}
+
+}  // namespace
+
+Schedule pipeline1_schedule(const PostalParams& params, std::uint64_t m) {
+  const Rational lambda_prime = pipeline1_lambda(params.lambda(), m);
+  Schedule schedule;
+  if (params.n() == 1) return schedule;
+  GenFib fib(lambda_prime);
+  const PostalParams normalized(params.n(), lambda_prime);
+  const Schedule base = bcast_schedule(normalized, fib);
+  const auto mi = static_cast<std::int64_t>(m);
+  for (const SendEvent& e : base.events()) {
+    // A normalized send at tau is a stream: piece k leaves at m*tau + k.
+    for (std::int64_t k = 0; k < mi; ++k) {
+      schedule.add(e.src, e.dst, static_cast<MsgId>(k),
+                   Rational(mi) * e.t + Rational(k));
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Schedule pipeline2_schedule(const PostalParams& params, std::uint64_t m) {
+  const Rational lambda_prime = pipeline2_lambda(params.lambda(), m);
+  Schedule schedule;
+  if (params.n() == 1) return schedule;
+  GenFib fib(lambda_prime);
+  pl2_emit(schedule, fib, params.lambda(), m, /*base=*/0, params.n(), Rational(0));
+  schedule.sort();
+  return schedule;
+}
+
+Schedule pipeline_schedule(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "pipeline_schedule: m must be >= 1");
+  if (Rational(static_cast<std::int64_t>(m)) <= params.lambda()) {
+    return pipeline1_schedule(params, m);
+  }
+  return pipeline2_schedule(params, m);
+}
+
+Rational predict_pipeline1(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const Rational lambda_prime = pipeline1_lambda(lambda, m);
+  if (n == 1) return Rational(0);
+  GenFib fib(lambda_prime);
+  const auto mi = static_cast<std::int64_t>(m);
+  return Rational(mi) * fib.f(n) + Rational(mi - 1);
+}
+
+Rational predict_pipeline2(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  const Rational lambda_prime = pipeline2_lambda(lambda, m);
+  if (n == 1) return Rational(0);
+  GenFib fib(lambda_prime);
+  return lambda * fib.f(n) + (lambda - Rational(1));
+}
+
+Rational predict_pipeline(const Rational& lambda, std::uint64_t n, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "predict_pipeline: m must be >= 1");
+  if (Rational(static_cast<std::int64_t>(m)) <= lambda) {
+    return predict_pipeline1(lambda, n, m);
+  }
+  return predict_pipeline2(lambda, n, m);
+}
+
+}  // namespace postal

@@ -1,0 +1,51 @@
+// Algorithm PIPELINE (Section 4.2): broadcast m messages as a pipelined
+// stream. Each processor forwards messages the instant they arrive instead
+// of waiting for the whole stream (contrast with PACK).
+//
+// Two regimes, split at m = lambda:
+//
+//  * PIPELINE-1 (m <= lambda). A stream-sender finishes before its
+//    recipient can start forwarding, so roles match BCAST directly under
+//    the normalization t' = t/m, lambda' = lambda/m (Lemma 14):
+//        T_PL1 = m * f_{lambda/m}(n) + (m - 1).
+//
+//  * PIPELINE-2 (m >= lambda). The recipient can start forwarding *before*
+//    the sender finishes, so the responsibilities of BCAST's sender and
+//    receiver swap on every edge: the physical stream-recipient plays the
+//    continuing-sender role (free after lambda), and the physical sender
+//    plays the receiver role (free after m). Normalization t' = t/lambda,
+//    lambda' = m/lambda (Lemma 16):
+//        T_PL2 = lambda * f_{m/lambda}(n) + (lambda - 1).
+//
+// Both preserve message order: every processor receives and forwards
+// M_1, ..., M_m in sequence.
+#pragma once
+
+#include "model/genfib.hpp"
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+
+namespace postal {
+
+/// PIPELINE-1 schedule; requires 1 <= m <= lambda. Sorted by time.
+[[nodiscard]] Schedule pipeline1_schedule(const PostalParams& params, std::uint64_t m);
+
+/// PIPELINE-2 schedule; requires m >= lambda >= 1. Sorted by time.
+[[nodiscard]] Schedule pipeline2_schedule(const PostalParams& params, std::uint64_t m);
+
+/// Dispatches to PIPELINE-1 when m <= lambda, otherwise PIPELINE-2.
+[[nodiscard]] Schedule pipeline_schedule(const PostalParams& params, std::uint64_t m);
+
+/// Lemma 14's exact running time (0 for n == 1); requires m <= lambda.
+[[nodiscard]] Rational predict_pipeline1(const Rational& lambda, std::uint64_t n,
+                                         std::uint64_t m);
+
+/// Lemma 16's exact running time (0 for n == 1); requires m >= lambda.
+[[nodiscard]] Rational predict_pipeline2(const Rational& lambda, std::uint64_t n,
+                                         std::uint64_t m);
+
+/// The better-applicable regime's prediction.
+[[nodiscard]] Rational predict_pipeline(const Rational& lambda, std::uint64_t n,
+                                        std::uint64_t m);
+
+}  // namespace postal

@@ -1,0 +1,102 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+
+#include "model/genfib.hpp"
+#include "sched/dtree.hpp"
+#include "sched/pack.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/repeat.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+
+namespace {
+
+std::uint64_t degree_for(MultiAlgo algo, const PostalParams& params) {
+  const std::uint64_t n = params.n();
+  const std::uint64_t cap = (n >= 2) ? n - 1 : 1;
+  switch (algo) {
+    case MultiAlgo::kDTreeLine:
+      return 1;
+    case MultiAlgo::kDTreeBinary:
+      return std::min<std::uint64_t>(2, cap);
+    case MultiAlgo::kDTreeRecommended:
+      return dtree_recommended_degree(params);
+    case MultiAlgo::kDTreeStar:
+      return cap;
+    default:
+      throw LogicError("degree_for: not a DTREE algorithm");
+  }
+}
+
+}  // namespace
+
+const std::vector<MultiAlgo>& all_multi_algos() {
+  static const std::vector<MultiAlgo> algos{
+      MultiAlgo::kRepeat,    MultiAlgo::kPack,
+      MultiAlgo::kPipeline,  MultiAlgo::kDTreeLine,
+      MultiAlgo::kDTreeBinary, MultiAlgo::kDTreeRecommended,
+      MultiAlgo::kDTreeStar,
+  };
+  return algos;
+}
+
+std::string algo_name(MultiAlgo algo) {
+  switch (algo) {
+    case MultiAlgo::kRepeat:
+      return "REPEAT";
+    case MultiAlgo::kPack:
+      return "PACK";
+    case MultiAlgo::kPipeline:
+      return "PIPELINE";
+    case MultiAlgo::kDTreeLine:
+      return "DTREE(d=1)";
+    case MultiAlgo::kDTreeBinary:
+      return "DTREE(d=2)";
+    case MultiAlgo::kDTreeRecommended:
+      return "DTREE(d=ceil(lambda)+1)";
+    case MultiAlgo::kDTreeStar:
+      return "DTREE(d=n-1)";
+  }
+  throw LogicError("algo_name: unknown algorithm");
+}
+
+Schedule make_multi_schedule(MultiAlgo algo, const PostalParams& params,
+                             std::uint64_t m) {
+  switch (algo) {
+    case MultiAlgo::kRepeat:
+      return repeat_schedule(params, m);
+    case MultiAlgo::kPack:
+      return pack_schedule(params, m);
+    case MultiAlgo::kPipeline:
+      return pipeline_schedule(params, m);
+    case MultiAlgo::kDTreeLine:
+    case MultiAlgo::kDTreeBinary:
+    case MultiAlgo::kDTreeRecommended:
+    case MultiAlgo::kDTreeStar:
+      return dtree_schedule(params, m, degree_for(algo, params));
+  }
+  throw LogicError("make_multi_schedule: unknown algorithm");
+}
+
+Rational predict_multi(MultiAlgo algo, const PostalParams& params, std::uint64_t m) {
+  switch (algo) {
+    case MultiAlgo::kRepeat: {
+      GenFib fib(params.lambda());
+      return predict_repeat(fib, params.n(), m);
+    }
+    case MultiAlgo::kPack:
+      return predict_pack(params.lambda(), params.n(), m);
+    case MultiAlgo::kPipeline:
+      return predict_pipeline(params.lambda(), params.n(), m);
+    case MultiAlgo::kDTreeLine:
+    case MultiAlgo::kDTreeBinary:
+    case MultiAlgo::kDTreeRecommended:
+    case MultiAlgo::kDTreeStar:
+      return predict_dtree(params, m, degree_for(algo, params));
+  }
+  throw LogicError("predict_multi: unknown algorithm");
+}
+
+}  // namespace postal

@@ -1,0 +1,41 @@
+// A small registry enumerating the paper's multi-message broadcasting
+// algorithms, so benches, tests, and examples can sweep "every algorithm"
+// uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// The multi-message algorithm families of Section 4.
+enum class MultiAlgo {
+  kRepeat,            ///< m overlapped BCAST iterations (Lemma 10)
+  kPack,              ///< one BCAST of the packed long message (Lemma 12)
+  kPipeline,          ///< PIPELINE-1/2 by regime (Lemmas 14/16)
+  kDTreeLine,         ///< DTREE with d = 1
+  kDTreeBinary,       ///< DTREE with d = 2
+  kDTreeRecommended,  ///< DTREE with d = ceil(lambda)+1 (clamped)
+  kDTreeStar,         ///< DTREE with d = n-1
+};
+
+/// All registry entries in a stable order.
+[[nodiscard]] const std::vector<MultiAlgo>& all_multi_algos();
+
+/// Human-readable name ("REPEAT", "DTREE(d=2)", ...).
+[[nodiscard]] std::string algo_name(MultiAlgo algo);
+
+/// Generate the algorithm's schedule for broadcasting m messages from p_0.
+[[nodiscard]] Schedule make_multi_schedule(MultiAlgo algo, const PostalParams& params,
+                                           std::uint64_t m);
+
+/// The algorithm's exact predicted running time (closed form where the
+/// paper gives one; exact tree walk for the DTREE family).
+[[nodiscard]] Rational predict_multi(MultiAlgo algo, const PostalParams& params,
+                                     std::uint64_t m);
+
+}  // namespace postal

@@ -1,0 +1,34 @@
+#include "sched/repeat.hpp"
+
+#include "sched/bcast.hpp"
+
+namespace postal {
+
+Schedule repeat_schedule(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "repeat_schedule: m must be >= 1");
+  GenFib fib(params.lambda());
+  Schedule iteration = bcast_schedule(params, fib);
+  Schedule schedule;
+  if (params.n() == 1) return schedule;
+  // Iteration i starts at i * (f_lambda(n) - (lambda - 1)): p_0's last send
+  // of iteration i starts at f_lambda(n) - lambda, so it is free exactly
+  // lambda - 1 units before the iteration terminates (proof of Lemma 10).
+  const Rational stride = fib.f(params.n()) - (params.lambda() - Rational(1));
+  Rational start(0);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    schedule.append_shifted(iteration, start, static_cast<MsgId>(i));
+    start += stride;
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_repeat(GenFib& fib, std::uint64_t n, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "predict_repeat: m must be >= 1");
+  if (n == 1) return Rational(0);
+  const auto mi = static_cast<std::int64_t>(m);
+  return Rational(mi) * fib.f(n) -
+         Rational(mi - 1) * (fib.lambda() - Rational(1));
+}
+
+}  // namespace postal

@@ -1,0 +1,26 @@
+// Algorithm REPEAT (Section 4.2): broadcast m messages by m overlapped
+// iterations of Algorithm BCAST.
+//
+// Processor p_0 starts iteration i+1 immediately after sending the last
+// copy of message M_i, which happens lambda - 1 time units before iteration
+// i terminates; the latency guarantees every M_{i+1} arrives only after
+// iteration i is complete, so the iterations never collide (Lemma 10).
+//
+// Exact running time (Lemma 10):
+//   T_R(n, m, lambda) = m * f_lambda(n) - (m-1)(lambda-1).
+#pragma once
+
+#include "model/genfib.hpp"
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+
+namespace postal {
+
+/// Generate the REPEAT schedule for broadcasting messages 0..m-1 from p_0.
+/// Requires m >= 1. Sorted by time.
+[[nodiscard]] Schedule repeat_schedule(const PostalParams& params, std::uint64_t m);
+
+/// Lemma 10's exact running time; requires n >= 2 (for n == 1 the time is 0).
+[[nodiscard]] Rational predict_repeat(GenFib& fib, std::uint64_t n, std::uint64_t m);
+
+}  // namespace postal

@@ -1,0 +1,53 @@
+#include "sched/scatter_allgather.hpp"
+
+namespace postal {
+
+ProcId scatter_allgather_owner(const PostalParams& params, MsgId j) {
+  return static_cast<ProcId>(j % params.n());
+}
+
+Schedule scatter_allgather_schedule(const PostalParams& params, std::uint64_t m) {
+  POSTAL_REQUIRE(m >= 1, "scatter_allgather_schedule: m must be >= 1");
+  const std::uint64_t n = params.n();
+  Schedule schedule;
+  if (n == 1) return schedule;
+
+  // Phase 1: scatter every message to its owner (root-owned ones stay).
+  std::uint64_t scatter_sends = 0;
+  for (std::uint64_t j = 0; j < m; ++j) {
+    const ProcId owner = scatter_allgather_owner(params, static_cast<MsgId>(j));
+    if (owner == 0) continue;
+    schedule.add(0, owner, static_cast<MsgId>(j),
+                 Rational(static_cast<std::int64_t>(scatter_sends)));
+    ++scatter_sends;
+  }
+  // Everything scattered has arrived by this time; the rotation may start.
+  const Rational phase2_start =
+      scatter_sends == 0
+          ? Rational(0)
+          : Rational(static_cast<std::int64_t>(scatter_sends) - 1) + params.lambda();
+
+  // Phase 2: rotated allgather of the shares. Super-round c moves every
+  // processor's c-th owned message; rotation slot k targets p + 1 + k.
+  const std::uint64_t rounds = (m + n - 1) / n;
+  for (std::uint64_t c = 0; c < rounds; ++c) {
+    for (std::uint64_t p = 0; p < n; ++p) {
+      const std::uint64_t j = p + c * n;  // p's c-th owned message
+      if (j >= m) continue;
+      for (std::uint64_t k = 0; k + 1 < n; ++k) {
+        const auto dst = static_cast<ProcId>((p + 1 + k) % n);
+        const Rational t = phase2_start +
+                           Rational(static_cast<std::int64_t>(c * (n - 1) + k));
+        schedule.add(static_cast<ProcId>(p), dst, static_cast<MsgId>(j), t);
+      }
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+Rational predict_scatter_allgather(const PostalParams& params, std::uint64_t m) {
+  return scatter_allgather_schedule(params, m).makespan(params.lambda());
+}
+
+}  // namespace postal

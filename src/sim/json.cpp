@@ -1,0 +1,73 @@
+#include "sim/json.hpp"
+
+#include <sstream>
+
+namespace postal {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << static_cast<int>(c);
+          std::string code = hex.str();
+          // pad \uXXXX to four hex digits
+          code.insert(2, 4 - (code.size() - 2), '0');
+          out += code;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string schedule_to_json(const Schedule& schedule, const PostalParams& params) {
+  std::ostringstream out;
+  out << "{\"lambda\":\"" << params.lambda().str() << "\",\"n\":" << params.n()
+      << ",\"events\":[";
+  bool first = true;
+  for (const SendEvent& e : schedule.events()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"src\":" << e.src << ",\"dst\":" << e.dst << ",\"msg\":" << e.msg
+        << ",\"t\":\"" << e.t.str() << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string report_to_json(const SimReport& report) {
+  std::ostringstream out;
+  out << "{\"ok\":" << (report.ok ? "true" : "false") << ",\"makespan\":\""
+      << report.makespan.str() << "\",\"order_preserving\":"
+      << (report.order_preserving ? "true" : "false") << ",\"violations\":[";
+  bool first = true;
+  for (const auto& v : report.violations) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(v) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace postal

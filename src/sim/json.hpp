@@ -1,0 +1,32 @@
+// JSON export of schedules and simulation reports, for downstream tooling
+// (plotting, trace viewers, regression dashboards). Hand-rolled writer --
+// the structures are flat and the library carries no third-party deps.
+//
+// Format (stable, documented):
+//   schedule: {"lambda": "5/2", "n": 14, "events":
+//              [{"src":0,"dst":9,"msg":0,"t":"0"}, ...]}
+//   report:   {"ok": true, "makespan": "15/2", "order_preserving": true,
+//              "violations": ["..."]}
+// Rationals are serialized as exact strings ("15/2"), never floats.
+#pragma once
+
+#include <string>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/validator.hpp"
+
+namespace postal {
+
+/// Serialize a schedule (with its system parameters) to a JSON object.
+[[nodiscard]] std::string schedule_to_json(const Schedule& schedule,
+                                           const PostalParams& params);
+
+/// Serialize a validation report to a JSON object.
+[[nodiscard]] std::string report_to_json(const SimReport& report);
+
+/// Escape a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace postal

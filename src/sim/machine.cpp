@@ -1,0 +1,61 @@
+#include "sim/machine.hpp"
+
+#include "support/error.hpp"
+
+namespace postal {
+
+const PostalParams& MachineContext::params() const noexcept {
+  return machine_.params_;
+}
+
+void MachineContext::send(ProcId dst, const Packet& packet) {
+  machine_.enqueue_send(self_, dst, packet, now_);
+}
+
+Machine::Machine(PostalParams params, std::uint32_t messages)
+    : params_(std::move(params)), messages_(messages) {}
+
+void Machine::enqueue_send(ProcId src, ProcId dst, const Packet& packet,
+                           const Rational& now) {
+  POSTAL_REQUIRE(dst < params_.n(), "Machine: send destination out of range");
+  POSTAL_REQUIRE(dst != src, "Machine: a processor cannot send to itself");
+  POSTAL_REQUIRE(packet.msg < messages_, "Machine: message id out of range");
+  // The output port transmits one message per unit of time, FIFO.
+  const Rational start = rmax(now, port_free_[src]);
+  port_free_[src] = start + Rational(1);
+  schedule_.add(src, dst, packet.msg, start);
+  queue_.push(start + params_.lambda(), InFlight{src, dst, packet, start});
+}
+
+MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
+  const std::uint64_t n = params_.n();
+  port_free_.assign(n, Rational(0));
+  schedule_ = Schedule();
+  queue_ = EventQueue<InFlight>();
+
+  MachineResult result;
+  result.trace = Trace(n, messages_);
+
+  for (ProcId p = 0; p < n; ++p) {
+    MachineContext ctx(*this, p, Rational(0));
+    protocol.on_start(ctx);
+  }
+
+  std::uint64_t delivered = 0;
+  while (!queue_.empty()) {
+    auto [time, flight] = queue_.pop();
+    if (++delivered > max_events) {
+      throw LogicError("Machine::run: exceeded max_events; runaway protocol?");
+    }
+    result.trace.record(
+        Delivery{flight.src, flight.dst, flight.packet.msg, flight.send_start, time});
+    MachineContext ctx(*this, flight.dst, time);
+    protocol.on_receive(ctx, flight.packet);
+  }
+
+  schedule_.sort();
+  result.schedule = std::move(schedule_);
+  return result;
+}
+
+}  // namespace postal

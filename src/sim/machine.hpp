@@ -1,0 +1,116 @@
+// The event-driven MPS(n, lambda) runtime.
+//
+// The paper stresses that all its algorithms are "practical event-driven
+// algorithms": each processor acts only on local events (its own start, or
+// a message arrival) and local knowledge carried in the message. This
+// module provides that execution style. A Protocol supplies per-processor
+// handlers; the Machine runs them, models the output port (one send per
+// unit of time, FIFO queueing when handlers request sends faster than the
+// port drains), delivers messages after lambda, and records both a Trace
+// and the equivalent Schedule.
+//
+// The Machine enforces nothing else by itself -- the resulting schedule is
+// meant to be passed through validate_schedule, which certifies all model
+// constraints independently. Tests cross-check that the event-driven BCAST
+// and DTREE protocols produce identical schedules to the analytic
+// generators in src/sched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+namespace postal {
+
+/// A message on the wire: the payload id plus two protocol-defined control
+/// words (Algorithm BCAST uses them to carry the recipient's range).
+struct Packet {
+  MsgId msg = 0;
+  std::uint64_t ctl_a = 0;
+  std::uint64_t ctl_b = 0;
+};
+
+class Machine;
+
+/// Handle protocols use to interact with the machine from inside handlers.
+class MachineContext {
+ public:
+  /// Enqueue a send from `self` to `dst`. The transmission starts as soon
+  /// as the output port is free (immediately if idle) and arrives lambda
+  /// later. Multiple queued sends leave one per time unit, FIFO.
+  void send(ProcId dst, const Packet& packet);
+
+  /// Current simulation time of the handler invocation.
+  [[nodiscard]] const Rational& now() const noexcept { return now_; }
+  /// The processor this handler runs on.
+  [[nodiscard]] ProcId self() const noexcept { return self_; }
+  /// System parameters.
+  [[nodiscard]] const PostalParams& params() const noexcept;
+
+ private:
+  friend class Machine;
+  MachineContext(Machine& machine, ProcId self, Rational now)
+      : machine_(machine), self_(self), now_(std::move(now)) {}
+
+  Machine& machine_;
+  ProcId self_;
+  Rational now_;
+};
+
+/// Per-processor behavior. Handlers must be deterministic.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Invoked once per processor at t = 0 (the origin typically kicks off
+  /// the algorithm here).
+  virtual void on_start(MachineContext& ctx) { static_cast<void>(ctx); }
+
+  /// Invoked when a packet has been fully received (at send start + lambda).
+  virtual void on_receive(MachineContext& ctx, const Packet& packet) = 0;
+};
+
+/// Result of a machine run.
+struct MachineResult {
+  Schedule schedule;   ///< all sends performed, sorted by time
+  Trace trace{1, 0};   ///< all deliveries
+};
+
+/// The event-driven runtime itself.
+class Machine {
+ public:
+  /// `messages` sizes the trace; handlers may send ids in [0, messages).
+  Machine(PostalParams params, std::uint32_t messages);
+
+  /// Run `protocol` to quiescence (no in-flight packets left). Throws
+  /// InvalidArgument if a handler misbehaves (bad processor/message ids)
+  /// and LogicError if the run exceeds `max_events` deliveries.
+  [[nodiscard]] MachineResult run(Protocol& protocol,
+                                  std::uint64_t max_events = 1ULL << 22);
+
+ private:
+  friend class MachineContext;
+
+  struct InFlight {
+    ProcId src;
+    ProcId dst;
+    Packet packet;
+    Rational send_start;
+  };
+
+  void enqueue_send(ProcId src, ProcId dst, const Packet& packet, const Rational& now);
+
+  PostalParams params_;
+  std::uint32_t messages_;
+
+  // Per-run state.
+  std::vector<Rational> port_free_;
+  Schedule schedule_;
+  EventQueue<InFlight> queue_;
+};
+
+}  // namespace postal

@@ -1,0 +1,38 @@
+#include "sim/protocols/bcast_protocol.hpp"
+
+namespace postal {
+
+BcastProtocol::BcastProtocol(const PostalParams& params, ProcId origin)
+    : origin_(origin), fib_(params.lambda()) {
+  POSTAL_REQUIRE(origin < params.n(), "BcastProtocol: origin out of range");
+  POSTAL_REQUIRE(origin == 0,
+                 "BcastProtocol: ranges are [origin, n); only origin 0 is supported");
+}
+
+void BcastProtocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != origin_) return;
+  broadcast_range(ctx, 0, ctx.params().n());
+}
+
+void BcastProtocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  // The packet's control words carry the range this processor now owns.
+  POSTAL_CHECK(packet.ctl_a == ctx.self());
+  broadcast_range(ctx, packet.ctl_a, packet.ctl_b);
+}
+
+void BcastProtocol::broadcast_range(MachineContext& ctx, std::uint64_t lo,
+                                    std::uint64_t hi) {
+  // Iterative form of the recursion: each queued send leaves one time unit
+  // after the previous one (the Machine's output port staggers them), which
+  // is exactly the "send to a new processor every unit of time" rule.
+  std::uint64_t count = hi - lo;
+  while (count >= 2) {
+    const std::uint64_t j = fib_.bcast_split(count);
+    const std::uint64_t target = lo + j;
+    ctx.send(static_cast<ProcId>(target), Packet{/*msg=*/0, target, hi});
+    hi = target;  // the holder keeps [lo, lo + j)
+    count = j;
+  }
+}
+
+}  // namespace postal

@@ -1,0 +1,34 @@
+// The event-driven form of Algorithm BCAST, exactly as the paper states it:
+// a processor, upon receiving message M together with the range of
+// processors it is now responsible for, immediately starts broadcasting to
+// that range -- computing the split j = F_lambda(f_lambda(n')-1) locally
+// and handing the trailing sub-range to each recipient inside the packet's
+// control words.
+//
+// Running this protocol on the Machine reproduces, event by event, the
+// schedule bcast_schedule() generates analytically (asserted in the tests).
+#pragma once
+
+#include "model/genfib.hpp"
+#include "sim/machine.hpp"
+
+namespace postal {
+
+/// Event-driven BCAST of a single message (id 0) from processor `origin`.
+class BcastProtocol final : public Protocol {
+ public:
+  explicit BcastProtocol(const PostalParams& params, ProcId origin = 0);
+
+  void on_start(MachineContext& ctx) override;
+  void on_receive(MachineContext& ctx, const Packet& packet) override;
+
+ private:
+  /// The paper's step (a)/(b): broadcast to the range [lo, hi) with `self`
+  /// == lo holding the message now.
+  void broadcast_range(MachineContext& ctx, std::uint64_t lo, std::uint64_t hi);
+
+  ProcId origin_;
+  GenFib fib_;
+};
+
+}  // namespace postal

@@ -1,0 +1,26 @@
+#include "sim/protocols/dtree_protocol.hpp"
+
+namespace postal {
+
+DTreeProtocol::DTreeProtocol(const PostalParams& params, std::uint32_t m,
+                             std::uint64_t d)
+    : m_(m), tree_(BroadcastTree::dary(params.n(), d)) {
+  POSTAL_REQUIRE(m >= 1, "DTreeProtocol: m must be >= 1");
+}
+
+void DTreeProtocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != tree_.root()) return;
+  for (MsgId msg = 0; msg < m_; ++msg) relay(ctx, msg);
+}
+
+void DTreeProtocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  relay(ctx, packet.msg);
+}
+
+void DTreeProtocol::relay(MachineContext& ctx, MsgId msg) {
+  for (const ProcId child : tree_.children(ctx.self())) {
+    ctx.send(child, Packet{msg, 0, 0});
+  }
+}
+
+}  // namespace postal

@@ -1,0 +1,29 @@
+// The event-driven form of Algorithm DTREE: the root pushes M_1..M_m to its
+// children in left-to-right order; every non-root processor relays each
+// received message to its own children left to right. All timing emerges
+// from the Machine's output-port FIFO -- no processor needs a clock or any
+// global knowledge beyond the (static) tree.
+#pragma once
+
+#include "sched/broadcast_tree.hpp"
+#include "sim/machine.hpp"
+
+namespace postal {
+
+/// Event-driven DTREE broadcast of m messages over the almost-full
+/// degree-d tree rooted at processor 0.
+class DTreeProtocol final : public Protocol {
+ public:
+  DTreeProtocol(const PostalParams& params, std::uint32_t m, std::uint64_t d);
+
+  void on_start(MachineContext& ctx) override;
+  void on_receive(MachineContext& ctx, const Packet& packet) override;
+
+ private:
+  void relay(MachineContext& ctx, MsgId msg);
+
+  std::uint32_t m_;
+  BroadcastTree tree_;
+};
+
+}  // namespace postal

@@ -1,0 +1,192 @@
+#include "sim/protocols/multi_protocols.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Enqueue the BCAST holder chain for one message over [lo, hi): each
+/// packet hands the recipient the trailing sub-range it now owns.
+void bcast_chain(MachineContext& ctx, GenFib& fib, std::uint64_t lo, std::uint64_t hi,
+                 MsgId msg) {
+  std::uint64_t count = hi - lo;
+  while (count >= 2) {
+    const std::uint64_t j = fib.bcast_split(count);
+    const std::uint64_t target = lo + j;
+    ctx.send(static_cast<ProcId>(target), Packet{msg, target, hi});
+    hi = target;
+    count = j;
+  }
+}
+
+/// The BCAST chain targets of [lo, hi) under `fib`, with each target's
+/// sub-range upper end. Used by the stream protocols.
+struct ChainEdge {
+  std::uint64_t target;
+  std::uint64_t hi;
+};
+
+std::vector<ChainEdge> bcast_chain_edges(GenFib& fib, std::uint64_t lo,
+                                         std::uint64_t hi) {
+  std::vector<ChainEdge> edges;
+  std::uint64_t count = hi - lo;
+  while (count >= 2) {
+    const std::uint64_t j = fib.bcast_split(count);
+    const std::uint64_t target = lo + j;
+    edges.push_back(ChainEdge{target, hi});
+    hi = target;
+    count = j;
+  }
+  return edges;
+}
+
+/// The role-reversed chain of PIPELINE-2: the k-th stream goes to the
+/// processor that takes the *continuing-sender* role, which sits at
+/// lo + (count - j) and owns the trailing sub-range of size j.
+std::vector<ChainEdge> pl2_chain_edges(GenFib& fib, std::uint64_t lo,
+                                       std::uint64_t hi) {
+  std::vector<ChainEdge> edges;
+  std::uint64_t count = hi - lo;
+  while (count >= 2) {
+    const std::uint64_t j = fib.bcast_split(count);
+    const std::uint64_t target = lo + (count - j);
+    edges.push_back(ChainEdge{target, lo + count});
+    count -= j;
+  }
+  return edges;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// REPEAT
+// ---------------------------------------------------------------------------
+
+RepeatProtocol::RepeatProtocol(const PostalParams& params, std::uint32_t m)
+    : m_(m), fib_(params.lambda()) {
+  POSTAL_REQUIRE(m >= 1, "RepeatProtocol: m must be >= 1");
+}
+
+void RepeatProtocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != 0) return;
+  // "Processor p0 starts the i-th iteration immediately after it sends the
+  // last copy of message M_{i-1}": back-to-back enqueue on the output port.
+  for (MsgId msg = 0; msg < m_; ++msg) {
+    bcast_chain(ctx, fib_, 0, ctx.params().n(), msg);
+  }
+}
+
+void RepeatProtocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  POSTAL_CHECK(packet.ctl_a == ctx.self());
+  bcast_chain(ctx, fib_, packet.ctl_a, packet.ctl_b, packet.msg);
+}
+
+// ---------------------------------------------------------------------------
+// PACK
+// ---------------------------------------------------------------------------
+
+PackProtocol::PackProtocol(const PostalParams& params, std::uint32_t m)
+    : m_(m), fib_(pack_lambda(params.lambda(), m)) {
+  received_.assign(params.n(), 0);
+  range_hi_.assign(params.n(), 0);
+}
+
+void PackProtocol::relay_block(MachineContext& ctx, std::uint64_t lo,
+                               std::uint64_t hi) {
+  for (const ChainEdge& edge : bcast_chain_edges(fib_, lo, hi)) {
+    for (MsgId msg = 0; msg < m_; ++msg) {
+      ctx.send(static_cast<ProcId>(edge.target), Packet{msg, edge.target, edge.hi});
+    }
+  }
+}
+
+void PackProtocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != 0) return;
+  relay_block(ctx, 0, ctx.params().n());
+}
+
+void PackProtocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  const ProcId self = ctx.self();
+  POSTAL_CHECK(packet.ctl_a == self);
+  range_hi_[self] = packet.ctl_b;
+  // Wait for the whole long message before forwarding anything.
+  if (++received_[self] == m_) {
+    relay_block(ctx, self, range_hi_[self]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PIPELINE-1
+// ---------------------------------------------------------------------------
+
+Pipeline1Protocol::Pipeline1Protocol(const PostalParams& params, std::uint32_t m)
+    : m_(m), fib_(pipeline1_lambda(params.lambda(), m)) {
+  range_hi_.assign(params.n(), 0);
+}
+
+void Pipeline1Protocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != 0) return;
+  // The origin holds the whole stream: all streams go out back to back.
+  for (const ChainEdge& edge : bcast_chain_edges(fib_, 0, ctx.params().n())) {
+    for (MsgId msg = 0; msg < m_; ++msg) {
+      ctx.send(static_cast<ProcId>(edge.target), Packet{msg, edge.target, edge.hi});
+    }
+  }
+}
+
+void Pipeline1Protocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  const ProcId self = ctx.self();
+  POSTAL_CHECK(packet.ctl_a == self);
+  range_hi_[self] = packet.ctl_b;
+  const auto edges = bcast_chain_edges(fib_, self, range_hi_[self]);
+  if (edges.empty()) return;
+  // Forward each piece to the first target the instant it arrives...
+  ctx.send(static_cast<ProcId>(edges[0].target),
+           Packet{packet.msg, edges[0].target, edges[0].hi});
+  // ...and replay the full stream to the remaining targets once complete.
+  if (packet.msg + 1 == m_) {
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      for (MsgId msg = 0; msg < m_; ++msg) {
+        ctx.send(static_cast<ProcId>(edges[i].target),
+                 Packet{msg, edges[i].target, edges[i].hi});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PIPELINE-2
+// ---------------------------------------------------------------------------
+
+Pipeline2Protocol::Pipeline2Protocol(const PostalParams& params, std::uint32_t m)
+    : m_(m), fib_(pipeline2_lambda(params.lambda(), m)) {
+  range_hi_.assign(params.n(), 0);
+}
+
+void Pipeline2Protocol::on_start(MachineContext& ctx) {
+  if (ctx.self() != 0) return;
+  for (const ChainEdge& edge : pl2_chain_edges(fib_, 0, ctx.params().n())) {
+    for (MsgId msg = 0; msg < m_; ++msg) {
+      ctx.send(static_cast<ProcId>(edge.target), Packet{msg, edge.target, edge.hi});
+    }
+  }
+}
+
+void Pipeline2Protocol::on_receive(MachineContext& ctx, const Packet& packet) {
+  const ProcId self = ctx.self();
+  POSTAL_CHECK(packet.ctl_a == self);
+  range_hi_[self] = packet.ctl_b;
+  const auto edges = pl2_chain_edges(fib_, self, range_hi_[self]);
+  if (edges.empty()) return;
+  ctx.send(static_cast<ProcId>(edges[0].target),
+           Packet{packet.msg, edges[0].target, edges[0].hi});
+  if (packet.msg + 1 == m_) {
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      for (MsgId msg = 0; msg < m_; ++msg) {
+        ctx.send(static_cast<ProcId>(edges[i].target),
+                 Packet{msg, edges[i].target, edges[i].hi});
+      }
+    }
+  }
+}
+
+}  // namespace postal

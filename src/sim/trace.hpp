@@ -1,0 +1,70 @@
+// Delivery traces and the analyses shared by the schedule validator and the
+// event-driven machine: coverage (who got what), order preservation, and
+// makespan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "support/rational.hpp"
+
+namespace postal {
+
+/// One completed message delivery.
+struct Delivery {
+  ProcId src = 0;
+  ProcId dst = 0;
+  MsgId msg = 0;
+  Rational send_start;  ///< sender started transmitting at this time
+  Rational arrival;     ///< receiver finished receiving (send_start + lambda)
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+/// A full run trace: all deliveries of one simulation.
+class Trace {
+ public:
+  Trace(std::uint64_t n, std::uint32_t messages);
+
+  /// Record one delivery.
+  void record(const Delivery& d);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t messages() const noexcept { return messages_; }
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const noexcept {
+    return deliveries_;
+  }
+
+  /// Earliest arrival of message `msg` at processor `p` (nullopt if never).
+  [[nodiscard]] std::optional<Rational> arrival(ProcId p, MsgId msg) const;
+
+  /// Latest arrival over all deliveries; 0 when there are none.
+  [[nodiscard]] Rational makespan() const;
+
+  /// True iff every processor other than `origin` received every message
+  /// id in [0, messages).
+  [[nodiscard]] bool covers_all(ProcId origin) const;
+
+  /// Processors (excluding origin) missing at least one message.
+  [[nodiscard]] std::vector<ProcId> uncovered(ProcId origin) const;
+
+  /// True iff every processor receives messages in increasing id order
+  /// (first arrivals compared; the paper's order-preservation property).
+  [[nodiscard]] bool order_preserving() const;
+
+  /// Human-readable order violations ("p3 got M2 before M1 ..."), empty if
+  /// order_preserving().
+  [[nodiscard]] std::vector<std::string> order_violations() const;
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t messages_;
+  std::vector<Delivery> deliveries_;
+  // first_arrival_[p * messages_ + msg]; nullopt until delivered.
+  std::vector<std::optional<Rational>> first_arrival_;
+};
+
+}  // namespace postal

@@ -1,0 +1,135 @@
+#include "sim/validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/interval_set.hpp"
+
+namespace postal {
+
+std::string SimReport::summary() const {
+  if (ok) return "ok";
+  std::ostringstream oss;
+  oss << violations.size() << " violation(s):";
+  for (const auto& v : violations) oss << "\n  - " << v;
+  return oss.str();
+}
+
+SimReport validate_schedule(const Schedule& schedule, const PostalParams& params,
+                            const ValidatorOptions& options) {
+  const std::uint64_t n = params.n();
+  const Rational& lambda = params.lambda();
+  const std::uint32_t messages =
+      options.messages != 0 ? options.messages : schedule.message_count();
+
+  SimReport report;
+  report.trace = Trace(n, messages);
+  auto violate = [&report](const std::string& text) {
+    report.violations.push_back(text);
+  };
+
+  POSTAL_REQUIRE(options.origin < n, "validate_schedule: origin out of range");
+
+  // Sort events by send time so causality state (arrival times) is always
+  // known before any later send is examined: an arrival enabling a send at
+  // t happened at a send that started at t - lambda < t.
+  std::vector<SendEvent> events = schedule.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SendEvent& a, const SendEvent& b) { return a.t < b.t; });
+
+  std::vector<IntervalSet> send_port(n);
+  std::vector<IntervalSet> recv_port(n);
+  // holds_at[p * messages + msg]: earliest time p holds msg (origin: 0).
+  std::vector<std::optional<Rational>> holds(n * messages);
+  if (options.origins.empty()) {
+    for (MsgId msg = 0; msg < messages; ++msg) {
+      holds[options.origin * messages + msg] = Rational(0);
+    }
+  } else {
+    POSTAL_REQUIRE(options.origins.size() == messages,
+                   "validate_schedule: origins must name one processor per message");
+    for (MsgId msg = 0; msg < messages; ++msg) {
+      POSTAL_REQUIRE(options.origins[msg] < n,
+                     "validate_schedule: message origin out of range");
+      holds[options.origins[msg] * messages + msg] = Rational(0);
+    }
+  }
+
+  for (const SendEvent& e : events) {
+    std::ostringstream who;
+    who << "[" << e << "] ";
+    if (e.src >= n || e.dst >= n) {
+      violate(who.str() + "processor id out of range");
+      continue;
+    }
+    if (e.msg >= messages) {
+      violate(who.str() + "message id out of range");
+      continue;
+    }
+    // Causality: the sender must hold the message when the send starts.
+    const auto& held = holds[e.src * messages + e.msg];
+    if (!held.has_value() || e.t < *held) {
+      violate(who.str() + "sender does not hold the message yet" +
+              (held.has_value() ? " (holds it only from t=" + held->str() + ")" : ""));
+    }
+    // Send-port exclusivity: [t, t+1).
+    if (auto clash = send_port[e.src].insert(e.t, e.t + Rational(1))) {
+      std::ostringstream oss;
+      oss << who.str() << "send port of p" << e.src << " already busy on ["
+          << clash->lo << ", " << clash->hi << ")";
+      violate(oss.str());
+    }
+    // Receive-port exclusivity: [t+lambda-1, t+lambda).
+    const Rational arrive = e.t + lambda;
+    if (auto clash = recv_port[e.dst].insert(arrive - Rational(1), arrive)) {
+      std::ostringstream oss;
+      oss << who.str() << "receive port of p" << e.dst << " already busy on ["
+          << clash->lo << ", " << clash->hi << ")";
+      violate(oss.str());
+    }
+    auto& dst_holds = holds[e.dst * messages + e.msg];
+    if (!dst_holds.has_value() || arrive < *dst_holds) dst_holds = arrive;
+    report.trace.record(Delivery{e.src, e.dst, e.msg, e.t, arrive});
+  }
+
+  if (options.require_coverage) {
+    if (!options.required.empty()) {
+      for (const auto& [p, msg] : options.required) {
+        POSTAL_REQUIRE(p < n && msg < messages,
+                       "validate_schedule: required delivery out of range");
+        const ProcId msg_origin =
+            options.origins.empty() ? options.origin : options.origins[msg];
+        if (p == msg_origin) continue;
+        if (!holds[p * messages + msg].has_value()) {
+          violate("p" + std::to_string(p) + " never received required M" +
+                  std::to_string(msg + 1));
+        }
+      }
+    } else if (!options.origins.empty()) {
+      // All-to-all goal with per-message origins.
+      for (ProcId p = 0; p < n; ++p) {
+        for (MsgId msg = 0; msg < messages; ++msg) {
+          if (p == options.origins[msg]) continue;
+          if (!holds[p * messages + msg].has_value()) {
+            violate("p" + std::to_string(p) + " never received M" +
+                    std::to_string(msg + 1));
+          }
+        }
+      }
+    } else {
+      for (const ProcId p : report.trace.uncovered(options.origin)) {
+        violate("p" + std::to_string(p) + " never received all messages");
+      }
+      if (messages == 0 && n > 1) {
+        violate("schedule delivers no messages but n > 1");
+      }
+    }
+  }
+
+  report.makespan = report.trace.makespan();
+  report.order_preserving = report.trace.order_preserving();
+  report.ok = report.violations.empty();
+  return report;
+}
+
+}  // namespace postal

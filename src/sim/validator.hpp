@@ -1,0 +1,64 @@
+// The postal-model schedule validator: the single authority on whether a
+// schedule is legal in MPS(n, lambda) and on its true completion time.
+//
+// A schedule is checked against every clause of Definitions 1-2:
+//  * send-port exclusivity   -- a processor's sends [t, t+1) are disjoint;
+//  * receive-port exclusivity-- its receives [t+lambda-1, t+lambda) are
+//                               disjoint (simultaneous send+receive is
+//                               explicitly allowed: distinct ports);
+//  * causality               -- a processor may only send a message it
+//                               holds: the origin holds everything at t=0,
+//                               everyone else must have fully received the
+//                               message no later than the send start;
+//  * coverage                -- every processor ends up holding every
+//                               message id in [0, messages).
+// Order preservation is additionally reported (all the paper's algorithms
+// have it, but it is a property, not a model constraint).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace postal {
+
+/// Result of validating a schedule.
+struct SimReport {
+  bool ok = false;                       ///< no violations and full coverage
+  std::vector<std::string> violations;   ///< human-readable constraint breaches
+  Trace trace{1, 0};                     ///< all deliveries (even when !ok)
+  Rational makespan;                     ///< latest arrival; 0 if none
+  bool order_preserving = false;         ///< Section 4's order property
+
+  /// Joined violation text for test failure messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validation knobs.
+struct ValidatorOptions {
+  ProcId origin = 0;        ///< processor that initially holds all messages
+  std::uint32_t messages = 0;  ///< expected message count; 0 = infer from schedule
+  bool require_coverage = true;  ///< demand the coverage goal below
+
+  /// Per-message origins for collectives where messages start at different
+  /// processors (allgather, gather). Entry i is the origin of message i;
+  /// empty means every message originates at `origin`.
+  std::vector<ProcId> origins;
+
+  /// Explicit coverage goal: the (processor, message) pairs that must be
+  /// delivered. Empty means "every processor gets every message" (the
+  /// broadcast goal). Pairs whose processor is the message's origin are
+  /// trivially satisfied.
+  std::vector<std::pair<ProcId, MsgId>> required;
+};
+
+/// Validate `schedule` under MPS(params.n(), params.lambda()).
+[[nodiscard]] SimReport validate_schedule(const Schedule& schedule,
+                                          const PostalParams& params,
+                                          const ValidatorOptions& options = {});
+
+}  // namespace postal

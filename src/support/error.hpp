@@ -1,0 +1,60 @@
+// Error handling primitives shared by all postal libraries.
+//
+// The library distinguishes three failure classes:
+//  * InvalidArgument  -- caller passed parameters outside a documented domain
+//                        (e.g. lambda < 1, n == 0, d outside [1, n-1]).
+//  * OverflowError    -- exact rational arithmetic would exceed 64-bit range.
+//  * LogicError       -- an internal invariant failed; indicates a bug in the
+//                        library itself, never a caller mistake.
+//
+// POSTAL_CHECK / POSTAL_REQUIRE are used instead of <cassert> so contract
+// violations are observable (and testable) in every build type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace postal {
+
+/// Thrown when a caller-supplied argument is outside its documented domain.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when exact arithmetic would overflow its 64-bit representation.
+class OverflowError : public std::overflow_error {
+ public:
+  using std::overflow_error::overflow_error;
+};
+
+/// Thrown when an internal invariant of the library fails (a library bug).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const std::string& msg) {
+  throw InvalidArgument(msg.empty() ? std::string("requirement failed: ") + expr
+                                    : msg + " (requirement: " + expr + ")");
+}
+[[noreturn]] inline void throw_logic(const char* expr, const char* file, int line) {
+  throw LogicError(std::string("internal invariant failed: ") + expr + " at " +
+                   file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace postal
+
+/// Validate a caller-facing precondition; throws postal::InvalidArgument.
+#define POSTAL_REQUIRE(expr, msg)                          \
+  do {                                                     \
+    if (!(expr)) ::postal::detail::throw_invalid(#expr, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws postal::LogicError.
+#define POSTAL_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) ::postal::detail::throw_logic(#expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Benches and property tests must be reproducible run-to-run and
+// platform-to-platform, so the library carries its own small PRNG
+// (xoshiro256** seeded via SplitMix64) instead of relying on unspecified
+// standard-library distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace postal {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, deterministic 64-bit generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform integer in [lo, hi] via rejection sampling.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (lo > hi) {
+      const std::uint64_t tmp = lo;
+      lo = hi;
+      hi = tmp;
+    }
+    const std::uint64_t span = hi - lo;
+    if (span == ~0ULL) return (*this)();
+    const std::uint64_t range = span + 1;
+    const std::uint64_t limit = (~0ULL) - ((~0ULL) % range);
+    std::uint64_t x = (*this)();
+    while (x >= limit) x = (*this)();
+    return lo + (x % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace postal

@@ -1,0 +1,118 @@
+// Exact rational arithmetic over checked 64-bit integers.
+//
+// All model-level quantities in this library -- the latency parameter
+// lambda, event times, makespans, and the closed-form lemma predictions --
+// are postal::Rational. With lambda = p/q every event time produced by the
+// paper's algorithms is a multiple of 1/q, so rational arithmetic lets the
+// test suite assert *exact equality* between simulated makespans and the
+// paper's formulas (Lemmas 10, 12, 14, 16; Theorem 6), which a floating
+// point representation could not.
+//
+// Representation invariants:
+//   * den > 0
+//   * gcd(|num|, den) == 1  (always fully reduced)
+// Every operation normalizes and throws postal::OverflowError rather than
+// silently wrapping.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace postal {
+
+/// An exact rational number with checked 64-bit numerator and denominator.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Integer value `v` (implicit: integers are rationals throughout the API).
+  constexpr Rational(std::int64_t v) noexcept : num_(v), den_(1) {}  // NOLINT
+  constexpr Rational(int v) noexcept : num_(v), den_(1) {}           // NOLINT
+
+  /// The reduced fraction num/den. Throws InvalidArgument if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Numerator of the reduced form (sign lives here).
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  /// Denominator of the reduced form; always positive.
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  /// True iff the value is an integer (den == 1).
+  [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+
+  /// Largest integer <= value.
+  [[nodiscard]] std::int64_t floor() const;
+  /// Smallest integer >= value.
+  [[nodiscard]] std::int64_t ceil() const;
+  /// Truncation toward zero.
+  [[nodiscard]] std::int64_t trunc() const;
+
+  /// Lossy conversion for reporting/plotting only; never used in proofs.
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Parse "a", "a/b", or "a.b" decimal (e.g. "2.5"); throws InvalidArgument.
+  [[nodiscard]] static Rational parse(const std::string& text);
+
+  /// Render as "a" when integral, otherwise "a/b".
+  [[nodiscard]] std::string str() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws InvalidArgument on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend Rational operator-(const Rational& r) {
+    Rational out;
+    out.num_ = checked_neg(r.num_);
+    out.den_ = r.den_;
+    return out;
+  }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+ private:
+  static std::int64_t checked_neg(std::int64_t v);
+  void normalize(std::int64_t num, std::int64_t den);
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// min/max convenience (std::min works too; these read better in formulas).
+[[nodiscard]] inline const Rational& rmin(const Rational& a, const Rational& b) {
+  return b < a ? b : a;
+}
+[[nodiscard]] inline const Rational& rmax(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace postal
+
+template <>
+struct std::hash<postal::Rational> {
+  std::size_t operator()(const postal::Rational& r) const noexcept {
+    std::size_t h1 = std::hash<std::int64_t>{}(r.num());
+    std::size_t h2 = std::hash<std::int64_t>{}(r.den());
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,46 @@
+// Saturating unsigned 64-bit arithmetic.
+//
+// The generalized Fibonacci function F_lambda(t) grows exponentially in t.
+// Its only consumer that needs exact values is the index function
+// f_lambda(n) = min{ t : F_lambda(t) >= n } with n well below 2^63, so all
+// arithmetic on F-values saturates at kSaturated instead of overflowing:
+// once a value reaches the cap, every comparison against a realistic n
+// still gives the right answer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace postal {
+
+/// The saturation cap for counting arithmetic. Any population count that
+/// reaches this value is reported as "at least kSaturated".
+inline constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+/// a + b, clamped to kSaturated.
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return (s < a) ? kSaturated : s;
+}
+
+/// a * b, clamped to kSaturated.
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+/// base^exp, clamped to kSaturated.
+[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t b = base;
+  std::uint64_t e = exp;
+  while (e > 0) {
+    if (e & 1U) result = sat_mul(result, b);
+    e >>= 1U;
+    if (e > 0) b = sat_mul(b, b);
+  }
+  return result;
+}
+
+}  // namespace postal

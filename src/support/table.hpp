@@ -1,0 +1,37 @@
+// Minimal fixed-width ASCII table writer.
+//
+// Every bench binary prints its reproduction of a paper table/figure as a
+// plain-text table; this helper keeps column widths and separators uniform
+// across all of them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace postal {
+
+/// Accumulates rows of strings and prints them as an aligned ASCII table.
+class TextTable {
+ public:
+  /// Construct with column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render the table (headers, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 digits).
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+}  // namespace postal

@@ -1,0 +1,228 @@
+// Tests for the Section 5 extensions: the EWMA latency estimator,
+// broadcasting under time-varying lambda, and the two-level hierarchical
+// latency model.
+#include <gtest/gtest.h>
+
+#include "adaptive/estimator.hpp"
+#include "adaptive/hierarchical.hpp"
+#include "adaptive/time_varying.hpp"
+#include "model/genfib.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Estimator
+// ---------------------------------------------------------------------------
+
+TEST(Quantize, RoundsToGrid) {
+  // 7/3 = 2.333...: nearest quarter is 9/4, and it is exact on a 1/3 grid.
+  EXPECT_EQ(quantize(Rational(7, 3), 4), Rational(9, 4));
+  EXPECT_EQ(quantize(Rational(7, 3), 3), Rational(7, 3));
+  // 1/3 = 0.333...: nearest half is 1/2 (0.666 half-steps rounds up).
+  EXPECT_EQ(quantize(Rational(1, 3), 2), Rational(1, 2));
+  EXPECT_EQ(quantize(Rational(2, 3), 2), Rational(1, 2));
+}
+
+TEST(Quantize, HalfUpTies) {
+  EXPECT_EQ(quantize(Rational(1, 2), 1), Rational(1));
+  EXPECT_EQ(quantize(Rational(3, 2), 1), Rational(2));
+  EXPECT_EQ(quantize(Rational(5, 4), 2), Rational(3, 2));
+}
+
+TEST(Quantize, RejectsBadGrid) {
+  POSTAL_EXPECT_THROW(quantize(Rational(1), 0), InvalidArgument);
+}
+
+TEST(Estimator, StartsAtInitial) {
+  const LatencyEstimator est(Rational(1, 4), Rational(3));
+  EXPECT_EQ(est.estimate(), Rational(3));
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(Estimator, ConvergesToConstantSignal) {
+  LatencyEstimator est(Rational(1, 2), Rational(1), /*grid=*/1024);
+  for (int i = 0; i < 50; ++i) est.observe(Rational(5));
+  EXPECT_EQ(est.samples(), 50u);
+  // Within one grid step of 5.
+  EXPECT_LE((est.estimate() - Rational(5)).to_double(), 1.0 / 1024 + 1e-12);
+  EXPECT_GE(est.estimate(), Rational(5) - Rational(1, 512));
+}
+
+TEST(Estimator, NeverDropsBelowOne) {
+  LatencyEstimator est(Rational(1), Rational(4));
+  est.observe(Rational(0));
+  EXPECT_GE(est.estimate(), Rational(1));
+}
+
+TEST(Estimator, DenominatorsStayBounded) {
+  LatencyEstimator est(Rational(1, 3), Rational(2), /*grid=*/64);
+  for (int i = 0; i < 10000; ++i) {
+    est.observe(Rational(i % 7 + 1, (i % 3) + 1));
+  }
+  EXPECT_LE(est.estimate().den(), 64);
+}
+
+TEST(Estimator, RejectsBadParameters) {
+  EXPECT_THROW(LatencyEstimator(Rational(0)), InvalidArgument);
+  EXPECT_THROW(LatencyEstimator(Rational(3, 2)), InvalidArgument);
+  EXPECT_THROW(LatencyEstimator(Rational(1, 2), Rational(1, 2)), InvalidArgument);
+  LatencyEstimator est;
+  EXPECT_THROW(est.observe(Rational(-1)), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Time-varying profiles
+// ---------------------------------------------------------------------------
+
+TEST(LatencyProfile, PiecewiseLookup) {
+  const LatencyProfile p({{Rational(0), Rational(2)},
+                          {Rational(5), Rational(4)},
+                          {Rational(10), Rational(3, 2)}});
+  EXPECT_EQ(p.at(Rational(0)), Rational(2));
+  EXPECT_EQ(p.at(Rational(9, 2)), Rational(2));
+  EXPECT_EQ(p.at(Rational(5)), Rational(4));
+  EXPECT_EQ(p.at(Rational(100)), Rational(3, 2));
+}
+
+TEST(LatencyProfile, Validation) {
+  EXPECT_THROW(LatencyProfile({}), InvalidArgument);
+  // must start at 0
+  EXPECT_THROW(LatencyProfile({{Rational(1), Rational(2)}}), InvalidArgument);
+  // lambda >= 1 everywhere
+  EXPECT_THROW(LatencyProfile({{Rational(0), Rational(1, 2)}}), InvalidArgument);
+  // strictly increasing starts
+  EXPECT_THROW(LatencyProfile({{Rational(0), Rational(2)}, {Rational(0), Rational(3)}}),
+               InvalidArgument);
+}
+
+TEST(AdaptiveBroadcast, ConstantProfileMatchesBcastExactly) {
+  // With a constant profile every policy must reproduce Theorem 6.
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    const LatencyProfile profile = LatencyProfile::constant(lambda);
+    GenFib fib(lambda);
+    for (const AdaptPolicy policy :
+         {AdaptPolicy::kStatic, AdaptPolicy::kAdaptive, AdaptPolicy::kEstimated}) {
+      const AdaptiveRunResult run = adaptive_broadcast(40, profile, policy);
+      EXPECT_EQ(run.completion, fib.f(40)) << "lambda=" << lambda.str();
+    }
+  }
+}
+
+TEST(AdaptiveBroadcast, SchedulesAreValidUnderConstantProfile) {
+  const Rational lambda(5, 2);
+  const AdaptiveRunResult run =
+      adaptive_broadcast(25, LatencyProfile::constant(lambda), AdaptPolicy::kStatic);
+  const SimReport report = validate_schedule(run.schedule, PostalParams(25, lambda));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, run.completion);
+}
+
+TEST(AdaptiveBroadcast, AdaptiveNoWorseThanStaticOnStep) {
+  // Latency degrades mid-broadcast; the adaptive planner must not lose.
+  const LatencyProfile profile =
+      LatencyProfile::step(Rational(2), Rational(8), Rational(3));
+  const Rational t_static =
+      adaptive_broadcast(200, profile, AdaptPolicy::kStatic).completion;
+  const Rational t_adaptive =
+      adaptive_broadcast(200, profile, AdaptPolicy::kAdaptive).completion;
+  EXPECT_LE(t_adaptive, t_static);
+}
+
+TEST(AdaptiveBroadcast, EverybodyInformedOnce) {
+  const LatencyProfile profile =
+      LatencyProfile::step(Rational(3), Rational(3, 2), Rational(4));
+  const AdaptiveRunResult run =
+      adaptive_broadcast(64, profile, AdaptPolicy::kAdaptive);
+  std::vector<bool> informed(64, false);
+  informed[0] = true;
+  for (const SendEvent& e : run.schedule.events()) {
+    EXPECT_FALSE(informed[e.dst]) << "p" << e.dst << " informed twice";
+    informed[e.dst] = true;
+  }
+  for (std::uint64_t p = 0; p < 64; ++p) EXPECT_TRUE(informed[p]) << "p" << p;
+}
+
+TEST(AdaptiveBroadcast, SingleProcessorDegenerate) {
+  const AdaptiveRunResult run = adaptive_broadcast(
+      1, LatencyProfile::constant(Rational(2)), AdaptPolicy::kAdaptive);
+  EXPECT_TRUE(run.schedule.empty());
+  EXPECT_EQ(run.completion, Rational(0));
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (two-level) latency
+// ---------------------------------------------------------------------------
+
+TEST(TwoLevel, ParamsValidate) {
+  TwoLevelParams p{16, 4, Rational(3, 2), Rational(6)};
+  EXPECT_NO_THROW(p.validate());
+  p.lambda_inter = Rational(1);
+  EXPECT_THROW(p.validate(), InvalidArgument);  // inter < intra
+  p = TwoLevelParams{0, 4, Rational(1), Rational(2)};
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(TwoLevel, LatencyFunctionRespectsClusters) {
+  const TwoLevelParams p{8, 4, Rational(3, 2), Rational(6)};
+  EXPECT_EQ(p.lambda(0, 3), Rational(3, 2));
+  EXPECT_EQ(p.lambda(0, 4), Rational(6));
+  EXPECT_EQ(p.lambda(5, 7), Rational(3, 2));
+  EXPECT_EQ(p.clusters(), 2u);
+}
+
+TEST(TwoLevel, FlatScheduleIsValidUnderHeteroLatency) {
+  const TwoLevelParams p{24, 6, Rational(3, 2), Rational(5)};
+  const HeteroReport report = simulate_two_level(hierarchical_flat_schedule(p), p);
+  ASSERT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
+  // The flat plan was built for lambda_inter, so it cannot beat f_inter(n)
+  // but early intra arrivals may not help it either.
+  GenFib inter(p.lambda_inter);
+  EXPECT_LE(report.completion, inter.f(p.n));
+}
+
+TEST(TwoLevel, TwoLevelScheduleIsValidAndBeatsFlat) {
+  const TwoLevelParams p{64, 8, Rational(1), Rational(8)};
+  const HeteroReport flat = simulate_two_level(hierarchical_flat_schedule(p), p);
+  const HeteroReport two = simulate_two_level(hierarchical_two_level_schedule(p), p);
+  ASSERT_TRUE(flat.ok);
+  ASSERT_TRUE(two.ok) << (two.violations.empty() ? "" : two.violations[0]);
+  EXPECT_LT(two.completion, flat.completion);
+}
+
+TEST(TwoLevel, DegeneratesToFlatWhenUniform) {
+  // lambda_intra == lambda_inter: the hierarchy buys nothing; both are
+  // valid and flat is at least as good.
+  const TwoLevelParams p{30, 5, Rational(3), Rational(3)};
+  const HeteroReport flat = simulate_two_level(hierarchical_flat_schedule(p), p);
+  const HeteroReport two = simulate_two_level(hierarchical_two_level_schedule(p), p);
+  ASSERT_TRUE(flat.ok);
+  ASSERT_TRUE(two.ok);
+  GenFib fib(Rational(3));
+  EXPECT_EQ(flat.completion, fib.f(30));
+  EXPECT_GE(two.completion, flat.completion);
+}
+
+TEST(TwoLevel, SimulatorRejectsUninformedSender) {
+  const TwoLevelParams p{4, 2, Rational(1), Rational(2)};
+  Schedule s;
+  s.add(1, 2, 0, Rational(0));  // p1 was never informed
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 3, 0, Rational(1));
+  const HeteroReport report = simulate_two_level(s, p);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(TwoLevel, SingleClusterIsJustBcast) {
+  const TwoLevelParams p{10, 10, Rational(2), Rational(2)};
+  const HeteroReport report =
+      simulate_two_level(hierarchical_two_level_schedule(p), p);
+  ASSERT_TRUE(report.ok);
+  GenFib fib(Rational(2));
+  EXPECT_EQ(report.completion, fib.f(10));
+}
+
+}  // namespace
+}  // namespace postal

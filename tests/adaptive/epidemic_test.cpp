@@ -1,0 +1,70 @@
+// Tests for the randomized epidemic broadcast baseline.
+#include "adaptive/epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/genfib.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Epidemic, SingleProcessorInstant) {
+  const EpidemicResult run = run_epidemic(PostalParams(1, Rational(2)), 1);
+  EXPECT_TRUE(run.finished);
+  EXPECT_EQ(run.completion, Rational(0));
+  EXPECT_EQ(run.total_sends, 0u);
+}
+
+TEST(Epidemic, TwoProcessorsOneLatency) {
+  // The only possible target is the other processor: completion = lambda.
+  const EpidemicResult run = run_epidemic(PostalParams(2, Rational(5, 2)), 7);
+  EXPECT_TRUE(run.finished);
+  EXPECT_EQ(run.completion, Rational(5, 2));
+}
+
+TEST(Epidemic, DeterministicInSeed) {
+  const PostalParams params(50, Rational(2));
+  const EpidemicResult a = run_epidemic(params, 123);
+  const EpidemicResult b = run_epidemic(params, 123);
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.total_sends, b.total_sends);
+  EXPECT_EQ(a.duplicate_deliveries, b.duplicate_deliveries);
+}
+
+TEST(Epidemic, AlwaysFinishesAndNeverBeatsTheorem6) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {2ULL, 16ULL, 100ULL}) {
+      const PostalParams params(n, lambda);
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const EpidemicResult run = run_epidemic(params, seed);
+        ASSERT_TRUE(run.finished) << "n=" << n << " seed=" << seed;
+        EXPECT_GE(run.completion, fib.f(n))
+            << "n=" << n << " lambda=" << lambda.str() << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Epidemic, DuplicatesGrowWithCrowding) {
+  // Toward the end of an epidemic most targets are already informed.
+  const PostalParams params(200, Rational(2));
+  const EpidemicResult run = run_epidemic(params, 9);
+  ASSERT_TRUE(run.finished);
+  EXPECT_GT(run.duplicate_deliveries, 100u);
+}
+
+TEST(Epidemic, StatsAggregateSanely) {
+  const PostalParams params(64, Rational(2));
+  const EpidemicStats stats = epidemic_stats(params, 10, 42);
+  EXPECT_EQ(stats.trials, 10u);
+  EXPECT_GE(stats.worst_completion, stats.mean_completion);
+  GenFib fib(params.lambda());
+  EXPECT_GE(stats.mean_completion, fib.f(64));
+  EXPECT_GT(stats.mean_duplicates_per_proc, 0.0);
+  POSTAL_EXPECT_THROW(epidemic_stats(params, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,130 @@
+// Tests for the Communicator facade: every collective it plans is
+// pre-verified, carries the right closed-form completion, and respects its
+// lower bound.
+#include "api/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collectives/barrier.hpp"
+#include "collectives/scan.hpp"
+#include "sched/pack.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+class CommSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, Rational>> {};
+
+TEST_P(CommSweep, AllCollectivesVerifiedWithExactTimes) {
+  const auto& [n, lambda] = GetParam();
+  Communicator comm(n, lambda);
+  GenFib fib(lambda);
+  const Rational f = fib.f(n);
+
+  const CollectivePlan bcast = comm.broadcast();
+  EXPECT_TRUE(bcast.verified);
+  EXPECT_EQ(bcast.completion, f);
+  EXPECT_EQ(bcast.algorithm, "BCAST");
+  EXPECT_EQ(comm.broadcast_time(), f);
+
+  const CollectivePlan reduce = comm.reduce();
+  EXPECT_TRUE(reduce.verified);
+  EXPECT_EQ(reduce.completion, f);
+
+  const CollectivePlan scatter = comm.scatter();
+  EXPECT_TRUE(scatter.verified);
+  const CollectivePlan gather = comm.gather();
+  EXPECT_EQ(scatter.completion, gather.completion);
+
+  const CollectivePlan allgather = comm.allgather();
+  EXPECT_TRUE(allgather.verified);
+  EXPECT_EQ(allgather.completion, allgather.lower_bound);
+
+  const CollectivePlan alltoall = comm.alltoall();
+  EXPECT_TRUE(alltoall.verified);
+  EXPECT_EQ(alltoall.completion, alltoall.lower_bound);
+
+  const CollectivePlan barrier = comm.barrier();
+  EXPECT_TRUE(barrier.verified);
+  EXPECT_EQ(barrier.completion, Rational(2) * f);
+
+  const CollectivePlan scan = comm.scan();
+  EXPECT_TRUE(scan.verified);
+  EXPECT_EQ(scan.completion, Rational(2) * f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CommSweep,
+    ::testing::Values(std::pair<std::uint64_t, Rational>{2, Rational(2)},
+                      std::pair<std::uint64_t, Rational>{14, Rational(5, 2)},
+                      std::pair<std::uint64_t, Rational>{33, Rational(1)},
+                      std::pair<std::uint64_t, Rational>{64, Rational(4)}),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.first) + "_lam" +
+             std::to_string(pinfo.param.second.num()) + "_" +
+             std::to_string(pinfo.param.second.den());
+    });
+
+TEST(Communicator, MultiMessageBroadcastPicksTheBest) {
+  Communicator comm(64, Rational(5, 2));
+  const PostalParams params(64, Rational(5, 2));
+  const CollectivePlan plan = comm.broadcast(12);
+  EXPECT_TRUE(plan.verified);
+  // The chosen plan must match the registry minimum.
+  Rational best;
+  bool first = true;
+  for (const MultiAlgo algo : all_multi_algos()) {
+    const Rational t = predict_multi(algo, params, 12);
+    if (first || t < best) best = t;
+    first = false;
+  }
+  EXPECT_EQ(plan.completion, best);
+  EXPECT_GE(plan.completion, plan.lower_bound);
+}
+
+TEST(Communicator, BroadcastWithSpecificAlgorithm) {
+  Communicator comm(32, Rational(2));
+  const CollectivePlan plan = comm.broadcast_with(MultiAlgo::kPack, 4);
+  EXPECT_TRUE(plan.verified);
+  EXPECT_EQ(plan.algorithm, "PACK");
+  EXPECT_EQ(plan.completion, predict_pack(Rational(2), 32, 4));
+}
+
+TEST(Communicator, RejectsBadParameters) {
+  EXPECT_THROW(Communicator(0, Rational(2)), InvalidArgument);
+  EXPECT_THROW(Communicator(4, Rational(1, 2)), InvalidArgument);
+  Communicator comm(4, Rational(2));
+  POSTAL_EXPECT_THROW(comm.broadcast(0), InvalidArgument);
+}
+
+TEST(Communicator, SingleProcessorPlansAreEmpty) {
+  Communicator comm(1, Rational(3));
+  for (const CollectivePlan& plan :
+       {comm.broadcast(), comm.reduce(), comm.scatter(), comm.gather(),
+        comm.allgather(), comm.alltoall(), comm.barrier(), comm.scan()}) {
+    EXPECT_TRUE(plan.verified);
+    EXPECT_TRUE(plan.schedule.empty());
+    EXPECT_EQ(plan.completion, Rational(0));
+  }
+}
+
+TEST(Communicator, MultiSourcePlanVerified) {
+  Communicator comm(16, Rational(5, 2));
+  const CollectivePlan plan = comm.multi_source({3, 7, 11});
+  EXPECT_TRUE(plan.verified);
+  EXPECT_GE(plan.completion, plan.lower_bound);
+  EXPECT_NE(plan.algorithm.find("MULTI-SOURCE"), std::string::npos);
+}
+
+TEST(Communicator, PlansAreDeterministic) {
+  Communicator a(20, Rational(5, 2));
+  Communicator b(20, Rational(5, 2));
+  EXPECT_EQ(a.broadcast(5).schedule.events(), b.broadcast(5).schedule.events());
+  EXPECT_EQ(a.alltoall().schedule.events(), b.alltoall().schedule.events());
+}
+
+}  // namespace
+}  // namespace postal

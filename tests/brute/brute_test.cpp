@@ -1,0 +1,75 @@
+// Tests for the independent optimality checkers (split-recursion DP and
+// greedy frontier expansion): they must agree with each other on a wide
+// grid -- the Theorem 6 cross-check itself lives in tests/paper.
+#include "brute/optimal_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(BruteForce, Degenerates) {
+  EXPECT_EQ(optimal_broadcast_dp(1, Rational(3)), Rational(0));
+  EXPECT_EQ(optimal_broadcast_greedy(1, Rational(3)), Rational(0));
+  EXPECT_EQ(optimal_broadcast_dp(2, Rational(3)), Rational(3));
+  EXPECT_EQ(optimal_broadcast_greedy(2, Rational(3)), Rational(3));
+}
+
+TEST(BruteForce, RejectsBadArguments) {
+  POSTAL_EXPECT_THROW(optimal_broadcast_dp(0, Rational(2)), InvalidArgument);
+  POSTAL_EXPECT_THROW(optimal_broadcast_dp(4, Rational(1, 2)), InvalidArgument);
+  POSTAL_EXPECT_THROW(optimal_broadcast_greedy(0, Rational(2)), InvalidArgument);
+  POSTAL_EXPECT_THROW(optimal_broadcast_greedy(4, Rational(1, 2)), InvalidArgument);
+}
+
+TEST(BruteForce, TelephoneModelIsCeilLog2) {
+  for (std::uint64_t n = 1; n <= 64; ++n) {
+    std::int64_t expected = 0;
+    std::uint64_t reach = 1;
+    while (reach < n) {
+      reach *= 2;
+      ++expected;
+    }
+    EXPECT_EQ(optimal_broadcast_dp(n, Rational(1)), Rational(expected)) << n;
+    EXPECT_EQ(optimal_broadcast_greedy(n, Rational(1)), Rational(expected)) << n;
+  }
+}
+
+TEST(BruteForce, DpAndGreedyAgreeOnGrid) {
+  for (const Rational lambda :
+       {Rational(1), Rational(3, 2), Rational(2), Rational(5, 2), Rational(3),
+        Rational(10, 3), Rational(6)}) {
+    for (std::uint64_t n = 1; n <= 150; ++n) {
+      EXPECT_EQ(optimal_broadcast_dp(n, lambda), optimal_broadcast_greedy(n, lambda))
+          << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+TEST(BruteForce, MonotoneInN) {
+  Rational prev(0);
+  for (std::uint64_t n = 1; n <= 100; ++n) {
+    const Rational t = optimal_broadcast_greedy(n, Rational(5, 2));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BruteForce, MonotoneInLambda) {
+  Rational prev(0);
+  for (std::int64_t num = 2; num <= 16; ++num) {
+    const Rational t = optimal_broadcast_dp(50, Rational(num, 2));
+    EXPECT_GE(t, prev) << "lambda=" << Rational(num, 2).str();
+    prev = t;
+  }
+}
+
+TEST(BruteForce, Figure1Value) {
+  EXPECT_EQ(optimal_broadcast_dp(14, Rational(5, 2)), Rational(15, 2));
+  EXPECT_EQ(optimal_broadcast_greedy(14, Rational(5, 2)), Rational(15, 2));
+}
+
+}  // namespace
+}  // namespace postal

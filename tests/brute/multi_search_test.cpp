@@ -1,0 +1,93 @@
+// Tests for the exhaustive multi-message broadcast search (the Section 5
+// gap probe).
+#include "brute/multi_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "brute/optimal_search.hpp"
+#include "model/genfib.hpp"
+#include "sched/registry.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(MultiSearch, RejectsOutOfRangeInstances) {
+  POSTAL_EXPECT_THROW(multi_broadcast_feasible(9, 2, 2, 5, false), InvalidArgument);
+  POSTAL_EXPECT_THROW(multi_broadcast_feasible(3, 9, 2, 5, false), InvalidArgument);
+  POSTAL_EXPECT_THROW(multi_broadcast_feasible(3, 2, 9, 5, false), InvalidArgument);
+  POSTAL_EXPECT_THROW(multi_broadcast_feasible(3, 2, 2, -1, false), InvalidArgument);
+}
+
+TEST(MultiSearch, SingleMessageMatchesTheorem6) {
+  // m = 1: the optimum (order is vacuous) must equal f_lambda(n).
+  for (std::int64_t lambda = 1; lambda <= 4; ++lambda) {
+    GenFib fib{Rational(lambda)};
+    for (std::uint64_t n = 1; n <= 5; ++n) {
+      const Rational expected = fib.f(n);
+      ASSERT_TRUE(expected.is_integer());
+      EXPECT_EQ(multi_broadcast_optimum(n, 1, lambda, false), expected.num())
+          << "n=" << n << " lambda=" << lambda;
+      EXPECT_EQ(multi_broadcast_optimum(n, 1, lambda, true), expected.num())
+          << "n=" << n << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(MultiSearch, OrderPreservationCanCostStrictlyMore) {
+  // The concrete certificate of the Section 5 / [13] gap: at n=3, m=2,
+  // lambda=2 the unrestricted optimum meets Lemma 8 (4) but every
+  // order-preserving schedule needs 5.
+  EXPECT_EQ(multi_broadcast_optimum(3, 2, 2, false), 4);
+  EXPECT_EQ(multi_broadcast_optimum(3, 2, 2, true), 5);
+}
+
+TEST(MultiSearch, Lemma8IsNotAlwaysTightEvenUnrestricted) {
+  // (4, 3, 3): Lemma 8 gives 2 + f_3(4) = 7, but no schedule (ordered or
+  // not) beats 8 -- the lower bound can be off by one, consistent with the
+  // paper's "cannot be *substantially* improved".
+  GenFib fib{Rational(3)};
+  EXPECT_EQ(Rational(2) + fib.f(4), Rational(7));
+  EXPECT_EQ(multi_broadcast_optimum(4, 3, 3, false), 8);
+}
+
+TEST(MultiSearch, OptimumBracketedByLemma8AndBestAlgorithm) {
+  for (std::int64_t lambda = 1; lambda <= 3; ++lambda) {
+    GenFib fib{Rational(lambda)};
+    for (std::uint64_t n = 2; n <= 4; ++n) {
+      const PostalParams params(n, Rational(lambda));
+      for (std::uint64_t m = 1; m <= 3; ++m) {
+        const std::int64_t lower =
+            static_cast<std::int64_t>(m) - 1 + fib.f(n).num();
+        const std::int64_t free_opt = multi_broadcast_optimum(n, m, lambda, false);
+        const std::int64_t order_opt = multi_broadcast_optimum(n, m, lambda, true);
+        EXPECT_GE(free_opt, lower) << "n=" << n << " m=" << m << " l=" << lambda;
+        EXPECT_LE(free_opt, order_opt);
+        // The Section 4 algorithms are all order-preserving upper bounds.
+        Rational best_algo;
+        bool first = true;
+        for (const MultiAlgo algo : all_multi_algos()) {
+          const Rational time = predict_multi(algo, params, m);
+          if (first || time < best_algo) best_algo = time;
+          first = false;
+        }
+        EXPECT_LE(Rational(order_opt), best_algo)
+            << "n=" << n << " m=" << m << " l=" << lambda;
+      }
+    }
+  }
+}
+
+TEST(MultiSearch, FeasibilityIsMonotoneInHorizon) {
+  const std::int64_t opt = multi_broadcast_optimum(4, 2, 2, true);
+  EXPECT_FALSE(multi_broadcast_feasible(4, 2, 2, opt - 1, true));
+  EXPECT_TRUE(multi_broadcast_feasible(4, 2, 2, opt, true));
+  EXPECT_TRUE(multi_broadcast_feasible(4, 2, 2, opt + 1, true));
+}
+
+TEST(MultiSearch, SingleProcessorTrivial) {
+  EXPECT_EQ(multi_broadcast_optimum(1, 3, 2, true), 0);
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,96 @@
+// Tests for allreduce: both strategies, the auto-pick crossover, and model
+// validity of the generated schedules.
+#include "collectives/allreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce.hpp"
+#include "model/genfib.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Allreduce, TreeTimeIsTwiceReduce) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {2ULL, 14ULL, 64ULL}) {
+      const PostalParams params(n, lambda);
+      EXPECT_EQ(predict_allreduce(params, AllreduceStrategy::kTree),
+                Rational(2) * fib.f(n));
+    }
+  }
+}
+
+TEST(Allreduce, GossipTimeIsAllgather) {
+  const PostalParams params(20, Rational(3));
+  EXPECT_EQ(predict_allreduce(params, AllreduceStrategy::kGossip),
+            predict_allgather_direct(params));
+}
+
+TEST(Allreduce, GossipScheduleIsValidAllgather) {
+  const PostalParams params(12, Rational(5, 2));
+  const Schedule s = allreduce_schedule(params, AllreduceStrategy::kGossip);
+  const SimReport report = validate_schedule(s, params, allgather_goal(params));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, predict_allreduce(params, AllreduceStrategy::kGossip));
+}
+
+TEST(Allreduce, TreeScheduleHasValidPhases) {
+  const PostalParams params(12, Rational(5, 2));
+  const Schedule s = allreduce_schedule(params, AllreduceStrategy::kTree);
+  Schedule arrive;
+  Schedule release;
+  const Rational half = predict_reduce(params);
+  for (const SendEvent& e : s.events()) {
+    if (e.msg == params.n()) {
+      release.add(e.src, e.dst, 0, e.t - half);
+    } else {
+      arrive.add(e);
+    }
+  }
+  const ReduceReport r1 = validate_reduce(arrive, params);
+  EXPECT_TRUE(r1.ok) << (r1.violations.empty() ? "" : r1.violations[0]);
+  const SimReport r2 = validate_schedule(release, params);
+  EXPECT_TRUE(r2.ok) << r2.summary();
+}
+
+TEST(Allreduce, CrossoverGoesToGossipForHugeLatency) {
+  // lambda >> n: one direct exchange beats two tree heights.
+  const PostalParams params(16, Rational(64));
+  EXPECT_EQ(allreduce_auto(params), AllreduceStrategy::kGossip);
+  // n >> lambda: the logarithmic tree wins.
+  const PostalParams params2(4096, Rational(2));
+  EXPECT_EQ(allreduce_auto(params2), AllreduceStrategy::kTree);
+}
+
+TEST(Allreduce, AutoNeverWorseThanEitherStrategy) {
+  for (const Rational lambda : {Rational(1), Rational(4), Rational(16), Rational(64)}) {
+    for (std::uint64_t n : {4ULL, 16ULL, 64ULL, 256ULL}) {
+      const PostalParams params(n, lambda);
+      const Rational best = predict_allreduce(params, allreduce_auto(params));
+      EXPECT_LE(best, predict_allreduce(params, AllreduceStrategy::kTree));
+      EXPECT_LE(best, predict_allreduce(params, AllreduceStrategy::kGossip));
+      EXPECT_GE(best, allreduce_lower_bound(params));
+    }
+  }
+}
+
+TEST(Allreduce, StrategyNamesDistinct) {
+  EXPECT_NE(allreduce_strategy_name(AllreduceStrategy::kTree),
+            allreduce_strategy_name(AllreduceStrategy::kGossip));
+}
+
+TEST(Allreduce, SingleProcessorDegenerate) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(allreduce_schedule(params, AllreduceStrategy::kTree).empty());
+  EXPECT_EQ(predict_allreduce(params, AllreduceStrategy::kGossip), Rational(0));
+  EXPECT_EQ(allreduce_lower_bound(params), Rational(0));
+}
+
+}  // namespace
+}  // namespace postal

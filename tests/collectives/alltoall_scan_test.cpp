@@ -1,0 +1,180 @@
+// Tests for the all-to-all personalized exchange and the parallel-prefix
+// scan extensions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "collectives/alltoall.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/scan.hpp"
+#include "model/genfib.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------------
+
+TEST(Alltoall, MsgIdsAreABijection) {
+  const PostalParams params(7, Rational(2));
+  std::vector<bool> seen(7 * 6, false);
+  for (ProcId s = 0; s < 7; ++s) {
+    for (ProcId d = 0; d < 7; ++d) {
+      if (s == d) continue;
+      const MsgId id = alltoall_msg_id(params, s, d);
+      ASSERT_LT(id, seen.size());
+      EXPECT_FALSE(seen[id]) << "duplicate id for (" << s << "," << d << ")";
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(Alltoall, MsgIdRejectsSelfPairs) {
+  const PostalParams params(4, Rational(2));
+  POSTAL_EXPECT_THROW(alltoall_msg_id(params, 2, 2), InvalidArgument);
+}
+
+class AlltoallSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, Rational>> {};
+
+TEST_P(AlltoallSweep, ValidAndMeetsLowerBoundExactly) {
+  const auto& [n, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = alltoall_schedule(params);
+  const SimReport report = validate_schedule(s, params, alltoall_goal(params));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, predict_alltoall(params));
+  EXPECT_EQ(report.makespan, alltoall_lower_bound(params));
+  EXPECT_EQ(s.size(), n * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlltoallSweep,
+    ::testing::Values(std::pair<std::uint64_t, Rational>{2, Rational(2)},
+                      std::pair<std::uint64_t, Rational>{5, Rational(5, 2)},
+                      std::pair<std::uint64_t, Rational>{12, Rational(1)},
+                      std::pair<std::uint64_t, Rational>{9, Rational(4)}),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.first) + "_lam" +
+             std::to_string(pinfo.param.second.num()) + "_" +
+             std::to_string(pinfo.param.second.den());
+    });
+
+TEST(Alltoall, EveryPairDeliveredDirectly) {
+  const PostalParams params(6, Rational(3));
+  const Schedule s = alltoall_schedule(params);
+  for (const SendEvent& e : s.events()) {
+    EXPECT_EQ(e.msg, alltoall_msg_id(params, e.src, e.dst));
+  }
+}
+
+TEST(Alltoall, SingleProcessorDegenerate) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(alltoall_schedule(params).empty());
+  EXPECT_EQ(predict_alltoall(params), Rational(0));
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+TEST(Scan, CompletionIsTwiceBroadcast) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {2ULL, 14ULL, 64ULL}) {
+      const PostalParams params(n, lambda);
+      EXPECT_EQ(predict_scan(params), Rational(2) * fib.f(n))
+          << "n=" << n << " lambda=" << lambda.str();
+    }
+  }
+}
+
+TEST(Scan, ScheduleHasBothSweeps) {
+  const PostalParams params(10, Rational(5, 2));
+  const Schedule s = scan_schedule(params);
+  EXPECT_EQ(s.size(), 2 * (params.n() - 1));
+  // Up-sweep ids < n; down-sweep ids >= n.
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  for (const SendEvent& e : s.events()) {
+    (e.msg < params.n() ? up : down) += 1;
+  }
+  EXPECT_EQ(up, params.n() - 1);
+  EXPECT_EQ(down, params.n() - 1);
+}
+
+class ScanSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, Rational>> {};
+
+TEST_P(ScanSweep, ComputesExactExclusivePrefixes) {
+  const auto& [n, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  std::vector<std::int64_t> inputs(n);
+  for (std::uint64_t p = 0; p < n; ++p) {
+    inputs[p] = static_cast<std::int64_t>(p * p + 1);
+  }
+  const std::vector<std::int64_t> result = scan_values(params, inputs);
+  std::int64_t running = 0;
+  for (std::uint64_t p = 0; p < n; ++p) {
+    EXPECT_EQ(result[p], running) << "p=" << p;
+    running += inputs[p];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScanSweep,
+    ::testing::Values(std::pair<std::uint64_t, Rational>{1, Rational(2)},
+                      std::pair<std::uint64_t, Rational>{2, Rational(2)},
+                      std::pair<std::uint64_t, Rational>{14, Rational(5, 2)},
+                      std::pair<std::uint64_t, Rational>{64, Rational(1)},
+                      std::pair<std::uint64_t, Rational>{100, Rational(3)},
+                      std::pair<std::uint64_t, Rational>{33, Rational(9, 4)}),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.first) + "_lam" +
+             std::to_string(pinfo.param.second.num()) + "_" +
+             std::to_string(pinfo.param.second.den());
+    });
+
+TEST(Scan, RejectsWrongInputSize) {
+  const PostalParams params(4, Rational(2));
+  POSTAL_EXPECT_THROW(scan_values(params, {1, 2}), InvalidArgument);
+}
+
+TEST(Scan, NegativeValuesWork) {
+  const PostalParams params(9, Rational(5, 2));
+  std::vector<std::int64_t> inputs{3, -7, 0, 11, -2, 5, -5, 1, 100};
+  const auto result = scan_values(params, inputs);
+  EXPECT_EQ(result[0], 0);
+  EXPECT_EQ(result[2], -4);
+  EXPECT_EQ(result[8], 6);
+}
+
+TEST(Scan, BothSweepsPassTheirPhaseValidators) {
+  const PostalParams params(20, Rational(5, 2));
+  GenFib fib(params.lambda());
+  const Rational half = fib.f(params.n());
+  const Schedule s = scan_schedule(params);
+  Schedule up;
+  Schedule down;
+  for (const SendEvent& e : s.events()) {
+    if (e.msg < params.n()) {
+      up.add(e);
+    } else {
+      down.add(e.src, e.dst, 0, e.t - half);
+    }
+  }
+  // Up-sweep is exactly a reduction; down-sweep is exactly a broadcast.
+  const ReduceReport r1 = validate_reduce(up, params);
+  EXPECT_TRUE(r1.ok) << (r1.violations.empty() ? "" : r1.violations[0]);
+  const SimReport r2 = validate_schedule(down, params);
+  EXPECT_TRUE(r2.ok) << r2.summary();
+  EXPECT_EQ(r1.completion, half);
+  EXPECT_EQ(r2.makespan, half);
+}
+
+}  // namespace
+}  // namespace postal

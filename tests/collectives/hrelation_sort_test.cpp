@@ -1,0 +1,186 @@
+// Tests for the Section 5 "permuting and sorting" problems: h-relation
+// routing via Konig edge coloring, and the sorting algorithms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "collectives/alltoall.hpp"
+#include "collectives/hrelation.hpp"
+#include "collectives/sort.hpp"
+#include "sim/validator.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// h-relations
+// ---------------------------------------------------------------------------
+
+void check_proper_coloring(const PostalParams& params,
+                           const std::vector<Demand>& demands,
+                           const std::vector<std::uint64_t>& color,
+                           std::uint64_t h) {
+  ASSERT_EQ(color.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_LT(color[i], h) << "edge " << i;
+    for (std::size_t j = i + 1; j < demands.size(); ++j) {
+      if (demands[i].src == demands[j].src || demands[i].dst == demands[j].dst) {
+        EXPECT_NE(color[i], color[j])
+            << "edges " << i << " and " << j << " share a port";
+      }
+    }
+  }
+  static_cast<void>(params);
+}
+
+TEST(HRelation, EmptyRelationIsFree) {
+  const PostalParams params(4, Rational(2));
+  EXPECT_EQ(relation_degree(params, {}), 0u);
+  EXPECT_TRUE(hrelation_schedule(params, {}).empty());
+  EXPECT_EQ(predict_hrelation(params, {}), Rational(0));
+}
+
+TEST(HRelation, RejectsBadDemands) {
+  const PostalParams params(4, Rational(2));
+  POSTAL_EXPECT_THROW(relation_degree(params, {{1, 1}}), InvalidArgument);
+  POSTAL_EXPECT_THROW(relation_degree(params, {{1, 9}}), InvalidArgument);
+}
+
+TEST(HRelation, PermutationCompletesInLambdaExactly) {
+  const PostalParams params(8, Rational(5, 2));
+  std::vector<ProcId> pi{3, 0, 1, 2, 7, 6, 5, 4};
+  const std::vector<Demand> demands = permutation_demands(params, pi);
+  EXPECT_EQ(relation_degree(params, demands), 1u);
+  const Schedule s = hrelation_schedule(params, demands);
+  const SimReport report = validate_schedule(s, params, hrelation_goal(params, demands));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, params.lambda());
+  // Everything fires at t = 0: permuting is free in the postal model.
+  for (const SendEvent& e : s.events()) EXPECT_EQ(e.t, Rational(0));
+}
+
+TEST(HRelation, PermutationWithFixedPointsSkipsThem) {
+  const PostalParams params(5, Rational(2));
+  std::vector<ProcId> pi{0, 2, 1, 3, 4};  // three fixed points
+  EXPECT_EQ(permutation_demands(params, pi).size(), 2u);
+}
+
+TEST(HRelation, RejectsNonPermutations) {
+  const PostalParams params(3, Rational(2));
+  POSTAL_EXPECT_THROW(permutation_demands(params, {0, 0, 1}), InvalidArgument);
+  POSTAL_EXPECT_THROW(permutation_demands(params, {0, 1}), InvalidArgument);
+}
+
+TEST(HRelation, AlltoallIsAnNMinusOneRelation) {
+  // The rotated all-to-all is an (n-1)-relation; Konig must route any
+  // (n-1)-relation in the same optimal time (n-2) + lambda.
+  const PostalParams params(7, Rational(3));
+  std::vector<Demand> demands;
+  for (ProcId s = 0; s < 7; ++s) {
+    for (ProcId d = 0; d < 7; ++d) {
+      if (s != d) demands.push_back(Demand{s, d});
+    }
+  }
+  EXPECT_EQ(relation_degree(params, demands), 6u);
+  const Schedule s = hrelation_schedule(params, demands);
+  const SimReport report = validate_schedule(s, params, hrelation_goal(params, demands));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, predict_alltoall(params));
+}
+
+TEST(HRelation, RandomRelationsRouteOptimally) {
+  Xoshiro256 rng(2718);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t n = rng.uniform(2, 14);
+    const PostalParams params(n, Rational(static_cast<std::int64_t>(rng.uniform(2, 9)),
+                                          2));
+    // Random multigraph demands (repeats allowed).
+    std::vector<Demand> demands;
+    const std::uint64_t count = rng.uniform(1, 4 * n);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto src = static_cast<ProcId>(rng.uniform(0, n - 1));
+      auto dst = static_cast<ProcId>(rng.uniform(0, n - 2));
+      if (dst >= src) ++dst;
+      demands.push_back(Demand{src, dst});
+    }
+    const std::uint64_t h = relation_degree(params, demands);
+    const std::vector<std::uint64_t> color = color_relation(params, demands);
+    check_proper_coloring(params, demands, color, h);
+    const Schedule s = hrelation_schedule(params, demands);
+    const SimReport report =
+        validate_schedule(s, params, hrelation_goal(params, demands));
+    ASSERT_TRUE(report.ok) << "trial=" << trial << ": " << report.summary();
+    EXPECT_EQ(report.makespan, predict_hrelation(params, demands)) << "trial=" << trial;
+  }
+}
+
+TEST(HRelation, ParallelDemandsBetweenSamePairStack) {
+  // Three messages u -> v form a 3-relation: T = 2 + lambda.
+  const PostalParams params(2, Rational(2));
+  const std::vector<Demand> demands{{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_EQ(relation_degree(params, demands), 3u);
+  const Schedule s = hrelation_schedule(params, demands);
+  const SimReport report = validate_schedule(s, params, hrelation_goal(params, demands));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, Rational(4));
+}
+
+// ---------------------------------------------------------------------------
+// Sorting
+// ---------------------------------------------------------------------------
+
+TEST(Sort, GossipSortProducesSortedPermutation) {
+  const PostalParams params(9, Rational(5, 2));
+  const std::vector<std::int64_t> keys{5, -1, 9, 0, 5, 3, -7, 2, 5};
+  const std::vector<std::int64_t> out = sort_values(params, keys);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto a = keys;
+  auto b = out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sort, GossipSortScheduleIsTheOptimalAllgather) {
+  const PostalParams params(12, Rational(3));
+  const SimReport report =
+      validate_schedule(sort_schedule(params), params, allgather_goal(params));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, predict_sort(params));
+  EXPECT_EQ(report.makespan, Rational(10) + Rational(3));
+}
+
+TEST(Sort, OddEvenSortsAndCostsNLambda) {
+  const PostalParams params(10, Rational(5, 2));
+  std::vector<std::int64_t> keys{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const OddEvenResult result = odd_even_sort(params, keys);
+  EXPECT_TRUE(std::is_sorted(result.values.begin(), result.values.end()));
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_EQ(result.completion, Rational(25));
+}
+
+TEST(Sort, GossipBeatsOddEvenForEveryLambdaAboveOne) {
+  for (const Rational lambda : {Rational(3, 2), Rational(3), Rational(8)}) {
+    for (std::uint64_t n : {4ULL, 32ULL, 128ULL}) {
+      const PostalParams params(n, lambda);
+      std::vector<std::int64_t> keys(n);
+      std::iota(keys.rbegin(), keys.rend(), 0);
+      const OddEvenResult baseline = odd_even_sort(params, keys);
+      EXPECT_LT(predict_sort(params), baseline.completion)
+          << "n=" << n << " lambda=" << lambda.str();
+    }
+  }
+}
+
+TEST(Sort, RejectsWrongKeyCount) {
+  const PostalParams params(4, Rational(2));
+  POSTAL_EXPECT_THROW(sort_values(params, {1, 2}), InvalidArgument);
+  POSTAL_EXPECT_THROW(odd_even_sort(params, {1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal

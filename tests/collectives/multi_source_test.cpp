@@ -1,0 +1,90 @@
+// Tests for multi-source broadcast (k-source gossip).
+#include "collectives/multi_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/genfib.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(MultiSource, ValidatesSourceList) {
+  const PostalParams params(8, Rational(2));
+  POSTAL_EXPECT_THROW(multi_source_schedule(params, {}), InvalidArgument);
+  POSTAL_EXPECT_THROW(multi_source_schedule(params, {1, 1}), InvalidArgument);
+  POSTAL_EXPECT_THROW(multi_source_schedule(params, {9}), InvalidArgument);
+}
+
+TEST(MultiSource, SingleSourceIsBroadcast) {
+  const PostalParams params(20, Rational(5, 2));
+  GenFib fib(params.lambda());
+  for (const ProcId hub : {ProcId{0}, ProcId{7}, ProcId{19}}) {
+    const std::vector<ProcId> sources{hub};
+    const Schedule s = multi_source_schedule(params, sources);
+    const SimReport report =
+        validate_schedule(s, params, multi_source_goal(params, sources));
+    ASSERT_TRUE(report.ok) << "hub=" << hub << ": " << report.summary();
+    EXPECT_EQ(report.makespan, fib.f(20)) << "hub=" << hub;
+  }
+}
+
+struct MsCase {
+  std::uint64_t n;
+  std::vector<ProcId> sources;
+  Rational lambda;
+};
+
+class MultiSourceSweep : public ::testing::TestWithParam<MsCase> {};
+
+TEST_P(MultiSourceSweep, ValidCoversAndRespectsLowerBound) {
+  const auto& [n, sources, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = multi_source_schedule(params, sources);
+  const SimReport report =
+      validate_schedule(s, params, multi_source_goal(params, sources));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, predict_multi_source(params, sources));
+  EXPECT_GE(report.makespan, multi_source_lower_bound(params, sources.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiSourceSweep,
+    ::testing::Values(MsCase{8, {0, 1, 2}, Rational(2)},
+                      MsCase{8, {3, 6, 1, 7}, Rational(5, 2)},
+                      MsCase{20, {5, 0}, Rational(3)},
+                      MsCase{16, {15, 3, 8, 0, 12}, Rational(1)},
+                      MsCase{14, {2, 9, 13}, Rational(5, 2)},
+                      MsCase{30, {29}, Rational(4)}),
+    [](const ::testing::TestParamInfo<MsCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_k" +
+             std::to_string(pinfo.param.sources.size()) + "_lam" +
+             std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+TEST(MultiSource, InterpolatesBetweenBroadcastAndAllgather) {
+  const PostalParams params(12, Rational(2));
+  GenFib fib(params.lambda());
+  Rational prev(0);
+  // Completion grows with the number of sources.
+  for (std::uint64_t k = 1; k <= 12; ++k) {
+    std::vector<ProcId> sources;
+    for (std::uint64_t i = 0; i < k; ++i) sources.push_back(static_cast<ProcId>(i));
+    const Rational t = predict_multi_source(params, sources);
+    EXPECT_GE(t, prev) << "k=" << k;
+    EXPECT_GE(t, multi_source_lower_bound(params, k)) << "k=" << k;
+    prev = t;
+  }
+  // k = 1 is exactly broadcast time.
+  EXPECT_EQ(predict_multi_source(params, {0}), fib.f(12));
+}
+
+TEST(MultiSource, SingleProcessorDegenerate) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(multi_source_schedule(params, {0}).empty());
+  EXPECT_EQ(predict_multi_source(params, {0}), Rational(0));
+}
+
+}  // namespace
+}  // namespace postal

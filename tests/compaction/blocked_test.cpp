@@ -1,0 +1,157 @@
+// Tests for the schedule-compaction extension: minimal_stride and the
+// BLOCKED(b) family.
+#include "compaction/blocked.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/repeat.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(MinimalStride, RejectsBadArguments) {
+  const PostalParams params(4, Rational(2));
+  const Schedule good = bcast_schedule(params);
+  POSTAL_EXPECT_THROW(minimal_stride(good, params, 1, 1), InvalidArgument);
+  POSTAL_EXPECT_THROW(minimal_stride(good, params, 0, 3), InvalidArgument);
+  Schedule bad;
+  bad.add(0, 1, 0, Rational(0));
+  bad.add(0, 2, 0, Rational(0));  // send-port conflict
+  POSTAL_EXPECT_THROW(minimal_stride(bad, params, 1, 3), InvalidArgument);
+}
+
+TEST(MinimalStride, EmptyIterationHasZeroStride) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_EQ(minimal_stride(Schedule(), params, 1, 3), Rational(0));
+}
+
+TEST(MinimalStride, ResultIsValidAndOneStepLessIsNot) {
+  // The defining property: the returned stride validates, the previous
+  // grid step does not.
+  for (const Rational lambda : {Rational(2), Rational(5, 2), Rational(4)}) {
+    const PostalParams params(20, lambda);
+    const Schedule iteration = bcast_schedule(params);
+    const Rational s = minimal_stride(iteration, params, 1, 4);
+    const Rational step(1, lambda.den());
+
+    auto valid_at = [&](const Rational& stride) {
+      Schedule combined;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        combined.append_shifted(iteration,
+                                stride * Rational(static_cast<std::int64_t>(i)), i);
+      }
+      ValidatorOptions options;
+      options.messages = 4;
+      return validate_schedule(combined, params, options).ok;
+    };
+    EXPECT_TRUE(valid_at(s)) << "lambda=" << lambda.str();
+    if (s > step) {
+      EXPECT_FALSE(valid_at(s - step)) << "lambda=" << lambda.str();
+    }
+  }
+}
+
+TEST(MinimalStride, NeverExceedsLemma10Stride) {
+  // Lemma 10's REPEAT stride f(n) - (lambda - 1) is sufficient; the true
+  // minimum can only be smaller or equal.
+  for (const Rational lambda : {Rational(2), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (const std::uint64_t n : {8ULL, 21ULL, 64ULL}) {
+      const PostalParams params(n, lambda);
+      const Schedule iteration = bcast_schedule(params);
+      const Rational paper = fib.f(n) - (lambda - Rational(1));
+      const Rational measured = minimal_stride(iteration, params, 1, 4);
+      EXPECT_LE(measured, paper) << "n=" << n << " lambda=" << lambda.str();
+    }
+  }
+}
+
+TEST(Blocked, RejectsBadBlockSizes) {
+  const PostalParams params(8, Rational(2));
+  POSTAL_EXPECT_THROW(blocked_schedule(params, 4, 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(blocked_schedule(params, 4, 5), InvalidArgument);
+}
+
+TEST(Blocked, SingleProcessorEmpty) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(blocked_schedule(params, 4, 2).empty());
+}
+
+struct BlockedCase {
+  std::uint64_t n;
+  std::uint64_t m;
+  std::uint64_t b;
+  Rational lambda;
+};
+
+class BlockedSweep : public ::testing::TestWithParam<BlockedCase> {};
+
+TEST_P(BlockedSweep, ValidCoversAndBeatsNothingBelowLowerBound) {
+  const auto& [n, m, b, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = blocked_schedule(params, m, b);
+  ValidatorOptions options;
+  options.messages = static_cast<std::uint32_t>(m);
+  const SimReport report = validate_schedule(s, params, options);
+  ASSERT_TRUE(report.ok) << report.summary();
+  GenFib fib(lambda);
+  const Rational lower =
+      Rational(static_cast<std::int64_t>(m) - 1) + fib.f(n);  // Lemma 8
+  EXPECT_GE(report.makespan, lower);
+  EXPECT_EQ(report.makespan, predict_blocked(params, m, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BlockedSweep,
+    ::testing::Values(BlockedCase{8, 6, 1, Rational(2)},
+                      BlockedCase{8, 6, 2, Rational(2)},
+                      BlockedCase{8, 6, 3, Rational(2)},
+                      BlockedCase{8, 6, 6, Rational(2)},
+                      BlockedCase{14, 8, 4, Rational(5, 2)},
+                      BlockedCase{32, 5, 2, Rational(4)},
+                      BlockedCase{20, 7, 3, Rational(3, 2)}),
+    [](const ::testing::TestParamInfo<BlockedCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_m" + std::to_string(pinfo.param.m) +
+             "_b" + std::to_string(pinfo.param.b) + "_lam" +
+             std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+TEST(Blocked, FullBlockRecoversPipeline) {
+  // b = m is exactly PIPELINE.
+  const PostalParams params(16, Rational(5, 2));
+  EXPECT_EQ(predict_blocked(params, 6, 6), predict_pipeline(Rational(5, 2), 16, 6));
+}
+
+TEST(Blocked, CompactionNeverLosesToRepeat) {
+  // b = 1 with an optimized stride is REPEAT with Lemma 10's stride
+  // replaced by the true minimum -- it can only be faster or equal.
+  for (const Rational lambda : {Rational(2), Rational(5, 2)}) {
+    GenFib fib(lambda);
+    for (const std::uint64_t n : {8ULL, 20ULL}) {
+      const PostalParams params(n, lambda);
+      for (const std::uint64_t m : {2ULL, 4ULL, 6ULL}) {
+        EXPECT_LE(predict_blocked(params, m, 1), predict_repeat(fib, n, m))
+            << "n=" << n << " m=" << m << " lambda=" << lambda.str();
+      }
+    }
+  }
+}
+
+TEST(Blocked, AutoPicksAtLeastAsGoodAsEndpoints) {
+  const PostalParams params(16, Rational(5, 2));
+  const std::uint64_t m = 8;
+  const BlockedPlan plan = auto_blocked(params, m);
+  EXPECT_LE(plan.completion, predict_blocked(params, m, 1));
+  EXPECT_LE(plan.completion, predict_blocked(params, m, m));
+  EXPECT_GE(plan.block, 1u);
+  EXPECT_LE(plan.block, m);
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,150 @@
+// Tests for the paper's closed-form bounds (Theorem 7, Lemma 8,
+// Corollaries 9/11/13/15/17, Lemma 18).
+#include "model/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+// Theorem 7 part (1): (ceil(l)+1)^floor(t/2l) <= F_l(t) <= (ceil(l)+1)^floor(t/l).
+TEST(Theorem7, Part1BracketsF) {
+  for (const Rational lambda :
+       {Rational(1), Rational(3, 2), Rational(2), Rational(5, 2), Rational(4),
+        Rational(7), Rational(19, 3)}) {
+    GenFib fib(lambda);
+    for (std::int64_t k = 0; k <= 120; ++k) {
+      const Rational t(k, 4);
+      const std::uint64_t value = fib.F(t);
+      EXPECT_LE(thm7_F_lower(lambda, t), value)
+          << "lambda=" << lambda.str() << " t=" << t.str();
+      if (value < kSaturated) {
+        EXPECT_GE(thm7_F_upper(lambda, t), value)
+            << "lambda=" << lambda.str() << " t=" << t.str();
+      }
+    }
+  }
+}
+
+// Theorem 7 part (2): lambda*log n/log(ceil(l)+1) <= f_l(n) <= 2l + 2l*log n/log(ceil(l)+1).
+TEST(Theorem7, Part2BracketsIndexFunction) {
+  for (const Rational lambda :
+       {Rational(1), Rational(3, 2), Rational(5, 2), Rational(4), Rational(9)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n = 1; n <= 3000; n = n * 3 / 2 + 1) {
+      const double f = fib.f(n).to_double();
+      EXPECT_LE(thm7_f_lower(lambda, n), f + 1e-9)
+          << "lambda=" << lambda.str() << " n=" << n;
+      EXPECT_GE(thm7_f_upper(lambda, n) + 1e-9, f)
+          << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+TEST(Theorem7, AlphaApproachesOne) {
+  // alpha(lambda) -> 1 as lambda -> infinity, but only at a
+  // ln ln / ln rate -- the convergence is extremely slow (appendix).
+  const double a1 = thm7_alpha(Rational(100));
+  const double a2 = thm7_alpha(Rational(10'000));
+  const double a3 = thm7_alpha(Rational(1'000'000));
+  EXPECT_GT(a1, 1.0);
+  EXPECT_GT(a1, a2);
+  EXPECT_GT(a2, a3);
+  EXPECT_LT(a3, 1.4);
+}
+
+TEST(Theorem7, AlphaIsAtLeastOneOnItsDomain) {
+  // The denominator ln(lambda+1) - (ln ln(lambda+1) + 1) is x - ln x - 1
+  // at x = ln(lambda+1): nonnegative everywhere, zero only at x = 1
+  // (lambda = e - 1 ~ 1.718), where alpha blows up. Away from that point
+  // alpha is finite and >= 1.
+  for (const Rational lambda :
+       {Rational(1), Rational(3, 2), Rational(2), Rational(5, 2), Rational(10),
+        Rational(1000)}) {
+    EXPECT_GE(thm7_alpha(lambda), 1.0) << "lambda=" << lambda.str();
+  }
+}
+
+// Theorem 7 part (3): F_l(t) >= (l+1)^(t/(alpha*l) - 1) for large lambda.
+TEST(Theorem7, Part3AsymptoticLowerBound) {
+  const Rational lambda(64);
+  GenFib fib(lambda);
+  for (std::int64_t t = 0; t <= 600; t += 16) {
+    const std::uint64_t value = fib.F(Rational(t));
+    const double bound = thm7_part3_F_lower(lambda, Rational(t));
+    if (value < kSaturated) {
+      EXPECT_GE(static_cast<double>(value) * (1.0 + 1e-12), bound) << "t=" << t;
+    }
+  }
+}
+
+// Theorem 7 part (4): f_l(n) <= alpha*l*(log n/log(l+1) + 1) for large l, n.
+TEST(Theorem7, Part4AsymptoticUpperBound) {
+  const Rational lambda(64);
+  GenFib fib(lambda);
+  for (std::uint64_t n : {1000ULL, 100'000ULL, 10'000'000ULL}) {
+    EXPECT_LE(fib.f(n).to_double(), thm7_part4_f_upper(lambda, n) + 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Lemma8, LowerBoundIsExactFormula) {
+  GenFib fib(Rational(5, 2));
+  EXPECT_EQ(lemma8_lower(fib, 14, 1), Rational(15, 2));
+  EXPECT_EQ(lemma8_lower(fib, 14, 5), Rational(4) + Rational(15, 2));
+  POSTAL_EXPECT_THROW(lemma8_lower(fib, 14, 0), InvalidArgument);
+}
+
+TEST(Corollary9, BothFormsHold) {
+  GenFib fib(Rational(3));
+  for (std::uint64_t n = 2; n <= 256; n *= 2) {
+    for (std::uint64_t m = 1; m <= 16; m *= 2) {
+      const Rational exact = lemma8_lower(fib, n, m);
+      EXPECT_GE(exact.to_double() + 1e-9, cor9_lower_log(Rational(3), n, m));
+      // Corollary 9(2); equality is attained at n = 2 where f_lambda(2) =
+      // lambda, so the workable form is >=.
+      EXPECT_GE(exact, cor9_lower_latency(Rational(3), m));
+    }
+  }
+}
+
+TEST(Lemma18, LineCaseUsesPathLength) {
+  // d = 1: (m-1) + lambda*(n-1).
+  EXPECT_EQ(lemma18_dtree_upper(Rational(2), 5, 3, 1), Rational(2) + Rational(8));
+}
+
+TEST(Lemma18, StarCaseHasHeightOne) {
+  // d = n-1: ceil(log_{n-1} n) = 2 for n >= 3 ... careful: (n-1)^1 < n.
+  // For n = 8, d = 7: height ceil(log_7 8) = 2.
+  const Rational bound = lemma18_dtree_upper(Rational(3), 8, 2, 7);
+  EXPECT_EQ(bound, Rational(7) + (Rational(6) + Rational(3)) * Rational(2));
+}
+
+TEST(Lemma18, BinaryTreeFormula) {
+  // d = 2, n = 8, m = 4, lambda = 5/2: 2*3 + (1 + 5/2)*3 = 6 + 21/2.
+  EXPECT_EQ(lemma18_dtree_upper(Rational(5, 2), 8, 4, 2),
+            Rational(6) + Rational(21, 2));
+}
+
+TEST(Lemma18, RejectsBadDegree) {
+  POSTAL_EXPECT_THROW(lemma18_dtree_upper(Rational(2), 8, 1, 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(lemma18_dtree_upper(Rational(2), 8, 1, 8), InvalidArgument);
+}
+
+TEST(UpperBoundCorollaries, AreFiniteAndPositive) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(8)}) {
+    for (std::uint64_t n : {2ULL, 64ULL, 4096ULL}) {
+      for (std::uint64_t m : {1ULL, 4ULL, 64ULL}) {
+        EXPECT_GT(cor11_repeat_upper(lambda, n, m), 0.0);
+        EXPECT_GT(cor13_pack_upper(lambda, n, m), 0.0);
+        EXPECT_GT(cor15_pipeline1_upper(lambda, n, m), 0.0);
+        EXPECT_GT(cor17_pipeline2_upper(lambda, n, m), 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace postal

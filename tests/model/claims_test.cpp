@@ -1,0 +1,137 @@
+// Property tests for Claims 1 and 2 of the paper -- the index-function
+// calculus for *general* right-continuous, nondecreasing, unbounded step
+// functions, not just F_lambda. Random step functions are generated on a
+// rational grid and every clause of the claims is checked against a direct
+// implementation of I_G(n) = min{ t : G(t) >= n }.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/prng.hpp"
+#include "support/rational.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+/// A right-continuous, nondecreasing, unbounded step function: value
+/// values_[k] on [k/q, (k+1)/q), continuing with slope `tail` per grid
+/// step beyond the stored prefix (which keeps it unbounded).
+class StepFn {
+ public:
+  StepFn(std::vector<std::uint64_t> values, std::int64_t q, std::uint64_t tail)
+      : values_(std::move(values)), q_(q), tail_(tail) {
+    POSTAL_REQUIRE(!values_.empty() && values_[0] >= 1, "StepFn: starts >= 1");
+    for (std::size_t i = 1; i < values_.size(); ++i) {
+      POSTAL_REQUIRE(values_[i] >= values_[i - 1], "StepFn: nondecreasing");
+    }
+    POSTAL_REQUIRE(tail_ >= 1, "StepFn: must be unbounded");
+  }
+
+  [[nodiscard]] std::uint64_t at(const Rational& t) const {
+    POSTAL_REQUIRE(t >= Rational(0), "StepFn: t >= 0");
+    const std::int64_t k = (t * Rational(q_)).floor();
+    const auto idx = static_cast<std::uint64_t>(k);
+    if (idx < values_.size()) return values_[idx];
+    return values_.back() + (idx - values_.size() + 1) * tail_;
+  }
+
+  /// I_G(n) = min{ t : G(t) >= n }, by direct grid scan.
+  [[nodiscard]] Rational index(std::uint64_t n) const {
+    std::int64_t k = 0;
+    while (at(Rational(k, q_)) < n) ++k;
+    return Rational(k, q_);
+  }
+
+  [[nodiscard]] std::int64_t q() const noexcept { return q_; }
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::int64_t q_;
+  std::uint64_t tail_;
+};
+
+StepFn random_step_fn(Xoshiro256& rng) {
+  const std::int64_t q = static_cast<std::int64_t>(rng.uniform(1, 4));
+  const std::size_t len = rng.uniform(3, 30);
+  std::vector<std::uint64_t> values;
+  std::uint64_t v = rng.uniform(1, 3);
+  for (std::size_t i = 0; i < len; ++i) {
+    values.push_back(v);
+    v += rng.uniform(0, 4);  // flat spots are likely and important
+  }
+  return StepFn(std::move(values), q, rng.uniform(1, 3));
+}
+
+TEST(Claim1, IndexFunctionIsNondecreasingAndUnbounded) {
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StepFn G = random_step_fn(rng);
+    Rational prev(0);
+    for (std::uint64_t n = 1; n <= 60; ++n) {
+      const Rational idx = G.index(n);
+      EXPECT_GE(idx, prev) << "trial=" << trial << " n=" << n;
+      prev = idx;
+    }
+    // Unbounded: a large n needs a strictly positive index.
+    EXPECT_GT(G.index(1000), Rational(0));
+  }
+}
+
+TEST(Claim1, Part2_IndexOfValueAtMostT) {
+  // I_G(G(t)) <= t for all t >= 0.
+  Xoshiro256 rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StepFn G = random_step_fn(rng);
+    for (std::int64_t k = 0; k <= 80; ++k) {
+      const Rational t(k, G.q());
+      EXPECT_LE(G.index(G.at(t)), t) << "trial=" << trial << " t=" << t.str();
+    }
+  }
+}
+
+TEST(Claim1, Part3_ValueAtIndexAtLeastN) {
+  // G(I_G(n)) >= n for all n >= 1.
+  Xoshiro256 rng(303);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StepFn G = random_step_fn(rng);
+    for (std::uint64_t n = 1; n <= 80; ++n) {
+      EXPECT_GE(G.at(G.index(n)), n) << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+TEST(Claim1, Part4_JustBeforeIndexIsBelowN) {
+  // G(I_G(n) - eps) < n whenever I_G(n) - eps >= 0.
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StepFn G = random_step_fn(rng);
+    const Rational eps(1, 2 * G.q());
+    for (std::uint64_t n = 2; n <= 80; ++n) {
+      const Rational idx = G.index(n);
+      if (idx < eps) continue;
+      EXPECT_LT(G.at(idx - eps), n) << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+TEST(Claim2, DominanceReversesIndexOrder) {
+  // If G(t) <= H(t) for all t, then I_G(n) >= I_H(n) for all n.
+  Xoshiro256 rng(505);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StepFn G = random_step_fn(rng);
+    // H = G shifted up by a random constant dominates G on a shared grid.
+    const std::uint64_t lift = rng.uniform(0, 5);
+    std::vector<std::uint64_t> hv;
+    for (std::int64_t k = 0; k <= 200; ++k) {
+      hv.push_back(G.at(Rational(k, G.q())) + lift);
+    }
+    const StepFn H(std::move(hv), G.q(), 3);
+    for (std::uint64_t n = 1; n <= 60; ++n) {
+      EXPECT_GE(G.index(n), H.index(n)) << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,242 @@
+// Tests for the generalized Fibonacci function F_lambda and its index
+// function f_lambda (Section 3 of the paper), including the paper's own
+// worked example (Figure 1: n = 14, lambda = 5/2).
+#include "model/genfib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace postal {
+namespace {
+
+TEST(GenFib, RejectsLambdaBelowOne) {
+  EXPECT_THROW(GenFib(Rational(1, 2)), InvalidArgument);
+  EXPECT_THROW(GenFib(Rational(0)), InvalidArgument);
+  EXPECT_NO_THROW(GenFib(Rational(1)));
+}
+
+TEST(GenFib, RejectsNegativeTime) {
+  GenFib fib(Rational(2));
+  POSTAL_EXPECT_THROW(fib.F(Rational(-1)), InvalidArgument);
+}
+
+TEST(GenFib, RejectsZeroN) {
+  GenFib fib(Rational(2));
+  POSTAL_EXPECT_THROW(fib.f(0), InvalidArgument);
+}
+
+TEST(GenFib, IsOneBeforeLambda) {
+  GenFib fib(Rational(5, 2));
+  EXPECT_EQ(fib.F(Rational(0)), 1u);
+  EXPECT_EQ(fib.F(Rational(1)), 1u);
+  EXPECT_EQ(fib.F(Rational(2)), 1u);
+  EXPECT_EQ(fib.F(Rational(9, 4)), 1u);  // still < 5/2
+  EXPECT_EQ(fib.F(Rational(5, 2)), 2u);  // first jump exactly at lambda
+}
+
+// lambda = 1: F_1(t) = 2^floor(t), f_1(n) = ceil(log2 n) (binomial tree).
+TEST(GenFib, LambdaOneIsPowersOfTwo) {
+  GenFib fib(Rational(1));
+  for (std::int64_t t = 0; t <= 40; ++t) {
+    EXPECT_EQ(fib.F(Rational(t)), 1ULL << t) << "t=" << t;
+  }
+  EXPECT_EQ(fib.F(Rational(7, 2)), 8u);  // floor(3.5) = 3
+}
+
+TEST(GenFib, LambdaOneIndexIsCeilLog2) {
+  GenFib fib(Rational(1));
+  EXPECT_EQ(fib.f(1), Rational(0));
+  EXPECT_EQ(fib.f(2), Rational(1));
+  EXPECT_EQ(fib.f(3), Rational(2));
+  EXPECT_EQ(fib.f(4), Rational(2));
+  EXPECT_EQ(fib.f(5), Rational(3));
+  EXPECT_EQ(fib.f(1024), Rational(10));
+  EXPECT_EQ(fib.f(1025), Rational(11));
+}
+
+// lambda = 2: F_2(t) = Fib(floor(t) + 1) with Fib(1) = 1, Fib(2) = 1, ...
+TEST(GenFib, LambdaTwoIsClassicFibonacci) {
+  GenFib fib(Rational(2));
+  std::vector<std::uint64_t> classic{1, 1};
+  while (classic.size() < 40) {
+    classic.push_back(classic[classic.size() - 1] + classic[classic.size() - 2]);
+  }
+  // classic[i] = Fib(i+1) with Fib(1) = Fib(2) = 1, so
+  // F_2(t) = Fib(floor(t) + 1) = classic[floor(t)].
+  for (std::int64_t t = 0; t < 39; ++t) {
+    EXPECT_EQ(fib.F(Rational(t)), classic[static_cast<std::size_t>(t)]) << "t=" << t;
+  }
+}
+
+// The paper's Figure 1 example: MPS(14, 5/2).
+TEST(GenFib, PaperFigure1Anchors) {
+  GenFib fib(Rational(5, 2));
+  // "the height of the tree is t = 7.5 units of time"
+  EXPECT_EQ(fib.f(14), Rational(15, 2));
+  // "processor p0 computes j = F(f(14) - 1) = 9"
+  EXPECT_EQ(fib.bcast_split(14), 9u);
+  // the recipient handles n - j = 5 processors; F(f - lambda) = F(5) = 5
+  EXPECT_EQ(fib.F(Rational(5)), 5u);
+  // spot values on the half-integer grid
+  EXPECT_EQ(fib.F(Rational(13, 2)), 9u);
+  EXPECT_EQ(fib.F(Rational(15, 2)), 14u);
+  EXPECT_EQ(fib.F(Rational(7)), 12u);
+}
+
+TEST(GenFib, RecurrenceHoldsOnTheGrid) {
+  for (const Rational lambda : {Rational(1), Rational(3, 2), Rational(5, 2),
+                                Rational(3), Rational(7, 3)}) {
+    GenFib fib(lambda);
+    const std::int64_t q = fib.grid_denominator();
+    for (std::int64_t k = 0; k < lambda.num() * (3 / lambda.den() + 1) + 60; ++k) {
+      const Rational t(k, q);
+      if (t < lambda) continue;
+      EXPECT_EQ(fib.F(t), fib.F(t - Rational(1)) + fib.F(t - lambda))
+          << "lambda=" << lambda.str() << " t=" << t.str();
+    }
+  }
+}
+
+TEST(GenFib, FIsNondecreasingAndUnbounded) {
+  GenFib fib(Rational(7, 2));
+  std::uint64_t prev = 0;
+  for (std::int64_t k = 0; k <= 200; ++k) {
+    const std::uint64_t v = fib.F(Rational(k, 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GT(prev, 1'000'000u);
+}
+
+// Claim 1(3): F(f(n)) >= n.
+TEST(GenFib, IndexInverseUpper) {
+  for (const Rational lambda : {Rational(1), Rational(2), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n = 1; n <= 500; ++n) {
+      EXPECT_GE(fib.F(fib.f(n)), n) << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+// Claim 1(4): F(f(n) - eps) < n for any eps > 0 (tested at one grid step).
+TEST(GenFib, IndexIsMinimal) {
+  for (const Rational lambda : {Rational(1), Rational(2), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    const Rational eps(1, fib.grid_denominator());
+    for (std::uint64_t n = 2; n <= 500; ++n) {
+      const Rational idx = fib.f(n);
+      ASSERT_GE(idx, eps);
+      EXPECT_LT(fib.F(idx - eps), n) << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+// Claim 1(2): f(F(t)) <= t.
+TEST(GenFib, IndexOfValueAtMostTime) {
+  for (const Rational lambda : {Rational(1), Rational(3, 2), Rational(3)}) {
+    GenFib fib(lambda);
+    const std::int64_t q = fib.grid_denominator();
+    for (std::int64_t k = 0; k <= 100; ++k) {
+      const Rational t(k, q);
+      const std::uint64_t value = fib.F(t);
+      if (value >= kSaturated) break;  // index queries need exact values
+      EXPECT_LE(fib.f(value), t) << "lambda=" << lambda.str() << " t=" << t.str();
+    }
+  }
+}
+
+TEST(GenFib, IndexFunctionIsNondecreasing) {
+  GenFib fib(Rational(5, 2));
+  Rational prev(0);
+  for (std::uint64_t n = 1; n <= 2000; ++n) {
+    const Rational v = fib.f(n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+// Lemma 3's precondition: 1 <= j <= n-1 for the BCAST split.
+TEST(GenFib, BcastSplitIsAlwaysInRange) {
+  for (const Rational lambda :
+       {Rational(1), Rational(3, 2), Rational(2), Rational(5, 2), Rational(10),
+        Rational(17, 5)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n = 2; n <= 1000; ++n) {
+      const std::uint64_t j = fib.bcast_split(n);
+      EXPECT_GE(j, 1u) << "lambda=" << lambda.str() << " n=" << n;
+      EXPECT_LE(j, n - 1) << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+TEST(GenFib, BcastSplitRequiresAtLeastTwo) {
+  GenFib fib(Rational(2));
+  POSTAL_EXPECT_THROW(fib.bcast_split(0), InvalidArgument);
+  POSTAL_EXPECT_THROW(fib.bcast_split(1), InvalidArgument);
+}
+
+TEST(GenFib, SplitPlusRemainderCoversN) {
+  // n <= F(f(n)) = j + F(f(n) - lambda): the two recursive halves can
+  // always cover the whole range (heart of Lemma 4).
+  for (const Rational lambda : {Rational(3, 2), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n = 2; n <= 800; ++n) {
+      const std::uint64_t j = fib.bcast_split(n);
+      const Rational idx = fib.f(n);
+      ASSERT_GE(idx, lambda);
+      EXPECT_LE(n - j, fib.F(idx - lambda)) << "lambda=" << lambda.str() << " n=" << n;
+    }
+  }
+}
+
+TEST(GenFib, BreakpointsAreExactlyTheJumps) {
+  GenFib fib(Rational(5, 2));
+  const auto points = fib.breakpoints(Rational(15, 2));
+  // From the worked grid: first jump at 5/2, then 7/2, 9/2, 5, 11/2, ...
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.front(), Rational(5, 2));
+  std::uint64_t prev = fib.F(Rational(0));
+  const Rational half_step(1, 2 * fib.grid_denominator());
+  for (const Rational& t : points) {
+    EXPECT_GT(fib.F(t), prev) << "breakpoint must jump: t=" << t.str();
+    // right-continuity: just before the jump the old value still holds
+    EXPECT_EQ(fib.F(t - half_step), prev) << "t=" << t.str();
+    prev = fib.F(t);
+  }
+}
+
+TEST(GenFib, LargeLambdaStepsAreCeilLambdaPlusOneIsh) {
+  // For integer lambda, the first lambda+1 distinct values are 1, 2, 3, ...
+  GenFib fib(Rational(4));
+  EXPECT_EQ(fib.F(Rational(3)), 1u);
+  EXPECT_EQ(fib.F(Rational(4)), 2u);
+  EXPECT_EQ(fib.F(Rational(5)), 3u);
+  EXPECT_EQ(fib.F(Rational(6)), 4u);
+  EXPECT_EQ(fib.F(Rational(7)), 5u);
+  EXPECT_EQ(fib.F(Rational(8)), 7u);  // F(8) = F(7) + F(4) = 5 + 2
+}
+
+TEST(GenFib, SaturationStillAnswersIndexQueries) {
+  GenFib fib(Rational(1));
+  // 2^63 saturates quickly but f(n) for large n must still be right.
+  EXPECT_EQ(fib.f(1ULL << 62), Rational(62));
+  EXPECT_EQ(fib.F(Rational(100)), kSaturated);
+}
+
+TEST(GenFib, DenseDenominatorGrid) {
+  GenFib fib(Rational(13, 7));
+  EXPECT_EQ(fib.grid_denominator(), 7);
+  EXPECT_EQ(fib.F(Rational(12, 7)), 1u);
+  EXPECT_EQ(fib.F(Rational(13, 7)), 2u);
+  // f lands on the 1/7 grid (denominator divides 7 after reduction).
+  const Rational idx = fib.f(1000);
+  EXPECT_TRUE(idx.den() == 1 || idx.den() == 7) << idx.str();
+  EXPECT_GE(fib.F(idx), 1000u);
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,98 @@
+// Tests for the LogP model bridge: parameter validation, the postal-lambda
+// mapping, and agreement between the GenFib route and the independent
+// greedy dynamic program.
+#include "model/logp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(LogP, ValidatesDomain) {
+  LogPParams bad{Rational(-1), Rational(0), Rational(1), 4};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = LogPParams{Rational(1), Rational(0), Rational(0), 4};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = LogPParams{Rational(1), Rational(0), Rational(1), 0};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  // Outside the postal regime: L + 2o < max(o, g).
+  bad = LogPParams{Rational(0), Rational(0), Rational(1), 4};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  const LogPParams ok{Rational(4), Rational(1), Rational(2), 16};
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(LogP, PostalLambdaMapping) {
+  // lambda = (L + 2o) / max(o, g).
+  const LogPParams p{Rational(4), Rational(1), Rational(2), 16};
+  EXPECT_EQ(p.postal_lambda(), Rational(3));  // (4 + 2)/2
+  const LogPParams q{Rational(0), Rational(1, 2), Rational(1), 16};
+  EXPECT_EQ(q.postal_lambda(), Rational(1));  // telephone: half-overhead call
+  const LogPParams r{Rational(3), Rational(1, 2), Rational(1), 16};
+  EXPECT_EQ(r.postal_lambda(), Rational(4));  // (3 + 1)/1
+  // CPU-bound interface: o > g makes the effective gap o.
+  const LogPParams cpu{Rational(4), Rational(2), Rational(1), 16};
+  EXPECT_EQ(cpu.effective_gap(), Rational(2));
+  EXPECT_EQ(cpu.postal_lambda(), Rational(4));  // (4 + 4)/2
+}
+
+TEST(LogP, TelephoneDegenerationIsLogTwo) {
+  // L = 0, o = 1/2, g = 1: each call ties both parties for one unit and
+  // the callee knows the message at its end -> lambda = 1 -> ceil(log2 P).
+  const LogPParams p{Rational(0), Rational(1, 2), Rational(1), 1024};
+  EXPECT_EQ(logp_broadcast_time(p), Rational(10));
+}
+
+TEST(LogP, SingleProcessorIsFree) {
+  const LogPParams p{Rational(4), Rational(1), Rational(2), 1};
+  EXPECT_EQ(logp_broadcast_time(p), Rational(0));
+  EXPECT_EQ(logp_broadcast_time_dp(p), Rational(0));
+}
+
+TEST(LogP, GenFibAndGreedyDpAgree) {
+  // The postal-equivalence route and the direct frontier DP must give the
+  // same optimal broadcast time for every parameter combination.
+  const Rational Ls[] = {Rational(0), Rational(1), Rational(4), Rational(15, 2)};
+  const Rational os[] = {Rational(0), Rational(1, 2), Rational(1), Rational(3)};
+  const Rational gs[] = {Rational(1), Rational(2), Rational(5, 2)};
+  for (const Rational& L : Ls) {
+    for (const Rational& o : os) {
+      for (const Rational& g : gs) {
+        if (L + Rational(2) * o < rmax(o, g)) continue;  // outside the regime
+        for (std::uint64_t P : {2ULL, 3ULL, 7ULL, 16ULL, 33ULL, 100ULL}) {
+          const LogPParams p{L, o, g, P};
+          EXPECT_EQ(logp_broadcast_time(p), logp_broadcast_time_dp(p))
+              << "L=" << L.str() << " o=" << o.str() << " g=" << g.str()
+              << " P=" << P;
+        }
+      }
+    }
+  }
+}
+
+TEST(LogP, BroadcastTimeGrowsWithP) {
+  const LogPParams base{Rational(4), Rational(1), Rational(2), 2};
+  Rational prev(0);
+  for (std::uint64_t P = 2; P <= 512; P *= 2) {
+    LogPParams p = base;
+    p.P = P;
+    const Rational t = logp_broadcast_time(p);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LogP, LatencyOnlyLengthensBroadcast) {
+  Rational prev(0);
+  for (std::int64_t L = 0; L <= 16; L += 2) {
+    const LogPParams p{Rational(L), Rational(1), Rational(2), 64};
+    const Rational t = logp_broadcast_time(p);
+    EXPECT_GE(t, prev) << "L=" << L;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace postal

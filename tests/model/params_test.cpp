@@ -1,0 +1,82 @@
+// Tests for PostalParams and the Section 4 latency normalizations.
+#include "model/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(PostalParams, AcceptsValidDomain) {
+  const PostalParams p(14, Rational(5, 2));
+  EXPECT_EQ(p.n(), 14u);
+  EXPECT_EQ(p.lambda(), Rational(5, 2));
+}
+
+TEST(PostalParams, RejectsZeroProcessors) {
+  EXPECT_THROW(PostalParams(0, Rational(1)), InvalidArgument);
+}
+
+TEST(PostalParams, RejectsSubUnitLatency) {
+  EXPECT_THROW(PostalParams(4, Rational(1, 2)), InvalidArgument);
+  EXPECT_THROW(PostalParams(4, Rational(0)), InvalidArgument);
+  EXPECT_THROW(PostalParams(4, Rational(-2)), InvalidArgument);
+}
+
+TEST(PostalParams, LambdaOneIsTelephoneModel) {
+  EXPECT_NO_THROW(PostalParams(4, Rational(1)));
+}
+
+// Lemma 12: lambda' = 1 + (lambda-1)/m.
+TEST(PackLambda, MatchesLemma12) {
+  EXPECT_EQ(pack_lambda(Rational(5, 2), 1), Rational(5, 2));
+  EXPECT_EQ(pack_lambda(Rational(5, 2), 3), Rational(3, 2));
+  EXPECT_EQ(pack_lambda(Rational(7), 4), Rational(5, 2));
+  EXPECT_EQ(pack_lambda(Rational(1), 10), Rational(1));
+}
+
+TEST(PackLambda, AlwaysAtLeastOne) {
+  for (std::uint64_t m = 1; m <= 100; ++m) {
+    EXPECT_GE(pack_lambda(Rational(13, 4), m), Rational(1));
+  }
+}
+
+TEST(PackLambda, RejectsBadArguments) {
+  POSTAL_EXPECT_THROW(pack_lambda(Rational(2), 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(pack_lambda(Rational(1, 2), 3), InvalidArgument);
+}
+
+// Lemma 14: lambda' = lambda/m, requires m <= lambda.
+TEST(Pipeline1Lambda, MatchesLemma14) {
+  EXPECT_EQ(pipeline1_lambda(Rational(6), 2), Rational(3));
+  EXPECT_EQ(pipeline1_lambda(Rational(5, 2), 2), Rational(5, 4));
+  EXPECT_EQ(pipeline1_lambda(Rational(4), 4), Rational(1));
+}
+
+TEST(Pipeline1Lambda, RejectsRegimeViolation) {
+  POSTAL_EXPECT_THROW(pipeline1_lambda(Rational(2), 3), InvalidArgument);
+  POSTAL_EXPECT_THROW(pipeline1_lambda(Rational(5, 2), 3), InvalidArgument);
+  POSTAL_EXPECT_THROW(pipeline1_lambda(Rational(2), 0), InvalidArgument);
+}
+
+// Lemma 16: lambda' = m/lambda, requires m >= lambda.
+TEST(Pipeline2Lambda, MatchesLemma16) {
+  EXPECT_EQ(pipeline2_lambda(Rational(2), 6), Rational(3));
+  EXPECT_EQ(pipeline2_lambda(Rational(5, 2), 5), Rational(2));
+  EXPECT_EQ(pipeline2_lambda(Rational(4), 4), Rational(1));
+}
+
+TEST(Pipeline2Lambda, RejectsRegimeViolation) {
+  POSTAL_EXPECT_THROW(pipeline2_lambda(Rational(4), 3), InvalidArgument);
+  POSTAL_EXPECT_THROW(pipeline2_lambda(Rational(4), 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(pipeline2_lambda(Rational(1, 2), 3), InvalidArgument);
+}
+
+TEST(PipelineRegimes, AgreeAtTheBoundary) {
+  // m == lambda: both normalizations give lambda' = 1 (telephone model).
+  EXPECT_EQ(pipeline1_lambda(Rational(4), 4), pipeline2_lambda(Rational(4), 4));
+}
+
+}  // namespace
+}  // namespace postal

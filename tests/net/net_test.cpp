@@ -1,0 +1,258 @@
+// Tests for the packet-network substrate: topologies and routing, the
+// store-and-forward simulator's timing, calibration, and schedule replay.
+#include <gtest/gtest.h>
+
+#include "model/genfib.hpp"
+#include "net/calibrate.hpp"
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
+#include "sched/bcast.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Topology, CompleteGraphHasDirectRoutes) {
+  const Topology t = Topology::complete(6, Rational(3));
+  EXPECT_EQ(t.n(), 6u);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(t.links(u).size(), 5u);
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(t.next_hop(u, v), v);
+      EXPECT_EQ(t.hop_count(u, v), 1u);
+    }
+  }
+}
+
+TEST(Topology, MeshRoutesAreShortest) {
+  // 3x3 mesh, node ids row-major.
+  const Topology t = Topology::mesh2d(3, 3, Rational(1));
+  EXPECT_EQ(t.hop_count(0, 8), 4u);  // corner to corner
+  EXPECT_EQ(t.hop_count(0, 2), 2u);
+  EXPECT_EQ(t.hop_count(4, 4), 0u);
+  EXPECT_EQ(t.hop_count(3, 5), 2u);
+}
+
+TEST(Topology, TorusWrapShortens) {
+  const Topology mesh = Topology::mesh2d(1, 5, Rational(1));
+  const Topology torus = Topology::torus2d(1, 5, Rational(1));
+  EXPECT_EQ(mesh.hop_count(0, 4), 4u);
+  EXPECT_EQ(torus.hop_count(0, 4), 1u);  // wraps around
+}
+
+TEST(Topology, NextHopRejectsSelf) {
+  const Topology t = Topology::complete(3, Rational(1));
+  POSTAL_EXPECT_THROW(t.next_hop(1, 1), InvalidArgument);
+}
+
+TEST(Topology, SingleNodeIsDegenerate) {
+  const Topology t = Topology::complete(1, Rational(1));
+  EXPECT_EQ(t.n(), 1u);
+  EXPECT_EQ(t.hop_count(0, 0), 0u);
+}
+
+TEST(NetConfig, Validation) {
+  NetConfig config;
+  config.send_overhead = Rational(0);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = NetConfig{};
+  config.jitter_max = Rational(-1);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  EXPECT_NO_THROW(NetConfig{}.validate());
+}
+
+TEST(PacketNetwork, SinglePacketTimingOnCompleteGraph) {
+  // Idle complete graph: delivery = send_overhead + wire + prop + recv.
+  NetConfig config;
+  config.send_overhead = Rational(1);
+  config.recv_overhead = Rational(1);
+  config.wire_time = Rational(1);
+  PacketNetwork net(Topology::complete(4, Rational(3)), config);
+  net.submit(0, 2, 0, Rational(0));
+  const auto out = net.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delivered, Rational(6));  // 1 + 1 + 3 + 1
+}
+
+TEST(PacketNetwork, MultiHopPaysPerHop) {
+  NetConfig config;
+  PacketNetwork net(Topology::mesh2d(1, 4, Rational(2)), config);
+  net.submit(0, 3, 0, Rational(0));
+  const auto out = net.run();
+  ASSERT_EQ(out.size(), 1u);
+  // 1 (sw) + 3 hops * (1 wire + 2 prop) + 1 (sw) = 11.
+  EXPECT_EQ(out[0].delivered, Rational(11));
+}
+
+TEST(PacketNetwork, EgressSerializesBursts) {
+  NetConfig config;
+  config.send_overhead = Rational(2);
+  PacketNetwork net(Topology::complete(4, Rational(1)), config);
+  net.submit(0, 1, 0, Rational(0));
+  net.submit(0, 2, 1, Rational(0));
+  net.submit(0, 3, 2, Rational(0));
+  const auto out = net.run();
+  ASSERT_EQ(out.size(), 3u);
+  // Injections at 2, 4, 6; each then pays 1 wire + 1 prop + 1 recv.
+  EXPECT_EQ(out[0].delivered, Rational(5));
+  EXPECT_EQ(out[1].delivered, Rational(7));
+  EXPECT_EQ(out[2].delivered, Rational(9));
+}
+
+TEST(PacketNetwork, WireQueuesContendingPackets) {
+  // Two packets racing over the same single wire: second waits.
+  NetConfig config;
+  PacketNetwork net(Topology::mesh2d(1, 2, Rational(5)), config);
+  net.submit(0, 1, 0, Rational(0));
+  net.submit(0, 1, 1, Rational(0));
+  const auto out = net.run();
+  ASSERT_EQ(out.size(), 2u);
+  // First: 1 + (1 + 5) + 1 = 8. Second: injected at 2, wire from 2: +1+5,
+  // ingress after first (free at 8): starts max(8, 8) -> 9.
+  EXPECT_EQ(out[0].delivered, Rational(8));
+  EXPECT_EQ(out[1].delivered, Rational(9));
+}
+
+TEST(PacketNetwork, RejectsBadSubmissions) {
+  PacketNetwork net(Topology::complete(3, Rational(1)), NetConfig{});
+  EXPECT_THROW(net.submit(0, 0, 0, Rational(0)), InvalidArgument);
+  EXPECT_THROW(net.submit(0, 9, 0, Rational(0)), InvalidArgument);
+  EXPECT_THROW(net.submit(0, 1, 0, Rational(-1)), InvalidArgument);
+}
+
+TEST(PacketNetwork, DeterministicWithJitter) {
+  NetConfig config;
+  config.jitter_max = Rational(1, 2);
+  config.jitter_seed = 99;
+  auto run_once = [&]() {
+    PacketNetwork net(Topology::complete(8, Rational(2)), config);
+    for (NodeId p = 1; p < 8; ++p) net.submit(0, p, 0, Rational(static_cast<std::int64_t>(p)));
+    return net.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].delivered, b[i].delivered);
+  }
+}
+
+TEST(Calibrate, RecoversConfiguredLatencyOnCompleteGraph) {
+  // Idle complete graph: every probe sees exactly the same latency, and
+  // lambda = (send + wire + prop + recv) / send.
+  NetConfig config;
+  config.send_overhead = Rational(2);
+  config.recv_overhead = Rational(2);
+  config.wire_time = Rational(1);
+  PacketNetwork net(Topology::complete(10, Rational(5)), config);
+  const CalibrationReport report = calibrate_lambda(net, 50, /*seed=*/7);
+  EXPECT_EQ(report.lambda_min, report.lambda_max);
+  EXPECT_EQ(report.lambda_mean, Rational(5));  // (2+1+5+2)/2
+  EXPECT_EQ(report.lambda_snapped, Rational(5));
+  EXPECT_EQ(report.probes, 50u);
+}
+
+TEST(Calibrate, SnapsUpToGrid) {
+  NetConfig config;
+  config.send_overhead = Rational(3);
+  PacketNetwork net(Topology::complete(4, Rational(3)), config);
+  // latency = (3 + 1 + 3 + 1)/3 = 8/3; snapped up to quarters: 11/4.
+  const CalibrationReport report = calibrate_lambda(net, 10, 1, /*grid=*/4);
+  EXPECT_EQ(report.lambda_mean, Rational(8, 3));
+  EXPECT_EQ(report.lambda_snapped, Rational(11, 4));
+}
+
+TEST(Calibrate, MeshLatencyVariesByDistance) {
+  PacketNetwork net(Topology::mesh2d(4, 4, Rational(1)), NetConfig{});
+  const CalibrationReport report = calibrate_lambda(net, 100, 3);
+  EXPECT_LT(report.lambda_min, report.lambda_max);
+  EXPECT_GE(report.lambda_snapped, Rational(1));
+}
+
+TEST(Replay, PostalScheduleTransfersToCompleteGraph) {
+  // With send_overhead = recv_overhead = 1 and wire+prop = lambda - 2 + 1,
+  // the network realizes exactly the postal model, so the BCAST schedule
+  // must complete exactly at its postal prediction.
+  const Rational lambda(4);
+  NetConfig config;
+  config.wire_time = Rational(1);
+  // send(1) + wire(1) + prop + recv(1) = lambda -> prop = lambda - 3.
+  PacketNetwork net(Topology::complete(16, lambda - Rational(3)), config);
+  const PostalParams params(16, lambda);
+  GenFib fib(lambda);
+  const Schedule schedule = bcast_schedule(params, fib);
+  const ReplayReport report = replay_schedule(net, schedule, fib.f(16));
+  EXPECT_EQ(report.deliveries, 15u);
+  EXPECT_EQ(report.observed, report.predicted);
+  EXPECT_DOUBLE_EQ(report.ratio, 1.0);
+}
+
+TEST(Replay, ScaledUnitsStillTransfer) {
+  // send_overhead = 2 scales postal time by 2.
+  const Rational lambda(3);
+  NetConfig config;
+  config.send_overhead = Rational(2);
+  config.recv_overhead = Rational(2);
+  config.wire_time = Rational(1);
+  // per-send latency = 2 + 1 + prop + 2 = lambda * 2 -> prop = 1.
+  PacketNetwork net(Topology::complete(8, Rational(1)), config);
+  const PostalParams params(8, lambda);
+  GenFib fib(lambda);
+  const ReplayReport report =
+      replay_schedule(net, bcast_schedule(params, fib), fib.f(8));
+  EXPECT_EQ(report.observed, report.predicted);
+}
+
+
+TEST(CutThrough, FasterThanStoreAndForwardOnMultiHop) {
+  NetConfig sf;
+  NetConfig ct = sf;
+  ct.switching = Switching::kCutThrough;
+  // 1x5 line, 4 hops, prop = 2.
+  auto run = [](const NetConfig& config) {
+    PacketNetwork net(Topology::mesh2d(1, 5, Rational(2)), config);
+    net.submit(0, 4, 0, Rational(0));
+    return net.run()[0].delivered;
+  };
+  const Rational t_sf = run(sf);
+  const Rational t_ct = run(ct);
+  // SF: 1 + 4*(1+2) + 1 = 14. CT: head streams: 1 + 3*(1/4+2) + (1+2) + 1
+  //   = 1 + 27/4 + 3 + 1 = 47/4.
+  EXPECT_EQ(t_sf, Rational(14));
+  EXPECT_EQ(t_ct, Rational(47, 4));
+  EXPECT_LT(t_ct, t_sf);
+}
+
+TEST(CutThrough, SingleHopIsIdentical) {
+  NetConfig sf;
+  NetConfig ct = sf;
+  ct.switching = Switching::kCutThrough;
+  for (const NetConfig& config : {sf, ct}) {
+    PacketNetwork net(Topology::complete(4, Rational(3)), config);
+    net.submit(0, 2, 0, Rational(0));
+    EXPECT_EQ(net.run()[0].delivered, Rational(6));
+  }
+}
+
+TEST(CutThrough, ConfigValidatesHeaderTime) {
+  NetConfig config;
+  config.header_time = Rational(0);
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.header_time = Rational(2);  // > wire_time = 1
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(CutThrough, LowersCalibratedLambdaOnMesh) {
+  NetConfig sf;
+  NetConfig ct = sf;
+  ct.switching = Switching::kCutThrough;
+  PacketNetwork net_sf(Topology::mesh2d(5, 5, Rational(1)), sf);
+  PacketNetwork net_ct(Topology::mesh2d(5, 5, Rational(1)), ct);
+  const CalibrationReport a = calibrate_lambda(net_sf, 60, 5);
+  const CalibrationReport b = calibrate_lambda(net_ct, 60, 5);
+  EXPECT_LT(b.lambda_mean, a.lambda_mean);
+}
+
+}  // namespace
+}  // namespace postal

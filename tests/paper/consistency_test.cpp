@@ -1,0 +1,129 @@
+// Cross-component consistency properties: independent implementations in
+// different modules must agree wherever their domains overlap.
+#include <gtest/gtest.h>
+
+#include "adaptive/hetero.hpp"
+#include "adaptive/hierarchical.hpp"
+#include "adaptive/time_varying.hpp"
+#include "model/genfib.hpp"
+#include "net/calibrate.hpp"
+#include "sched/bcast.hpp"
+#include "sched/kported.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/registry.hpp"
+#include "sim/validator.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Consistency, HeteroSimulatorAgreesWithHomogeneousValidator) {
+  // On a uniform matrix, simulate_hetero and validate_schedule must agree
+  // on validity and completion for any single-message schedule.
+  Xoshiro256 rng(55);
+  for (const Rational lambda : {Rational(2), Rational(5, 2)}) {
+    const PostalParams params(16, lambda);
+    const HeteroLatency lat = HeteroLatency::uniform(16, lambda);
+    const Schedule good = bcast_schedule(params);
+    const SimReport homo = validate_schedule(good, params);
+    const HeteroSimReport hetero = simulate_hetero(good, lat);
+    ASSERT_TRUE(homo.ok);
+    ASSERT_TRUE(hetero.ok);
+    EXPECT_EQ(homo.makespan, hetero.completion);
+    // And on random mutants, the accept/reject verdicts coincide.
+    for (int trial = 0; trial < 40; ++trial) {
+      Schedule mutant;
+      const std::size_t victim = rng.uniform(0, good.size() - 1);
+      for (std::size_t i = 0; i < good.size(); ++i) {
+        SendEvent e = good.events()[i];
+        if (i == victim) {
+          const auto k = static_cast<std::int64_t>(rng.uniform(0, 6));
+          const Rational delta(k - 3, 2);
+          if (e.t + delta >= Rational(0)) e.t += delta;
+        }
+        mutant.add(e);
+      }
+      EXPECT_EQ(validate_schedule(mutant, params).ok, simulate_hetero(mutant, lat).ok)
+          << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Consistency, TwoLevelSimulatorAgreesOnUniformLatency) {
+  const TwoLevelParams two{20, 5, Rational(3), Rational(3)};
+  const PostalParams params(20, Rational(3));
+  const Schedule s = bcast_schedule(params);
+  const HeteroReport a = simulate_two_level(s, two);
+  const SimReport b = validate_schedule(s, params);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.completion, b.makespan);
+}
+
+TEST(Consistency, AdaptiveConstantProfileMatchesScheduleGenerator) {
+  // adaptive_broadcast on a constant profile must produce the exact BCAST
+  // schedule (not just the same completion).
+  for (const Rational lambda : {Rational(2), Rational(5, 2), Rational(4)}) {
+    const AdaptiveRunResult run = adaptive_broadcast(
+        30, LatencyProfile::constant(lambda), AdaptPolicy::kStatic);
+    const Schedule expected = bcast_schedule(PostalParams(30, lambda));
+    EXPECT_EQ(run.schedule.events(), expected.events()) << "lambda=" << lambda.str();
+  }
+}
+
+TEST(Consistency, KPortedValidatorAgreesWithSinglePortValidatorAtKOne) {
+  Xoshiro256 rng(66);
+  const PostalParams params(14, Rational(5, 2));
+  const Schedule good = bcast_schedule(params);
+  for (int trial = 0; trial < 40; ++trial) {
+    Schedule mutant;
+    const std::size_t victim = rng.uniform(0, good.size() - 1);
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      SendEvent e = good.events()[i];
+      if (i == victim) {
+        const auto k = static_cast<std::int64_t>(rng.uniform(0, 4));
+        const Rational delta(k - 2, 2);
+        if (e.t + delta >= Rational(0)) e.t += delta;
+      }
+      mutant.add(e);
+    }
+    EXPECT_EQ(validate_schedule(mutant, params).ok,
+              validate_kported(mutant, params, 1).ok)
+        << "trial=" << trial;
+  }
+}
+
+TEST(Consistency, PipelineReplaysExactlyOnPostalEquivalentNetwork) {
+  // A multi-message PIPELINE schedule must transfer exactly to a complete
+  // graph configured to realize the postal model (as E13 shows for BCAST).
+  const Rational lambda(4);
+  const PostalParams params(12, lambda);
+  const std::uint64_t m = 6;
+  const Schedule schedule = pipeline_schedule(params, m);
+  NetConfig config;  // send = recv = wire = 1; prop = lambda - 3
+  PacketNetwork net(Topology::complete(12, lambda - Rational(3)), config);
+  const ReplayReport report =
+      replay_schedule(net, schedule, predict_pipeline(lambda, 12, m));
+  EXPECT_EQ(report.observed, report.predicted);
+  EXPECT_EQ(report.deliveries, schedule.size());
+}
+
+TEST(Consistency, EveryMultiAlgoReplaysWithinItsPredictionOnTheWire) {
+  // On the postal-equivalent network, no algorithm may finish *later* than
+  // its postal prediction (earlier is impossible too, but exactness for
+  // expanded multi-message receive patterns is the claim).
+  const Rational lambda(4);
+  const PostalParams params(10, lambda);
+  NetConfig config;  // send + wire + prop + recv = 1+1+1+1 = lambda
+  for (const MultiAlgo algo : all_multi_algos()) {
+    PacketNetwork net(Topology::complete(10, lambda - Rational(3)), config);
+    const Schedule schedule = make_multi_schedule(algo, params, 4);
+    const ReplayReport report =
+        replay_schedule(net, schedule, predict_multi(algo, params, 4));
+    EXPECT_EQ(report.observed, report.predicted) << algo_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace postal

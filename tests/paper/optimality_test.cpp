@@ -1,0 +1,114 @@
+// Reproduction of the paper's optimality claims (Lemma 5 / Theorem 6),
+// cross-checked against machinery that never evaluates the generalized
+// Fibonacci function: the exhaustive split-recursion DP and the greedy
+// frontier expansion. Also checks Corollary 9's dominance over every
+// algorithm in the library.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "brute/optimal_search.hpp"
+#include "model/bounds.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "sched/registry.hpp"
+#include "sim/validator.hpp"
+
+namespace postal {
+namespace {
+
+// Theorem 6 via three independent computations: f_lambda(n) (GenFib), the
+// exhaustive split DP, and the greedy frontier -- all must coincide, and
+// the simulated BCAST schedule must achieve that value.
+class OptimalitySweep : public ::testing::TestWithParam<Rational> {};
+
+TEST_P(OptimalitySweep, Theorem6TripleAgreement) {
+  const Rational lambda = GetParam();
+  GenFib fib(lambda);
+  for (std::uint64_t n = 1; n <= 200; ++n) {
+    const Rational via_fib = fib.f(n);
+    EXPECT_EQ(via_fib, optimal_broadcast_dp(n, lambda)) << "n=" << n;
+    EXPECT_EQ(via_fib, optimal_broadcast_greedy(n, lambda)) << "n=" << n;
+  }
+  // And the concrete schedule achieves it (spot-check a few sizes).
+  for (std::uint64_t n : {2ULL, 14ULL, 59ULL, 200ULL}) {
+    const PostalParams params(n, lambda);
+    const SimReport report = validate_schedule(bcast_schedule(params), params);
+    ASSERT_TRUE(report.ok) << report.summary();
+    EXPECT_EQ(report.makespan, fib.f(n)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lambdas, OptimalitySweep,
+    ::testing::Values(Rational(1), Rational(5, 4), Rational(3, 2), Rational(2),
+                      Rational(5, 2), Rational(3), Rational(10, 3), Rational(4),
+                      Rational(11, 2), Rational(8), Rational(16)),
+    [](const ::testing::TestParamInfo<Rational>& pinfo) {
+      return "lam" + std::to_string(pinfo.param.num()) + "_" +
+             std::to_string(pinfo.param.den());
+    });
+
+TEST(Optimality, NoLibraryAlgorithmBeatsBcastForOneMessage) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {2ULL, 10ULL, 50ULL, 128ULL}) {
+      const PostalParams params(n, lambda);
+      const Rational optimal = fib.f(n);
+      for (const MultiAlgo algo : all_multi_algos()) {
+        EXPECT_GE(predict_multi(algo, params, 1), optimal)
+            << algo_name(algo) << " n=" << n << " lambda=" << lambda.str();
+      }
+    }
+  }
+}
+
+TEST(Optimality, RepeatPackPipelineReduceToBcastAtMOne) {
+  // All three BCAST generalizations collapse to exactly f_lambda(n) at m=1.
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n : {2ULL, 14ULL, 100ULL}) {
+      const PostalParams params(n, lambda);
+      EXPECT_EQ(predict_multi(MultiAlgo::kRepeat, params, 1), fib.f(n));
+      EXPECT_EQ(predict_multi(MultiAlgo::kPack, params, 1), fib.f(n));
+      EXPECT_EQ(predict_multi(MultiAlgo::kPipeline, params, 1), fib.f(n));
+    }
+  }
+}
+
+TEST(Optimality, BinomialTreeIsStrictlySuboptimalForLargeLatency) {
+  // The motivating claim: ignoring lambda costs real time. At lambda = 8
+  // the Fibonacci tree must strictly beat the binomial tree for nontrivial n.
+  const Rational lambda(8);
+  GenFib fib(lambda);
+  std::uint64_t strict_wins = 0;
+  for (std::uint64_t n = 3; n <= 300; ++n) {
+    const PostalParams params(n, lambda);
+    const BroadcastTree binomial = BroadcastTree::binomial(n);
+    const Rational naive = binomial.completion_time(lambda);
+    const Rational optimal = fib.f(n);
+    EXPECT_LE(optimal, naive) << "n=" << n;
+    if (optimal < naive) ++strict_wins;
+  }
+  EXPECT_GT(strict_wins, 250u);
+}
+
+TEST(Optimality, Lemma5LowerBoundRecurrenceSaturates) {
+  // N(t) <= F_lambda(t): the frontier count of the greedy expansion at the
+  // exact completion time equals F (the counting argument of Lemma 5).
+  for (const Rational lambda : {Rational(2), Rational(5, 2)}) {
+    GenFib fib(lambda);
+    for (std::uint64_t n = 2; n <= 100; ++n) {
+      // f(F(t)) <= t with equality pattern: broadcasting to exactly F(t)
+      // processors takes exactly t.
+      const Rational t = fib.f(n);
+      const std::uint64_t capacity = fib.F(t);
+      EXPECT_GE(capacity, n);
+      EXPECT_EQ(fib.f(capacity), t)
+          << "broadcast capacity at t must be tight, n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,142 @@
+// Tests for Algorithm BCAST (Section 3): correctness (Lemma 3), exact
+// running time (Lemma 4 + Theorem 6), and model validity across a sweep of
+// (n, lambda), all checked through the independent validator.
+#include "sched/bcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Bcast, SingleProcessorIsEmpty) {
+  const PostalParams params(1, Rational(3));
+  EXPECT_TRUE(bcast_schedule(params).empty());
+  GenFib fib(Rational(3));
+  EXPECT_EQ(predict_bcast(fib, 1), Rational(0));
+}
+
+TEST(Bcast, TwoProcessorsOneSend) {
+  const PostalParams params(2, Rational(5, 2));
+  const Schedule s = bcast_schedule(params);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.events()[0], (SendEvent{0, 1, 0, Rational(0)}));
+  GenFib fib(Rational(5, 2));
+  EXPECT_EQ(predict_bcast(fib, 2), Rational(5, 2));
+}
+
+TEST(Bcast, MismatchedGenFibRejected) {
+  const PostalParams params(4, Rational(2));
+  GenFib wrong(Rational(3));
+  POSTAL_EXPECT_THROW(bcast_schedule(params, wrong), InvalidArgument);
+}
+
+TEST(Bcast, EveryProcessorSendsExactlyOnceToNewTarget) {
+  const PostalParams params(50, Rational(5, 2));
+  const Schedule s = bcast_schedule(params);
+  // Exactly n-1 sends (each processor receives exactly once).
+  EXPECT_EQ(s.size(), params.n() - 1);
+  std::vector<bool> received(params.n(), false);
+  for (const SendEvent& e : s.events()) {
+    EXPECT_FALSE(received[e.dst]);
+    received[e.dst] = true;
+  }
+  EXPECT_FALSE(received[0]);
+}
+
+TEST(Bcast, Figure1ExactEventSequence) {
+  // The first sends of the paper's Figure 1 run.
+  const PostalParams params(14, Rational(5, 2));
+  const Schedule s = bcast_schedule(params);
+  EXPECT_EQ(s.events()[0], (SendEvent{0, 9, 0, Rational(0)}));
+  // p0 recurses on [0, 9): next split of 9 at t = 1.
+  EXPECT_EQ(s.events()[1].src, 0u);
+  EXPECT_EQ(s.events()[1].t, Rational(1));
+}
+
+struct SweepCase {
+  std::uint64_t n;
+  Rational lambda;
+};
+
+class BcastSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BcastSweep, ValidAndExactlyOptimal) {
+  const auto& [n, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  GenFib fib(lambda);
+  const Schedule s = bcast_schedule(params, fib);
+  const SimReport report = validate_schedule(s, params);
+  ASSERT_TRUE(report.ok) << report.summary();
+  // Theorem 6: the simulated completion time is exactly f_lambda(n).
+  EXPECT_EQ(report.makespan, fib.f(n));
+  EXPECT_TRUE(report.order_preserving);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NLambdaGrid, BcastSweep,
+    ::testing::Values(
+        SweepCase{2, Rational(1)}, SweepCase{3, Rational(1)},
+        SweepCase{17, Rational(1)}, SweepCase{256, Rational(1)},
+        SweepCase{1000, Rational(1)}, SweepCase{2, Rational(3, 2)},
+        SweepCase{9, Rational(3, 2)}, SweepCase{100, Rational(3, 2)},
+        SweepCase{5, Rational(2)}, SweepCase{89, Rational(2)},
+        SweepCase{144, Rational(2)}, SweepCase{14, Rational(5, 2)},
+        SweepCase{97, Rational(5, 2)}, SweepCase{8, Rational(3)},
+        SweepCase{343, Rational(3)}, SweepCase{31, Rational(7, 2)},
+        SweepCase{1000, Rational(4)}, SweepCase{12, Rational(19, 4)},
+        SweepCase{60, Rational(8)}, SweepCase{2, Rational(16)},
+        SweepCase{500, Rational(16)}, SweepCase{77, Rational(13, 3)},
+        SweepCase{4096, Rational(5, 2)}),
+    [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_lam" +
+             std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+TEST(Bcast, LambdaOneMatchesBinomialBroadcast) {
+  for (std::uint64_t n = 2; n <= 128; ++n) {
+    const PostalParams params(n, Rational(1));
+    GenFib fib(Rational(1));
+    const Schedule s = bcast_schedule(params, fib);
+    const SimReport report = validate_schedule(s, params);
+    ASSERT_TRUE(report.ok);
+    // Telephone model: ceil(log2 n) rounds.
+    EXPECT_EQ(report.makespan, fib.f(n));
+    EXPECT_EQ(report.makespan, Rational(fib.f(n).num()));  // integral
+  }
+}
+
+TEST(Bcast, LargeLatencyDegeneratesTowardStar) {
+  // When lambda >= n - 1, sending directly to everyone is optimal, so the
+  // optimal tree is the star and T = (n - 2) + lambda.
+  const std::uint64_t n = 10;
+  const Rational lambda(20);
+  const PostalParams params(n, lambda);
+  const Schedule s = bcast_schedule(params);
+  const SimReport report = validate_schedule(s, params);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.makespan, Rational(8) + lambda);
+  // All sends come from the root.
+  for (const SendEvent& e : s.events()) EXPECT_EQ(e.src, 0u);
+}
+
+TEST(Bcast, EmitRespectsBaseAndStartOffsets) {
+  GenFib fib(Rational(2));
+  Schedule s;
+  bcast_emit(s, fib, /*base=*/5, /*count=*/4, Rational(10), /*msg=*/3);
+  for (const SendEvent& e : s.events()) {
+    EXPECT_GE(e.src, 5u);
+    EXPECT_GE(e.dst, 5u);
+    EXPECT_LT(e.dst, 9u);
+    EXPECT_EQ(e.msg, 3u);
+    EXPECT_GE(e.t, Rational(10));
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,262 @@
+// Tests for Algorithm DTREE (Section 4.3): model validity, order
+// preservation, Lemma 18's upper bound, the line/star special cases, and
+// the degree discussion.
+#include "sched/dtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/bounds.hpp"
+#include "sched/registry.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+struct DTreeCase {
+  std::uint64_t n;
+  std::uint64_t m;
+  std::uint64_t d;
+  Rational lambda;
+};
+
+class DTreeSweep : public ::testing::TestWithParam<DTreeCase> {};
+
+TEST_P(DTreeSweep, ValidOrderPreservingAndWithinLemma18) {
+  const auto& [n, m, d, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = dtree_schedule(params, m, d);
+  ValidatorOptions options;
+  options.messages = static_cast<std::uint32_t>(m);
+  const SimReport report = validate_schedule(s, params, options);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.order_preserving);
+  // Exact completion equals the analytic tree walk...
+  EXPECT_EQ(report.makespan, predict_dtree(params, m, d));
+  // ...and stays within Lemma 18's bound.
+  EXPECT_LE(report.makespan, lemma18_dtree_upper(lambda, n, m, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DTreeSweep,
+    ::testing::Values(
+        DTreeCase{2, 1, 1, Rational(2)}, DTreeCase{10, 4, 1, Rational(5, 2)},
+        DTreeCase{10, 4, 2, Rational(5, 2)}, DTreeCase{10, 4, 3, Rational(5, 2)},
+        DTreeCase{10, 4, 9, Rational(5, 2)}, DTreeCase{64, 8, 2, Rational(1)},
+        DTreeCase{64, 8, 4, Rational(3)}, DTreeCase{100, 1, 5, Rational(4)},
+        DTreeCase{31, 16, 2, Rational(3, 2)}, DTreeCase{81, 3, 3, Rational(7, 2)},
+        DTreeCase{128, 2, 7, Rational(6)}, DTreeCase{17, 9, 4, Rational(9, 4)},
+        DTreeCase{256, 5, 15, Rational(2)}, DTreeCase{33, 7, 32, Rational(5)}),
+    [](const ::testing::TestParamInfo<DTreeCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_m" + std::to_string(pinfo.param.m) +
+             "_d" + std::to_string(pinfo.param.d) + "_lam" +
+             std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+TEST(DTree, LineExactCompletion) {
+  // d = 1: T = (m-1) + lambda*(n-1), exactly.
+  const PostalParams params(6, Rational(5, 2));
+  EXPECT_EQ(predict_dtree(params, 4, 1), Rational(3) + Rational(5, 2) * Rational(5));
+}
+
+TEST(DTree, StarExactCompletion) {
+  // d = n-1: root sends m*(n-1) messages back to back; the last leaves at
+  // m*(n-1) - 1 and arrives lambda later.
+  const PostalParams params(6, Rational(5, 2));
+  EXPECT_EQ(predict_dtree(params, 3, 5),
+            Rational(3 * 5 - 1) + Rational(5, 2));
+}
+
+TEST(DTree, SingleProcessorEmpty) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(dtree_schedule(params, 3, 1).empty());
+  EXPECT_EQ(predict_dtree(params, 3, 1), Rational(0));
+}
+
+TEST(DTree, RejectsBadArguments) {
+  const PostalParams params(8, Rational(2));
+  POSTAL_EXPECT_THROW(dtree_schedule(params, 0, 2), InvalidArgument);
+  POSTAL_EXPECT_THROW(dtree_schedule(params, 2, 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(dtree_schedule(params, 2, 8), InvalidArgument);
+}
+
+TEST(DTree, RecommendedDegreeIsCeilLambdaPlusOne) {
+  EXPECT_EQ(dtree_recommended_degree(PostalParams(100, Rational(5, 2))), 4u);
+  EXPECT_EQ(dtree_recommended_degree(PostalParams(100, Rational(3))), 4u);
+  EXPECT_EQ(dtree_recommended_degree(PostalParams(100, Rational(1))), 2u);
+  // Clamped to n-1.
+  EXPECT_EQ(dtree_recommended_degree(PostalParams(4, Rational(10))), 3u);
+  EXPECT_EQ(dtree_recommended_degree(PostalParams(2, Rational(10))), 1u);
+}
+
+TEST(DTree, LineWinsForManyMessages) {
+  // Section 4.3: d = 1 is near-optimal when m -> infinity (fixed n, lambda).
+  const PostalParams params(16, Rational(2));
+  const std::uint64_t m = 512;
+  const Rational line = predict_dtree(params, m, 1);
+  const Rational star = predict_dtree(params, m, 15);
+  const Rational binary = predict_dtree(params, m, 2);
+  EXPECT_LT(line, star);
+  EXPECT_LT(line, binary);
+}
+
+TEST(DTree, StarWinsForHugeLatency) {
+  // Section 4.3: d = n-1 is near-optimal when lambda -> infinity.
+  const PostalParams params(16, Rational(1000));
+  const std::uint64_t m = 2;
+  const Rational star = predict_dtree(params, m, 15);
+  const Rational line = predict_dtree(params, m, 1);
+  const Rational binary = predict_dtree(params, m, 2);
+  EXPECT_LT(star, line);
+  EXPECT_LT(star, binary);
+}
+
+TEST(DTree, RecommendedDegreeWithinThreeXForFewMessages) {
+  // Section 4.3: for m <= log n / log(ceil(lambda)+1), DTREE with
+  // d = ceil(lambda)+1 is within a factor 3 of optimal.
+  for (const Rational lambda : {Rational(2), Rational(5, 2), Rational(4)}) {
+    for (std::uint64_t n : {64ULL, 256ULL, 1024ULL}) {
+      const PostalParams params(n, lambda);
+      GenFib fib(lambda);
+      const double logn = std::log2(static_cast<double>(n));
+      const double base = std::log2(static_cast<double>(lambda.ceil()) + 1.0);
+      const auto m_max = static_cast<std::uint64_t>(logn / base);
+      for (std::uint64_t m = 1; m <= m_max; ++m) {
+        const Rational t = predict_dtree(params, m, dtree_recommended_degree(params));
+        const Rational lower = lemma8_lower(fib, n, m);
+        EXPECT_LE(t.to_double(), 3.0 * lower.to_double() + 1e-9)
+            << "lambda=" << lambda.str() << " n=" << n << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(DTree, RegistryCoversAllAlgorithms) {
+  const PostalParams params(20, Rational(5, 2));
+  for (const MultiAlgo algo : all_multi_algos()) {
+    const Schedule s = make_multi_schedule(algo, params, 3);
+    ValidatorOptions options;
+    options.messages = 3;
+    const SimReport report = validate_schedule(s, params, options);
+    ASSERT_TRUE(report.ok) << algo_name(algo) << ": " << report.summary();
+    EXPECT_TRUE(report.order_preserving) << algo_name(algo);
+    EXPECT_EQ(report.makespan, predict_multi(algo, params, 3)) << algo_name(algo);
+    EXPECT_FALSE(algo_name(algo).empty());
+  }
+}
+
+TEST(DTree, RegistryPredictionsRespectLemma8) {
+  const PostalParams params(64, Rational(2));
+  GenFib fib(params.lambda());
+  const Rational lower = lemma8_lower(fib, 64, 6);
+  for (const MultiAlgo algo : all_multi_algos()) {
+    EXPECT_GE(predict_multi(algo, params, 6), lower) << algo_name(algo);
+  }
+}
+
+
+TEST(LeveledTree, MatchesUniformDaryWhenDegreesConstant) {
+  // leveled(n, {d}) and dary(n, d) are the same tree.
+  for (std::uint64_t n : {2ULL, 10ULL, 33ULL}) {
+    for (std::uint64_t d : {1ULL, 2ULL, 3ULL}) {
+      if (n >= 2 && d > n - 1) continue;
+      const BroadcastTree a = BroadcastTree::leveled(n, {d});
+      const BroadcastTree b = BroadcastTree::dary(n, d);
+      for (ProcId p = 0; p < n; ++p) {
+        EXPECT_EQ(a.children(p), b.children(p)) << "n=" << n << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(LeveledTree, PerLevelDegreesShapeTheTree) {
+  // degrees {3, 1}: root has 3 children, everything below is a chain.
+  const BroadcastTree t = BroadcastTree::leveled(10, {3, 1});
+  EXPECT_EQ(t.children(0).size(), 3u);
+  for (ProcId p = 1; p < 10; ++p) {
+    EXPECT_LE(t.children(p).size(), 1u) << "p=" << p;
+  }
+  EXPECT_EQ(t.depth_histogram()[1], 3u);
+}
+
+TEST(LeveledTree, RejectsBadDegrees) {
+  POSTAL_EXPECT_THROW(BroadcastTree::leveled(5, {}), InvalidArgument);
+  POSTAL_EXPECT_THROW(BroadcastTree::leveled(5, {0}), InvalidArgument);
+}
+
+TEST(TreeMulticast, MatchesDtreeScheduleOnUniformTrees) {
+  for (const Rational lambda : {Rational(2), Rational(5, 2)}) {
+    const PostalParams params(20, lambda);
+    for (std::uint64_t d : {1ULL, 3ULL, 19ULL}) {
+      const BroadcastTree tree = BroadcastTree::dary(20, d);
+      const Schedule a = tree_multicast_schedule(params, 4, tree);
+      const Schedule b = dtree_schedule(params, 4, d);
+      EXPECT_EQ(a.events(), b.events()) << "d=" << d;
+    }
+  }
+}
+
+TEST(TreeMulticast, LeveledTreesAreModelValid) {
+  const PostalParams params(30, Rational(5, 2));
+  for (const std::vector<std::uint64_t>& degrees :
+       {std::vector<std::uint64_t>{4, 2}, {2, 4}, {6, 1}, {1, 5}}) {
+    const BroadcastTree tree = BroadcastTree::leveled(30, degrees);
+    const Schedule s = tree_multicast_schedule(params, 5, tree);
+    ValidatorOptions options;
+    options.messages = 5;
+    const SimReport report = validate_schedule(s, params, options);
+    ASSERT_TRUE(report.ok) << report.summary();
+    EXPECT_TRUE(report.order_preserving);
+    EXPECT_EQ(report.makespan, predict_tree_multicast(params, 5, tree));
+  }
+}
+
+TEST(LeveledAuto, NeverWorseThanAnyUniformDegree) {
+  for (const Rational lambda : {Rational(2), Rational(8)}) {
+    for (std::uint64_t n : {16ULL, 64ULL}) {
+      const PostalParams params(n, lambda);
+      for (std::uint64_t m : {1ULL, 4ULL, 16ULL}) {
+        const LeveledPlan plan = leveled_dtree_auto(params, m);
+        for (std::uint64_t d = 1; d <= n - 1; d = d * 2) {
+          EXPECT_LE(plan.completion, predict_dtree(params, m, d) + Rational(0))
+              << "n=" << n << " m=" << m << " d=" << d
+              << " (leveled search includes all power-of-two uniforms)";
+        }
+        EXPECT_LE(plan.completion,
+                  predict_dtree(params, m, dtree_recommended_degree(params)));
+      }
+    }
+  }
+}
+
+TEST(LeveledAuto, BeatsEveryUniformDegreeSomewhere) {
+  // The per-level freedom must pay off at least at one grid point: a fat
+  // root level feeding thin sub-trees (or vice versa) can beat all
+  // uniform-degree trees.
+  bool strictly_better_somewhere = false;
+  for (const Rational lambda : {Rational(2), Rational(4), Rational(8)}) {
+    for (std::uint64_t n : {32ULL, 64ULL, 128ULL}) {
+      const PostalParams params(n, lambda);
+      for (std::uint64_t m : {1ULL, 2ULL, 8ULL}) {
+        const LeveledPlan plan = leveled_dtree_auto(params, m);
+        Rational best_uniform;
+        bool first = true;
+        for (std::uint64_t d = 1; d <= n - 1; ++d) {
+          const Rational t = predict_dtree(params, m, d);
+          if (first || t < best_uniform) best_uniform = t;
+          first = false;
+        }
+        EXPECT_LE(plan.completion, best_uniform);
+        if (plan.completion < best_uniform) strictly_better_somewhere = true;
+      }
+    }
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+}  // namespace
+}  // namespace postal

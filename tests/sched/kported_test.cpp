@@ -1,0 +1,146 @@
+// Tests for the k-ported postal model extension.
+#include "sched/kported.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(GenFibK, RejectsBadParameters) {
+  EXPECT_THROW(GenFibK(Rational(1, 2), 1), InvalidArgument);
+  EXPECT_THROW(GenFibK(Rational(2), 0), InvalidArgument);
+}
+
+TEST(GenFibK, KOneReducesToGenFib) {
+  for (const Rational lambda : {Rational(1), Rational(5, 2), Rational(4)}) {
+    GenFib single(lambda);
+    GenFibK multi(lambda, 1);
+    for (std::int64_t i = 0; i <= 60; ++i) {
+      const Rational t(i, lambda.den());
+      EXPECT_EQ(multi.F(t), single.F(t)) << "lambda=" << lambda.str() << " t=" << t.str();
+    }
+    for (std::uint64_t n = 1; n <= 200; ++n) {
+      EXPECT_EQ(multi.f(n), single.f(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(GenFibK, RecurrenceHolds) {
+  GenFibK fib(Rational(5, 2), 3);
+  for (std::int64_t i = 5; i <= 40; ++i) {
+    const Rational t(i, 2);
+    EXPECT_EQ(fib.F(t), fib.F(t - Rational(1)) + 3 * fib.F(t - Rational(5, 2)))
+        << "t=" << t.str();
+  }
+}
+
+TEST(GenFibK, MorePortsNeverSlower) {
+  for (std::uint64_t n : {16ULL, 256ULL, 4096ULL}) {
+    Rational prev;
+    bool first = true;
+    for (std::uint64_t k = 1; k <= 8; k *= 2) {
+      GenFibK fib(Rational(5, 2), k);
+      const Rational t = fib.f(n);
+      if (!first) {
+        EXPECT_LE(t, prev) << "n=" << n << " k=" << k;
+      }
+      prev = t;
+      first = false;
+    }
+  }
+}
+
+struct KCase {
+  std::uint64_t n;
+  std::uint64_t k;
+  Rational lambda;
+};
+
+class KPortedSweep : public ::testing::TestWithParam<KCase> {};
+
+TEST_P(KPortedSweep, ScheduleValidAndExactlyOptimal) {
+  const auto& [n, k, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = kported_bcast_schedule(params, k);
+  const KPortedReport report = validate_kported(s, params, k);
+  ASSERT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
+  const Rational predicted = predict_kported_bcast(params, k);
+  EXPECT_EQ(report.completion, predicted);
+  // Independent optimum: the greedy frontier agrees.
+  EXPECT_EQ(predicted, kported_optimal_greedy(params, k));
+  // Everyone informed exactly once.
+  EXPECT_EQ(s.size(), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KPortedSweep,
+    ::testing::Values(KCase{2, 2, Rational(2)}, KCase{14, 2, Rational(5, 2)},
+                      KCase{64, 2, Rational(1)}, KCase{100, 3, Rational(3)},
+                      KCase{256, 4, Rational(2)}, KCase{33, 8, Rational(9, 4)},
+                      KCase{500, 2, Rational(4)}, KCase{81, 3, Rational(7, 2)}),
+    [](const ::testing::TestParamInfo<KCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_k" + std::to_string(pinfo.param.k) +
+             "_lam" + std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+TEST(KPorted, KOneScheduleMatchesBcast) {
+  const PostalParams params(50, Rational(5, 2));
+  const Schedule a = kported_bcast_schedule(params, 1);
+  const Schedule b = bcast_schedule(params);
+  EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(KPorted, ValidatorAllowsExactlyKOverlaps) {
+  const PostalParams params(5, Rational(3));
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(0));  // two simultaneous sends
+  s.add(0, 3, 0, Rational(1));
+  s.add(0, 4, 0, Rational(1));
+  EXPECT_TRUE(validate_kported(s, params, 2).ok);
+  EXPECT_FALSE(validate_kported(s, params, 1).ok);
+}
+
+TEST(KPorted, ValidatorStillRejectsReceiveOverlap) {
+  const PostalParams params(3, Rational(2));
+  Schedule s;
+  s.add(0, 2, 0, Rational(0));
+  s.add(0, 1, 0, Rational(0));
+  // p1 informed at 2, forwards to p2 at 2: arrival windows at p2 overlap?
+  // p2 already received at 2; second arrival at 4 -- fine. Make a real
+  // conflict instead: two sends arriving at p2 half a unit apart.
+  Schedule bad;
+  bad.add(0, 1, 0, Rational(0));
+  bad.add(0, 2, 0, Rational(0));
+  bad.add(0, 2, 0, Rational(1, 2));
+  const KPortedReport report = validate_kported(bad, params, 4);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(KPorted, SpeedupGrowsWithPorts) {
+  // Doubling ports must give a real speedup for large n.
+  const PostalParams params(4096, Rational(4));
+  const Rational t1 = predict_kported_bcast(params, 1);
+  const Rational t2 = predict_kported_bcast(params, 2);
+  const Rational t4 = predict_kported_bcast(params, 4);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+}
+
+TEST(KPorted, SingleProcessorDegenerate) {
+  const PostalParams params(1, Rational(2));
+  EXPECT_TRUE(kported_bcast_schedule(params, 3).empty());
+  EXPECT_EQ(predict_kported_bcast(params, 3), Rational(0));
+  EXPECT_EQ(kported_optimal_greedy(params, 3), Rational(0));
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,270 @@
+// Tests for the Section 4.2 multi-message generalizations of BCAST:
+// REPEAT (Lemma 10), PACK (Lemma 12), PIPELINE-1 (Lemma 14), PIPELINE-2
+// (Lemma 16). Every algorithm is validated against the full postal model
+// and its simulated completion time is compared *exactly* (rational
+// equality) with the paper's closed-form formula.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/bounds.hpp"
+#include "sched/pack.hpp"
+#include "sched/pipeline.hpp"
+#include "sched/repeat.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+struct MultiCase {
+  std::uint64_t n;
+  std::uint64_t m;
+  Rational lambda;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MultiCase>& pinfo) {
+  return "n" + std::to_string(pinfo.param.n) + "_m" + std::to_string(pinfo.param.m) +
+         "_lam" + std::to_string(pinfo.param.lambda.num()) + "_" +
+         std::to_string(pinfo.param.lambda.den());
+}
+
+SimReport validate_multi(const Schedule& s, const PostalParams& params,
+                         std::uint64_t m) {
+  ValidatorOptions options;
+  options.messages = static_cast<std::uint32_t>(m);
+  return validate_schedule(s, params, options);
+}
+
+// ---------------------------------------------------------------------------
+// REPEAT
+// ---------------------------------------------------------------------------
+
+class RepeatSweep : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(RepeatSweep, ValidOrderPreservingAndLemma10Exact) {
+  const auto& [n, m, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = repeat_schedule(params, m);
+  const SimReport report = validate_multi(s, params, m);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.order_preserving);
+  GenFib fib(lambda);
+  EXPECT_EQ(report.makespan, predict_repeat(fib, n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RepeatSweep,
+    ::testing::Values(MultiCase{2, 1, Rational(2)}, MultiCase{2, 7, Rational(5, 2)},
+                      MultiCase{14, 3, Rational(5, 2)}, MultiCase{9, 5, Rational(1)},
+                      MultiCase{33, 4, Rational(3)}, MultiCase{100, 2, Rational(3, 2)},
+                      MultiCase{64, 8, Rational(2)}, MultiCase{7, 16, Rational(7, 2)},
+                      MultiCase{128, 6, Rational(4)}, MultiCase{20, 10, Rational(13, 4)},
+                      MultiCase{256, 3, Rational(6)}, MultiCase{50, 12, Rational(11, 5)}),
+    case_name);
+
+TEST(Repeat, FormulaMatchesLemma10Algebra) {
+  // T_R = m * f(n) - (m-1)(lambda-1).
+  GenFib fib(Rational(5, 2));
+  const Rational f14 = fib.f(14);
+  EXPECT_EQ(predict_repeat(fib, 14, 4),
+            Rational(4) * f14 - Rational(3) * Rational(3, 2));
+}
+
+TEST(Repeat, SingleMessageReducesToBcast) {
+  const PostalParams params(21, Rational(5, 2));
+  GenFib fib(params.lambda());
+  EXPECT_EQ(predict_repeat(fib, 21, 1), fib.f(21));
+  const Schedule s = repeat_schedule(params, 1);
+  const SimReport report = validate_multi(s, params, 1);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.makespan, fib.f(21));
+}
+
+TEST(Repeat, StaysBelowCorollary11) {
+  for (const auto& [n, m, lambda] :
+       {MultiCase{32, 4, Rational(2)}, MultiCase{128, 16, Rational(5, 2)},
+        MultiCase{512, 8, Rational(4)}}) {
+    GenFib fib(lambda);
+    EXPECT_LE(predict_repeat(fib, n, m).to_double(),
+              cor11_repeat_upper(lambda, n, m) + 1e-9)
+        << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(Repeat, RejectsZeroMessages) {
+  const PostalParams params(4, Rational(2));
+  POSTAL_EXPECT_THROW(repeat_schedule(params, 0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// PACK
+// ---------------------------------------------------------------------------
+
+class PackSweep : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(PackSweep, ValidOrderPreservingAndLemma12Exact) {
+  const auto& [n, m, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  const Schedule s = pack_schedule(params, m);
+  const SimReport report = validate_multi(s, params, m);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.order_preserving);
+  EXPECT_EQ(report.makespan, predict_pack(lambda, n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PackSweep,
+    ::testing::Values(MultiCase{2, 1, Rational(2)}, MultiCase{2, 5, Rational(5, 2)},
+                      MultiCase{14, 3, Rational(5, 2)}, MultiCase{9, 4, Rational(1)},
+                      MultiCase{33, 6, Rational(3)}, MultiCase{100, 2, Rational(3, 2)},
+                      MultiCase{64, 8, Rational(2)}, MultiCase{7, 16, Rational(7, 2)},
+                      MultiCase{128, 5, Rational(4)}, MultiCase{20, 9, Rational(13, 4)},
+                      MultiCase{300, 3, Rational(9)}, MultiCase{41, 11, Rational(8, 3)}),
+    case_name);
+
+TEST(Pack, EachRecipientGetsWholeStreamBeforeForwarding) {
+  const PostalParams params(9, Rational(3));
+  const std::uint64_t m = 4;
+  const Schedule s = pack_schedule(params, m);
+  // For each processor, the first send must come after the arrival of the
+  // *last* message of the packed stream.
+  std::vector<Rational> last_arrival(params.n(), Rational(0));
+  for (const SendEvent& e : s.events()) {
+    last_arrival[e.dst] = rmax(last_arrival[e.dst], e.t + params.lambda());
+  }
+  std::vector<Rational> first_send(params.n(), Rational(-1));
+  for (const SendEvent& e : s.events()) {
+    if (first_send[e.src] < Rational(0)) first_send[e.src] = e.t;  // sorted
+  }
+  for (ProcId p = 1; p < params.n(); ++p) {
+    if (first_send[p] >= Rational(0)) {
+      EXPECT_GE(first_send[p], last_arrival[p]) << "p=" << p;
+    }
+  }
+}
+
+TEST(Pack, LambdaOnePackEqualsLambdaOne) {
+  // At lambda = 1, lambda' = 1: PACK is m back-to-back binomial rounds.
+  GenFib fib(Rational(1));
+  EXPECT_EQ(predict_pack(Rational(1), 16, 4), Rational(4) * fib.f(16));
+}
+
+TEST(Pack, StaysBelowCorollary13) {
+  for (const auto& [n, m, lambda] :
+       {MultiCase{32, 4, Rational(2)}, MultiCase{128, 16, Rational(5, 2)},
+        MultiCase{512, 8, Rational(4)}}) {
+    EXPECT_LE(predict_pack(lambda, n, m).to_double(),
+              cor13_pack_upper(lambda, n, m) + 1e-9)
+        << "n=" << n << " m=" << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PIPELINE-1 and PIPELINE-2
+// ---------------------------------------------------------------------------
+
+class Pipeline1Sweep : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(Pipeline1Sweep, ValidOrderPreservingAndLemma14Exact) {
+  const auto& [n, m, lambda] = GetParam();
+  ASSERT_LE(Rational(static_cast<std::int64_t>(m)), lambda) << "regime m <= lambda";
+  const PostalParams params(n, lambda);
+  const Schedule s = pipeline1_schedule(params, m);
+  const SimReport report = validate_multi(s, params, m);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.order_preserving);
+  EXPECT_EQ(report.makespan, predict_pipeline1(lambda, n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Pipeline1Sweep,
+    ::testing::Values(MultiCase{2, 1, Rational(2)}, MultiCase{14, 2, Rational(5, 2)},
+                      MultiCase{9, 3, Rational(3)}, MultiCase{33, 2, Rational(4)},
+                      MultiCase{100, 4, Rational(9, 2)}, MultiCase{64, 8, Rational(8)},
+                      MultiCase{7, 5, Rational(11, 2)}, MultiCase{256, 3, Rational(3)},
+                      MultiCase{50, 6, Rational(13, 2)}, MultiCase{2, 4, Rational(17, 4)}),
+    case_name);
+
+class Pipeline2Sweep : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(Pipeline2Sweep, ValidOrderPreservingAndLemma16Exact) {
+  const auto& [n, m, lambda] = GetParam();
+  ASSERT_GE(Rational(static_cast<std::int64_t>(m)), lambda) << "regime m >= lambda";
+  const PostalParams params(n, lambda);
+  const Schedule s = pipeline2_schedule(params, m);
+  const SimReport report = validate_multi(s, params, m);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.order_preserving);
+  EXPECT_EQ(report.makespan, predict_pipeline2(lambda, n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Pipeline2Sweep,
+    ::testing::Values(MultiCase{2, 2, Rational(2)}, MultiCase{14, 5, Rational(5, 2)},
+                      MultiCase{9, 9, Rational(3)}, MultiCase{33, 16, Rational(4)},
+                      MultiCase{100, 8, Rational(3, 2)}, MultiCase{64, 32, Rational(2)},
+                      MultiCase{7, 12, Rational(7, 2)}, MultiCase{128, 10, Rational(5, 2)},
+                      MultiCase{25, 20, Rational(5)}, MultiCase{2, 64, Rational(1)},
+                      MultiCase{200, 7, Rational(7, 4)}),
+    case_name);
+
+TEST(Pipeline, RegimesAgreeAtBoundary) {
+  // m == lambda: both lemmas give the same time.
+  const Rational lambda(4);
+  const std::uint64_t m = 4;
+  for (std::uint64_t n : {2ULL, 10ULL, 64ULL}) {
+    EXPECT_EQ(predict_pipeline1(lambda, n, m), predict_pipeline2(lambda, n, m))
+        << "n=" << n;
+  }
+}
+
+TEST(Pipeline, DispatcherPicksRegime) {
+  const PostalParams params(10, Rational(3));
+  // m = 2 <= 3 -> PIPELINE-1; m = 5 >= 3 -> PIPELINE-2.
+  const SimReport r1 = validate_multi(pipeline_schedule(params, 2), params, 2);
+  ASSERT_TRUE(r1.ok) << r1.summary();
+  EXPECT_EQ(r1.makespan, predict_pipeline(Rational(3), 10, 2));
+  const SimReport r2 = validate_multi(pipeline_schedule(params, 5), params, 5);
+  ASSERT_TRUE(r2.ok) << r2.summary();
+  EXPECT_EQ(r2.makespan, predict_pipeline(Rational(3), 10, 5));
+}
+
+TEST(Pipeline, StaysBelowCorollaries15And17) {
+  EXPECT_LE(predict_pipeline1(Rational(8), 128, 4).to_double(),
+            cor15_pipeline1_upper(Rational(8), 128, 4) + 1e-9);
+  EXPECT_LE(predict_pipeline2(Rational(2), 128, 16).to_double(),
+            cor17_pipeline2_upper(Rational(2), 128, 16) + 1e-9);
+}
+
+TEST(Pipeline, RegimeViolationsRejected) {
+  const PostalParams params(8, Rational(2));
+  POSTAL_EXPECT_THROW(pipeline1_schedule(params, 5), InvalidArgument);
+  POSTAL_EXPECT_THROW(pipeline2_schedule(params, 1), InvalidArgument);
+}
+
+TEST(Pipeline, PipelineBeatsPackForLongStreams) {
+  // The paper: "the fact that Algorithm PIPELINE takes advantage of the
+  // nonatomicity of the stream makes it more efficient than PACK."
+  const Rational lambda(5, 2);
+  for (std::uint64_t m : {8ULL, 32ULL, 128ULL}) {
+    EXPECT_LT(predict_pipeline(lambda, 64, m), predict_pack(lambda, 64, m))
+        << "m=" << m;
+  }
+}
+
+TEST(Pipeline, AllMultiAlgosRespectLemma8) {
+  // No generalization may beat the universal lower bound.
+  for (const auto& [n, m, lambda] :
+       {MultiCase{16, 4, Rational(5, 2)}, MultiCase{64, 16, Rational(2)},
+        MultiCase{100, 3, Rational(6)}}) {
+    GenFib fib(lambda);
+    const Rational lower = lemma8_lower(fib, n, m);
+    EXPECT_GE(predict_repeat(fib, n, m), lower);
+    EXPECT_GE(predict_pack(lambda, n, m), lower);
+    EXPECT_GE(predict_pipeline(lambda, n, m), lower);
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,100 @@
+// Tests for the schedule IR.
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Schedule, StartsEmpty) {
+  const Schedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.makespan(Rational(2)), Rational(0));
+  EXPECT_EQ(s.message_count(), 0u);
+}
+
+TEST(Schedule, AddAndQuery) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(1));
+  s.add(1, 3, 1, Rational(5, 2));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.last_send_start(), Rational(5, 2));
+  EXPECT_EQ(s.makespan(Rational(5, 2)), Rational(5));
+  EXPECT_EQ(s.message_count(), 2u);
+}
+
+TEST(Schedule, RejectsSelfSend) {
+  Schedule s;
+  EXPECT_THROW(s.add(3, 3, 0, Rational(0)), InvalidArgument);
+}
+
+TEST(Schedule, RejectsNegativeTime) {
+  Schedule s;
+  EXPECT_THROW(s.add(0, 1, 0, Rational(-1)), InvalidArgument);
+}
+
+TEST(Schedule, SortIsByTimeThenIds) {
+  Schedule s;
+  s.add(2, 3, 0, Rational(1));
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 2, 0, Rational(1));
+  s.sort();
+  EXPECT_EQ(s.events()[0].src, 0u);
+  EXPECT_EQ(s.events()[1].src, 1u);
+  EXPECT_EQ(s.events()[2].src, 2u);
+}
+
+TEST(Schedule, AppendShiftedOffsetsTimeAndMsg) {
+  Schedule base;
+  base.add(0, 1, 0, Rational(0));
+  base.add(1, 2, 0, Rational(3, 2));
+  Schedule s;
+  s.append_shifted(base, Rational(10), 5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.events()[0].t, Rational(10));
+  EXPECT_EQ(s.events()[0].msg, 5u);
+  EXPECT_EQ(s.events()[1].t, Rational(23, 2));
+  EXPECT_EQ(s.events()[1].msg, 5u);
+}
+
+TEST(Schedule, SendsPerProcCounts) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(1));
+  s.add(2, 1, 0, Rational(4));
+  const auto counts = s.sends_per_proc(3);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Schedule, SendsPerProcRejectsOutOfRange) {
+  Schedule s;
+  s.add(0, 7, 0, Rational(0));
+  POSTAL_EXPECT_THROW(s.sends_per_proc(3), InvalidArgument);
+}
+
+TEST(SendEvent, StreamsHumanReadable) {
+  std::ostringstream oss;
+  oss << SendEvent{0, 9, 0, Rational(5, 2)};
+  EXPECT_EQ(oss.str(), "p0 -> p9 : M1 @ t=5/2");
+}
+
+TEST(Schedule, StreamsAllEvents) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 2, 1, Rational(2));
+  std::ostringstream oss;
+  oss << s;
+  EXPECT_NE(oss.str().find("p0 -> p1 : M1 @ t=0"), std::string::npos);
+  EXPECT_NE(oss.str().find("p1 -> p2 : M2 @ t=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace postal

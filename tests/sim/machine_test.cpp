@@ -1,0 +1,208 @@
+// Tests for the event-driven Machine runtime and the event-driven protocol
+// implementations of BCAST and DTREE. The key cross-validation: the
+// event-driven runs must produce exactly the schedules the analytic
+// generators produce, and those runs must validate under the postal model.
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/bcast.hpp"
+#include "sched/dtree.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "sim/protocols/dtree_protocol.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+/// A protocol that does nothing; the machine must terminate immediately.
+class IdleProtocol final : public Protocol {
+ public:
+  void on_receive(MachineContext&, const Packet&) override {}
+};
+
+/// Origin sends one packet to each other processor, round robin.
+class FloodOnceProtocol final : public Protocol {
+ public:
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() != 0) return;
+    for (ProcId p = 1; p < ctx.params().n(); ++p) ctx.send(p, Packet{0, 0, 0});
+  }
+  void on_receive(MachineContext&, const Packet&) override {}
+};
+
+/// Two processors bounce a packet forever -- must hit the runaway guard.
+class PingPongProtocol final : public Protocol {
+ public:
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() == 0) ctx.send(1, Packet{0, 0, 0});
+  }
+  void on_receive(MachineContext& ctx, const Packet& packet) override {
+    ctx.send(ctx.self() == 0 ? 1 : 0, packet);
+  }
+};
+
+TEST(Machine, IdleProtocolTerminatesEmpty) {
+  Machine machine(PostalParams(4, Rational(2)), 1);
+  IdleProtocol protocol;
+  const MachineResult result = machine.run(protocol);
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.trace.makespan(), Rational(0));
+}
+
+TEST(Machine, OutputPortSerializesQueuedSends) {
+  Machine machine(PostalParams(5, Rational(7, 2)), 1);
+  FloodOnceProtocol protocol;
+  const MachineResult result = machine.run(protocol);
+  ASSERT_EQ(result.schedule.size(), 4u);
+  // Sends requested simultaneously leave at 0, 1, 2, 3.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.schedule.events()[i].t, Rational(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(result.trace.makespan(), Rational(3) + Rational(7, 2));
+}
+
+TEST(Machine, RunawayProtocolHitsGuard) {
+  Machine machine(PostalParams(2, Rational(1)), 1);
+  PingPongProtocol protocol;
+  POSTAL_EXPECT_THROW(machine.run(protocol, /*max_events=*/100), LogicError);
+}
+
+TEST(Machine, RejectsBadDestination) {
+  class BadDst final : public Protocol {
+   public:
+    void on_start(MachineContext& ctx) override {
+      if (ctx.self() == 0) ctx.send(99, Packet{0, 0, 0});
+    }
+    void on_receive(MachineContext&, const Packet&) override {}
+  };
+  Machine machine(PostalParams(2, Rational(1)), 1);
+  BadDst protocol;
+  POSTAL_EXPECT_THROW(machine.run(protocol), InvalidArgument);
+}
+
+TEST(Machine, RejectsSelfSend) {
+  class SelfSend final : public Protocol {
+   public:
+    void on_start(MachineContext& ctx) override {
+      if (ctx.self() == 0) ctx.send(0, Packet{0, 0, 0});
+    }
+    void on_receive(MachineContext&, const Packet&) override {}
+  };
+  Machine machine(PostalParams(2, Rational(1)), 1);
+  SelfSend protocol;
+  POSTAL_EXPECT_THROW(machine.run(protocol), InvalidArgument);
+}
+
+TEST(Machine, RejectsBadMessageId) {
+  class BadMsg final : public Protocol {
+   public:
+    void on_start(MachineContext& ctx) override {
+      if (ctx.self() == 0) ctx.send(1, Packet{7, 0, 0});
+    }
+    void on_receive(MachineContext&, const Packet&) override {}
+  };
+  Machine machine(PostalParams(2, Rational(1)), /*messages=*/2);
+  BadMsg protocol;
+  POSTAL_EXPECT_THROW(machine.run(protocol), InvalidArgument);
+}
+
+TEST(Machine, ReusableAcrossRuns) {
+  Machine machine(PostalParams(5, Rational(2)), 1);
+  FloodOnceProtocol protocol;
+  const MachineResult a = machine.run(protocol);
+  const MachineResult b = machine.run(protocol);
+  EXPECT_EQ(a.schedule.events(), b.schedule.events());
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven BCAST == analytic BCAST.
+// ---------------------------------------------------------------------------
+
+class BcastProtocolSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, Rational>> {};
+
+TEST_P(BcastProtocolSweep, EventDrivenMatchesAnalytic) {
+  const auto& [n, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  Machine machine(params, 1);
+  BcastProtocol protocol(params);
+  const MachineResult result = machine.run(protocol);
+
+  const Schedule analytic = bcast_schedule(params);
+  EXPECT_EQ(result.schedule.events(), analytic.events());
+
+  const SimReport report = validate_schedule(result.schedule, params);
+  ASSERT_TRUE(report.ok) << report.summary();
+  GenFib fib(lambda);
+  EXPECT_EQ(result.trace.makespan(), fib.f(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BcastProtocolSweep,
+    ::testing::Values(std::pair<std::uint64_t, Rational>{1, Rational(2)},
+                      std::pair<std::uint64_t, Rational>{2, Rational(5, 2)},
+                      std::pair<std::uint64_t, Rational>{14, Rational(5, 2)},
+                      std::pair<std::uint64_t, Rational>{64, Rational(1)},
+                      std::pair<std::uint64_t, Rational>{100, Rational(3)},
+                      std::pair<std::uint64_t, Rational>{257, Rational(7, 2)},
+                      std::pair<std::uint64_t, Rational>{33, Rational(9, 4)}),
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.first) + "_lam" +
+             std::to_string(pinfo.param.second.num()) + "_" +
+             std::to_string(pinfo.param.second.den());
+    });
+
+TEST(BcastProtocol, NonZeroOriginRejected) {
+  const PostalParams params(4, Rational(2));
+  EXPECT_THROW(BcastProtocol(params, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven DTREE == analytic DTREE.
+// ---------------------------------------------------------------------------
+
+struct DTreeProtoCase {
+  std::uint64_t n;
+  std::uint32_t m;
+  std::uint64_t d;
+  Rational lambda;
+};
+
+class DTreeProtocolSweep : public ::testing::TestWithParam<DTreeProtoCase> {};
+
+TEST_P(DTreeProtocolSweep, EventDrivenMatchesAnalytic) {
+  const auto& [n, m, d, lambda] = GetParam();
+  const PostalParams params(n, lambda);
+  Machine machine(params, m);
+  DTreeProtocol protocol(params, m, d);
+  const MachineResult result = machine.run(protocol);
+
+  const Schedule analytic = dtree_schedule(params, m, d);
+  EXPECT_EQ(result.schedule.events(), analytic.events());
+
+  ValidatorOptions options;
+  options.messages = m;
+  const SimReport report = validate_schedule(result.schedule, params, options);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(result.trace.makespan(), predict_dtree(params, m, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DTreeProtocolSweep,
+    ::testing::Values(DTreeProtoCase{10, 4, 3, Rational(5, 2)},
+                      DTreeProtoCase{10, 4, 1, Rational(5, 2)},
+                      DTreeProtoCase{10, 4, 9, Rational(5, 2)},
+                      DTreeProtoCase{64, 8, 2, Rational(1)},
+                      DTreeProtoCase{81, 3, 3, Rational(7, 2)},
+                      DTreeProtoCase{33, 5, 4, Rational(2)}),
+    [](const ::testing::TestParamInfo<DTreeProtoCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_m" + std::to_string(pinfo.param.m) +
+             "_d" + std::to_string(pinfo.param.d) + "_lam" +
+             std::to_string(pinfo.param.lambda.num()) + "_" +
+             std::to_string(pinfo.param.lambda.den());
+    });
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,98 @@
+// Tests for Trace: coverage, order preservation, arrival bookkeeping.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+Delivery mk(ProcId src, ProcId dst, MsgId msg, Rational start, Rational arrive) {
+  return Delivery{src, dst, msg, std::move(start), std::move(arrive)};
+}
+
+TEST(Trace, StartsEmpty) {
+  const Trace t(3, 2);
+  EXPECT_EQ(t.makespan(), Rational(0));
+  EXPECT_FALSE(t.covers_all(0));
+  EXPECT_TRUE(t.order_preserving());
+  EXPECT_FALSE(t.arrival(1, 0).has_value());
+}
+
+TEST(Trace, RecordsFirstArrival) {
+  Trace t(3, 1);
+  t.record(mk(0, 1, 0, Rational(0), Rational(2)));
+  t.record(mk(2, 1, 0, Rational(3), Rational(5)));  // duplicate, later
+  ASSERT_TRUE(t.arrival(1, 0).has_value());
+  EXPECT_EQ(*t.arrival(1, 0), Rational(2));
+  EXPECT_EQ(t.makespan(), Rational(5));
+}
+
+TEST(Trace, EarlierDuplicateWins) {
+  Trace t(3, 1);
+  t.record(mk(0, 1, 0, Rational(3), Rational(5)));
+  t.record(mk(2, 1, 0, Rational(0), Rational(2)));
+  EXPECT_EQ(*t.arrival(1, 0), Rational(2));
+}
+
+TEST(Trace, CoverageExcludesOrigin) {
+  Trace t(3, 1);
+  t.record(mk(0, 1, 0, Rational(0), Rational(2)));
+  EXPECT_FALSE(t.covers_all(0));
+  t.record(mk(1, 2, 0, Rational(2), Rational(4)));
+  EXPECT_TRUE(t.covers_all(0));
+  EXPECT_FALSE(t.covers_all(1)) << "p0 never received anything";
+}
+
+TEST(Trace, UncoveredListsMissingProcessors) {
+  Trace t(4, 2);
+  t.record(mk(0, 1, 0, Rational(0), Rational(2)));
+  t.record(mk(0, 1, 1, Rational(1), Rational(3)));
+  const auto missing = t.uncovered(0);
+  EXPECT_EQ(missing, (std::vector<ProcId>{2, 3}));
+}
+
+TEST(Trace, OrderPreservationHolds) {
+  Trace t(2, 3);
+  t.record(mk(0, 1, 0, Rational(0), Rational(2)));
+  t.record(mk(0, 1, 1, Rational(1), Rational(3)));
+  t.record(mk(0, 1, 2, Rational(2), Rational(4)));
+  EXPECT_TRUE(t.order_preserving());
+  EXPECT_TRUE(t.order_violations().empty());
+}
+
+TEST(Trace, OrderViolationDetected) {
+  Trace t(2, 2);
+  t.record(mk(0, 1, 1, Rational(0), Rational(2)));  // M2 first
+  t.record(mk(0, 1, 0, Rational(1), Rational(3)));
+  EXPECT_FALSE(t.order_preserving());
+  const auto violations = t.order_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("p1"), std::string::npos);
+}
+
+TEST(Trace, SimultaneousArrivalIsOrderPreserving) {
+  // Equal first-arrival times do not violate order (not strictly earlier).
+  Trace t(2, 2);
+  t.record(mk(0, 1, 0, Rational(0), Rational(2)));
+  t.record(mk(0, 1, 1, Rational(0), Rational(2)));
+  EXPECT_TRUE(t.order_preserving());
+}
+
+TEST(Trace, RejectsOutOfRangeIds) {
+  Trace t(2, 1);
+  EXPECT_THROW(t.record(mk(0, 5, 0, Rational(0), Rational(1))), InvalidArgument);
+  EXPECT_THROW(t.record(mk(0, 1, 3, Rational(0), Rational(1))), InvalidArgument);
+  POSTAL_EXPECT_THROW(t.arrival(5, 0), InvalidArgument);
+  POSTAL_EXPECT_THROW(t.arrival(0, 9), InvalidArgument);
+}
+
+TEST(Trace, ZeroMessagesAlwaysCovered) {
+  const Trace t(5, 0);
+  EXPECT_TRUE(t.covers_all(0));
+  EXPECT_TRUE(t.order_preserving());
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,226 @@
+// Tests for the postal-model schedule validator -- including *negative*
+// tests: hand-built illegal schedules must be rejected with the right
+// violation class, and legal ones accepted.
+#include "sim/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/bcast.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+PostalParams mps(std::uint64_t n, Rational lambda) { return {n, std::move(lambda)}; }
+
+TEST(Validator, AcceptsMinimalBroadcast) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  const SimReport report = validate_schedule(s, mps(2, Rational(5, 2)));
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, Rational(5, 2));
+  EXPECT_TRUE(report.order_preserving);
+}
+
+TEST(Validator, EmptyScheduleWithOneProcessorIsOk) {
+  const SimReport report = validate_schedule(Schedule(), mps(1, Rational(2)));
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.makespan, Rational(0));
+}
+
+TEST(Validator, EmptyScheduleWithManyProcessorsFailsCoverage) {
+  const SimReport report = validate_schedule(Schedule(), mps(3, Rational(2)));
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Validator, DetectsSendPortConflict) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(1, 2));  // overlaps [0, 1)
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("send port"), std::string::npos);
+}
+
+TEST(Validator, BackToBackSendsAreLegal) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(1));
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(Validator, DetectsReceivePortConflict) {
+  Schedule s;
+  s.add(0, 2, 0, Rational(0));
+  s.add(1, 2, 1, Rational(1, 2));  // arrival windows overlap at p2
+  ValidatorOptions options;
+  options.messages = 2;
+  options.require_coverage = false;
+  // Give p1 message 1 by origin trickery: use per-message origins.
+  options.origins = {0, 1};
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)), options);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("receive port"), std::string::npos);
+}
+
+TEST(Validator, SimultaneousSendAndReceiveAreLegal) {
+  // p1 receives message 0 on [1, 2) while sending message 1 on [3/2, 5/2):
+  // distinct ports, explicitly allowed by Definition 1.
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 2, 1, Rational(3, 2));
+  ValidatorOptions options;
+  options.messages = 2;
+  options.require_coverage = false;
+  options.origins = {0, 1};
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)), options);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(Validator, DetectsCausalityViolation) {
+  // p1 forwards the message before it has fully received it.
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 2, 0, Rational(3, 2));  // p1 holds it only from t = 2
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("does not hold"), std::string::npos);
+}
+
+TEST(Validator, ForwardingAtExactArrivalIsLegal) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 2, 0, Rational(2));  // exactly at arrival
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(Validator, DetectsMissingCoverage) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("never received"), std::string::npos);
+}
+
+TEST(Validator, CoverageCanBeDisabled) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  ValidatorOptions options;
+  options.require_coverage = false;
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)), options);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(Validator, DetectsOutOfRangeProcessor) {
+  Schedule s;
+  s.add(0, 7, 0, Rational(0));
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("out of range"), std::string::npos);
+}
+
+TEST(Validator, DetectsOutOfRangeMessage) {
+  Schedule s;
+  s.add(0, 1, 5, Rational(0));
+  ValidatorOptions options;
+  options.messages = 2;
+  options.require_coverage = false;
+  const SimReport report = validate_schedule(s, mps(2, Rational(2)), options);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("message id out of range"), std::string::npos);
+}
+
+TEST(Validator, ReportsOrderViolationWithoutFailing) {
+  // Delivering M2 before M1 is legal in the model; the report just flags
+  // that the schedule is not order-preserving.
+  Schedule s;
+  s.add(0, 1, 1, Rational(0));
+  s.add(0, 1, 0, Rational(1));
+  ValidatorOptions options;
+  options.messages = 2;
+  const SimReport report = validate_schedule(s, mps(2, Rational(2)), options);
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_FALSE(report.order_preserving);
+}
+
+TEST(Validator, PerMessageOriginsEnableAllToAll) {
+  // p0 and p1 exchange their own messages simultaneously.
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(1, 0, 1, Rational(0));
+  ValidatorOptions options;
+  options.messages = 2;
+  options.origins = {0, 1};
+  const SimReport report = validate_schedule(s, mps(2, Rational(3)), options);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(Validator, OriginsSizeMismatchThrows) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  ValidatorOptions options;
+  options.messages = 2;
+  options.origins = {0};  // must be one per message
+  POSTAL_EXPECT_THROW(validate_schedule(s, mps(2, Rational(2)), options),
+                      InvalidArgument);
+}
+
+TEST(Validator, RequiredDeliveriesChecked) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  ValidatorOptions options;
+  options.messages = 2;
+  options.required = {{1, 0}, {1, 1}};
+  const SimReport report = validate_schedule(s, mps(3, Rational(2)), options);
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("required M2"), std::string::npos);
+}
+
+TEST(Validator, MutatedOptimalSchedulesAreRejected) {
+  // Property test: take a known-good BCAST schedule and mutate one event's
+  // time to an earlier instant; the validator must catch the (send-port or
+  // causality) breach in the overwhelming majority of mutations -- and must
+  // never report a *smaller* makespan than the original.
+  const PostalParams params = mps(34, Rational(5, 2));
+  const Schedule good = bcast_schedule(params);
+  const SimReport good_report = validate_schedule(good, params);
+  ASSERT_TRUE(good_report.ok);
+
+  Xoshiro256 rng(2024);
+  std::uint64_t rejected = 0;
+  const std::uint64_t trials = 60;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    Schedule mutated;
+    const std::size_t victim = rng.uniform(0, good.size() - 1);
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      SendEvent e = good.events()[i];
+      if (i == victim) {
+        // Pull the send earlier by half a unit (or to 0).
+        e.t = e.t < Rational(1, 2) ? Rational(0) : e.t - Rational(1, 2);
+        if (e.t == good.events()[i].t) continue;
+      }
+      mutated.add(e);
+    }
+    const SimReport report = validate_schedule(mutated, params);
+    if (!report.ok) ++rejected;
+  }
+  // Moving a send earlier must essentially always break either causality
+  // (it precedes the arrival that enabled it) or a port window.
+  EXPECT_GE(rejected, trials * 9 / 10);
+}
+
+TEST(Validator, SummaryListsEachViolation) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  s.add(0, 2, 0, Rational(0));  // port conflict AND p2's double use
+  const SimReport report = validate_schedule(s, mps(4, Rational(2)));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("violation"), std::string::npos);
+  EXPECT_GE(report.violations.size(), 2u);  // port + missing coverage for p3
+}
+
+}  // namespace
+}  // namespace postal

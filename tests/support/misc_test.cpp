@@ -1,0 +1,164 @@
+// Tests for the small support utilities: saturating arithmetic, the PRNG,
+// the ASCII table writer, and the error macros.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/saturating.hpp"
+#include "support/table.hpp"
+
+namespace postal {
+namespace {
+
+TEST(Saturating, AddWithinRange) {
+  EXPECT_EQ(sat_add(2, 3), 5u);
+  EXPECT_EQ(sat_add(0, 0), 0u);
+}
+
+TEST(Saturating, AddSaturates) {
+  EXPECT_EQ(sat_add(kSaturated, 1), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated - 1, 5), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated, kSaturated), kSaturated);
+}
+
+TEST(Saturating, MulWithinRange) {
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(0, kSaturated), 0u);
+  EXPECT_EQ(sat_mul(kSaturated, 0), 0u);
+  EXPECT_EQ(sat_mul(1, kSaturated), kSaturated);
+}
+
+TEST(Saturating, MulSaturates) {
+  EXPECT_EQ(sat_mul(1ULL << 33, 1ULL << 33), kSaturated);
+  EXPECT_EQ(sat_mul(kSaturated, 2), kSaturated);
+}
+
+TEST(Saturating, PowExact) {
+  EXPECT_EQ(sat_pow(2, 10), 1024u);
+  EXPECT_EQ(sat_pow(3, 0), 1u);
+  EXPECT_EQ(sat_pow(1, 1000), 1u);
+  EXPECT_EQ(sat_pow(10, 19), 10'000'000'000'000'000'000ULL);
+}
+
+TEST(Saturating, PowSaturates) {
+  EXPECT_EQ(sat_pow(2, 64), kSaturated);
+  EXPECT_EQ(sat_pow(3, 41), kSaturated);
+  EXPECT_EQ(sat_pow(kSaturated, 2), kSaturated);
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Prng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Prng, UniformSwapsReversedBounds) {
+  Xoshiro256 rng(7);
+  const std::uint64_t v = rng.uniform(20, 10);
+  EXPECT_GE(v, 10u);
+  EXPECT_LE(v, 20u);
+}
+
+TEST(Prng, UniformDegenerateRange) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Prng, Uniform01InHalfOpenUnit) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, UniformCoversExtremes) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000 && !(saw_lo && saw_hi); ++i) {
+    const std::uint64_t v = rng.uniform(0, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0), "2.000");
+}
+
+TEST(ErrorMacros, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(POSTAL_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(POSTAL_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorMacros, CheckThrowsLogicError) {
+  EXPECT_THROW(POSTAL_CHECK(false), LogicError);
+  EXPECT_NO_THROW(POSTAL_CHECK(true));
+}
+
+TEST(ErrorMacros, MessagesCarryContext) {
+  try {
+    POSTAL_REQUIRE(1 == 2, "lambda must be >= 1");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("lambda must be >= 1"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace postal

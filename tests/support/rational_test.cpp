@@ -1,0 +1,208 @@
+// Unit tests for postal::Rational: normalization, ordering, arithmetic,
+// overflow detection, parsing, and formatting.
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace postal {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_EQ(r, Rational(0));
+}
+
+TEST(Rational, IntegerConversionIsImplicit) {
+  const Rational r = 7;
+  EXPECT_EQ(r.num(), 7);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSignToNumerator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  const Rational s(-3, -6);
+  EXPECT_EQ(s.num(), 1);
+  EXPECT_EQ(s.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), InvalidArgument);
+}
+
+TEST(Rational, AdditionExact) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(5, 2) + Rational(5, 2), Rational(5));
+  EXPECT_EQ(Rational(-1, 2) + Rational(1, 2), Rational(0));
+}
+
+TEST(Rational, SubtractionExact) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(1) - Rational(5, 2), Rational(-3, 2));
+}
+
+TEST(Rational, MultiplicationCrossReduces) {
+  // Would overflow without cross-reduction.
+  const std::int64_t big = 3'000'000'000;
+  const Rational a(big, 7);
+  const Rational b(7, big);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, DivisionExact) {
+  EXPECT_EQ(Rational(5, 2) / Rational(5), Rational(1, 2));
+  EXPECT_EQ(Rational(7) / Rational(1, 7), Rational(49));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), InvalidArgument);
+}
+
+TEST(Rational, AdditionOverflowThrows) {
+  const Rational huge(std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(huge + huge, OverflowError);
+}
+
+TEST(Rational, MultiplicationOverflowThrows) {
+  const Rational huge(std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(huge * huge, OverflowError);
+}
+
+TEST(Rational, NegationOfMinThrows) {
+  const Rational min_val(std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW(-min_val, OverflowError);
+}
+
+TEST(Rational, OrderingIsExact) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GT(Rational(5, 2), Rational(2));
+  EXPECT_LE(Rational(2), Rational(2));
+  // Cross products near 64-bit range must not overflow the comparison.
+  const std::int64_t big = 4'000'000'000;
+  EXPECT_LT(Rational(big, big + 1), Rational(big + 1, big + 2));
+}
+
+TEST(Rational, FloorCeilTrunc) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).trunc(), 3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).trunc(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+  EXPECT_EQ(Rational(-4).floor(), -4);
+  EXPECT_EQ(Rational(-4).ceil(), -4);
+}
+
+TEST(Rational, ParseInteger) { EXPECT_EQ(Rational::parse("42"), Rational(42)); }
+
+TEST(Rational, ParseFractionForm) {
+  EXPECT_EQ(Rational::parse("5/2"), Rational(5, 2));
+  EXPECT_EQ(Rational::parse("-5/2"), Rational(-5, 2));
+  EXPECT_EQ(Rational::parse("6/4"), Rational(3, 2));
+}
+
+TEST(Rational, ParseDecimalForm) {
+  EXPECT_EQ(Rational::parse("2.5"), Rational(5, 2));
+  EXPECT_EQ(Rational::parse("0.25"), Rational(1, 4));
+  EXPECT_EQ(Rational::parse("-1.5"), Rational(-3, 2));
+  EXPECT_EQ(Rational::parse("3.0"), Rational(3));
+}
+
+TEST(Rational, ParseRejectsGarbage) {
+  EXPECT_THROW(static_cast<void>(Rational::parse("")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(Rational::parse("abc")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(Rational::parse("1.")), InvalidArgument);
+}
+
+TEST(Rational, StrRoundTrips) {
+  EXPECT_EQ(Rational(5, 2).str(), "5/2");
+  EXPECT_EQ(Rational(4).str(), "4");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+  std::ostringstream oss;
+  oss << Rational(15, 2);
+  EXPECT_EQ(oss.str(), "15/2");
+}
+
+TEST(Rational, ToDoubleIsClose) {
+  EXPECT_DOUBLE_EQ(Rational(5, 2).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Rational(-1, 4).to_double(), -0.25);
+}
+
+TEST(Rational, HashEqualValuesCollide) {
+  std::unordered_set<Rational> set;
+  set.insert(Rational(1, 2));
+  set.insert(Rational(2, 4));  // same value
+  set.insert(Rational(3, 4));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rational, MinMaxHelpers) {
+  EXPECT_EQ(rmin(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+  EXPECT_EQ(rmax(Rational(1, 2), Rational(1, 3)), Rational(1, 2));
+  EXPECT_EQ(rmin(Rational(2), Rational(2)), Rational(2));
+}
+
+TEST(Rational, CompoundAssignmentChains) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  r -= Rational(1, 6);
+  r *= Rational(3);
+  r /= Rational(2);
+  EXPECT_EQ(r, Rational(1));
+}
+
+TEST(Rational, RepeatedAdditionKeepsReducedForm) {
+  Rational sum(0);
+  for (int i = 0; i < 1000; ++i) sum += Rational(1, 8);
+  EXPECT_EQ(sum, Rational(125));
+  EXPECT_EQ(sum.den(), 1);
+}
+
+TEST(Rational, ParseStrRoundTripFuzz) {
+  // str() -> parse() must be the identity for random reduced rationals.
+  std::uint64_t state = 0x12345678;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const auto num = static_cast<std::int64_t>(next() % 2000001) - 1000000;
+    const auto den = static_cast<std::int64_t>(next() % 999) + 1;
+    const Rational r(num, den);
+    EXPECT_EQ(Rational::parse(r.str()), r) << r.str();
+  }
+}
+
+TEST(Rational, DecimalParseMatchesFractionParse) {
+  EXPECT_EQ(Rational::parse("0.5"), Rational::parse("1/2"));
+  EXPECT_EQ(Rational::parse("12.25"), Rational::parse("49/4"));
+  EXPECT_EQ(Rational::parse("-0.125"), Rational::parse("-1/8"));
+}
+
+}  // namespace
+}  // namespace postal

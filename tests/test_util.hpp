@@ -1,0 +1,8 @@
+// Shared helpers for the postal test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+/// EXPECT_THROW for [[nodiscard]] expressions (gtest discards the value).
+#define POSTAL_EXPECT_THROW(expr, exception_type) \
+  EXPECT_THROW(static_cast<void>(expr), exception_type)
