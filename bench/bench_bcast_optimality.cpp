@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "brute/optimal_search.hpp"
+#include "obs/bench_record.hpp"
 #include "model/genfib.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
@@ -19,6 +20,7 @@
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E2: Theorem 6 -- BCAST optimality, T_B(n, lambda) = f_lambda(n) ===\n\n";
 
   const Rational lambdas[] = {Rational(1),    Rational(3, 2), Rational(2),
@@ -27,6 +29,8 @@ int main() {
   const std::uint64_t ns[] = {2, 8, 32, 128, 512, 2048, 4096};
 
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_bcast_optimality";
   TextTable table({"lambda", "n", "f_lambda(n)", "BCAST (sim)", "DP optimum",
                    "binomial", "binomial/opt"});
   for (const Rational& lambda : lambdas) {
@@ -41,6 +45,9 @@ int main() {
       const bool ok = report.ok && report.makespan == predicted && dp == predicted &&
                       naive >= predicted;
       all_ok = all_ok && ok;
+      rec.n = n;
+      rec.lambda = lambda;
+      rec.makespan = report.makespan;
       table.add_row({lambda.str(), std::to_string(n), predicted.str(),
                      report.makespan.str() + (ok ? "" : " (!)"), dp.str(),
                      naive.str(), fmt(naive.to_double() / predicted.to_double(), 3)});
@@ -50,5 +57,9 @@ int main() {
   std::cout << "\nShape checks: simulated == f_lambda(n) == exhaustive optimum at "
                "every point; binomial tree optimal only at lambda = 1.\n";
   std::cout << "E2 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  rec.extra = {{"sweep", "8 lambdas x 7 ns, last point recorded"}};
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

@@ -20,13 +20,17 @@
 #include "collectives/scan.hpp"
 #include "collectives/scatter.hpp"
 #include "model/genfib.hpp"
+#include "obs/bench_record.hpp"
 #include "sim/validator.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E11: other collectives in the postal model (Section 5) ===\n\n";
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_collectives";
 
   TextTable table({"lambda", "n", "bcast=f(n)", "reduce", "scatter", "gather",
                    "gossip direct", "gossip ring", "gossip g+b", "barrier"});
@@ -88,6 +92,9 @@ int main() {
       const SimReport ms = validate_schedule(multi_source_schedule(params, sources),
                                              params, multi_source_goal(params, sources));
       all_ok = all_ok && ms.ok;
+      rec.n = n;
+      rec.lambda = lambda;
+      rec.makespan = a2a.makespan;
       ext.add_row({lambda.str(), std::to_string(n), a2a.makespan.str(),
                    predict_scan(params).str(), tree.str(), gossip.str(),
                    pick == AllreduceStrategy::kTree ? "tree" : "gossip",
@@ -101,5 +108,9 @@ int main() {
                "direct-exchange meets its lower bound while the ring degrades "
                "linearly in lambda; barrier == 2 f_lambda(n).\n";
   std::cout << "E11 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  rec.extra = {{"collective", "alltoall"}, {"sweep", "last point recorded"}};
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

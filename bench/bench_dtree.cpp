@@ -12,14 +12,18 @@
 #include <iostream>
 
 #include "model/bounds.hpp"
+#include "obs/bench_record.hpp"
 #include "sched/dtree.hpp"
 #include "sim/validator.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E7: Lemma 18 -- DTREE degree sweep ===\n\n";
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_dtree";
 
   TextTable table({"lambda", "n", "m", "d=1 line", "d=2", "d=ceil(L)+1",
                    "d=sqrt(n)", "d=n-1 star", "best d", "Lemma 8 lower"});
@@ -53,6 +57,11 @@ int main() {
           }
         }
         row.push_back("d=" + std::to_string(best_d));
+        rec.n = n;
+        rec.lambda = lambda;
+        rec.m = m;
+        rec.makespan = best;
+        rec.extra = {{"algorithm", "DTREE(d=" + std::to_string(best_d) + ")"}};
         row.push_back(lemma8_lower(fib, n, m).str());
         table.add_row(std::move(row));
       }
@@ -63,5 +72,8 @@ int main() {
                "Lemma 18; the winning degree shifts line -> recommended -> star as "
                "(m, lambda) shift, exactly the Section 4.3 discussion.\n";
   std::cout << "E7 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

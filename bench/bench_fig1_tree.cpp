@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "model/genfib.hpp"
+#include "obs/bench_record.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
 #include "sched/gantt.hpp"
@@ -17,6 +18,7 @@
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
 
   const PostalParams params(14, Rational(5, 2));
   GenFib fib(params.lambda());
@@ -57,5 +59,9 @@ int main() {
   const bool shape_ok = report.ok && report.makespan == Rational(15, 2) &&
                         tree.children(0).front() == 9;
   std::cout << "\nE1 verdict: " << (shape_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  obs::emit_bench_record({"bench_fig1_tree", params.n(), params.lambda(), 1,
+                          report.makespan, wall.elapsed_ms(),
+                          shape_ok ? "MATCHES PAPER" : "MISMATCH",
+                          {{"figure", "1"}}});
   return shape_ok ? 0 : 1;
 }

@@ -16,14 +16,18 @@
 
 #include "model/genfib.hpp"
 #include "net/calibrate.hpp"
+#include "obs/bench_record.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E13: postal predictions on packet networks ===\n\n";
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_network_transfer";
 
   struct NetCase {
     const char* name;
@@ -98,6 +102,11 @@ int main() {
     const Rational postal_prediction =
         Rational(static_cast<std::int64_t>(n) - 2) + cal.lambda_snapped;
     const ReplayReport loaded = replay_schedule(net, alltoall, postal_prediction);
+    rec.n = n;
+    rec.lambda = cal.lambda_snapped;
+    rec.makespan = loaded.observed;
+    rec.extra = {{"scenario", "congestion probe: all-to-all on idle-calibrated mesh 6x6"},
+                 {"predicted", loaded.predicted.str()}};
     std::cout << "postal prediction " << loaded.predicted << ", observed "
               << loaded.observed << ", ratio " << fmt(loaded.ratio, 2)
               << " -- congestion inflates the effective latency well past the "
@@ -110,5 +119,8 @@ int main() {
                "loses to the binomial tree on the wire; heavy load breaks the "
                "uniform-lambda assumption as Section 2 anticipates.\n";
   std::cout << "E13 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "model/bounds.hpp"
+#include "obs/bench_record.hpp"
 #include "sched/bcast.hpp"
 #include "sched/pack.hpp"
 #include "sched/pipeline.hpp"
@@ -49,8 +50,11 @@ Schedule naive_pipeline2(const PostalParams& params, std::uint64_t m) {
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E6: Lemmas 14/16 -- Algorithm PIPELINE (both regimes) ===\n\n";
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_pipeline";
 
   TextTable table({"lambda", "n", "m", "regime", "simulated", "lemma formula",
                    "PACK", "Lemma 8 lower"});
@@ -71,6 +75,10 @@ int main() {
                         report.makespan == predicted && lower <= predicted &&
                         predicted <= pack;
         all_ok = all_ok && ok;
+        rec.n = n;
+        rec.lambda = lambda;
+        rec.m = m;
+        rec.makespan = report.makespan;
         table.add_row({lambda.str(), std::to_string(n), std::to_string(m),
                        regime1 ? "PL-1" : "PL-2",
                        report.makespan.str() + (ok ? "" : " (!)"), predicted.str(),
@@ -99,5 +107,9 @@ int main() {
                "(nonatomicity of the stream, paper Section 4.2); the role reversal "
                "is necessary, not cosmetic.\n";
   std::cout << "E6 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  rec.extra = {{"algorithm", "PIPELINE"}, {"sweep", "last point recorded"}};
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

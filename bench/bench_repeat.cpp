@@ -9,14 +9,18 @@
 #include <iostream>
 
 #include "model/bounds.hpp"
+#include "obs/bench_record.hpp"
 #include "sched/repeat.hpp"
 #include "sim/validator.hpp"
 #include "support/table.hpp"
 
 int main() {
   using namespace postal;
+  const obs::WallClock wall;
   std::cout << "=== E4: Lemma 10 -- Algorithm REPEAT ===\n\n";
   bool all_ok = true;
+  obs::BenchRecord rec;
+  rec.bench = "bench_repeat";
 
   TextTable table({"lambda", "n", "m", "simulated", "Lemma 10", "naive m*f(n)",
                    "Lemma 8 lower", "Cor 11 upper"});
@@ -38,6 +42,10 @@ int main() {
                         lower <= predicted &&
                         predicted.to_double() <= upper + 1e-9;
         all_ok = all_ok && ok;
+        rec.n = n;
+        rec.lambda = lambda;
+        rec.m = m;
+        rec.makespan = report.makespan;
         table.add_row({lambda.str(), std::to_string(n), std::to_string(m),
                        report.makespan.str() + (ok ? "" : " (!)"), predicted.str(),
                        naive.str(), lower.str(), fmt(upper, 1)});
@@ -49,5 +57,9 @@ int main() {
                "overlap saves time vs the naive m iterations; linear growth in m "
                "(the paper: \"not optimal\" for large m).\n";
   std::cout << "E4 verdict: " << (all_ok ? "MATCHES PAPER" : "MISMATCH") << "\n";
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "MATCHES PAPER" : "MISMATCH";
+  rec.extra = {{"algorithm", "REPEAT"}, {"sweep", "last point recorded"}};
+  obs::emit_bench_record(rec);
   return all_ok ? 0 : 1;
 }

@@ -5,9 +5,14 @@
 //   postal_cli collectives <n> <lambda>         exact times for every collective
 //   postal_cli calibrate <rows> <cols> <kind>   measure lambda on a packet network
 //   postal_cli bounds <n> <lambda>              Theorem 7 numbers for one point
+//   postal_cli trace-export <n> <lambda> [out]  BCAST run -> Chrome trace JSON
+//                                               (chrome://tracing / Perfetto;
+//                                               out defaults to stdout)
+//   postal_cli metrics <n> <lambda>             run metrics as JSON lines
 //
 // Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,8 +20,14 @@
 #include "api/communicator.hpp"
 #include "model/bounds.hpp"
 #include "net/calibrate.hpp"
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
+#include "sim/machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "sim/validator.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -29,8 +40,74 @@ int usage() {
             << "  postal_cli plan <n> <m> <lambda>\n"
             << "  postal_cli collectives <n> <lambda>\n"
             << "  postal_cli calibrate <rows> <cols> <mesh|torus|complete>\n"
-            << "  postal_cli bounds <n> <lambda>\n";
+            << "  postal_cli bounds <n> <lambda>\n"
+            << "  postal_cli trace-export <n> <lambda> [out.json]\n"
+            << "  postal_cli metrics <n> <lambda>\n";
   return 2;
+}
+
+// Generate + validate the optimal broadcast with wall-clock timing folded
+// into `registry` ("sched.generate", "sim.validate") alongside the machine
+// and validation metrics.
+SimReport timed_bcast_run(const PostalParams& params, obs::MetricsRegistry& registry,
+                          Schedule& schedule) {
+  {
+    obs::ScopedTimer timer(registry.timer("sched.generate"));
+    schedule = bcast_schedule(params);
+  }
+  SimReport report;
+  {
+    obs::ScopedTimer timer(registry.timer("sim.validate"));
+    report = validate_schedule(schedule, params);
+  }
+  obs::record_sim_report(registry, report);
+  return report;
+}
+
+int cmd_trace_export(std::uint64_t n, const Rational& lambda,
+                     const std::string& out_path) {
+  const PostalParams params(n, lambda);
+  obs::MetricsRegistry registry;
+  Schedule schedule;
+  const SimReport report = timed_bcast_run(params, registry, schedule);
+
+  std::string trace_json;
+  {
+    obs::ScopedTimer timer(registry.timer("obs.trace_export"));
+    trace_json = obs::trace_to_chrome_json(report.trace, params);
+  }
+  if (out_path.empty() || out_path == "-") {
+    std::cout << trace_json << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+      return 1;
+    }
+    out << trace_json << "\n";
+    std::cerr << "wrote " << trace_json.size() << " bytes to " << out_path
+              << "  (open in chrome://tracing or ui.perfetto.dev)\n"
+              << "run: " << report.trace.deliveries().size()
+              << " deliveries, makespan " << report.makespan << ", validation "
+              << (report.ok ? "PASS" : "FAIL") << "\n";
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_metrics(std::uint64_t n, const Rational& lambda) {
+  const PostalParams params(n, lambda);
+  obs::MetricsRegistry registry;
+  Schedule schedule;
+  const SimReport report = timed_bcast_run(params, registry, schedule);
+
+  // Re-run event-driven to surface the Machine's occupancy counters too.
+  Machine machine(params, 1);
+  BcastProtocol protocol(params);
+  const MachineResult result = machine.run(protocol);
+  obs::record_machine_stats(registry, result.stats);
+
+  std::cout << registry.to_jsonl();
+  return report.ok ? 0 : 1;
 }
 
 int cmd_tree(std::uint64_t n, const Rational& lambda) {
@@ -87,6 +164,19 @@ int cmd_calibrate(std::uint64_t rows, std::uint64_t cols, const std::string& kin
             << ": min " << cal.lambda_min << ", mean " << cal.lambda_mean
             << ", max " << cal.lambda_max << ", snapped " << cal.lambda_snapped
             << "\n";
+  const NetRunStats& stats = net.last_run_stats();
+  std::cout << "last probe run: " << stats.packets_delivered << " packets, "
+            << stats.hops_total << " hops, " << stats.wires.size()
+            << " wires used";
+  if (!stats.wires.empty()) {
+    const WireUse* busiest = &stats.wires.front();
+    for (const WireUse& use : stats.wires) {
+      if (use.busy > busiest->busy) busiest = &use;
+    }
+    std::cout << "; busiest wire " << busiest->from << "->" << busiest->to
+              << " busy " << busiest->busy << " of " << stats.makespan;
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -121,6 +211,13 @@ int main(int argc, char** argv) {
     }
     if (cmd == "bounds" && args.size() == 2) {
       return cmd_bounds(std::stoull(args[0]), Rational::parse(args[1]));
+    }
+    if (cmd == "trace-export" && (args.size() == 2 || args.size() == 3)) {
+      return cmd_trace_export(std::stoull(args[0]), Rational::parse(args[1]),
+                              args.size() == 3 ? args[2] : std::string());
+    }
+    if (cmd == "metrics" && args.size() == 2) {
+      return cmd_metrics(std::stoull(args[0]), Rational::parse(args[1]));
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

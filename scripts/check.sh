@@ -11,4 +11,24 @@ for b in build/bench/bench_*; do
   echo "== $(basename "$b")"
   "$b" > /dev/null
 done
+
+# Machine-readable bench output: re-run one bench with POSTAL_BENCH_JSON set
+# and validate the emitted record (schema: docs/OBSERVABILITY.md).
+echo "== BENCH_postal.json record"
+rm -f build/BENCH_postal.json
+POSTAL_BENCH_JSON=build/BENCH_postal.json build/bench/bench_fig1_tree > /dev/null
+python3 - build/BENCH_postal.json <<'EOF'
+import json, sys
+path = sys.argv[1]
+lines = [l for l in open(path).read().splitlines() if l.strip()]
+assert lines, f"{path} is empty"
+for line in lines:
+    rec = json.loads(line)  # must parse as JSON
+    for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
+        assert key in rec, f"missing key {key!r} in {line}"
+    assert rec["verdict"] != "MISMATCH", f"bench reported MISMATCH: {line}"
+print(f"{path}: {len(lines)} valid record(s), e.g. "
+      f"{lines[0][:120]}{'...' if len(lines[0]) > 120 else ''}")
+EOF
+
 echo "ALL CHECKS PASSED"

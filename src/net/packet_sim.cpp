@@ -56,9 +56,12 @@ std::vector<NetDelivery> PacketNetwork::run() {
   }
   pending_.clear();
 
+  stats_ = NetRunStats();
+
   std::vector<Rational> egress_free(n, Rational(0));
   std::vector<Rational> ingress_free(n, Rational(0));
   std::unordered_map<std::uint64_t, Rational> wire_free;
+  std::unordered_map<std::uint64_t, WireUse> wire_use;
   auto wire_key = [n](NodeId u, NodeId v) {
     return static_cast<std::uint64_t>(u) * n + v;
   };
@@ -73,6 +76,7 @@ std::vector<NetDelivery> PacketNetwork::run() {
   const bool jitter_on = config_.jitter_max > Rational(0);
   auto jitter = [&]() -> Rational {
     if (!jitter_on) return Rational(0);
+    ++stats_.jitter_draws;
     // Uniform multiple of jitter_max/64 keeps arithmetic exactly rational.
     const auto k = static_cast<std::int64_t>(rng.uniform(0, 64));
     return config_.jitter_max * Rational(k, 64);
@@ -85,6 +89,7 @@ std::vector<NetDelivery> PacketNetwork::run() {
       // Sender software: one packet at a time.
       const Rational start = rmax(egress_free[pkt.src], now);
       egress_free[pkt.src] = start + config_.send_overhead;
+      stats_.egress_busy_total += config_.send_overhead;
       pkt.injected = true;
       pkt.tail = start + config_.send_overhead;
       queue.push(start + config_.send_overhead, pkt);
@@ -94,6 +99,7 @@ std::vector<NetDelivery> PacketNetwork::run() {
       // Receiver software: one packet at a time; needs the whole packet.
       const Rational start = rmax(ingress_free[pkt.dst], pkt.tail);
       ingress_free[pkt.dst] = start + config_.recv_overhead;
+      stats_.ingress_busy_total += config_.recv_overhead;
       deliveries.push_back(NetDelivery{pkt.src, pkt.dst, pkt.msg, pkt.requested,
                                        start + config_.recv_overhead});
       continue;
@@ -108,6 +114,12 @@ std::vector<NetDelivery> PacketNetwork::run() {
         config_.switching == Switching::kStoreAndForward ? pkt.tail : now;
     const Rational start = rmax(free_at, ready);
     free_at = start + config_.wire_time;
+    ++stats_.hops_total;
+    WireUse& use = wire_use.try_emplace(wire_key(pkt.at, next),
+                                        WireUse{pkt.at, next, 0, Rational(0)})
+                       .first->second;
+    ++use.packets;
+    use.busy += config_.wire_time;
     const Rational flight = wire_propagation(pkt.at, next) + jitter();
     pkt.tail = start + config_.wire_time + flight;
     const Rational head = config_.switching == Switching::kCutThrough
@@ -121,6 +133,15 @@ std::vector<NetDelivery> PacketNetwork::run() {
             [](const NetDelivery& a, const NetDelivery& b) {
               if (a.delivered != b.delivered) return a.delivered < b.delivered;
               return std::tie(a.src, a.dst, a.msg) < std::tie(b.src, b.dst, b.msg);
+            });
+
+  stats_.packets_delivered = deliveries.size();
+  stats_.makespan = net_makespan(deliveries);
+  stats_.wires.reserve(wire_use.size());
+  for (const auto& kv : wire_use) stats_.wires.push_back(kv.second);
+  std::sort(stats_.wires.begin(), stats_.wires.end(),
+            [](const WireUse& a, const WireUse& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
             });
   return deliveries;
 }

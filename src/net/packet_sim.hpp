@@ -55,6 +55,28 @@ struct NetConfig {
   void validate() const;
 };
 
+/// Serialization occupancy of one directed wire over a run.
+struct WireUse {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t packets = 0;  ///< serializations performed on this wire
+  Rational busy;              ///< total occupancy (packets * wire_time, exact)
+};
+
+/// Utilization and event counters of one PacketNetwork::run(), collected
+/// for free while the run executes. obs::record_net_stats folds them into
+/// a metrics registry (per-wire utilization = busy / makespan); see
+/// docs/OBSERVABILITY.md for the derived metric names.
+struct NetRunStats {
+  std::uint64_t packets_delivered = 0;  ///< end-to-end deliveries
+  std::uint64_t hops_total = 0;         ///< wire traversals over all packets
+  std::uint64_t jitter_draws = 0;       ///< PRNG draws (0 with jitter disabled)
+  Rational egress_busy_total;           ///< sender software occupancy, summed
+  Rational ingress_busy_total;          ///< receiver software occupancy, summed
+  Rational makespan;                    ///< latest delivery time (0 when idle)
+  std::vector<WireUse> wires;           ///< per-wire use, sorted by (from, to)
+};
+
 /// One completed end-to-end packet delivery.
 struct NetDelivery {
   NodeId src = 0;
@@ -84,6 +106,11 @@ class PacketNetwork {
   /// reused).
   [[nodiscard]] std::vector<NetDelivery> run();
 
+  /// Stats of the most recent run() (empty before the first run).
+  [[nodiscard]] const NetRunStats& last_run_stats() const noexcept {
+    return stats_;
+  }
+
  private:
   struct Pending {
     NodeId src;
@@ -95,6 +122,7 @@ class PacketNetwork {
   Topology topology_;
   NetConfig config_;
   std::vector<Pending> pending_;
+  NetRunStats stats_;
 };
 
 /// Latest delivery time in a run (0 when empty).

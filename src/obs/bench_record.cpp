@@ -1,0 +1,59 @@
+#include "obs/bench_record.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json_lint.hpp"
+#include "sim/json.hpp"
+#include "support/error.hpp"
+
+namespace postal::obs {
+
+std::string bench_record_to_json(const BenchRecord& record) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"bench\":\"" << json_escape(record.bench) << "\",\"n\":" << record.n
+     << ",\"lambda\":\"" << record.lambda.str() << "\",\"m\":" << record.m
+     << ",\"makespan\":\"" << record.makespan.str()
+     << "\",\"makespan_float\":" << record.makespan.to_double()
+     << ",\"wall_ms\":" << record.wall_ms << ",\"verdict\":\""
+     << json_escape(record.verdict) << "\",\"extra\":{";
+  bool first = true;
+  for (const auto& [key, value] : record.extra) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "}}";
+  std::string out = os.str();
+  if (const auto err = json_lint(out)) {
+    throw LogicError("bench record serialized to invalid JSON: " + *err);
+  }
+  return out;
+}
+
+void write_bench_record(const std::string& path, const BenchRecord& record) {
+  std::ofstream out(path, std::ios::app);
+  POSTAL_REQUIRE(out.good(), "write_bench_record: cannot open '" + path + "'");
+  out << bench_record_to_json(record) << "\n";
+}
+
+bool emit_bench_record(const BenchRecord& record) {
+  const char* path = std::getenv("POSTAL_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return false;
+  // The records are an opt-in side channel: a misconfigured path must not
+  // turn a finished MATCHES PAPER run into an abort. Warn and carry on --
+  // consumers that require records (scripts/check.sh) detect the gap.
+  try {
+    write_bench_record(path, record);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: POSTAL_BENCH_JSON: " << e.what()
+              << " (record dropped)\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace postal::obs

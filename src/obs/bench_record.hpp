@@ -1,0 +1,76 @@
+// Machine-readable bench results: the BENCH_postal.json trajectory.
+//
+// Every bench binary historically printed a free-text table plus a
+// MATCHES PAPER / MISMATCH verdict; the only machine-readable artifact was
+// the exit code. A BenchRecord is the structured version of that verdict:
+// one JSON object per bench headline result, appended as a line to the
+// file named by the POSTAL_BENCH_JSON environment variable (unset = emit
+// nothing, so default bench output is byte-identical to before).
+//
+//   POSTAL_BENCH_JSON=BENCH_postal.json ./build/bench/bench_fig1_tree
+//
+// appends
+//
+//   {"bench":"bench_fig1_tree","n":14,"lambda":"5/2","m":1,
+//    "makespan":"15/2","makespan_float":7.5,"wall_ms":0.41,
+//    "verdict":"MATCHES PAPER","extra":{}}
+//
+// The six keys {bench, n, lambda, makespan, wall_ms, verdict} are the
+// stable contract (scripts/check.sh validates them); "extra" carries
+// bench-specific labels. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace postal::obs {
+
+/// Steady-clock stopwatch for a bench's wall_ms field: starts at
+/// construction, read with elapsed_ms().
+class WallClock {
+ public:
+  WallClock() noexcept : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+           1e6;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One bench's headline result.
+struct BenchRecord {
+  std::string bench;      ///< binary name, e.g. "bench_fig1_tree"
+  std::uint64_t n = 0;    ///< processors of the headline instance
+  Rational lambda{1};     ///< latency of the headline instance
+  std::uint64_t m = 1;    ///< messages broadcast (1 for single-message)
+  Rational makespan;      ///< measured completion time (exact)
+  double wall_ms = 0.0;   ///< wall-clock of the bench's measured section
+  std::string verdict;    ///< "MATCHES PAPER", "CONSISTENT", "MISMATCH", ...
+  /// Additional bench-specific key/value labels ("algorithm": "PIPELINE").
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Serialize to one JSON object (no trailing newline). Lints its own
+/// output; throws LogicError if it would be malformed.
+[[nodiscard]] std::string bench_record_to_json(const BenchRecord& record);
+
+/// Append `record` as one JSON line to `path`. Throws InvalidArgument if
+/// the file cannot be opened for appending.
+void write_bench_record(const std::string& path, const BenchRecord& record);
+
+/// Append `record` to the file named by the POSTAL_BENCH_JSON environment
+/// variable. No-op (returns false) when the variable is unset or empty;
+/// returns true when a record was written. An unwritable path warns on
+/// stderr and returns false instead of throwing -- the records are an
+/// opt-in side channel and must never crash a finished bench.
+bool emit_bench_record(const BenchRecord& record);
+
+}  // namespace postal::obs

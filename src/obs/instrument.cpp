@@ -1,0 +1,46 @@
+#include "obs/instrument.hpp"
+
+namespace postal::obs {
+
+void record_machine_stats(MetricsRegistry& registry, const MachineStats& stats,
+                          const std::string& prefix) {
+  registry.counter(prefix + ".events_processed").add(stats.events_processed);
+  registry.counter(prefix + ".sends_enqueued").add(stats.sends_enqueued);
+  registry.counter(prefix + ".sends_deferred").add(stats.sends_deferred);
+  registry.gauge(prefix + ".max_fifo_depth")
+      .set(static_cast<std::int64_t>(stats.max_fifo_depth));
+  RationalAccum& total = registry.rational(prefix + ".port_busy.total");
+  for (std::size_t p = 0; p < stats.port_busy.size(); ++p) {
+    registry.rational(prefix + ".port_busy.p" + std::to_string(p))
+        .add(stats.port_busy[p]);
+    total.add(stats.port_busy[p]);
+  }
+}
+
+void record_net_stats(MetricsRegistry& registry, const NetRunStats& stats,
+                      const std::string& prefix) {
+  registry.counter(prefix + ".packets_delivered").add(stats.packets_delivered);
+  registry.counter(prefix + ".hops_total").add(stats.hops_total);
+  registry.counter(prefix + ".jitter_draws").add(stats.jitter_draws);
+  registry.rational(prefix + ".egress_busy").add(stats.egress_busy_total);
+  registry.rational(prefix + ".ingress_busy").add(stats.ingress_busy_total);
+  registry.rational(prefix + ".makespan").add(stats.makespan);
+  RationalAccum& total = registry.rational(prefix + ".wire_busy.total");
+  for (const WireUse& use : stats.wires) {
+    registry
+        .rational(prefix + ".wire_busy.w" + std::to_string(use.from) + "_" +
+                  std::to_string(use.to))
+        .add(use.busy);
+    total.add(use.busy);
+  }
+}
+
+void record_sim_report(MetricsRegistry& registry, const SimReport& report,
+                       const std::string& prefix) {
+  registry.gauge(prefix + ".ok").set(report.ok ? 1 : 0);
+  registry.counter(prefix + ".violations").add(report.violations.size());
+  registry.gauge(prefix + ".order_preserving").set(report.order_preserving ? 1 : 0);
+  registry.rational(prefix + ".makespan").add(report.makespan);
+}
+
+}  // namespace postal::obs

@@ -1,0 +1,39 @@
+// Bridges from the instrumented layers' native stats structs into the
+// metrics registry. The hot layers (sim/machine, net/packet_sim) collect
+// plain structs with zero dependencies on this library; these helpers give
+// the numbers their canonical metric names (the schema contract of
+// docs/OBSERVABILITY.md) in one place.
+#pragma once
+
+#include <string>
+
+#include "net/packet_sim.hpp"
+#include "obs/metrics.hpp"
+#include "sim/machine.hpp"
+#include "sim/validator.hpp"
+
+namespace postal::obs {
+
+/// Fold one machine run into `registry` under `prefix`:
+///   <prefix>.events_processed, .sends_enqueued, .sends_deferred  (counter)
+///   <prefix>.max_fifo_depth                                      (gauge)
+///   <prefix>.port_busy.p<i>  per processor, .port_busy.total     (rational)
+void record_machine_stats(MetricsRegistry& registry, const MachineStats& stats,
+                          const std::string& prefix = "machine");
+
+/// Fold one packet-network run into `registry` under `prefix`:
+///   <prefix>.packets_delivered, .hops_total, .jitter_draws       (counter)
+///   <prefix>.egress_busy, .ingress_busy, .makespan               (rational)
+///   <prefix>.wire_busy.w<from>_<to>  per used wire, .wire_busy.total
+/// Per-wire *utilization* is wire busy / makespan; the registry keeps the
+/// exact numerator and denominator rather than a rounded quotient.
+void record_net_stats(MetricsRegistry& registry, const NetRunStats& stats,
+                      const std::string& prefix = "net");
+
+/// Fold a validation report into `registry` under `prefix`:
+///   <prefix>.ok (gauge 0/1), <prefix>.violations (counter),
+///   <prefix>.order_preserving (gauge 0/1), <prefix>.makespan (rational).
+void record_sim_report(MetricsRegistry& registry, const SimReport& report,
+                       const std::string& prefix = "validate");
+
+}  // namespace postal::obs

@@ -1,0 +1,190 @@
+#include "obs/json_lint.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace postal::obs {
+namespace {
+
+// Recursive-descent checker over the RFC 8259 grammar. Tracks only a
+// cursor; builds nothing.
+class Linter {
+ public:
+  explicit Linter(const std::string& text) : text_(text) {}
+
+  std::optional<std::string> run() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return error_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool value() {
+    if (++depth_ > kMaxDepth) return fail("nesting deeper than 256 levels");
+    bool ok = false;
+    if (pos_ >= text_.size()) {
+      ok = fail("expected a JSON value, got end of input");
+    } else {
+      switch (text_[pos_]) {
+        case '{': ok = object(); break;
+        case '[': ok = array(); break;
+        case '"': ok = string(); break;
+        case 't': ok = literal("true"); break;
+        case 'f': ok = literal("false"); break;
+        case 'n': ok = literal("null"); break;
+        default: ok = number(); break;
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected '\"' to start an object key");
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<std::size_t>(i)])) == 0) {
+              return fail("\\u needs four hex digits");
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return fail("invalid escape sequence");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (std::isdigit(peek_uc()) == 0) return fail("expected a JSON value");
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (std::isdigit(peek_uc()) != 0) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(peek_uc()) == 0) return fail("digit required after '.'");
+      while (std::isdigit(peek_uc()) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(peek_uc()) == 0) return fail("digit required in exponent");
+      while (std::isdigit(peek_uc()) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *w) {
+        return fail(std::string("expected '") + word + "'");
+      }
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  [[nodiscard]] unsigned char peek_uc() const {
+    return static_cast<unsigned char>(peek());
+  }
+
+  bool fail(const std::string& what) {
+    if (!error_.has_value()) {
+      std::ostringstream os;
+      os << "offset " << pos_ << ": " << what;
+      error_ = os.str();
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::optional<std::string> error_;
+};
+
+}  // namespace
+
+std::optional<std::string> json_lint(const std::string& text) {
+  return Linter(text).run();
+}
+
+std::optional<std::string> jsonl_lint(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (const auto err = json_lint(line)) {
+      std::ostringstream os;
+      os << "line " << lineno << ": " << *err;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace postal::obs

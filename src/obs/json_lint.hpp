@@ -1,0 +1,28 @@
+// A strict, dependency-free JSON syntax checker (RFC 8259 grammar, no DOM).
+//
+// Everything the observability layer emits -- metric snapshots, Chrome
+// traces, bench records -- claims to be JSON; this linter is how the claim
+// is enforced. The exporters lint their own output before writing it (a
+// malformed trace would otherwise only be discovered inside Perfetto), the
+// golden tests lint every emitted document, and scripts/check.sh leans on
+// the same guarantee. It validates syntax only: no schema, no key
+// uniqueness, no size limits beyond a recursion cap.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace postal::obs {
+
+/// Check that `text` is exactly one well-formed JSON value (object, array,
+/// string, number, true/false/null) plus optional surrounding whitespace.
+/// Returns nullopt on success, else a message with the byte offset of the
+/// first error ("offset 17: expected ':' after object key").
+[[nodiscard]] std::optional<std::string> json_lint(const std::string& text);
+
+/// Lint newline-separated JSON documents (the metrics/bench JSONL format):
+/// every non-empty line must be well-formed on its own. Returns nullopt on
+/// success, else the first failing line's number and error.
+[[nodiscard]] std::optional<std::string> jsonl_lint(const std::string& text);
+
+}  // namespace postal::obs

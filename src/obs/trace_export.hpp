@@ -1,0 +1,58 @@
+// Chrome trace_event export: turn a postal run into a file that
+// chrome://tracing and Perfetto render as a per-processor timeline.
+//
+// The mapping (documented in docs/OBSERVABILITY.md):
+//   * one track (tid) per processor, all under pid 0, named "p<i>" via
+//     thread_name metadata events;
+//   * one complete duration event ("ph":"X") per port-occupancy window:
+//       send window    [t, t+1)            on the sender's track,
+//       receive window [t+lambda-1, t+lambda) on the receiver's track;
+//   * model time unit -> micros_per_unit microseconds of trace time
+//     (default 1000, i.e. one postal unit renders as 1 ms). The "ts"/"dur"
+//     fields are lossy doubles as the format requires; the exact Rational
+//     times ride along in each event's "args".
+//
+// A run with zero deliveries (broadcast with n = 1 never sends) exports a
+// valid trace containing only metadata events -- the same convention as
+// Trace::makespan() == 0 for the empty trace.
+//
+// Every exporter lints its own output (obs/json_lint.hpp) and throws
+// LogicError on failure, so a malformed trace can never reach disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "net/packet_sim.hpp"
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace postal::obs {
+
+/// Export knobs.
+struct ChromeTraceOptions {
+  double micros_per_unit = 1000.0;  ///< trace microseconds per model unit
+  bool thread_names = true;         ///< emit "p<i>" thread_name metadata
+};
+
+/// Export a simulation trace (all deliveries) as a Chrome trace JSON
+/// object: {"displayTimeUnit":"ms","traceEvents":[...]}.
+[[nodiscard]] std::string trace_to_chrome_json(const Trace& trace,
+                                               const PostalParams& params,
+                                               const ChromeTraceOptions& options = {});
+
+/// Export a schedule directly (send windows [t, t+1), receive windows
+/// [t+lambda-1, t+lambda) derived from each event). Same format as above.
+[[nodiscard]] std::string schedule_to_chrome_json(
+    const Schedule& schedule, const PostalParams& params,
+    const ChromeTraceOptions& options = {});
+
+/// Export packet-network deliveries: one duration event per packet on the
+/// destination node's track, spanning requested -> delivered (the
+/// end-to-end latency a postal send experiences on real wires).
+[[nodiscard]] std::string net_to_chrome_json(
+    const std::vector<NetDelivery>& deliveries, std::uint64_t n,
+    const ChromeTraceOptions& options = {});
+
+}  // namespace postal::obs

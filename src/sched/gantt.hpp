@@ -6,6 +6,10 @@
 // Time is discretized to the schedule's exact grid (the lcm of all event
 // denominators and lambda's), so nothing is lost to rounding; each output
 // column is one grid cell.
+//
+// This is the terminal-friendly sibling of the Chrome trace_event exporter
+// (obs/trace_export.hpp): the same send/receive windows, rendered as text
+// here and as an interactive timeline there. See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <string>

@@ -8,6 +8,12 @@
 //   report:   {"ok": true, "makespan": "15/2", "order_preserving": true,
 //              "violations": ["..."]}
 // Rationals are serialized as exact strings ("15/2"), never floats.
+//
+// This module covers the two flat *library* structures. For run-level
+// observability output -- metric snapshots as JSON lines, Chrome trace_event
+// timelines, machine-readable bench records -- see src/obs/ and
+// docs/OBSERVABILITY.md; those exporters follow the same exact-string rule
+// for rationals and add a float convenience field where viewers need one.
 #pragma once
 
 #include <string>

@@ -23,6 +23,15 @@ void Machine::enqueue_send(ProcId src, ProcId dst, const Packet& packet,
   // The output port transmits one message per unit of time, FIFO.
   const Rational start = rmax(now, port_free_[src]);
   port_free_[src] = start + Rational(1);
+  ++stats_.sends_enqueued;
+  if (start > now) ++stats_.sends_deferred;
+  stats_.port_busy[src] += Rational(1);
+  // Backlog = transmissions not yet finished on this port, i.e. the busy
+  // span [now, port_free) measured in unit-length sends (partial first
+  // send rounds up).
+  const std::uint64_t depth =
+      static_cast<std::uint64_t>((port_free_[src] - now).ceil());
+  if (depth > stats_.max_fifo_depth) stats_.max_fifo_depth = depth;
   schedule_.add(src, dst, packet.msg, start);
   queue_.push(start + params_.lambda(), InFlight{src, dst, packet, start});
 }
@@ -32,6 +41,8 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
   port_free_.assign(n, Rational(0));
   schedule_ = Schedule();
   queue_ = EventQueue<InFlight>();
+  stats_ = MachineStats();
+  stats_.port_busy.assign(n, Rational(0));
 
   MachineResult result;
   result.trace = Trace(n, messages_);
@@ -53,8 +64,10 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
     protocol.on_receive(ctx, flight.packet);
   }
 
+  stats_.events_processed = delivered;
   schedule_.sort();
   result.schedule = std::move(schedule_);
+  result.stats = std::move(stats_);
   return result;
 }
 

@@ -74,10 +74,28 @@ class Protocol {
   virtual void on_receive(MachineContext& ctx, const Packet& packet) = 0;
 };
 
+/// Occupancy and event counts of one machine run, collected for free while
+/// the run executes. These are the quantities the paper reasons about
+/// informally ("the root keeps its output port busy...") made measurable;
+/// obs::record_machine_stats folds them into a metrics registry and
+/// docs/OBSERVABILITY.md documents the derived metric names.
+struct MachineStats {
+  std::uint64_t events_processed = 0;  ///< deliveries handled (on_receive calls)
+  std::uint64_t sends_enqueued = 0;    ///< sends requested by handlers
+  std::uint64_t sends_deferred = 0;    ///< sends that found the port busy
+  /// Deepest output-port backlog seen at any send request: the number of
+  /// transmissions (including the new one) not yet finished on that
+  /// processor's port at request time. 1 = the port was idle.
+  std::uint64_t max_fifo_depth = 0;
+  /// Per-processor output-port busy time (exact; one unit per send), sized n.
+  std::vector<Rational> port_busy;
+};
+
 /// Result of a machine run.
 struct MachineResult {
   Schedule schedule;   ///< all sends performed, sorted by time
   Trace trace{1, 0};   ///< all deliveries
+  MachineStats stats;  ///< occupancy/event counters of this run
 };
 
 /// The event-driven runtime itself.
@@ -111,6 +129,7 @@ class Machine {
   std::vector<Rational> port_free_;
   Schedule schedule_;
   EventQueue<InFlight> queue_;
+  MachineStats stats_;
 };
 
 }  // namespace postal

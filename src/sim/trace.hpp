@@ -41,7 +41,12 @@ class Trace {
   /// Earliest arrival of message `msg` at processor `p` (nullopt if never).
   [[nodiscard]] std::optional<Rational> arrival(ProcId p, MsgId msg) const;
 
-  /// Latest arrival over all deliveries; 0 when there are none.
+  /// Latest arrival over all deliveries. A trace with zero deliveries has
+  /// makespan 0 by convention: broadcasting among n = 1 processors (the
+  /// origin already holds everything) legitimately sends nothing and
+  /// completes at t = 0. Downstream consumers share the convention -- the
+  /// validator reports makespan 0 and the Chrome-trace exporter emits a
+  /// valid metadata-only document (see obs/trace_export.hpp).
   [[nodiscard]] Rational makespan() const;
 
   /// True iff every processor other than `origin` received every message

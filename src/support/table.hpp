@@ -3,6 +3,12 @@
 // Every bench binary prints its reproduction of a paper table/figure as a
 // plain-text table; this helper keeps column widths and separators uniform
 // across all of them.
+//
+// The tables are the human-readable half of the bench output contract. The
+// machine-readable half is obs/bench_record.hpp: when POSTAL_BENCH_JSON is
+// set, each bench also appends a one-line JSON record to that file (schema
+// in docs/OBSERVABILITY.md). Keep the two in sync when adding columns that
+// carry headline results.
 #pragma once
 
 #include <iosfwd>

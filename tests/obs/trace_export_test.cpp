@@ -1,0 +1,170 @@
+// Golden-file tests for the Chrome trace_event exporter: an exact expected
+// document for the smallest broadcast, structural checks on the paper's
+// Figure-1 run MPS(14, 5/2), and the zero-delivery (n = 1) edge case.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
+#include "obs/json_lint.hpp"
+#include "obs/trace_export.hpp"
+#include "sched/bcast.hpp"
+#include "sim/validator.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Golden file: the smallest broadcast, byte for byte
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, GoldenSmallestBroadcast) {
+  // MPS(2, 2): one send at t = 0, receive window [1, 2). With the default
+  // 1000 us per unit this is the exporter's entire output, pinned exactly;
+  // any format drift must be a conscious (and documented) change.
+  const PostalParams params(2, Rational(2));
+  const SimReport report = validate_schedule(bcast_schedule(params), params);
+  ASSERT_TRUE(report.ok);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"p0\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"p1\"}},"
+      "{\"name\":\"send M1 -> p1\",\"ph\":\"X\",\"pid\":0,\"tid\":0,"
+      "\"ts\":0,\"dur\":1000,\"args\":{\"msg\":0,\"t\":\"0\",\"dst\":1}},"
+      "{\"name\":\"recv M1 <- p0\",\"ph\":\"X\",\"pid\":0,\"tid\":1,"
+      "\"ts\":1000,\"dur\":1000,\"args\":{\"msg\":0,\"t\":\"0\",\"src\":0}}"
+      "]}";
+  EXPECT_EQ(obs::trace_to_chrome_json(report.trace, params), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: MPS(14, 5/2) BCAST
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, Figure1RunIsValidTraceEventJson) {
+  const PostalParams params(14, Rational(5, 2));
+  const SimReport report = validate_schedule(bcast_schedule(params), params);
+  ASSERT_TRUE(report.ok);
+  ASSERT_EQ(report.trace.deliveries().size(), 13u);  // n-1 deliveries
+  ASSERT_EQ(report.makespan, Rational(15, 2));
+
+  const std::string json = obs::trace_to_chrome_json(report.trace, params);
+  EXPECT_EQ(obs::json_lint(json), std::nullopt) << json;
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  // One track-name event per processor, one send + one recv window per
+  // delivery (the Perfetto-visible payload).
+  EXPECT_EQ(count_of(json, "\"ph\":\"M\""), 14u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 26u);
+  EXPECT_EQ(count_of(json, "\"name\":\"send "), 13u);
+  EXPECT_EQ(count_of(json, "\"name\":\"recv "), 13u);
+  // The paper's first send: p0 -> p9 at t = 0, received at 5/2 (receive
+  // window starts at 3/2 model time = 1500 us).
+  EXPECT_NE(json.find("{\"name\":\"send M1 -> p9\",\"ph\":\"X\",\"pid\":0,"
+                      "\"tid\":0,\"ts\":0,\"dur\":1000"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"recv M1 <- p0\",\"ph\":\"X\",\"pid\":0,"
+                      "\"tid\":9,\"ts\":1500,\"dur\":1000"),
+            std::string::npos);
+  // Exact times ride along in args even though ts/dur are floats (the run
+  // has fractional send starts at 5/2, 7/2, 9/2).
+  EXPECT_NE(json.find("\"t\":\"9/2\""), std::string::npos);
+}
+
+TEST(ChromeTrace, ScheduleExportMatchesTraceExportForBcast) {
+  // The schedule-direct exporter derives the same windows the simulator
+  // records, so both views of the Figure-1 run carry identical events
+  // (order may differ: schedules sort by time, traces by arrival).
+  const PostalParams params(14, Rational(5, 2));
+  const Schedule schedule = bcast_schedule(params);
+  const SimReport report = validate_schedule(schedule, params);
+
+  const std::string from_schedule = obs::schedule_to_chrome_json(schedule, params);
+  const std::string from_trace = obs::trace_to_chrome_json(report.trace, params);
+  EXPECT_EQ(obs::json_lint(from_schedule), std::nullopt);
+  EXPECT_EQ(count_of(from_schedule, "\"ph\":\"X\""),
+            count_of(from_trace, "\"ph\":\"X\""));
+  for (const SendEvent& e : schedule.events()) {
+    const std::string name =
+        "\"send M" + std::to_string(e.msg + 1) + " -> p" + std::to_string(e.dst) +
+        "\"";
+    EXPECT_NE(from_schedule.find(name), std::string::npos) << name;
+    EXPECT_NE(from_trace.find(name), std::string::npos) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The zero-delivery edge case (n = 1)
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, EmptyTraceExportsValidMetadataOnlyDocument) {
+  // Broadcasting among n = 1 processors sends nothing: the trace has zero
+  // deliveries, makespan 0 by convention (see Trace::makespan), and the
+  // exporter must still produce a loadable trace.
+  const PostalParams params(1, Rational(3));
+  const Schedule schedule = bcast_schedule(params);
+  EXPECT_TRUE(schedule.empty());
+  const SimReport report = validate_schedule(schedule, params);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.trace.deliveries().size(), 0u);
+  EXPECT_EQ(report.trace.makespan(), Rational(0));
+  EXPECT_EQ(report.makespan, Rational(0));
+
+  const std::string json = obs::trace_to_chrome_json(report.trace, params);
+  EXPECT_EQ(obs::json_lint(json), std::nullopt) << json;
+  EXPECT_EQ(count_of(json, "\"ph\":\"M\""), 1u);  // p0's track name only
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 0u);
+}
+
+TEST(ChromeTrace, ThreadNamesCanBeDisabled) {
+  const PostalParams params(1, Rational(3));
+  obs::ChromeTraceOptions options;
+  options.thread_names = false;
+  const std::string json =
+      obs::trace_to_chrome_json(Trace(1, 0), params, options);
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+// ---------------------------------------------------------------------------
+// Packet-network export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, NetExportSpansRequestedToDelivered) {
+  PacketNetwork net(Topology::complete(3, Rational(1)), NetConfig{});
+  net.submit(0, 1, 0, Rational(0));
+  net.submit(0, 2, 1, Rational(2));
+  const auto deliveries = net.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+
+  const std::string json = obs::net_to_chrome_json(deliveries, 3);
+  EXPECT_EQ(obs::json_lint(json), std::nullopt) << json;
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(json.find("\"name\":\"node0\""), std::string::npos);
+  EXPECT_NE(json.find("packet M1 <- node0"), std::string::npos);
+  EXPECT_NE(json.find("\"delivered\":\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CustomTimeScale) {
+  const PostalParams params(2, Rational(2));
+  const SimReport report = validate_schedule(bcast_schedule(params), params);
+  obs::ChromeTraceOptions options;
+  options.micros_per_unit = 1.0;  // one postal unit = one trace microsecond
+  const std::string json = obs::trace_to_chrome_json(report.trace, params, options);
+  EXPECT_NE(json.find("\"ts\":1,\"dur\":1,"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace postal

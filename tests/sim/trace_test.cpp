@@ -94,5 +94,17 @@ TEST(Trace, ZeroMessagesAlwaysCovered) {
   EXPECT_TRUE(t.order_preserving());
 }
 
+TEST(Trace, ZeroDeliveriesHasMakespanZero) {
+  // The documented convention (see Trace::makespan): a trace with no
+  // deliveries completes at t = 0. The canonical producer is broadcasting
+  // among n = 1 processors -- the origin already holds the message, nothing
+  // is sent, and the run is legitimately done at time zero.
+  const Trace t(1, 1);
+  EXPECT_TRUE(t.deliveries().empty());
+  EXPECT_EQ(t.makespan(), Rational(0));
+  EXPECT_TRUE(t.covers_all(0));  // no non-origin processor to reach
+  EXPECT_TRUE(t.order_preserving());
+}
+
 }  // namespace
 }  // namespace postal
