@@ -9,8 +9,14 @@
 //                                               (chrome://tracing / Perfetto;
 //                                               out defaults to stdout)
 //   postal_cli metrics <n> <lambda>             run metrics as JSON lines
+//   postal_cli sweep <ns> <lambdas> [threads]   fan a (n, lambda) grid across
+//                                               cores; cross-check Theorem 6
+//                                               at every point (comma lists,
+//                                               e.g. sweep 2,64,512 1,5/2,4 8)
 //
 // Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
+// With POSTAL_BENCH_JSON set, sweep appends one bench record per grid point
+// (thread count and per-point wall time in extra; docs/PARALLELISM.md).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -20,9 +26,11 @@
 #include "api/communicator.hpp"
 #include "model/bounds.hpp"
 #include "net/calibrate.hpp"
+#include "obs/bench_record.hpp"
 #include "obs/instrument.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
+#include "par/sweep.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
 #include "sim/machine.hpp"
@@ -42,8 +50,22 @@ int usage() {
             << "  postal_cli calibrate <rows> <cols> <mesh|torus|complete>\n"
             << "  postal_cli bounds <n> <lambda>\n"
             << "  postal_cli trace-export <n> <lambda> [out.json]\n"
-            << "  postal_cli metrics <n> <lambda>\n";
+            << "  postal_cli metrics <n> <lambda>\n"
+            << "  postal_cli sweep <n,n,...> <lambda,lambda,...> [threads]\n";
   return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 // Generate + validate the optimal broadcast with wall-clock timing folded
@@ -180,6 +202,53 @@ int cmd_calibrate(std::uint64_t rows, std::uint64_t cols, const std::string& kin
   return 0;
 }
 
+int cmd_sweep(const std::string& ns_csv, const std::string& lambdas_csv,
+              unsigned threads) {
+  std::vector<std::uint64_t> ns;
+  for (const std::string& item : split_csv(ns_csv)) ns.push_back(std::stoull(item));
+  std::vector<Rational> lambdas;
+  for (const std::string& item : split_csv(lambdas_csv)) {
+    lambdas.push_back(Rational::parse(item));
+  }
+
+  const obs::WallClock clock;
+  par::SweepOptions options;
+  options.threads = threads;
+  const std::vector<par::SweepPointResult> results =
+      par::sweep_grid(ns, lambdas, options);
+  const double total_ms = clock.elapsed_ms();
+
+  TextTable table({"lambda", "n", "f_lambda(n)", "DP", "greedy", "sim", "sends", "ok"});
+  bool all_ok = true;
+  for (const par::SweepPointResult& r : results) {
+    all_ok = all_ok && r.ok;
+    table.add_row({r.lambda.str(), std::to_string(r.n), r.f.str(), r.dp.str(),
+                   r.greedy.str(), r.makespan.str(), std::to_string(r.sends),
+                   r.ok ? "yes" : "NO"});
+    obs::BenchRecord rec;
+    rec.bench = "postal_cli_sweep";
+    rec.n = r.n;
+    rec.lambda = r.lambda;
+    rec.makespan = r.makespan;
+    rec.wall_ms = r.wall_ms;
+    rec.verdict = r.ok ? "CONSISTENT" : "MISMATCH";
+    rec.extra = {{"threads", std::to_string(threads)},
+                 {"f", r.f.str()},
+                 {"dp", r.dp.str()},
+                 {"greedy", r.greedy.str()},
+                 {"sends", std::to_string(r.sends)},
+                 {"dp_table_ms", fmt(r.dp_table_ms, 3)}};
+    obs::emit_bench_record(rec);
+  }
+  table.print(std::cout);
+  std::cout << "\nswept " << results.size() << " points with " << threads
+            << " thread(s) in " << fmt(total_ms, 1) << " ms; "
+            << (all_ok ? "all points consistent (Theorem 6 holds on the grid)"
+                       : "MISMATCH: at least one point failed the cross-check")
+            << "\n";
+  return all_ok ? 0 : 1;
+}
+
 int cmd_bounds(std::uint64_t n, const Rational& lambda) {
   GenFib fib(lambda);
   std::cout << "f_lambda(n)          = " << fib.f(n) << "\n";
@@ -218,6 +287,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "metrics" && args.size() == 2) {
       return cmd_metrics(std::stoull(args[0]), Rational::parse(args[1]));
+    }
+    if (cmd == "sweep" && (args.size() == 2 || args.size() == 3)) {
+      const unsigned threads =
+          args.size() == 3 ? static_cast<unsigned>(std::stoul(args[2]))
+                           : par::threads_from_env(par::default_threads());
+      return cmd_sweep(args[0], args[1], threads);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

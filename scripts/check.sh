@@ -1,34 +1,81 @@
 #!/usr/bin/env bash
-# Full verification pipeline: configure, build, run the test suite, and
-# regenerate every paper artifact (each bench exits nonzero on mismatch).
+# Full verification pipeline: configure, build, run the test suite,
+# regenerate every paper artifact (each bench exits nonzero on mismatch),
+# collect the machine-readable bench records, and prove the parallel sweep
+# engine's thread-count invariance.
+#
+#   scripts/check.sh             the full default pipeline
+#   scripts/check.sh --sanitize  additionally build and run the concurrency
+#                                and differential tests under TSan and
+#                                ASan+UBSan (docs/PARALLELISM.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) echo "unknown argument: $arg (supported: --sanitize)" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Every paper bench runs with record collection on: benches exit nonzero on
+# a paper mismatch, and the collected BENCH_postal.json is validated below.
+rm -f build/BENCH_postal.json
 for b in build/bench/bench_*; do
   [ "$(basename "$b")" = "bench_micro" ] && continue
   echo "== $(basename "$b")"
-  "$b" > /dev/null
+  POSTAL_BENCH_JSON=build/BENCH_postal.json "$b" > /dev/null
 done
 
-# Machine-readable bench output: re-run one bench with POSTAL_BENCH_JSON set
-# and validate the emitted record (schema: docs/OBSERVABILITY.md).
-echo "== BENCH_postal.json record"
-rm -f build/BENCH_postal.json
-POSTAL_BENCH_JSON=build/BENCH_postal.json build/bench/bench_fig1_tree > /dev/null
-python3 - build/BENCH_postal.json <<'EOF'
-import json, sys
-path = sys.argv[1]
-lines = [l for l in open(path).read().splitlines() if l.strip()]
-assert lines, f"{path} is empty"
-for line in lines:
-    rec = json.loads(line)  # must parse as JSON
-    for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
-        assert key in rec, f"missing key {key!r} in {line}"
-    assert rec["verdict"] != "MISMATCH", f"bench reported MISMATCH: {line}"
-print(f"{path}: {len(lines)} valid record(s), e.g. "
-      f"{lines[0][:120]}{'...' if len(lines[0]) > 120 else ''}")
-EOF
+# Machine-readable bench output (schema: docs/OBSERVABILITY.md). A missing
+# file, an unparseable line, a missing stable key, a MISMATCH verdict, or --
+# critically -- ZERO records is a hard error: a silently empty record file
+# means the POSTAL_BENCH_JSON pipeline broke, which is exactly the failure
+# this stage exists to catch. (sys.exit, not assert: the check must survive
+# python3 -O.)
+echo "== BENCH_postal.json records"
+python3 scripts/validate_bench_records.py build/BENCH_postal.json \
+  --expect bench_fig1_tree --expect bench_bcast_optimality \
+  --expect bench_theorem7_bounds --expect bench_repeat \
+  --expect bench_pipeline --expect bench_dtree \
+  --expect bench_multimessage_shootout --expect bench_collectives \
+  --expect bench_network_transfer --expect bench_par_sweep
+
+# Thread-count invariance of the sweep engine, end to end through the CLI:
+# the per-point records of a threads=4 sweep must be identical to a
+# threads=1 sweep once wall-time fields (and the thread count itself) are
+# ignored (docs/PARALLELISM.md).
+echo "== sweep determinism (threads=1 vs threads=4)"
+rm -f build/SWEEP_t1.json build/SWEEP_t4.json
+POSTAL_BENCH_JSON=build/SWEEP_t1.json \
+  build/examples/postal_cli sweep 2,8,64,256 1,3/2,5/2,4 1 > /dev/null
+POSTAL_BENCH_JSON=build/SWEEP_t4.json \
+  build/examples/postal_cli sweep 2,8,64,256 1,3/2,5/2,4 4 > /dev/null
+python3 scripts/compare_sweep_records.py build/SWEEP_t1.json build/SWEEP_t4.json
+
+if [ "$SANITIZE" -eq 1 ]; then
+  # ThreadSanitizer over the concurrency surface: the thread pool, the
+  # sharded caches, and the sweep engine, plus the differential test (which
+  # drives the caches from gtest's single thread -- a TSan-clean baseline).
+  echo "== sanitize: thread"
+  cmake -B build-tsan -G Ninja -DPOSTAL_SANITIZE=thread
+  cmake --build build-tsan --target test_par test_differential
+  ./build-tsan/tests/test_par
+  ./build-tsan/tests/test_differential
+
+  # ASan+UBSan over the randomized tests: the differential pass, the
+  # validator mutation fuzzer, and the par tests again (allocation-heavy).
+  echo "== sanitize: address,undefined"
+  cmake -B build-asan -G Ninja -DPOSTAL_SANITIZE=address,undefined
+  cmake --build build-asan --target test_differential test_validator_fuzz test_par
+  ./build-asan/tests/test_differential
+  ./build-asan/tests/test_validator_fuzz
+  ./build-asan/tests/test_par
+fi
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare two sweep record files ignoring wall-time fields.
+
+The parallel sweep engine's determinism contract (docs/PARALLELISM.md):
+per-point bench records from ``postal_cli sweep`` at any two thread counts
+must be identical once the measurement-only fields are dropped --
+``wall_ms``, every ``extra`` key ending in ``_ms``, and ``extra.threads``
+(the thread count is configuration, recorded on purpose, and naturally
+differs between the runs under comparison).
+
+Exit 0 when the record sequences match point for point; exit 1 with the
+first differing point otherwise.
+
+Usage: compare_sweep_records.py FILE_A FILE_B
+"""
+import json
+import sys
+
+
+def normalized(path):
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh.read().splitlines():
+            if not line.strip():
+                continue
+            rec = json.loads(line)
+            rec.pop("wall_ms", None)
+            extra = rec.get("extra", {})
+            rec["extra"] = {k: v for k, v in extra.items()
+                            if k != "threads" and not k.endswith("_ms")}
+            records.append(rec)
+    return records
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    a, b = normalized(sys.argv[1]), normalized(sys.argv[2])
+    if not a or not b:
+        print(f"error: empty record file ({sys.argv[1]}: {len(a)} records, "
+              f"{sys.argv[2]}: {len(b)})", file=sys.stderr)
+        return 1
+    if len(a) != len(b):
+        print(f"error: record counts differ: {len(a)} vs {len(b)}",
+              file=sys.stderr)
+        return 1
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb:
+            print(f"error: records differ at point {i}:\n  a: {ra}\n  b: {rb}",
+                  file=sys.stderr)
+            return 1
+    print(f"{len(a)} sweep record(s) identical ignoring wall-time fields")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_postal.json record file (schema: docs/OBSERVABILITY.md).
+
+Hard errors (exit 1, robust to ``python3 -O`` -- no assert statements):
+  * the file is missing or contains zero records,
+  * any line fails to parse as JSON,
+  * any record lacks one of the six stable keys
+    {bench, n, lambda, makespan, wall_ms, verdict},
+  * any record carries a MISMATCH verdict,
+  * any bench named via --expect emitted no record at all.
+
+Usage: validate_bench_records.py FILE [--expect BENCH]...
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--expect", action="append", default=[],
+                        help="bench name that must have emitted >= 1 record")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not lines:
+        print(f"error: {args.path} contains zero bench records -- the "
+              "POSTAL_BENCH_JSON pipeline emitted nothing", file=sys.stderr)
+        return 1
+
+    seen = {}
+    for line in lines:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"error: unparseable record line: {line!r} ({exc})",
+                  file=sys.stderr)
+            return 1
+        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
+            if key not in rec:
+                print(f"error: missing key {key!r} in {line}", file=sys.stderr)
+                return 1
+        if rec["verdict"] == "MISMATCH":
+            print(f"error: bench reported MISMATCH: {line}", file=sys.stderr)
+            return 1
+        seen[rec["bench"]] = seen.get(rec["bench"], 0) + 1
+
+    missing = [name for name in args.expect if name not in seen]
+    if missing:
+        print(f"error: expected record(s) from {', '.join(missing)} but "
+              "none were emitted", file=sys.stderr)
+        return 1
+
+    print(f"{args.path}: {len(lines)} valid record(s) from "
+          f"{len(seen)} bench(es), e.g. "
+          f"{lines[0][:120]}{'...' if len(lines[0]) > 120 else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,13 @@
 
 namespace postal {
 
-Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda) {
-  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_dp: n must be >= 1");
-  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_dp: lambda must be >= 1");
-  std::vector<Rational> T(n + 1, Rational(0));
-  for (std::uint64_t k = 2; k <= n; ++k) {
+std::vector<Rational> optimal_broadcast_dp_table(std::uint64_t n_max,
+                                                 const Rational& lambda) {
+  POSTAL_REQUIRE(n_max >= 1, "optimal_broadcast_dp_table: n_max must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1),
+                 "optimal_broadcast_dp_table: lambda must be >= 1");
+  std::vector<Rational> T(n_max + 1, Rational(0));
+  for (std::uint64_t k = 2; k <= n_max; ++k) {
     // First split: the holder keeps j processors (continuing one unit
     // later), the recipient takes k - j (starting lambda later). Scan all j.
     Rational best = Rational(1) + T[k - 1];  // j = k-1 as the initial bound
@@ -22,7 +24,13 @@ Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda) {
     }
     T[k] = best;
   }
-  return T[n];
+  return T;
+}
+
+Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda) {
+  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_dp: n must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_dp: lambda must be >= 1");
+  return optimal_broadcast_dp_table(n, lambda)[n];
 }
 
 Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "support/rational.hpp"
 
@@ -28,6 +29,15 @@ namespace postal {
 /// Optimal broadcast time via the exhaustive split recursion. O(n^2) time,
 /// O(n) memo; intended for n up to a few thousand.
 [[nodiscard]] Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda);
+
+/// The whole DP table at once: entry k (1 <= k <= n_max) is
+/// optimal_broadcast_dp(k, lambda), from one O(n_max^2) pass. Grid sweeps
+/// that probe many n at a fixed lambda (par/sweep.hpp, the benches) share
+/// this table instead of paying O(n^2) per point; the values are identical
+/// by construction because the recursion's prefix does not depend on n_max.
+/// Entry 0 is 0 (unused).
+[[nodiscard]] std::vector<Rational> optimal_broadcast_dp_table(std::uint64_t n_max,
+                                                               const Rational& lambda);
 
 /// Optimal broadcast time via greedy frontier expansion. O(n log n).
 [[nodiscard]] Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda);

@@ -1,0 +1,77 @@
+#include "par/genfib_cache.hpp"
+
+#include "support/error.hpp"
+
+namespace postal::par {
+
+GenFibCache::GenFibCache(std::size_t shards) {
+  POSTAL_REQUIRE(shards >= 1, "GenFibCache: shards must be >= 1");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<GenFibCache::Entry> GenFibCache::entry(const Rational& lambda) {
+  Shard& shard = *shards_[std::hash<Rational>{}(lambda) % shards_.size()];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(lambda);
+  if (it != shard.entries.end()) return it->second;
+  // Constructing GenFib validates lambda >= 1 and seeds the [0, lambda)
+  // prefix; it is cheap enough to do under the shard lock.
+  auto fresh = std::make_shared<Entry>(lambda);
+  shard.entries.emplace(lambda, fresh);
+  tables_.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+Rational GenFibCache::f(const Rational& lambda, std::uint64_t n) {
+  const std::shared_ptr<Entry> e = entry(lambda);
+  const std::lock_guard<std::mutex> lock(e->mu);
+  auto it = e->f_memo.find(n);
+  if (it != e->f_memo.end()) {
+    f_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  f_misses_.fetch_add(1, std::memory_order_relaxed);
+  const Rational value = e->fib.f(n);
+  e->f_memo.emplace(n, value);
+  return value;
+}
+
+std::uint64_t GenFibCache::F(const Rational& lambda, const Rational& t) {
+  const std::shared_ptr<Entry> e = entry(lambda);
+  const std::lock_guard<std::mutex> lock(e->mu);
+  return e->fib.F(t);
+}
+
+std::uint64_t GenFibCache::bcast_split(const Rational& lambda, std::uint64_t n) {
+  const std::shared_ptr<Entry> e = entry(lambda);
+  const std::lock_guard<std::mutex> lock(e->mu);
+  return e->fib.bcast_split(n);
+}
+
+GenFibCache::Stats GenFibCache::stats() const noexcept {
+  Stats out;
+  out.f_hits = f_hits_.load(std::memory_order_relaxed);
+  out.f_misses = f_misses_.load(std::memory_order_relaxed);
+  out.tables = tables_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void GenFibCache::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+  f_hits_.store(0, std::memory_order_relaxed);
+  f_misses_.store(0, std::memory_order_relaxed);
+  tables_.store(0, std::memory_order_relaxed);
+}
+
+GenFibCache& GenFibCache::global() {
+  static GenFibCache instance;
+  return instance;
+}
+
+}  // namespace postal::par

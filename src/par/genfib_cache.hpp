@@ -1,0 +1,82 @@
+// Sharded, thread-safe memo cache for the generalized Fibonacci machinery.
+//
+// GenFib (model/genfib.hpp) is deliberately thread-compatible, not
+// thread-safe: every evaluation may extend its internal memo table. The
+// sweeps fixed that historically by constructing a fresh GenFib per grid
+// point, recomputing the same F_lambda table over and over. GenFibCache
+// keeps exactly one GenFib per *exact* Rational lambda -- keys are the
+// reduced p/q pair, so lambda = 5/2 and lambda = 2.5 share one table while
+// 5/2 and 3/2 never collide -- plus a per-lambda memo of finished f(n)
+// answers.
+//
+// Concurrency: the lambda -> entry map is sharded by hash(lambda), each
+// shard behind its own mutex, so lookups for different lambdas rarely
+// contend; evaluation itself holds the entry's own mutex (one writer per
+// F_lambda table at a time). Values are bit-identical to a fresh GenFib by
+// construction -- the cache only ever *reuses* tables, never approximates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/genfib.hpp"
+#include "support/rational.hpp"
+
+#include <atomic>
+
+namespace postal::par {
+
+/// Process-wide (or locally owned) cache of GenFib tables and f(n) answers.
+class GenFibCache {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit GenFibCache(std::size_t shards = kDefaultShards);
+
+  /// f_lambda(n), memoized per (lambda, n). Same contract as GenFib::f.
+  [[nodiscard]] Rational f(const Rational& lambda, std::uint64_t n);
+
+  /// F_lambda(t). Same contract as GenFib::F (the grid memo is shared).
+  [[nodiscard]] std::uint64_t F(const Rational& lambda, const Rational& t);
+
+  /// The BCAST split j = F_lambda(f_lambda(n) - 1) (GenFib::bcast_split).
+  [[nodiscard]] std::uint64_t bcast_split(const Rational& lambda, std::uint64_t n);
+
+  /// Cache effectiveness counters (monotone since construction/clear).
+  struct Stats {
+    std::uint64_t f_hits = 0;    ///< f() answered from the per-lambda memo
+    std::uint64_t f_misses = 0;  ///< f() computed (and then memoized)
+    std::uint64_t tables = 0;    ///< distinct lambda tables materialized
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Drop every table, memo, and counter.
+  void clear();
+
+  /// The process-wide instance used when callers pass no cache explicitly.
+  [[nodiscard]] static GenFibCache& global();
+
+ private:
+  struct Entry {
+    explicit Entry(const Rational& lambda) : fib(lambda) {}
+    std::mutex mu;
+    GenFib fib;                                      // guarded by mu
+    std::unordered_map<std::uint64_t, Rational> f_memo;  // guarded by mu
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Rational, std::shared_ptr<Entry>> entries;
+  };
+
+  [[nodiscard]] std::shared_ptr<Entry> entry(const Rational& lambda);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> f_hits_{0};
+  std::atomic<std::uint64_t> f_misses_{0};
+  std::atomic<std::uint64_t> tables_{0};
+};
+
+}  // namespace postal::par

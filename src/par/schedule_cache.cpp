@@ -1,0 +1,56 @@
+#include "par/schedule_cache.hpp"
+
+#include "sched/bcast.hpp"
+#include "support/error.hpp"
+
+namespace postal::par {
+
+ScheduleCache::ScheduleCache(std::size_t shards) {
+  POSTAL_REQUIRE(shards >= 1, "ScheduleCache: shards must be >= 1");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const Schedule> ScheduleCache::bcast(const PostalParams& params) {
+  const Key key{params.n(), params.lambda()};
+  Shard& shard = *shards_[KeyHash{}(key) % shards_.size()];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Build outside the lock; ties are resolved by first insert.
+  auto built = std::make_shared<const Schedule>(bcast_schedule(params));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.entries.emplace(key, std::move(built));
+  return it->second;
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const noexcept {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ScheduleCache::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+ScheduleCache& ScheduleCache::global() {
+  static ScheduleCache instance;
+  return instance;
+}
+
+}  // namespace postal::par

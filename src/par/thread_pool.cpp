@@ -1,0 +1,105 @@
+#include "par/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace postal::par {
+
+unsigned default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned threads_from_env(unsigned fallback) noexcept {
+  const char* raw = std::getenv("POSTAL_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || value == 0 || value > 1024) return fallback;
+  return static_cast<unsigned>(value);
+}
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
+  POSTAL_REQUIRE(threads >= 1, "ThreadPool: threads must be >= 1");
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    std::exception_ptr error;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (error && (!batch.error || i < batch.error_index)) {
+      batch.error = error;
+      batch.error_index = i;
+    }
+    if (++batch.finished == batch.count) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Batch> seen;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || batch_ != seen; });
+    if (stop_) return;
+    seen = batch_;
+    lock.unlock();
+    drain(*seen);
+    lock.lock();
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    // The exact sequential code path: no pool machinery, index order.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    POSTAL_CHECK(!batch_active_);  // batches do not nest
+    batch_active_ = true;
+    batch_ = batch;
+  }
+  work_cv_.notify_all();
+  drain(*batch);  // the caller is a lane too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch->finished == batch->count; });
+    batch_active_ = false;
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(unsigned threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(threads);
+  pool.for_each(count, fn);
+}
+
+}  // namespace postal::par

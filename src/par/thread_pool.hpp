@@ -1,0 +1,115 @@
+// Deterministic fixed-size thread pool -- the execution substrate for the
+// parallel sweep engine (par/sweep.hpp) and the bench grid fan-outs.
+//
+// Determinism contract (the testable heart of this subsystem):
+//
+//  * for_each(count, fn) calls fn(i) exactly once for every i in
+//    [0, count); which lane runs which index is scheduling-dependent, but
+//    map() writes result i at output index i, so the *output* is ordered by
+//    index regardless of interleaving.
+//  * A pool constructed with threads == 1 owns no worker threads at all:
+//    for_each degenerates to a plain `for (i = 0; i < count; ++i) fn(i);`
+//    on the caller. "Parallel at one thread" is therefore the exact
+//    sequential code path by construction -- byte-identical output is a
+//    contract, not a hope (tests/par/par_test.cpp checks it anyway).
+//  * If any fn(i) throws, the exception for the *smallest* failing index is
+//    rethrown from for_each/map once the batch drains, so error reporting
+//    is deterministic too. The pool remains usable afterwards.
+//
+// A pool of `threads` lanes runs `threads - 1` background workers plus the
+// calling thread, which participates in every batch (so threads == 8 means
+// eight lanes busy, not nine). Work is claimed by atomic index increments
+// from a shared per-batch counter: no per-item allocation, no futures, and
+// coarse items (one sweep point each) keep contention negligible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace postal::par {
+
+/// Hardware concurrency, clamped to at least 1 (the standard allows 0).
+[[nodiscard]] unsigned default_threads() noexcept;
+
+/// Thread-count knob shared by the benches: the POSTAL_THREADS environment
+/// variable when set to a positive integer, otherwise `fallback`.
+[[nodiscard]] unsigned threads_from_env(unsigned fallback) noexcept;
+
+/// Fixed-size pool of `threads` execution lanes (caller included).
+class ThreadPool {
+ public:
+  /// Throws InvalidArgument unless threads >= 1. threads == 1 spawns no
+  /// workers and runs every batch inline on the caller.
+  explicit ThreadPool(unsigned threads = default_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of lanes (constructor argument).
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Run fn(i) for every i in [0, count); blocks until the batch drains.
+  /// Batches do not nest: calling for_each from inside fn throws LogicError.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Deterministic map: out[i] = fn(i). The result type must be default-
+  /// constructible (results are written into a pre-sized vector).
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<T> out(count);
+    for_each(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  // One batch of work. Workers hold a shared_ptr, so a lane still draining
+  // an exhausted batch can never claim indices from (or report into) a
+  // newer one -- each batch has its own claim counter and its own books.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t finished = 0;        // guarded by the pool mutex
+    std::exception_ptr error;        // guarded by the pool mutex
+    std::size_t error_index = 0;     // guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void drain(Batch& batch);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch (or stop) exists
+  std::condition_variable done_cv_;  // caller: batch fully finished
+  bool stop_ = false;
+  bool batch_active_ = false;        // rejects nested for_each
+  std::shared_ptr<Batch> batch_;     // guarded by mu_
+};
+
+/// One-shot conveniences: construct a transient pool, run, tear down.
+void parallel_for(unsigned threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+template <typename Fn>
+[[nodiscard]] auto parallel_map(unsigned threads, std::size_t count, Fn&& fn) {
+  ThreadPool pool(threads);
+  return pool.map(count, std::forward<Fn>(fn));
+}
+
+}  // namespace postal::par

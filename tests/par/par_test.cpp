@@ -1,0 +1,173 @@
+// Concurrency tests for the src/par subsystem: thread-pool determinism,
+// cache coherence under concurrent access, pool reuse and teardown, and
+// the threads == 1 sequential-path contract. The whole binary is designed
+// to be run under -fsanitize=thread (scripts/check.sh --sanitize), so the
+// tests deliberately hammer shared state from many lanes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+
+#include "model/genfib.hpp"
+#include "par/genfib_cache.hpp"
+#include "par/schedule_cache.hpp"
+#include "par/sweep.hpp"
+#include "par/thread_pool.hpp"
+#include "sched/bcast.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace postal {
+namespace {
+
+TEST(ThreadPoolTest, MapIsDeterministicAcrossThreadCounts) {
+  const auto fn = [](std::size_t i) {
+    // A pure per-index computation heavy enough to interleave lanes.
+    Xoshiro256 rng(static_cast<std::uint64_t>(i) * 0x9E37u + 1);
+    std::uint64_t acc = 0;
+    for (int k = 0; k < 100; ++k) acc ^= rng();
+    return acc;
+  };
+  const std::vector<std::uint64_t> seq = par::parallel_map(1, 500, fn);
+  EXPECT_EQ(par::parallel_map(2, 500, fn), seq);
+  EXPECT_EQ(par::parallel_map(8, 500, fn), seq);
+}
+
+TEST(ThreadPoolTest, ForEachVisitsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> visits(257);
+    par::parallel_for(threads, visits.size(),
+                      [&visits](std::size_t i) { visits[i].fetch_add(1); });
+    for (const std::atomic<int>& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  par::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<std::size_t> out =
+        pool.map(50, [round](std::size_t i) { return i * static_cast<std::size_t>(round + 1); });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * static_cast<std::size_t>(round + 1));
+    }
+  }
+  // Empty batches are a no-op, not a hang.
+  pool.for_each(0, [](std::size_t) { FAIL() << "called on empty batch"; });
+}
+
+TEST(ThreadPoolTest, SmallestFailingIndexIsRethrownAndPoolSurvives) {
+  par::ThreadPool pool(4);
+  try {
+    pool.for_each(100, [](std::size_t i) {
+      if (i == 17 || i == 63 || i == 99) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected the batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+  // The same pool keeps working after an exceptional batch.
+  const std::vector<std::size_t> out = pool.map(10, [](std::size_t i) { return i; });
+  EXPECT_EQ(out.back(), 9u);
+}
+
+TEST(ThreadPoolTest, NestedForEachThrowsLogicError) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each(4,
+                             [&pool](std::size_t) {
+                               pool.for_each(2, [](std::size_t) {});
+                             }),
+               LogicError);
+  EXPECT_THROW(par::ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPoolTest, ThreadsFromEnvParsesAndRejects) {
+  ::setenv("POSTAL_THREADS", "6", 1);
+  EXPECT_EQ(par::threads_from_env(3), 6u);
+  ::setenv("POSTAL_THREADS", "0", 1);
+  EXPECT_EQ(par::threads_from_env(3), 3u);
+  ::setenv("POSTAL_THREADS", "banana", 1);
+  EXPECT_EQ(par::threads_from_env(3), 3u);
+  ::unsetenv("POSTAL_THREADS");
+  EXPECT_EQ(par::threads_from_env(3), 3u);
+}
+
+TEST(GenFibCacheTest, ConcurrentHitsAndMissesAgreeWithFreshGenFib) {
+  par::GenFibCache cache;
+  const std::vector<Rational> lambdas = {Rational(1), Rational(3, 2),
+                                         Rational(5, 2), Rational(7, 3)};
+  // 8 lanes query overlapping (lambda, n) pairs: every lane's answer must
+  // equal a fresh single-threaded GenFib regardless of who built the table.
+  constexpr std::size_t kQueries = 256;
+  const std::vector<Rational> values =
+      par::parallel_map(8, kQueries, [&cache, &lambdas](std::size_t i) {
+        const Rational& lambda = lambdas[i % lambdas.size()];
+        const std::uint64_t n = 1 + (i * 7) % 120;  // deliberate repeats
+        return cache.f(lambda, n);
+      });
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    GenFib fresh(lambdas[i % lambdas.size()]);
+    EXPECT_EQ(values[i], fresh.f(1 + (i * 7) % 120)) << "query " << i;
+  }
+  const par::GenFibCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.f_hits + stats.f_misses, kQueries);
+  EXPECT_EQ(stats.tables, lambdas.size());
+  EXPECT_GT(stats.f_hits, 0u);  // repeats guarantee hits
+  cache.clear();
+  EXPECT_EQ(cache.stats().f_misses, 0u);
+}
+
+TEST(ScheduleCacheTest, ConcurrentLookupsShareOneSchedulePerKey) {
+  par::ScheduleCache cache;
+  const PostalParams params(30, Rational(5, 2));
+  const std::vector<std::shared_ptr<const Schedule>> copies =
+      par::parallel_map(8, 64, [&cache, &params](std::size_t) {
+        return cache.bcast(params);
+      });
+  const Schedule fresh = bcast_schedule(params);
+  for (const std::shared_ptr<const Schedule>& s : copies) {
+    ASSERT_NE(s, nullptr);
+    // Every lane ends up holding the same immutable object (first insert
+    // wins; race losers adopt the winner's schedule).
+    EXPECT_EQ(s.get(), copies.front().get());
+    EXPECT_EQ(s->events(), fresh.events());
+  }
+  const par::ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 64u);
+  // clear() drops the entry but outstanding pointers stay valid.
+  cache.clear();
+  EXPECT_EQ(copies.front()->events(), fresh.events());
+  EXPECT_NE(cache.bcast(params).get(), copies.front().get());
+}
+
+TEST(SweepTest, ThreadCountInvariance) {
+  const std::vector<std::uint64_t> ns = {1, 2, 9, 40, 150};
+  const std::vector<Rational> lambdas = {Rational(1), Rational(3, 2),
+                                         Rational(13, 4)};
+  std::vector<std::vector<par::SweepPointResult>> runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    par::GenFibCache genfib_cache;
+    par::ScheduleCache schedule_cache;
+    par::SweepOptions options;
+    options.threads = threads;
+    options.genfib_cache = &genfib_cache;
+    options.schedule_cache = &schedule_cache;
+    runs.push_back(par::sweep_grid(ns, lambdas, options));
+  }
+  EXPECT_TRUE(par::sweep_results_equal_ignoring_wall(runs[0], runs[1]));
+  EXPECT_TRUE(par::sweep_results_equal_ignoring_wall(runs[0], runs[2]));
+  for (const par::SweepPointResult& r : runs[0]) {
+    EXPECT_TRUE(r.ok) << "n=" << r.n << " lambda=" << r.lambda;
+  }
+}
+
+TEST(SweepTest, RejectsEmptyGrid) {
+  EXPECT_THROW((void)par::sweep_grid({}, {Rational(1)}), InvalidArgument);
+  EXPECT_THROW((void)par::sweep_grid({4}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal
