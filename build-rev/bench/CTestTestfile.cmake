@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-rev/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_par_sweep_consistency "/root/repo/build-rev/bench/bench_par_sweep")
+set_tests_properties(bench_par_sweep_consistency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig1_tree_json "bash" "-c" "rm -f BENCH_ctest.json && POSTAL_BENCH_JSON=BENCH_ctest.json /root/repo/build-rev/bench/bench_fig1_tree > /dev/null && grep -q '\"bench\":\"bench_fig1_tree\"' BENCH_ctest.json && grep -q '\"n\":14' BENCH_ctest.json && grep -q '\"lambda\":\"5/2\"' BENCH_ctest.json && grep -q '\"makespan\":\"15/2\"' BENCH_ctest.json && grep -q '\"wall_ms\":' BENCH_ctest.json && grep -q '\"verdict\":\"MATCHES PAPER\"' BENCH_ctest.json")
+set_tests_properties(bench_fig1_tree_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")
