@@ -13,17 +13,27 @@
 //                                               cores; cross-check Theorem 6
 //                                               at every point (comma lists,
 //                                               e.g. sweep 2,64,512 1,5/2,4 8)
+//   postal_cli faults <n> <lambda> <seed> <crashes> [loss_p]
+//                                               reliable broadcast under a
+//                                               seeded random fault plan
+//   postal_cli faults <n> <lambda> --plan <file.json>
+//                                               ... under an explicit plan
+//     both forms accept a trailing [--trace out.json] fault-overlay export
 //
 // Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
 // With POSTAL_BENCH_JSON set, sweep appends one bench record per grid point
-// (thread count and per-point wall time in extra; docs/PARALLELISM.md).
+// (thread count and per-point wall time in extra; docs/PARALLELISM.md) and
+// faults appends one "postal_cli_faults" record (faults_injected,
+// retransmissions, repair_time in extra; docs/FAULTS.md).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/communicator.hpp"
+#include "faults/fault_plan.hpp"
 #include "model/bounds.hpp"
 #include "net/calibrate.hpp"
 #include "obs/bench_record.hpp"
@@ -35,6 +45,7 @@
 #include "sched/broadcast_tree.hpp"
 #include "sim/machine.hpp"
 #include "sim/protocols/bcast_protocol.hpp"
+#include "sim/protocols/reliable_bcast.hpp"
 #include "sim/validator.hpp"
 #include "support/table.hpp"
 
@@ -51,7 +62,11 @@ int usage() {
             << "  postal_cli bounds <n> <lambda>\n"
             << "  postal_cli trace-export <n> <lambda> [out.json]\n"
             << "  postal_cli metrics <n> <lambda>\n"
-            << "  postal_cli sweep <n,n,...> <lambda,lambda,...> [threads]\n";
+            << "  postal_cli sweep <n,n,...> <lambda,lambda,...> [threads]\n"
+            << "  postal_cli faults <n> <lambda> <seed> <crashes> [loss_p] "
+               "[--trace out.json]\n"
+            << "  postal_cli faults <n> <lambda> --plan <file.json> "
+               "[--trace out.json]\n";
   return 2;
 }
 
@@ -249,6 +264,70 @@ int cmd_sweep(const std::string& ns_csv, const std::string& lambdas_csv,
   return all_ok ? 0 : 1;
 }
 
+int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
+               const std::string& trace_path) {
+  const PostalParams params(n, lambda);
+  const obs::WallClock clock;
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  const double wall_ms = clock.elapsed_ms();
+
+  std::cout << "fault plan: " << plan.crashes.size() << " crash(es), "
+            << plan.losses.size() << " lossy link(s), " << plan.spikes.size()
+            << " spike window(s)  [seed " << plan.seed << "]\n";
+  for (const CrashFault& c : plan.crashes) {
+    std::cout << "  crash p" << c.proc << " at t = " << c.time << "\n";
+  }
+  const FaultStats& faults = report.result.faults;
+  std::cout << "\nreliable broadcast on MPS(" << n << ", " << lambda << "):\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"baseline f_lambda(n)", report.baseline.str()});
+  table.add_row({"completion (live procs)", report.completion.str()});
+  table.add_row({"recovery overhead", report.recovery_overhead.str()});
+  table.add_row({"faults injected", std::to_string(faults.total())});
+  table.add_row({"data sends", std::to_string(report.counters.data_sends)});
+  table.add_row({"retransmissions", std::to_string(report.counters.retransmissions)});
+  table.add_row({"dead declared", std::to_string(report.counters.dead_declared)});
+  table.add_row({"repairs", std::to_string(report.counters.repairs)});
+  table.print(std::cout);
+
+  const bool pass = report.covered && report.validation.ok;
+  std::cout << "\ncoverage: "
+            << (report.covered ? "every live processor reached"
+                               : std::to_string(report.uncovered_alive.size()) +
+                                     " live processor(s) NOT reached")
+            << " (" << report.crashed.size() << " crashed, exempt)\n"
+            << "validation: " << report.validation.summary() << "\n"
+            << "verdict: " << (pass ? "PASS" : "FAIL") << "\n";
+
+  if (!trace_path.empty()) {
+    const std::string trace_json =
+        obs::trace_to_chrome_json(report.result.trace, params, faults);
+    std::ofstream out(trace_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << trace_path << "' for writing\n";
+      return 1;
+    }
+    out << trace_json << "\n";
+    std::cerr << "wrote " << trace_json.size() << " bytes to " << trace_path
+              << " (fault markers overlaid; open in ui.perfetto.dev)\n";
+  }
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_faults";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = report.completion;
+  rec.wall_ms = wall_ms;
+  rec.verdict = pass ? "RECOVERED" : "FAIL";
+  rec.extra = {{"faults_injected", std::to_string(faults.total())},
+               {"retransmissions", std::to_string(report.counters.retransmissions)},
+               {"repair_time", report.recovery_overhead.str()},
+               {"crashes", std::to_string(plan.crashes.size())},
+               {"seed", std::to_string(plan.seed)}};
+  obs::emit_bench_record(rec);
+  return pass ? 0 : 1;
+}
+
 int cmd_bounds(std::uint64_t n, const Rational& lambda) {
   GenFib fib(lambda);
   std::cout << "f_lambda(n)          = " << fib.f(n) << "\n";
@@ -293,6 +372,40 @@ int main(int argc, char** argv) {
           args.size() == 3 ? static_cast<unsigned>(std::stoul(args[2]))
                            : par::threads_from_env(par::default_threads());
       return cmd_sweep(args[0], args[1], threads);
+    }
+    if (cmd == "faults" && args.size() >= 3) {
+      const std::uint64_t n = std::stoull(args[0]);
+      const Rational lambda = Rational::parse(args[1]);
+      std::vector<std::string> rest(args.begin() + 2, args.end());
+      std::string trace_path;
+      if (rest.size() >= 2 && rest[rest.size() - 2] == "--trace") {
+        trace_path = rest.back();
+        rest.resize(rest.size() - 2);
+      }
+      FaultPlan plan;
+      if (rest.size() == 2 && rest[0] == "--plan") {
+        std::ifstream in(rest[1]);
+        if (!in.good()) {
+          std::cerr << "error: cannot read plan file '" << rest[1] << "'\n";
+          return 1;
+        }
+        std::ostringstream contents;
+        contents << in.rdbuf();
+        plan = parse_fault_plan(contents.str());
+        plan.validate(n);
+      } else if (rest.size() == 2 || rest.size() == 3) {
+        const std::uint64_t seed = std::stoull(rest[0]);
+        RandomFaultOptions fopts;
+        fopts.crashes = std::stoull(rest[1]);
+        if (rest.size() == 3) {
+          fopts.loss_p = Rational::parse(rest[2]);
+          fopts.lossy_links = n;  // sprinkle loss widely; per-link cap holds
+        }
+        plan = random_fault_plan(PostalParams(n, lambda), seed, fopts);
+      } else {
+        return usage();
+      }
+      return cmd_faults(n, lambda, plan, trace_path);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -8,14 +8,19 @@
 #   scripts/check.sh --sanitize  additionally build and run the concurrency
 #                                and differential tests under TSan and
 #                                ASan+UBSan (docs/PARALLELISM.md)
+#   scripts/check.sh --chaos     additionally run the fault-injection chaos
+#                                sweep and validate the reliability bench
+#                                records end to end (docs/FAULTS.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
-    *) echo "unknown argument: $arg (supported: --sanitize)" >&2; exit 2 ;;
+    --chaos) CHAOS=1 ;;
+    *) echo "unknown argument: $arg (supported: --sanitize, --chaos)" >&2; exit 2 ;;
   esac
 done
 
@@ -44,7 +49,8 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_theorem7_bounds --expect bench_repeat \
   --expect bench_pipeline --expect bench_dtree \
   --expect bench_multimessage_shootout --expect bench_collectives \
-  --expect bench_network_transfer --expect bench_par_sweep
+  --expect bench_network_transfer --expect bench_par_sweep \
+  --expect bench_fault_recovery
 
 # Thread-count invariance of the sweep engine, end to end through the CLI:
 # the per-point records of a threads=4 sweep must be identical to a
@@ -58,24 +64,56 @@ POSTAL_BENCH_JSON=build/SWEEP_t4.json \
   build/examples/postal_cli sweep 2,8,64,256 1,3/2,5/2,4 4 > /dev/null
 python3 scripts/compare_sweep_records.py build/SWEEP_t1.json build/SWEEP_t4.json
 
+if [ "$CHAOS" -eq 1 ]; then
+  # The chaos sweep (docs/FAULTS.md): >= 100 seeded fault scenarios against
+  # the reliable broadcast protocol, the fault-free byte-identical
+  # regression, and the data-model tests -- run explicitly so a chaos
+  # failure is loud even if ctest filtering above ever changes.
+  echo "== chaos: fault-injection sweep"
+  ./build/tests/test_fault_plan
+  ./build/tests/test_machine_faults
+  ./build/tests/test_reliable_bcast
+  ./build/tests/test_chaos
+
+  # Reliability bench records end to end through the CLI: a crash run and a
+  # crash+loss run must both emit postal_cli_faults records (schema:
+  # docs/OBSERVABILITY.md) with a RECOVERED verdict.
+  echo "== chaos: CLI fault records"
+  rm -f build/FAULTS_records.json
+  POSTAL_BENCH_JSON=build/FAULTS_records.json \
+    build/examples/postal_cli faults 64 5/2 7 3 > /dev/null
+  POSTAL_BENCH_JSON=build/FAULTS_records.json \
+    build/examples/postal_cli faults 48 2 11 2 1/8 > /dev/null
+  python3 scripts/validate_bench_records.py build/FAULTS_records.json \
+    --expect postal_cli_faults
+  grep -q '"verdict":"RECOVERED"' build/FAULTS_records.json
+fi
+
 if [ "$SANITIZE" -eq 1 ]; then
   # ThreadSanitizer over the concurrency surface: the thread pool, the
   # sharded caches, and the sweep engine, plus the differential test (which
   # drives the caches from gtest's single thread -- a TSan-clean baseline).
   echo "== sanitize: thread"
   cmake -B build-tsan -G Ninja -DPOSTAL_SANITIZE=thread
-  cmake --build build-tsan --target test_par test_differential
+  cmake --build build-tsan --target test_par test_differential test_chaos
   ./build-tsan/tests/test_par
   ./build-tsan/tests/test_differential
+  ./build-tsan/tests/test_chaos
 
   # ASan+UBSan over the randomized tests: the differential pass, the
-  # validator mutation fuzzer, and the par tests again (allocation-heavy).
+  # validator mutation fuzzer, the par tests again (allocation-heavy), and
+  # the fault-injection paths (crash truncation exercises every simulator
+  # early-exit; the chaos sweep stresses them with random plans).
   echo "== sanitize: address,undefined"
   cmake -B build-asan -G Ninja -DPOSTAL_SANITIZE=address,undefined
-  cmake --build build-asan --target test_differential test_validator_fuzz test_par
+  cmake --build build-asan --target test_differential test_validator_fuzz \
+    test_par test_machine_faults test_reliable_bcast test_chaos
   ./build-asan/tests/test_differential
   ./build-asan/tests/test_validator_fuzz
   ./build-asan/tests/test_par
+  ./build-asan/tests/test_machine_faults
+  ./build-asan/tests/test_reliable_bcast
+  ./build-asan/tests/test_chaos
 fi
 
 echo "ALL CHECKS PASSED"

@@ -42,6 +42,11 @@ Communicator::Communicator(std::uint64_t n, Rational lambda)
 
 Rational Communicator::broadcast_time() { return fib_.f(params_.n()); }
 
+ReliableBcastReport Communicator::broadcast_reliable(
+    const FaultPlan* plan, const ReliableBcastOptions& options) {
+  return run_reliable_bcast(params_, plan, options);
+}
+
 CollectivePlan Communicator::broadcast(std::uint64_t m) {
   POSTAL_REQUIRE(m >= 1, "Communicator::broadcast: m must be >= 1");
   if (m == 1) {

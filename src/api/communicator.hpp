@@ -19,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "model/genfib.hpp"
 #include "model/params.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedule.hpp"
+#include "sim/protocols/reliable_bcast.hpp"
 #include "support/rational.hpp"
 
 namespace postal {
@@ -78,6 +80,15 @@ class Communicator {
 
   /// The exact optimal broadcast time f_lambda(n) (Theorem 6).
   [[nodiscard]] Rational broadcast_time();
+
+  /// Reliable broadcast under an optional fault plan (docs/FAULTS.md):
+  /// ack/timeout/retransmit with subtree repair on the optimal BCAST tree,
+  /// executed on the event-driven Machine and judged against the
+  /// f_lambda(n) baseline. Fault-free (plan == nullptr) the run IS
+  /// Algorithm BCAST and completes in exactly broadcast_time().
+  [[nodiscard]] ReliableBcastReport broadcast_reliable(
+      const FaultPlan* plan = nullptr,
+      const ReliableBcastOptions& options = {});
 
  private:
   PostalParams params_;

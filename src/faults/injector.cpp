@@ -1,0 +1,68 @@
+#include "faults/injector.hpp"
+
+#include "support/prng.hpp"
+
+namespace postal {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t n)
+    : plan_(std::move(plan)), n_(n), crash_time_(n) {
+  plan_.validate(n);
+  for (const CrashFault& c : plan_.crashes) {
+    auto& slot = crash_time_[c.proc];
+    if (!slot.has_value() || c.time < *slot) slot = c.time;
+  }
+  for (const LinkLoss& l : plan_.losses) {
+    LinkState state;
+    state.always = l.p == Rational(1);
+    if (!state.always && l.p.num() > 0) {
+      // threshold = floor(p * 2^64): draw u < threshold <=> loss, exactly.
+      __extension__ using U128 = unsigned __int128;
+      const auto num = static_cast<U128>(l.p.num());
+      const auto den = static_cast<U128>(l.p.den());
+      state.threshold_hi = static_cast<std::uint64_t>((num << 64) / den);
+    }
+    state.max_losses = l.max_losses;
+    // Later entries for the same link override earlier ones (documented in
+    // docs/FAULTS.md; keeps plans composable by concatenation).
+    link_[l.src * n_ + l.dst] = state;
+  }
+}
+
+bool FaultInjector::lose(ProcId src, ProcId dst) {
+  const auto it = link_.find(static_cast<std::uint64_t>(src) * n_ + dst);
+  if (it == link_.end()) return false;
+  LinkState& state = it->second;
+  const std::uint64_t k = state.sent++;
+  if (state.max_losses != 0 && state.lost >= state.max_losses) return false;
+  bool lost;
+  if (state.always) {
+    lost = true;
+  } else if (state.threshold_hi == 0) {
+    lost = false;
+  } else {
+    // One SplitMix64 step keyed by (seed, src, dst, k): draw order across
+    // links cannot matter because each link's k-th draw is self-contained.
+    SplitMix64 mix(plan_.seed ^ (static_cast<std::uint64_t>(src) << 40) ^
+                   (static_cast<std::uint64_t>(dst) << 20) ^ k);
+    lost = mix.next() < state.threshold_hi;
+  }
+  if (lost) ++state.lost;
+  return lost;
+}
+
+Rational FaultInjector::extra_latency(const Rational& send_start) const {
+  Rational extra(0);
+  for (const LatencySpike& s : plan_.spikes) {
+    if (send_start >= s.from && send_start < s.until) extra += s.extra;
+  }
+  return extra;
+}
+
+void FaultInjector::reset() {
+  for (auto& [key, state] : link_) {
+    state.sent = 0;
+    state.lost = 0;
+  }
+}
+
+}  // namespace postal

@@ -1,0 +1,115 @@
+// The runtime side of fault injection: deterministic plan queries plus the
+// stats both simulators report.
+//
+// A FaultInjector is the compiled form of a FaultPlan for a fixed n:
+// per-processor earliest crash times, spike windows, and the seeded
+// Bernoulli machinery for link loss. The loss draw for the k-th
+// transmission on a directed link depends only on (seed, src, dst, k) --
+// never on global event order -- so the same workload under the same plan
+// always sees the same drops, regardless of how unrelated traffic
+// interleaves.
+//
+// Simulators hold the injector behind a pointer that is null when no plan
+// is attached; every fault check is guarded by that null test, which is
+// how the fault-free path stays byte-identical to the historical one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace postal {
+
+/// One fault the simulator actually applied, for timelines (Chrome trace
+/// instant events) and postmortems.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,            ///< processor halted (proc; time = crash time)
+    kSendSuppressed,   ///< crashed processor's queued send never left (proc=src, peer=dst)
+    kDropCrash,        ///< delivery discarded: receiver dead (proc=dst, peer=src)
+    kDropLoss,         ///< delivery discarded: link loss (proc=dst, peer=src)
+    kSpike,            ///< send delayed by a latency-spike window (proc=src, peer=dst)
+  };
+  Kind kind = Kind::kCrash;
+  Rational time;
+  ProcId proc = 0;
+  ProcId peer = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Counters + timeline of the faults applied during one run. Default state
+/// (all zero, empty timeline) is what fault-free runs report.
+struct FaultStats {
+  std::uint64_t crashes_applied = 0;    ///< processors that halted during the run
+  std::uint64_t sends_suppressed = 0;   ///< sends voided because the sender was dead
+  std::uint64_t drops_crash = 0;        ///< deliveries voided: receiver dead
+  std::uint64_t drops_loss = 0;         ///< deliveries voided: Bernoulli link loss
+  std::uint64_t spikes_applied = 0;     ///< sends stretched by a spike window
+  std::vector<FaultEvent> events;       ///< what happened, in application order
+
+  /// Total faults applied (the `faults_injected` bench-record counter).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return crashes_applied + sends_suppressed + drops_crash + drops_loss +
+           spikes_applied;
+  }
+};
+
+/// Compiled plan queries. Loss draws are stateful (per-link transmission
+/// counters); call reset() at the start of each run so identical runs see
+/// identical draw sequences.
+class FaultInjector {
+ public:
+  /// Validates the plan against n. Keeps a copy of the plan.
+  FaultInjector(FaultPlan plan, std::uint64_t n);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Earliest crash time of `p`, if the plan crashes it at all.
+  [[nodiscard]] const std::optional<Rational>& crash_time(ProcId p) const {
+    return crash_time_[p];
+  }
+
+  /// True iff `p` has halted at time `t` (crash takes effect at its exact
+  /// time: crashed(p, crash_time(p)) is true).
+  [[nodiscard]] bool crashed(ProcId p, const Rational& t) const {
+    const auto& c = crash_time_[p];
+    return c.has_value() && t >= *c;
+  }
+
+  /// Draw the Bernoulli loss for the next transmission on src -> dst.
+  /// Consumes the link's draw counter; deterministic per (plan, k).
+  [[nodiscard]] bool lose(ProcId src, ProcId dst);
+
+  /// Sum of `extra` over all spike windows containing `send_start`.
+  [[nodiscard]] Rational extra_latency(const Rational& send_start) const;
+
+  /// True iff the plan has any loss entries (lets callers skip the map
+  /// lookup entirely on loss-free plans).
+  [[nodiscard]] bool has_losses() const noexcept { return !link_.empty(); }
+  [[nodiscard]] bool has_spikes() const noexcept { return !plan_.spikes.empty(); }
+
+  /// Reset per-run draw state (loss counters). Crash/spike queries are
+  /// stateless and unaffected.
+  void reset();
+
+ private:
+  struct LinkState {
+    std::uint64_t threshold_hi = 0;  ///< draw < threshold => lost (2^64 scale)
+    bool always = false;             ///< p == 1
+    std::uint64_t max_losses = 0;    ///< 0 = unbounded
+    std::uint64_t sent = 0;          ///< transmissions drawn so far
+    std::uint64_t lost = 0;          ///< losses applied so far
+  };
+
+  FaultPlan plan_;
+  std::uint64_t n_;
+  std::vector<std::optional<Rational>> crash_time_;
+  std::unordered_map<std::uint64_t, LinkState> link_;  ///< key = src * n + dst
+};
+
+}  // namespace postal

@@ -22,6 +22,14 @@ PacketNetwork::PacketNetwork(Topology topology, NetConfig config)
   config_.validate();
 }
 
+void PacketNetwork::attach_faults(const FaultPlan& plan) {
+  if (plan.empty()) {
+    injector_.reset();
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(plan, topology_.n());
+}
+
 void PacketNetwork::submit(NodeId src, NodeId dst, MsgId msg, const Rational& t) {
   POSTAL_REQUIRE(src < topology_.n() && dst < topology_.n(),
                  "PacketNetwork::submit: node out of range");
@@ -57,6 +65,17 @@ std::vector<NetDelivery> PacketNetwork::run() {
   pending_.clear();
 
   stats_ = NetRunStats();
+  if (injector_) {
+    injector_->reset();
+    for (NodeId p = 0; p < n; ++p) {
+      const auto& c = injector_->crash_time(p);
+      if (c.has_value()) {
+        ++stats_.faults.crashes_applied;
+        stats_.faults.events.push_back(
+            FaultEvent{FaultEvent::Kind::kCrash, *c, p, p});
+      }
+    }
+  }
 
   std::vector<Rational> egress_free(n, Rational(0));
   std::vector<Rational> ingress_free(n, Rational(0));
@@ -88,6 +107,13 @@ std::vector<NetDelivery> PacketNetwork::run() {
     if (!pkt.injected) {
       // Sender software: one packet at a time.
       const Rational start = rmax(egress_free[pkt.src], now);
+      if (injector_ && injector_->crashed(pkt.src, start)) {
+        // The sender died before its egress slot started: never injected.
+        ++stats_.faults.sends_suppressed;
+        stats_.faults.events.push_back(FaultEvent{
+            FaultEvent::Kind::kSendSuppressed, start, pkt.src, pkt.dst});
+        continue;
+      }
       egress_free[pkt.src] = start + config_.send_overhead;
       stats_.egress_busy_total += config_.send_overhead;
       pkt.injected = true;
@@ -98,10 +124,19 @@ std::vector<NetDelivery> PacketNetwork::run() {
     if (pkt.at == pkt.dst) {
       // Receiver software: one packet at a time; needs the whole packet.
       const Rational start = rmax(ingress_free[pkt.dst], pkt.tail);
-      ingress_free[pkt.dst] = start + config_.recv_overhead;
+      const Rational done = start + config_.recv_overhead;
+      ingress_free[pkt.dst] = done;
       stats_.ingress_busy_total += config_.recv_overhead;
-      deliveries.push_back(NetDelivery{pkt.src, pkt.dst, pkt.msg, pkt.requested,
-                                       start + config_.recv_overhead});
+      if (injector_ && injector_->crashed(pkt.dst, done)) {
+        // Dead before the receive completed: the ingress hardware latched
+        // the packet (port time is charged) but the software never saw it.
+        ++stats_.faults.drops_crash;
+        stats_.faults.events.push_back(
+            FaultEvent{FaultEvent::Kind::kDropCrash, done, pkt.dst, pkt.src});
+        continue;
+      }
+      deliveries.push_back(
+          NetDelivery{pkt.src, pkt.dst, pkt.msg, pkt.requested, done});
       continue;
     }
     // Forward one hop: serialize onto the wire, then fly. Store-and-forward
@@ -113,6 +148,13 @@ std::vector<NetDelivery> PacketNetwork::run() {
     const Rational ready =
         config_.switching == Switching::kStoreAndForward ? pkt.tail : now;
     const Rational start = rmax(free_at, ready);
+    if (injector_ && injector_->crashed(pkt.at, start)) {
+      // The relay died before it could serialize: the packet dies with it.
+      ++stats_.faults.drops_crash;
+      stats_.faults.events.push_back(
+          FaultEvent{FaultEvent::Kind::kDropCrash, start, pkt.at, pkt.dst});
+      continue;
+    }
     free_at = start + config_.wire_time;
     ++stats_.hops_total;
     WireUse& use = wire_use.try_emplace(wire_key(pkt.at, next),
@@ -120,7 +162,24 @@ std::vector<NetDelivery> PacketNetwork::run() {
                        .first->second;
     ++use.packets;
     use.busy += config_.wire_time;
-    const Rational flight = wire_propagation(pkt.at, next) + jitter();
+    Rational flight = wire_propagation(pkt.at, next) + jitter();
+    if (injector_ && injector_->has_spikes()) {
+      const Rational extra = injector_->extra_latency(start);
+      if (extra > Rational(0)) {
+        flight += extra;
+        ++stats_.faults.spikes_applied;
+        stats_.faults.events.push_back(
+            FaultEvent{FaultEvent::Kind::kSpike, start, pkt.at, next});
+      }
+    }
+    if (injector_ && injector_->has_losses() && injector_->lose(pkt.at, next)) {
+      // The wire ate the serialization: occupancy is charged, nothing
+      // comes out the far end.
+      ++stats_.faults.drops_loss;
+      stats_.faults.events.push_back(FaultEvent{
+          FaultEvent::Kind::kDropLoss, start + config_.wire_time, next, pkt.at});
+      continue;
+    }
     pkt.tail = start + config_.wire_time + flight;
     const Rational head = config_.switching == Switching::kCutThrough
                               ? start + config_.header_time + flight

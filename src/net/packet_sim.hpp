@@ -19,11 +19,21 @@
 //   (send_overhead + hops*(wire_time + propagation) + recv_overhead)
 //     / send_overhead,
 // which calibrate.hpp measures empirically instead of assuming.
+//
+// Fault injection (docs/FAULTS.md): attach_faults() arms a FaultPlan.
+// Crashed nodes stop injecting, forwarding, and receiving at their exact
+// crash time (a packet in flight dies at the first dead node it reaches),
+// lossy wires eat serializations via the same seeded Bernoulli draws the
+// Machine uses, and spike windows stretch propagation. All checks are
+// guarded by a null injector test: fault-free runs are byte-identical to
+// runs without a plan.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "model/params.hpp"
 #include "net/topology.hpp"
 #include "sched/schedule.hpp"
@@ -75,6 +85,7 @@ struct NetRunStats {
   Rational ingress_busy_total;          ///< receiver software occupancy, summed
   Rational makespan;                    ///< latest delivery time (0 when idle)
   std::vector<WireUse> wires;           ///< per-wire use, sorted by (from, to)
+  FaultStats faults;                    ///< faults applied (zero without a plan)
 };
 
 /// One completed end-to-end packet delivery.
@@ -93,6 +104,21 @@ class PacketNetwork {
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const NetConfig& config() const noexcept { return config_; }
+
+  /// Arm `plan` for subsequent run() calls (validated against n; copied).
+  /// Plan times are in the network's own clock -- when replaying a postal
+  /// schedule, scale postal times by send_overhead to match. Crashes halt a
+  /// node's software and forwarding; LinkLoss entries apply per directed
+  /// wire (each serialization draws once); spikes stretch propagation of
+  /// hops whose serialization starts inside the window. Attaching an empty
+  /// plan is equivalent to attaching none.
+  void attach_faults(const FaultPlan& plan);
+
+  /// Remove any attached plan; subsequent runs are fault-free.
+  void detach_faults() noexcept { injector_.reset(); }
+
+  /// True iff a (non-empty) plan is attached.
+  [[nodiscard]] bool has_faults() const noexcept { return injector_ != nullptr; }
 
   /// Ask node `src` to send one packet to `dst` at time `t`.
   void submit(NodeId src, NodeId dst, MsgId msg, const Rational& t);
@@ -121,6 +147,7 @@ class PacketNetwork {
 
   Topology topology_;
   NetConfig config_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<Pending> pending_;
   NetRunStats stats_;
 };

@@ -43,4 +43,14 @@ void record_sim_report(MetricsRegistry& registry, const SimReport& report,
   registry.rational(prefix + ".makespan").add(report.makespan);
 }
 
+void record_fault_stats(MetricsRegistry& registry, const FaultStats& stats,
+                        const std::string& prefix) {
+  registry.counter(prefix + ".crashes").add(stats.crashes_applied);
+  registry.counter(prefix + ".sends_suppressed").add(stats.sends_suppressed);
+  registry.counter(prefix + ".drops_crash").add(stats.drops_crash);
+  registry.counter(prefix + ".drops_loss").add(stats.drops_loss);
+  registry.counter(prefix + ".spikes").add(stats.spikes_applied);
+  registry.counter(prefix + ".total").add(stats.total());
+}
+
 }  // namespace postal::obs

@@ -36,4 +36,12 @@ void record_net_stats(MetricsRegistry& registry, const NetRunStats& stats,
 void record_sim_report(MetricsRegistry& registry, const SimReport& report,
                        const std::string& prefix = "validate");
 
+/// Fold the faults applied during one run (Machine or PacketNetwork) into
+/// `registry` under `prefix`:
+///   <prefix>.crashes, .sends_suppressed, .drops_crash, .drops_loss,
+///   <prefix>.spikes, .total                                     (counter)
+/// All zero -- and the timeline empty -- for fault-free runs.
+void record_fault_stats(MetricsRegistry& registry, const FaultStats& stats,
+                        const std::string& prefix = "faults");
+
 }  // namespace postal::obs

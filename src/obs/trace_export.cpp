@@ -35,6 +35,16 @@ class TraceWriter {
             << ",\"args\":{" << args_json << "}}";
   }
 
+  /// One instant ("ph":"i", thread scope) marker at model time `at` on
+  /// track `tid`.
+  void instant(const std::string& name, std::uint64_t tid, const Rational& at,
+               const std::string& args_json) {
+    begin() << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"i\",\"s\":\"t\""
+            << ",\"pid\":0,\"tid\":" << tid
+            << ",\"ts\":" << at.to_double() * options_.micros_per_unit
+            << ",\"args\":{" << args_json << "}}";
+  }
+
   /// Render, lint, and return the finished document.
   [[nodiscard]] std::string finish() {
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -72,6 +82,28 @@ void emit_send(TraceWriter& writer, ProcId src, ProcId dst, MsgId msg,
                   Rational(1), args.str() + ",\"src\":" + std::to_string(src));
 }
 
+// Marker names per fault kind; the affected processor's track hosts the
+// event, the other endpoint rides in "args".
+const char* fault_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kSendSuppressed: return "send suppressed (dead)";
+    case FaultEvent::Kind::kDropCrash: return "drop (receiver dead)";
+    case FaultEvent::Kind::kDropLoss: return "drop (link loss)";
+    case FaultEvent::Kind::kSpike: return "latency spike";
+  }
+  return "fault";
+}
+
+void emit_faults(TraceWriter& writer, const FaultStats& faults) {
+  for (const FaultEvent& e : faults.events) {
+    std::ostringstream args;
+    args << "\"t\":\"" << e.time.str() << "\"";
+    if (e.peer != e.proc) args << ",\"peer\":" << e.peer;
+    writer.instant(fault_name(e.kind), e.proc, e.time, args.str());
+  }
+}
+
 }  // namespace
 
 std::string trace_to_chrome_json(const Trace& trace, const PostalParams& params,
@@ -81,6 +113,18 @@ std::string trace_to_chrome_json(const Trace& trace, const PostalParams& params,
   for (const Delivery& d : trace.deliveries()) {
     emit_send(writer, d.src, d.dst, d.msg, d.send_start, params.lambda());
   }
+  return writer.finish();
+}
+
+std::string trace_to_chrome_json(const Trace& trace, const PostalParams& params,
+                                 const FaultStats& faults,
+                                 const ChromeTraceOptions& options) {
+  TraceWriter writer(options);
+  writer.thread_names(trace.n(), "p");
+  for (const Delivery& d : trace.deliveries()) {
+    emit_send(writer, d.src, d.dst, d.msg, d.send_start, params.lambda());
+  }
+  emit_faults(writer, faults);
   return writer.finish();
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "model/params.hpp"
 #include "net/packet_sim.hpp"
 #include "sched/schedule.hpp"
@@ -40,6 +41,16 @@ struct ChromeTraceOptions {
 /// object: {"displayTimeUnit":"ms","traceEvents":[...]}.
 [[nodiscard]] std::string trace_to_chrome_json(const Trace& trace,
                                                const PostalParams& params,
+                                               const ChromeTraceOptions& options = {});
+
+/// Same, overlaying the faults a run applied as instant events ("ph":"i")
+/// on the affected processor's track: crashes, suppressed sends, dropped
+/// deliveries (dead receiver / link loss), and latency spikes, each at its
+/// exact model time with the peer in "args". Perfetto renders them as
+/// markers on the timeline next to the send/receive windows they voided.
+[[nodiscard]] std::string trace_to_chrome_json(const Trace& trace,
+                                               const PostalParams& params,
+                                               const FaultStats& faults,
                                                const ChromeTraceOptions& options = {});
 
 /// Export a schedule directly (send windows [t, t+1), receive windows

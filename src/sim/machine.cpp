@@ -12,8 +12,21 @@ void MachineContext::send(ProcId dst, const Packet& packet) {
   machine_.enqueue_send(self_, dst, packet, now_);
 }
 
+void MachineContext::set_timer(const Rational& delay, std::uint64_t token) {
+  POSTAL_REQUIRE(delay >= Rational(0), "Machine: timer delay must be >= 0");
+  machine_.enqueue_timer(self_, now_ + delay, token);
+}
+
 Machine::Machine(PostalParams params, std::uint32_t messages)
     : params_(std::move(params)), messages_(messages) {}
+
+void Machine::attach_faults(const FaultPlan& plan) {
+  if (plan.empty()) {
+    injector_.reset();
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(plan, params_.n());
+}
 
 void Machine::enqueue_send(ProcId src, ProcId dst, const Packet& packet,
                            const Rational& now) {
@@ -22,6 +35,14 @@ void Machine::enqueue_send(ProcId src, ProcId dst, const Packet& packet,
   POSTAL_REQUIRE(packet.msg < messages_, "Machine: message id out of range");
   // The output port transmits one message per unit of time, FIFO.
   const Rational start = rmax(now, port_free_[src]);
+  if (injector_ && injector_->crashed(src, start)) {
+    // The handler ran before the crash, but the port slot this send would
+    // occupy starts at or after it: the transmission never happens.
+    ++fault_stats_.sends_suppressed;
+    fault_stats_.events.push_back(
+        FaultEvent{FaultEvent::Kind::kSendSuppressed, start, src, dst});
+    return;
+  }
   port_free_[src] = start + Rational(1);
   ++stats_.sends_enqueued;
   if (start > now) ++stats_.sends_deferred;
@@ -33,41 +54,123 @@ void Machine::enqueue_send(ProcId src, ProcId dst, const Packet& packet,
       static_cast<std::uint64_t>((port_free_[src] - now).ceil());
   if (depth > stats_.max_fifo_depth) stats_.max_fifo_depth = depth;
   schedule_.add(src, dst, packet.msg, start);
-  queue_.push(start + params_.lambda(), InFlight{src, dst, packet, start});
+  Rational latency = params_.lambda();
+  if (injector_ && injector_->has_spikes()) {
+    const Rational extra = injector_->extra_latency(start);
+    if (extra > Rational(0)) {
+      latency += extra;
+      ++fault_stats_.spikes_applied;
+      fault_stats_.events.push_back(
+          FaultEvent{FaultEvent::Kind::kSpike, start, src, dst});
+    }
+  }
+  if (injector_ && injector_->has_losses() && injector_->lose(src, dst)) {
+    // The send occupied the port and is part of the schedule -- the wire
+    // ate it. The arrival simply never happens.
+    ++fault_stats_.drops_loss;
+    fault_stats_.events.push_back(
+        FaultEvent{FaultEvent::Kind::kDropLoss, start + latency, dst, src});
+    return;
+  }
+  queue_.push(start + latency,
+              Pending{Pending::Kind::kFlight, src, dst, packet, start, 0});
+}
+
+void Machine::enqueue_timer(ProcId owner, const Rational& at, std::uint64_t token) {
+  ++stats_.timers_set;
+  queue_.push(at, Pending{Pending::Kind::kTimer, owner, owner, Packet{}, at, token});
+}
+
+void Machine::deliver(Protocol& protocol, const Rational& time,
+                      const Pending& flight, std::uint64_t& delivered) {
+  if (injector_ && injector_->crashed(flight.dst, time)) {
+    ++fault_stats_.drops_crash;
+    fault_stats_.events.push_back(
+        FaultEvent{FaultEvent::Kind::kDropCrash, time, flight.dst, flight.src});
+    return;
+  }
+  ++delivered;
+  trace_->record(
+      Delivery{flight.src, flight.dst, flight.packet.msg, flight.send_start, time});
+  MachineContext ctx(*this, flight.dst, time);
+  protocol.on_receive(ctx, flight.packet);
 }
 
 MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
   const std::uint64_t n = params_.n();
   port_free_.assign(n, Rational(0));
+  recv_free_.assign(n, Rational(0));
   schedule_ = Schedule();
-  queue_ = EventQueue<InFlight>();
+  queue_ = EventQueue<Pending>();
   stats_ = MachineStats();
   stats_.port_busy.assign(n, Rational(0));
+  fault_stats_ = FaultStats();
+  if (injector_) {
+    injector_->reset();
+    for (ProcId p = 0; p < n; ++p) {
+      const auto& c = injector_->crash_time(p);
+      if (c.has_value()) {
+        ++fault_stats_.crashes_applied;
+        fault_stats_.events.push_back(FaultEvent{FaultEvent::Kind::kCrash, *c, p, p});
+      }
+    }
+  }
 
   MachineResult result;
   result.trace = Trace(n, messages_);
+  trace_ = &result.trace;
 
   for (ProcId p = 0; p < n; ++p) {
+    if (injector_ && injector_->crashed(p, Rational(0))) continue;
     MachineContext ctx(*this, p, Rational(0));
     protocol.on_start(ctx);
   }
 
   std::uint64_t delivered = 0;
+  std::uint64_t steps = 0;
   while (!queue_.empty()) {
-    auto [time, flight] = queue_.pop();
-    if (++delivered > max_events) {
+    auto [time, event] = queue_.pop();
+    if (++steps > max_events) {
       throw LogicError("Machine::run: exceeded max_events; runaway protocol?");
     }
-    result.trace.record(
-        Delivery{flight.src, flight.dst, flight.packet.msg, flight.send_start, time});
-    MachineContext ctx(*this, flight.dst, time);
-    protocol.on_receive(ctx, flight.packet);
+    switch (event.kind) {
+      case Pending::Kind::kTimer: {
+        if (injector_ && injector_->crashed(event.dst, time)) break;
+        ++stats_.timers_fired;
+        MachineContext ctx(*this, event.dst, time);
+        protocol.on_timer(ctx, event.token);
+        break;
+      }
+      case Pending::Kind::kFlight: {
+        // Input-port serialization: the receive needs the window
+        // [arrival-1, arrival) exclusively. Simultaneous arrivals queue
+        // FIFO; the paper's algorithms never collide, so for them
+        // arrival == nominal time and this is a single comparison.
+        const Rational window_start = rmax(time - Rational(1), recv_free_[event.dst]);
+        const Rational arrival = window_start + Rational(1);
+        recv_free_[event.dst] = arrival;
+        if (arrival > time) {
+          ++stats_.receives_queued;
+          Pending requeued = event;
+          requeued.kind = Pending::Kind::kFlightFinal;
+          queue_.push(arrival, std::move(requeued));
+          break;
+        }
+        deliver(protocol, time, event, delivered);
+        break;
+      }
+      case Pending::Kind::kFlightFinal:
+        deliver(protocol, time, event, delivered);
+        break;
+    }
   }
 
   stats_.events_processed = delivered;
   schedule_.sort();
   result.schedule = std::move(schedule_);
   result.stats = std::move(stats_);
+  result.faults = std::move(fault_stats_);
+  trace_ = nullptr;
   return result;
 }
 

@@ -1,13 +1,22 @@
 // The event-driven MPS(n, lambda) runtime.
 //
 // The paper stresses that all its algorithms are "practical event-driven
-// algorithms": each processor acts only on local events (its own start, or
-// a message arrival) and local knowledge carried in the message. This
-// module provides that execution style. A Protocol supplies per-processor
-// handlers; the Machine runs them, models the output port (one send per
-// unit of time, FIFO queueing when handlers request sends faster than the
-// port drains), delivers messages after lambda, and records both a Trace
-// and the equivalent Schedule.
+// algorithms": each processor acts only on local events (its own start, a
+// message arrival, or a local timer) and local knowledge carried in the
+// message. This module provides that execution style. A Protocol supplies
+// per-processor handlers; the Machine runs them, models the output port
+// (one send per unit of time, FIFO queueing when handlers request sends
+// faster than the port drains), models the input port the same way
+// (simultaneous arrivals serialize FIFO; the paper's algorithms never
+// collide, so their traces are unchanged), delivers messages after lambda,
+// and records both a Trace and the equivalent Schedule.
+//
+// Fault injection (docs/FAULTS.md): attach_faults() arms a FaultPlan for
+// subsequent runs. Crashed processors stop sending and receiving at their
+// exact crash time, lossy links eat transmissions via seeded Bernoulli
+// draws, and latency-spike windows stretch lambda. Every fault check is
+// guarded by a null injector test, so runs without a plan execute the
+// historical code path byte-for-byte (regression-tested).
 //
 // The Machine enforces nothing else by itself -- the resulting schedule is
 // meant to be passed through validate_schedule, which certifies all model
@@ -17,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "model/params.hpp"
 #include "sched/schedule.hpp"
 #include "sim/event_queue.hpp"
@@ -43,6 +54,12 @@ class MachineContext {
   /// as the output port is free (immediately if idle) and arrives lambda
   /// later. Multiple queued sends leave one per time unit, FIFO.
   void send(ProcId dst, const Packet& packet);
+
+  /// Arm a local timer on `self` that fires `delay` (>= 0) from now; the
+  /// protocol's on_timer receives `token` back. Timers are local bookkeeping
+  /// -- they occupy no port and appear in neither the Schedule nor the
+  /// Trace. A timer armed by a processor that later crashes never fires.
+  void set_timer(const Rational& delay, std::uint64_t token);
 
   /// Current simulation time of the handler invocation.
   [[nodiscard]] const Rational& now() const noexcept { return now_; }
@@ -70,8 +87,15 @@ class Protocol {
   /// the algorithm here).
   virtual void on_start(MachineContext& ctx) { static_cast<void>(ctx); }
 
-  /// Invoked when a packet has been fully received (at send start + lambda).
+  /// Invoked when a packet has been fully received (at send start + lambda,
+  /// later if the input port had to serialize simultaneous arrivals).
   virtual void on_receive(MachineContext& ctx, const Packet& packet) = 0;
+
+  /// Invoked when a timer armed via MachineContext::set_timer fires.
+  virtual void on_timer(MachineContext& ctx, std::uint64_t token) {
+    static_cast<void>(ctx);
+    static_cast<void>(token);
+  }
 };
 
 /// Occupancy and event counts of one machine run, collected for free while
@@ -83,6 +107,11 @@ struct MachineStats {
   std::uint64_t events_processed = 0;  ///< deliveries handled (on_receive calls)
   std::uint64_t sends_enqueued = 0;    ///< sends requested by handlers
   std::uint64_t sends_deferred = 0;    ///< sends that found the port busy
+  std::uint64_t timers_set = 0;        ///< timers armed by handlers
+  std::uint64_t timers_fired = 0;      ///< timers that reached on_timer
+  /// Deliveries whose receive window had to wait for the input port (0 for
+  /// every paper algorithm: they schedule receives collision-free).
+  std::uint64_t receives_queued = 0;
   /// Deepest output-port backlog seen at any send request: the number of
   /// transmissions (including the new one) not yet finished on that
   /// processor's port at request time. 1 = the port was idle.
@@ -96,6 +125,7 @@ struct MachineResult {
   Schedule schedule;   ///< all sends performed, sorted by time
   Trace trace{1, 0};   ///< all deliveries
   MachineStats stats;  ///< occupancy/event counters of this run
+  FaultStats faults;   ///< faults applied (all zero without a plan)
 };
 
 /// The event-driven runtime itself.
@@ -104,32 +134,56 @@ class Machine {
   /// `messages` sizes the trace; handlers may send ids in [0, messages).
   Machine(PostalParams params, std::uint32_t messages);
 
-  /// Run `protocol` to quiescence (no in-flight packets left). Throws
-  /// InvalidArgument if a handler misbehaves (bad processor/message ids)
-  /// and LogicError if the run exceeds `max_events` deliveries.
+  /// Arm `plan` for subsequent run() calls (validates it against n; copies
+  /// it). Attaching an empty plan is equivalent to attaching none.
+  void attach_faults(const FaultPlan& plan);
+
+  /// Remove any attached plan; subsequent runs are fault-free.
+  void detach_faults() noexcept { injector_.reset(); }
+
+  /// True iff a (non-empty) plan is attached.
+  [[nodiscard]] bool has_faults() const noexcept { return injector_ != nullptr; }
+
+  /// Run `protocol` to quiescence (no in-flight packets or timers left).
+  /// Throws InvalidArgument if a handler misbehaves (bad processor/message
+  /// ids) and LogicError if the run exceeds `max_events` queue events.
   [[nodiscard]] MachineResult run(Protocol& protocol,
                                   std::uint64_t max_events = 1ULL << 22);
 
  private:
   friend class MachineContext;
 
-  struct InFlight {
-    ProcId src;
-    ProcId dst;
+  struct Pending {
+    enum class Kind : std::uint8_t {
+      kFlight,       ///< in-flight packet at its nominal arrival time
+      kFlightFinal,  ///< packet re-queued at its serialized arrival time
+      kTimer,        ///< local timer (dst = owner, token = payload)
+    };
+    Kind kind = Kind::kFlight;
+    ProcId src = 0;
+    ProcId dst = 0;
     Packet packet;
     Rational send_start;
+    std::uint64_t token = 0;
   };
 
   void enqueue_send(ProcId src, ProcId dst, const Packet& packet, const Rational& now);
+  void enqueue_timer(ProcId owner, const Rational& at, std::uint64_t token);
+  void deliver(Protocol& protocol, const Rational& time, const Pending& flight,
+               std::uint64_t& delivered);
 
   PostalParams params_;
   std::uint32_t messages_;
+  std::unique_ptr<FaultInjector> injector_;
 
   // Per-run state.
   std::vector<Rational> port_free_;
+  std::vector<Rational> recv_free_;
   Schedule schedule_;
-  EventQueue<InFlight> queue_;
+  EventQueue<Pending> queue_;
   MachineStats stats_;
+  FaultStats fault_stats_;
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace postal

@@ -1,6 +1,7 @@
 #include "sim/validator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "support/interval_set.hpp"
@@ -30,15 +31,28 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
 
   POSTAL_REQUIRE(options.origin < n, "validate_schedule: origin out of range");
 
+  // Earliest known crash per processor (docs/FAULTS.md): deliveries at or
+  // after it are void, sends at or after it are impossible, and the
+  // processor is exempt from coverage.
+  std::vector<std::optional<Rational>> crash(n);
+  for (const CrashFault& c : options.crashes) {
+    POSTAL_REQUIRE(c.proc < n, "validate_schedule: crashed processor out of range");
+    auto& slot = crash[c.proc];
+    if (!slot.has_value() || c.time < *slot) slot = c.time;
+  }
+
   // Sort events by send time so causality state (arrival times) is always
   // known before any later send is examined: an arrival enabling a send at
-  // t happened at a send that started at t - lambda < t.
+  // t happened at a send that started at t - lambda < t. Because lambda is
+  // a constant, this order is simultaneously nominal-arrival order, which
+  // is what the fifo_receive serialization below iterates in.
   std::vector<SendEvent> events = schedule.events();
   std::stable_sort(events.begin(), events.end(),
                    [](const SendEvent& a, const SendEvent& b) { return a.t < b.t; });
 
   std::vector<IntervalSet> send_port(n);
   std::vector<IntervalSet> recv_port(n);
+  std::vector<Rational> recv_free(options.fifo_receive ? n : 0, Rational(0));
   // holds_at[p * messages + msg]: earliest time p holds msg (origin: 0).
   std::vector<std::optional<Rational>> holds(n * messages);
   if (options.origins.empty()) {
@@ -66,6 +80,13 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
       violate(who.str() + "message id out of range");
       continue;
     }
+    // A dead processor cannot transmit: such an event proves the schedule
+    // was not produced under the declared crashes.
+    if (crash[e.src].has_value() && e.t >= *crash[e.src]) {
+      violate(who.str() + "p" + std::to_string(e.src) + " crashed at t=" +
+              crash[e.src]->str() + " but sends afterwards");
+      continue;
+    }
     // Causality: the sender must hold the message when the send starts.
     const auto& held = holds[e.src * messages + e.msg];
     if (!held.has_value() || e.t < *held) {
@@ -79,27 +100,44 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
           << clash->lo << ", " << clash->hi << ")";
       violate(oss.str());
     }
-    // Receive-port exclusivity: [t+lambda-1, t+lambda).
-    const Rational arrive = e.t + lambda;
-    if (auto clash = recv_port[e.dst].insert(arrive - Rational(1), arrive)) {
-      std::ostringstream oss;
-      oss << who.str() << "receive port of p" << e.dst << " already busy on ["
-          << clash->lo << ", " << clash->hi << ")";
-      violate(oss.str());
+    // Receive port. Strict mode: exclusivity of [t+lambda-1, t+lambda),
+    // overlap is a violation. FIFO mode: simultaneous arrivals serialize in
+    // nominal-arrival order (the Machine's input-port queueing), so overlap
+    // delays the arrival instead. Either way a delivery reaching a crashed
+    // receiver at or after its crash time is void: no port use, no hold.
+    Rational arrive = e.t + lambda;
+    bool voided;
+    if (options.fifo_receive) {
+      const Rational window = rmax(arrive - Rational(1), recv_free[e.dst]);
+      arrive = window + Rational(1);
+      recv_free[e.dst] = arrive;
+      voided = crash[e.dst].has_value() && arrive >= *crash[e.dst];
+    } else {
+      voided = crash[e.dst].has_value() && arrive >= *crash[e.dst];
+      if (!voided) {
+        if (auto clash = recv_port[e.dst].insert(arrive - Rational(1), arrive)) {
+          std::ostringstream oss;
+          oss << who.str() << "receive port of p" << e.dst << " already busy on ["
+              << clash->lo << ", " << clash->hi << ")";
+          violate(oss.str());
+        }
+      }
     }
+    if (voided) continue;
     auto& dst_holds = holds[e.dst * messages + e.msg];
     if (!dst_holds.has_value() || arrive < *dst_holds) dst_holds = arrive;
     report.trace.record(Delivery{e.src, e.dst, e.msg, e.t, arrive});
   }
 
   if (options.require_coverage) {
+    const auto is_crashed = [&crash](ProcId p) { return crash[p].has_value(); };
     if (!options.required.empty()) {
       for (const auto& [p, msg] : options.required) {
         POSTAL_REQUIRE(p < n && msg < messages,
                        "validate_schedule: required delivery out of range");
         const ProcId msg_origin =
             options.origins.empty() ? options.origin : options.origins[msg];
-        if (p == msg_origin) continue;
+        if (p == msg_origin || is_crashed(p)) continue;
         if (!holds[p * messages + msg].has_value()) {
           violate("p" + std::to_string(p) + " never received required M" +
                   std::to_string(msg + 1));
@@ -108,6 +146,7 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
     } else if (!options.origins.empty()) {
       // All-to-all goal with per-message origins.
       for (ProcId p = 0; p < n; ++p) {
+        if (is_crashed(p)) continue;
         for (MsgId msg = 0; msg < messages; ++msg) {
           if (p == options.origins[msg]) continue;
           if (!holds[p * messages + msg].has_value()) {
@@ -118,10 +157,15 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
       }
     } else {
       for (const ProcId p : report.trace.uncovered(options.origin)) {
+        if (is_crashed(p)) continue;
         violate("p" + std::to_string(p) + " never received all messages");
       }
       if (messages == 0 && n > 1) {
-        violate("schedule delivers no messages but n > 1");
+        bool all_crashed = true;
+        for (ProcId p = 0; p < n; ++p) {
+          if (p != options.origin && !is_crashed(p)) all_crashed = false;
+        }
+        if (!all_crashed) violate("schedule delivers no messages but n > 1");
       }
     }
   }

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "model/params.hpp"
 #include "sched/schedule.hpp"
 #include "sim/trace.hpp"
@@ -54,6 +55,30 @@ struct ValidatorOptions {
   /// broadcast goal). Pairs whose processor is the message's origin are
   /// trivially satisfied.
   std::vector<std::pair<ProcId, MsgId>> required;
+
+  /// Known processor crashes (docs/FAULTS.md). A schedule produced under a
+  /// FaultPlan is truncated in exactly the ways crashes allow, and the
+  /// validator must know them to judge it:
+  ///  * a crashed processor is exempt from the coverage goal (it is dead;
+  ///    nobody can deliver to it);
+  ///  * a delivery arriving at or after the receiver's crash time is void:
+  ///    it occupies no receive port, establishes no message hold, and is
+  ///    not recorded in the trace;
+  ///  * a send whose start is at or after the sender's crash time is a
+  ///    violation -- dead processors cannot transmit, so such an event
+  ///    proves the schedule was not produced under these crashes.
+  /// Without the crash set, the same truncated schedule fails coverage --
+  /// the caller cannot silently excuse missing processors.
+  std::vector<CrashFault> crashes;
+
+  /// Input-port semantics. false (default, the paper's model): receive
+  /// windows [t+lambda-1, t+lambda) must be exclusive, overlap is a
+  /// violation -- every paper algorithm satisfies this. true: simultaneous
+  /// arrivals at a receiver serialize FIFO in nominal-arrival order
+  /// (matching the Machine's input-port queueing), so overlap delays
+  /// deliveries instead of violating; needed for protocols whose receive
+  /// times are fault-dependent (reliable_bcast acks under crashes).
+  bool fifo_receive = false;
 };
 
 /// Validate `schedule` under MPS(params.n(), params.lambda()).

@@ -119,6 +119,26 @@ TEST(Communicator, MultiSourcePlanVerified) {
   EXPECT_NE(plan.algorithm.find("MULTI-SOURCE"), std::string::npos);
 }
 
+TEST(Communicator, ReliableBroadcastFaultFreeMatchesBaseline) {
+  Communicator comm(24, Rational(5, 2));
+  const ReliableBcastReport report = comm.broadcast_reliable();
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.completion, comm.broadcast_time());
+  EXPECT_EQ(report.counters.retransmissions, 0u);
+}
+
+TEST(Communicator, ReliableBroadcastSurvivesACrashPlan) {
+  Communicator comm(24, Rational(2));
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{5, Rational(2)});
+  const ReliableBcastReport report = comm.broadcast_reliable(&plan);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  ASSERT_EQ(report.crashed.size(), 1u);
+  EXPECT_EQ(report.crashed[0], 5u);
+}
+
 TEST(Communicator, PlansAreDeterministic) {
   Communicator a(20, Rational(5, 2));
   Communicator b(20, Rational(5, 2));

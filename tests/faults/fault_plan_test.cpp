@@ -1,0 +1,183 @@
+// Tests for the FaultPlan data model: JSON round-trips, the strict parser's
+// rejections, validate()'s domain checks, and the determinism of seeded
+// random plan generation.
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/genfib.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crashes = {CrashFault{3, Rational(5, 2)}, CrashFault{9, Rational(0)}};
+  plan.losses = {LinkLoss{0, 3, Rational(1, 10), 3},
+                 LinkLoss{2, 5, Rational(1), 0}};
+  plan.spikes = {LatencySpike{Rational(3), Rational(6), Rational(2)}};
+  return plan;
+}
+
+TEST(FaultPlan, EmptyPredicate) {
+  EXPECT_TRUE(FaultPlan{}.empty());
+  FaultPlan plan;
+  plan.spikes.push_back(LatencySpike{Rational(0), Rational(1), Rational(1)});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, JsonRoundTripIsExact) {
+  const FaultPlan plan = sample_plan();
+  const std::string json = fault_plan_to_json(plan);
+  const FaultPlan parsed = parse_fault_plan(json);
+  EXPECT_EQ(parsed, plan);
+  // Serializing the parse reproduces the same bytes (canonical form).
+  EXPECT_EQ(fault_plan_to_json(parsed), json);
+}
+
+TEST(FaultPlan, EmptyPlanRoundTrips) {
+  const std::string json = fault_plan_to_json(FaultPlan{});
+  const FaultPlan parsed = parse_fault_plan(json);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(parsed.seed, 0u);
+}
+
+TEST(FaultPlan, ParserAcceptsWhitespace) {
+  const FaultPlan parsed = parse_fault_plan(
+      " { \"seed\" : 5 ,\n \"crashes\" : [ { \"proc\" : 1 , \"time\" : "
+      "\"3/2\" } ] ,\n \"losses\" : [ ] , \"spikes\" : [ ] }\n");
+  EXPECT_EQ(parsed.seed, 5u);
+  ASSERT_EQ(parsed.crashes.size(), 1u);
+  EXPECT_EQ(parsed.crashes[0].proc, 1u);
+  EXPECT_EQ(parsed.crashes[0].time, Rational(3, 2));
+}
+
+TEST(FaultPlan, ParserRejectsMalformedInput) {
+  // Unknown key.
+  POSTAL_EXPECT_THROW(
+      parse_fault_plan(R"({"seed":1,"crashes":[],"losses":[],"spikes":[],"x":1})"),
+      InvalidArgument);
+  POSTAL_EXPECT_THROW(
+      parse_fault_plan(R"({"seed":1,"crashes":[{"proc":1,"time":"2","bad":3}],"losses":[],"spikes":[]})"),
+      InvalidArgument);
+  // Trailing characters after the document.
+  POSTAL_EXPECT_THROW(
+      parse_fault_plan(fault_plan_to_json(FaultPlan{}) + "garbage"),
+      InvalidArgument);
+  // Not an object / truncated.
+  POSTAL_EXPECT_THROW(parse_fault_plan(""), InvalidArgument);
+  POSTAL_EXPECT_THROW(parse_fault_plan("[]"), InvalidArgument);
+  POSTAL_EXPECT_THROW(parse_fault_plan(R"({"seed":1)"), InvalidArgument);
+  // Rationals must be strings, not numbers.
+  POSTAL_EXPECT_THROW(
+      parse_fault_plan(R"({"seed":1,"crashes":[{"proc":1,"time":2}],"losses":[],"spikes":[]})"),
+      InvalidArgument);
+}
+
+TEST(FaultPlan, ValidateChecksDomains) {
+  const std::uint64_t n = 8;
+  EXPECT_NO_THROW(sample_plan().validate(16));
+
+  FaultPlan bad = sample_plan();  // crashes proc 9 -- out of range for n=8
+  POSTAL_EXPECT_THROW(bad.validate(n), InvalidArgument);
+
+  FaultPlan loss_proc;
+  loss_proc.losses = {LinkLoss{0, 8, Rational(1, 2), 0}};
+  POSTAL_EXPECT_THROW(loss_proc.validate(n), InvalidArgument);
+
+  FaultPlan loss_p;
+  loss_p.losses = {LinkLoss{0, 1, Rational(3, 2), 0}};
+  POSTAL_EXPECT_THROW(loss_p.validate(n), InvalidArgument);
+  loss_p.losses = {LinkLoss{0, 1, Rational(-1, 2), 0}};
+  POSTAL_EXPECT_THROW(loss_p.validate(n), InvalidArgument);
+
+  FaultPlan crash_neg;
+  crash_neg.crashes = {CrashFault{1, Rational(-1)}};
+  POSTAL_EXPECT_THROW(crash_neg.validate(n), InvalidArgument);
+
+  FaultPlan spike_bad;
+  spike_bad.spikes = {LatencySpike{Rational(6), Rational(3), Rational(1)}};
+  POSTAL_EXPECT_THROW(spike_bad.validate(n), InvalidArgument);
+  spike_bad.spikes = {LatencySpike{Rational(0), Rational(3), Rational(-1)}};
+  POSTAL_EXPECT_THROW(spike_bad.validate(n), InvalidArgument);
+}
+
+TEST(FaultPlan, RandomPlanIsSeedDeterministic) {
+  const PostalParams params(32, Rational(5, 2));
+  RandomFaultOptions opts;
+  opts.crashes = 4;
+  opts.loss_p = Rational(1, 8);
+  opts.lossy_links = 6;
+  opts.spikes = 2;
+  const FaultPlan a = random_fault_plan(params, 42, opts);
+  const FaultPlan b = random_fault_plan(params, 42, opts);
+  EXPECT_EQ(a, b);
+  const FaultPlan c = random_fault_plan(params, 43, opts);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlan, RandomPlanNeverCrashesOriginAndStaysOnGrid) {
+  const Rational lambda(5, 2);  // grid = multiples of 1/2
+  const PostalParams params(24, lambda);
+  GenFib fib(lambda);
+  const Rational window = fib.f(params.n());
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    RandomFaultOptions opts;
+    opts.crashes = 3;
+    const FaultPlan plan = random_fault_plan(params, seed, opts);
+    EXPECT_NO_THROW(plan.validate(params.n()));
+    EXPECT_EQ(plan.seed, seed);
+    EXPECT_EQ(plan.crashes.size(), 3u);
+    for (const CrashFault& c : plan.crashes) {
+      EXPECT_NE(c.proc, 0u) << "origin must never be crashed (seed " << seed << ")";
+      EXPECT_LT(c.proc, params.n());
+      EXPECT_GE(c.time, Rational(0));
+      EXPECT_LE(c.time, window);
+      // Times land on the lambda grid: time * den(lambda) is an integer.
+      const Rational scaled = c.time * Rational(lambda.den());
+      EXPECT_EQ(scaled.den(), 1) << "crash time " << c.time.str()
+                                 << " off the 1/" << lambda.den() << " grid";
+    }
+  }
+}
+
+TEST(FaultPlan, RandomPlanClampsCrashCount) {
+  const PostalParams params(4, Rational(2));
+  RandomFaultOptions opts;
+  opts.crashes = 100;  // only 3 non-origin processors exist
+  const FaultPlan plan = random_fault_plan(params, 1, opts);
+  EXPECT_LE(plan.crashes.size(), 3u);
+  // Distinct processors.
+  std::vector<ProcId> procs;
+  for (const CrashFault& c : plan.crashes) procs.push_back(c.proc);
+  std::sort(procs.begin(), procs.end());
+  EXPECT_EQ(std::unique(procs.begin(), procs.end()), procs.end());
+}
+
+TEST(FaultPlan, RandomPlanLossAndSpikeKnobs) {
+  const PostalParams params(16, Rational(2));
+  RandomFaultOptions opts;
+  opts.crashes = 0;
+  opts.loss_p = Rational(1, 4);
+  opts.lossy_links = 5;
+  opts.max_losses = 2;
+  opts.spikes = 3;
+  const FaultPlan plan = random_fault_plan(params, 9, opts);
+  EXPECT_TRUE(plan.crashes.empty());
+  EXPECT_EQ(plan.losses.size(), 5u);
+  for (const LinkLoss& l : plan.losses) {
+    EXPECT_EQ(l.p, Rational(1, 4));
+    EXPECT_EQ(l.max_losses, 2u);
+    EXPECT_NE(l.src, l.dst);
+  }
+  EXPECT_EQ(plan.spikes.size(), 3u);
+  EXPECT_NO_THROW(plan.validate(params.n()));
+}
+
+}  // namespace
+}  // namespace postal

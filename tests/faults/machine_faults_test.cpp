@@ -1,0 +1,265 @@
+// Tests for fault injection in the event-driven Machine: the byte-identical
+// fault-free regression, crash/loss/spike semantics, determinism, and the
+// FaultInjector's own query contract.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "model/genfib.hpp"
+#include "sim/machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+PostalParams mps(std::uint64_t n, Rational lambda) { return {n, std::move(lambda)}; }
+
+/// Origin sends `count` copies of message 0 to processor 1, back to back.
+class BlastProtocol final : public Protocol {
+ public:
+  explicit BlastProtocol(std::uint64_t count) : count_(count) {}
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() != 0) return;
+    for (std::uint64_t i = 0; i < count_; ++i) ctx.send(1, Packet{0, i, 0});
+  }
+  void on_receive(MachineContext&, const Packet&) override {}
+
+ private:
+  std::uint64_t count_;
+};
+
+/// Processor 1 arms a timer at start; if it fires, it sends to 0.
+class TimerProtocol final : public Protocol {
+ public:
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() == 1) ctx.set_timer(Rational(5), 99);
+  }
+  void on_receive(MachineContext&, const Packet&) override {}
+  void on_timer(MachineContext& ctx, std::uint64_t token) override {
+    EXPECT_EQ(token, 99u);
+    ctx.send(0, Packet{0, 0, 0});
+  }
+};
+
+bool same_run(const MachineResult& a, const MachineResult& b) {
+  return a.schedule.events() == b.schedule.events() &&
+         a.trace.deliveries() == b.trace.deliveries();
+}
+
+TEST(MachineFaults, NoPlanEmptyPlanAndDetachAreByteIdentical) {
+  const PostalParams params = mps(34, Rational(5, 2));
+
+  Machine bare(params, 1);
+  BcastProtocol p1(params);
+  const MachineResult baseline = bare.run(p1);
+
+  Machine empty_plan(params, 1);
+  empty_plan.attach_faults(FaultPlan{});  // empty plan == no plan
+  EXPECT_FALSE(empty_plan.has_faults());
+  BcastProtocol p2(params);
+  const MachineResult under_empty = empty_plan.run(p2);
+
+  Machine detached(params, 1);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{3, Rational(1)});
+  detached.attach_faults(plan);
+  EXPECT_TRUE(detached.has_faults());
+  detached.detach_faults();
+  EXPECT_FALSE(detached.has_faults());
+  BcastProtocol p3(params);
+  const MachineResult after_detach = detached.run(p3);
+
+  EXPECT_TRUE(same_run(baseline, under_empty));
+  EXPECT_TRUE(same_run(baseline, after_detach));
+  EXPECT_EQ(baseline.faults.total(), 0u);
+  EXPECT_TRUE(baseline.faults.events.empty());
+}
+
+TEST(MachineFaults, CrashSuppressesSendsAndVoidsDeliveries) {
+  const Rational lambda(2);
+  const PostalParams params = mps(16, lambda);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  const Rational crash_at = lambda;  // the instant its copy arrives
+
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{relay, crash_at});
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  BcastProtocol protocol(params);
+  const MachineResult result = machine.run(protocol);
+
+  // Dead processors transmit nothing at or after the crash...
+  for (const SendEvent& e : result.schedule.events()) {
+    EXPECT_FALSE(e.src == relay && e.t >= crash_at)
+        << "crashed p" << relay << " sent at " << e.t.str();
+  }
+  // ...and complete no receive at or after it.
+  for (const Delivery& d : result.trace.deliveries()) {
+    EXPECT_FALSE(d.dst == relay && d.arrival >= crash_at)
+        << "crashed p" << relay << " received at " << d.arrival.str();
+  }
+  // The relay's whole subtree is orphaned under plain BCAST.
+  const std::vector<ProcId> uncovered = result.trace.uncovered(0);
+  EXPECT_EQ(uncovered.size(), params.n() - relay);
+  EXPECT_TRUE(std::find(uncovered.begin(), uncovered.end(), relay) !=
+              uncovered.end());
+
+  EXPECT_EQ(result.faults.crashes_applied, 1u);
+  EXPECT_GT(result.faults.drops_crash, 0u);  // its copy arrived dead
+  EXPECT_EQ(result.faults.total(), result.faults.crashes_applied +
+                                       result.faults.sends_suppressed +
+                                       result.faults.drops_crash);
+  // The timeline leads with the crash event.
+  ASSERT_FALSE(result.faults.events.empty());
+  EXPECT_EQ(result.faults.events.front().kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(result.faults.events.front().proc, relay);
+  EXPECT_EQ(result.faults.events.front().time, crash_at);
+}
+
+TEST(MachineFaults, CrashAtZeroKillsAllActivityOfTheProcessor) {
+  const PostalParams params = mps(8, Rational(2));
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{1, Rational(0)});
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  BcastProtocol protocol(params);
+  const MachineResult result = machine.run(protocol);
+  for (const SendEvent& e : result.schedule.events()) EXPECT_NE(e.src, 1u);
+  for (const Delivery& d : result.trace.deliveries()) EXPECT_NE(d.dst, 1u);
+}
+
+TEST(MachineFaults, IdenticalPlanGivesIdenticalRuns) {
+  const PostalParams params = mps(24, Rational(5, 2));
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.crashes.push_back(CrashFault{5, Rational(3)});
+  plan.losses.push_back(LinkLoss{0, 1, Rational(1, 2), 0});
+  plan.losses.push_back(LinkLoss{1, 9, Rational(1, 2), 0});
+  plan.spikes.push_back(LatencySpike{Rational(2), Rational(4), Rational(1)});
+
+  MachineResult runs[2];
+  for (MachineResult& out : runs) {
+    Machine machine(params, 1);
+    machine.attach_faults(plan);
+    BcastProtocol protocol(params);
+    out = machine.run(protocol);
+  }
+  EXPECT_TRUE(same_run(runs[0], runs[1]));
+  EXPECT_EQ(runs[0].faults.events, runs[1].faults.events);
+  EXPECT_EQ(runs[0].faults.total(), runs[1].faults.total());
+}
+
+TEST(MachineFaults, MaxLossesCapsTheBurst) {
+  const PostalParams params = mps(2, Rational(2));
+  FaultPlan plan;
+  plan.losses.push_back(LinkLoss{0, 1, Rational(1), 2});  // p=1, cap 2
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  BlastProtocol protocol(5);
+  const MachineResult result = machine.run(protocol);
+  EXPECT_EQ(result.faults.drops_loss, 2u);
+  EXPECT_EQ(result.trace.deliveries().size(), 3u);  // the cap spares the rest
+  EXPECT_EQ(result.schedule.size(), 5u);  // lost sends still occupied the port
+}
+
+TEST(MachineFaults, UncappedCertainLossEatsEverything) {
+  const PostalParams params = mps(2, Rational(2));
+  FaultPlan plan;
+  plan.losses.push_back(LinkLoss{0, 1, Rational(1), 0});
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  BlastProtocol protocol(4);
+  const MachineResult result = machine.run(protocol);
+  EXPECT_EQ(result.faults.drops_loss, 4u);
+  EXPECT_TRUE(result.trace.deliveries().empty());
+}
+
+TEST(MachineFaults, SpikeStretchesLatency) {
+  const Rational lambda(2);
+  const PostalParams params = mps(2, lambda);
+  FaultPlan plan;
+  plan.spikes.push_back(LatencySpike{Rational(0), Rational(1), Rational(3)});
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  BlastProtocol protocol(2);
+  const MachineResult result = machine.run(protocol);
+  ASSERT_EQ(result.trace.deliveries().size(), 2u);
+  for (const Delivery& d : result.trace.deliveries()) {
+    // The send starting at 0 is inside the window (arrives at lambda + 3);
+    // the one starting at 1 is outside (plain lambda).
+    const Rational expected =
+        d.send_start == Rational(0) ? lambda + Rational(3) : Rational(1) + lambda;
+    EXPECT_EQ(d.arrival, expected) << "send at " << d.send_start.str();
+  }
+  EXPECT_EQ(result.faults.spikes_applied, 1u);
+}
+
+TEST(MachineFaults, TimerOnCrashedProcessorNeverFires) {
+  const PostalParams params = mps(2, Rational(2));
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{1, Rational(1)});
+  Machine machine(params, 1);
+  machine.attach_faults(plan);
+  TimerProtocol protocol;
+  const MachineResult result = machine.run(protocol);
+  EXPECT_EQ(result.stats.timers_set, 1u);
+  EXPECT_EQ(result.stats.timers_fired, 0u);
+  EXPECT_TRUE(result.schedule.empty());  // the timer's send never happened
+}
+
+TEST(MachineFaults, AttachValidatesThePlan) {
+  Machine machine(mps(4, Rational(2)), 1);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{7, Rational(1)});  // proc out of range
+  POSTAL_EXPECT_THROW(machine.attach_faults(plan), InvalidArgument);
+}
+
+TEST(FaultInjector, CrashQueryIsInclusiveAtTheCrashInstant) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{2, Rational(5, 2)});
+  const FaultInjector injector(plan, 4);
+  EXPECT_FALSE(injector.crashed(2, Rational(2)));
+  EXPECT_TRUE(injector.crashed(2, Rational(5, 2)));
+  EXPECT_TRUE(injector.crashed(2, Rational(3)));
+  EXPECT_FALSE(injector.crashed(1, Rational(100)));
+  EXPECT_TRUE(injector.crash_time(2).has_value());
+  EXPECT_FALSE(injector.crash_time(0).has_value());
+}
+
+TEST(FaultInjector, LossDrawsAreStableAcrossReset) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.losses.push_back(LinkLoss{0, 1, Rational(1, 2), 0});
+  FaultInjector injector(plan, 2);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(injector.lose(0, 1));
+  injector.reset();
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(injector.lose(0, 1), first[static_cast<std::size_t>(i)]) << i;
+  // p = 1/2 over 64 draws: both outcomes must occur.
+  EXPECT_TRUE(std::find(first.begin(), first.end(), true) != first.end());
+  EXPECT_TRUE(std::find(first.begin(), first.end(), false) != first.end());
+  // A link with no loss entry never drops.
+  injector.reset();
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(injector.lose(1, 0));
+}
+
+TEST(FaultInjector, ExtraLatencySumsOverlappingWindows) {
+  FaultPlan plan;
+  plan.spikes.push_back(LatencySpike{Rational(0), Rational(4), Rational(1)});
+  plan.spikes.push_back(LatencySpike{Rational(2), Rational(6), Rational(2)});
+  const FaultInjector injector(plan, 2);
+  EXPECT_EQ(injector.extra_latency(Rational(1)), Rational(1));
+  EXPECT_EQ(injector.extra_latency(Rational(3)), Rational(3));  // both windows
+  EXPECT_EQ(injector.extra_latency(Rational(5)), Rational(2));
+  EXPECT_EQ(injector.extra_latency(Rational(6)), Rational(0));  // until exclusive
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,169 @@
+// Tests for the reliable broadcast protocol: the fault-free run must BE the
+// paper's Algorithm BCAST (same DATA sends, completion exactly f_lambda(n),
+// a silent reliability layer), and under crashes/loss every survivor must
+// still be reached with the counters accounting for the recovery.
+#include "sim/protocols/reliable_bcast.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/genfib.hpp"
+#include "sched/bcast.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+PostalParams mps(std::uint64_t n, Rational lambda) { return {n, std::move(lambda)}; }
+
+TEST(ReliableBcast, FaultFreeCompletionIsExactlyFLambda) {
+  const struct {
+    std::uint64_t n;
+    Rational lambda;
+  } cases[] = {{2, Rational(1)},   {14, Rational(5, 2)}, {34, Rational(5, 2)},
+               {57, Rational(3)},  {96, Rational(1)},    {41, Rational(7, 3)}};
+  for (const auto& c : cases) {
+    const PostalParams params = mps(c.n, c.lambda);
+    GenFib fib(c.lambda);
+    const ReliableBcastReport report = run_reliable_bcast(params);
+    EXPECT_TRUE(report.covered);
+    EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+    EXPECT_EQ(report.completion, fib.f(c.n))
+        << "n=" << c.n << " lambda=" << c.lambda.str();
+    EXPECT_EQ(report.baseline, fib.f(c.n));
+    EXPECT_EQ(report.recovery_overhead, Rational(0));
+    // The reliability layer must be silent when nothing fails.
+    EXPECT_EQ(report.counters.retransmissions, 0u);
+    EXPECT_EQ(report.counters.dead_declared, 0u);
+    EXPECT_EQ(report.counters.repairs, 0u);
+    EXPECT_EQ(report.counters.data_sends, c.n - 1);
+    EXPECT_EQ(report.result.faults.total(), 0u);
+    EXPECT_TRUE(report.crashed.empty());
+  }
+}
+
+TEST(ReliableBcast, FaultFreeDataSendsAreAlgorithmBcast) {
+  // DATA always flows to higher ids (a parent owns [self, hi) and delegates
+  // upper pieces), acks flow back down -- so the dst > src half of the
+  // reliable schedule must be event-for-event the analytic BCAST schedule.
+  const PostalParams params = mps(34, Rational(5, 2));
+  const ReliableBcastReport report = run_reliable_bcast(params);
+  Schedule data_only;
+  for (const SendEvent& e : report.result.schedule.events())
+    if (e.dst > e.src) data_only.add(e);
+  const Schedule paper = bcast_schedule(params);
+  EXPECT_EQ(data_only.events(), paper.events());
+}
+
+TEST(ReliableBcast, TrivialSizes) {
+  const ReliableBcastReport one = run_reliable_bcast(mps(1, Rational(2)));
+  EXPECT_TRUE(one.covered);
+  EXPECT_EQ(one.completion, Rational(0));
+  EXPECT_EQ(one.baseline, Rational(0));
+  const ReliableBcastReport two = run_reliable_bcast(mps(2, Rational(3)));
+  EXPECT_TRUE(two.covered);
+  EXPECT_EQ(two.completion, Rational(3));
+}
+
+TEST(ReliableBcast, RelayCrashIsRepaired) {
+  const Rational lambda(2);
+  const PostalParams params = mps(32, lambda);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{relay, lambda});  // dies as its copy lands
+
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  EXPECT_TRUE(report.covered) << report.uncovered_alive.size()
+                              << " live processors missed";
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  ASSERT_EQ(report.crashed.size(), 1u);
+  EXPECT_EQ(report.crashed[0], relay);
+  EXPECT_GE(report.counters.timeouts, 1u);
+  EXPECT_GE(report.counters.retransmissions, 1u);
+  EXPECT_EQ(report.counters.dead_declared, 1u);
+  EXPECT_GE(report.counters.repairs, 1u);  // [relay+1, n) re-rooted
+  EXPECT_GT(report.recovery_overhead, Rational(0));
+  // The dead relay is exempt; everyone else got the message.
+  EXPECT_TRUE(report.uncovered_alive.empty());
+}
+
+TEST(ReliableBcast, LeafCrashNeedsNoRepair) {
+  const PostalParams params = mps(8, Rational(2));
+  // Processor n-1 is always a leaf of the broadcast tree (it owns [n-1, n)).
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{7, Rational(0)});
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.counters.dead_declared, 1u);
+  EXPECT_EQ(report.counters.repairs, 0u);  // a leaf orphans nobody
+}
+
+TEST(ReliableBcast, CascadingCrashesAreRepaired) {
+  const Rational lambda(2);
+  const PostalParams params = mps(48, lambda);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  FaultPlan plan;
+  // The relay AND its repair successor die: the parent must walk on.
+  plan.crashes.push_back(CrashFault{relay, Rational(0)});
+  plan.crashes.push_back(CrashFault{relay + 1, Rational(0)});
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.counters.dead_declared, 2u);
+  EXPECT_GE(report.counters.repairs, 2u);
+}
+
+TEST(ReliableBcast, BoundedLossIsAbsorbedByRetransmission) {
+  const Rational lambda(2);
+  const PostalParams params = mps(16, lambda);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  FaultPlan plan;
+  // Certain loss on the root's first DATA link, burst-capped below the
+  // retransmission budget (max_losses 2 < max_attempts 4).
+  plan.losses.push_back(LinkLoss{0, relay, Rational(1), 2});
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.result.faults.drops_loss, 2u);
+  EXPECT_GE(report.counters.retransmissions, 2u);
+  EXPECT_EQ(report.counters.dead_declared, 0u);  // it answered in time
+  EXPECT_TRUE(report.crashed.empty());
+}
+
+TEST(ReliableBcast, RunsAreDeterministic) {
+  const PostalParams params = mps(40, Rational(5, 2));
+  RandomFaultOptions opts;
+  opts.crashes = 3;
+  opts.loss_p = Rational(1, 8);
+  opts.lossy_links = 10;
+  const FaultPlan plan = random_fault_plan(params, 1234, opts);
+  const ReliableBcastReport a = run_reliable_bcast(params, &plan);
+  const ReliableBcastReport b = run_reliable_bcast(params, &plan);
+  EXPECT_EQ(a.result.schedule.events(), b.result.schedule.events());
+  EXPECT_EQ(a.result.trace.deliveries(), b.result.trace.deliveries());
+  EXPECT_EQ(a.result.faults.events, b.result.faults.events);
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.counters.retransmissions, b.counters.retransmissions);
+}
+
+TEST(ReliableBcast, OptionsAreValidated) {
+  const PostalParams params = mps(4, Rational(2));
+  ReliableBcastOptions zero_attempts;
+  zero_attempts.max_attempts = 0;
+  POSTAL_EXPECT_THROW(run_reliable_bcast(params, nullptr, zero_attempts),
+                      InvalidArgument);
+  ReliableBcastOptions negative_slack;
+  negative_slack.timeout_slack = Rational(-1);
+  POSTAL_EXPECT_THROW(run_reliable_bcast(params, nullptr, negative_slack),
+                      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal

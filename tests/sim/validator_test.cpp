@@ -212,6 +212,115 @@ TEST(Validator, MutatedOptimalSchedulesAreRejected) {
   EXPECT_GE(rejected, trials * 9 / 10);
 }
 
+TEST(Validator, CrashedProcessorIsExemptFromCoverage) {
+  // A truncated schedule (nobody ever sends to p2) is legal ONLY when the
+  // validator is told p2 crashed; without the crash set the same schedule
+  // must fail coverage -- callers cannot silently excuse missing processors.
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));
+  const PostalParams params = mps(3, Rational(2));
+
+  ValidatorOptions with_crash;
+  with_crash.crashes = {CrashFault{2, Rational(0)}};
+  const SimReport accepted = validate_schedule(s, params, with_crash);
+  EXPECT_TRUE(accepted.ok) << accepted.summary();
+
+  const SimReport rejected = validate_schedule(s, params);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_NE(rejected.summary().find("p2"), std::string::npos);
+}
+
+TEST(Validator, TruncatedBcastScheduleNeedsTheCrashSet) {
+  // Crash the root's first relay and truncate exactly what the crash
+  // forbids: every send of the relay starting at or after the crash, and
+  // (coverage-wise) everything its subtree would have received.
+  const Rational lambda(2);
+  const PostalParams params = mps(16, lambda);
+  const Schedule full = bcast_schedule(params);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  const Rational crash_at = lambda;  // its copy arrives exactly then: void
+
+  Schedule truncated;
+  for (const SendEvent& e : full.events()) {
+    if (e.src >= relay && e.t >= crash_at) continue;  // the orphaned subtree
+    truncated.add(e);
+  }
+  // With the whole subtree declared crashed, the truncation is legal.
+  ValidatorOptions subtree_dead;
+  for (ProcId p = relay; p < params.n(); ++p)
+    subtree_dead.crashes.push_back(CrashFault{p, crash_at});
+  const SimReport accepted = validate_schedule(truncated, params, subtree_dead);
+  EXPECT_TRUE(accepted.ok) << accepted.summary();
+
+  // Without any crash set, the truncated schedule fails coverage.
+  EXPECT_FALSE(validate_schedule(truncated, params).ok);
+
+  // Knowing only about the relay still leaves its orphans uncovered.
+  ValidatorOptions relay_only;
+  relay_only.crashes = {CrashFault{relay, crash_at}};
+  EXPECT_FALSE(validate_schedule(truncated, params, relay_only).ok);
+}
+
+TEST(Validator, DeliveryAtOrAfterReceiverCrashIsVoid) {
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));  // arrives at lambda = 2
+  const PostalParams params = mps(2, Rational(2));
+
+  ValidatorOptions crashed_on_arrival;
+  crashed_on_arrival.crashes = {CrashFault{1, Rational(2)}};
+  const SimReport voided = validate_schedule(s, params, crashed_on_arrival);
+  EXPECT_TRUE(voided.ok) << voided.summary();  // p1 dead => exempt
+  EXPECT_TRUE(voided.trace.deliveries().empty());
+  EXPECT_EQ(voided.makespan, Rational(0));
+
+  ValidatorOptions crashed_after;
+  crashed_after.crashes = {CrashFault{1, Rational(5, 2)}};
+  const SimReport landed = validate_schedule(s, params, crashed_after);
+  EXPECT_TRUE(landed.ok) << landed.summary();
+  ASSERT_EQ(landed.trace.deliveries().size(), 1u);
+  EXPECT_EQ(landed.makespan, Rational(2));
+}
+
+TEST(Validator, SendAtOrAfterSenderCrashIsAViolation) {
+  const PostalParams params = mps(2, Rational(2));
+  Schedule s;
+  s.add(0, 1, 0, Rational(1));
+  ValidatorOptions options;
+  options.crashes = {CrashFault{0, Rational(1)}};
+  const SimReport report = validate_schedule(s, params, options);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("crashed"), std::string::npos);
+
+  // Starting strictly before the crash is fine (the message still leaves).
+  Schedule before;
+  before.add(0, 1, 0, Rational(1, 2));
+  options.crashes = {CrashFault{0, Rational(1)}};
+  const SimReport ok_report = validate_schedule(before, params, options);
+  EXPECT_TRUE(ok_report.ok) << ok_report.summary();
+}
+
+TEST(Validator, FifoReceiveSerializesWhatStrictModeRejects) {
+  // Two senders hit p2 with overlapping receive windows: [4, 5) from the
+  // t=3 send and [9/2, 11/2) from the t=7/2 send.
+  const PostalParams params = mps(3, Rational(2));
+  Schedule s;
+  s.add(0, 1, 0, Rational(0));      // p1 holds the message at t=2
+  s.add(1, 2, 0, Rational(3));      // arrives 5
+  s.add(0, 2, 0, Rational(7, 2));   // nominal arrival 11/2 -- collides
+
+  const SimReport strict = validate_schedule(s, params);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_NE(strict.summary().find("receive port"), std::string::npos);
+
+  ValidatorOptions fifo;
+  fifo.fifo_receive = true;
+  const SimReport relaxed = validate_schedule(s, params, fifo);
+  EXPECT_TRUE(relaxed.ok) << relaxed.summary();
+  // The collided delivery is pushed behind the busy port: [5, 6).
+  EXPECT_EQ(relaxed.makespan, Rational(6));
+}
+
 TEST(Validator, SummaryListsEachViolation) {
   Schedule s;
   s.add(0, 1, 0, Rational(0));
