@@ -1,0 +1,224 @@
+// E22 (engineering) -- the tick-domain fast path vs. the Rational
+// reference engines (docs/PERFORMANCE.md).
+//
+// Every measured section runs the same workload twice: once with
+// TimePath::kRational (the checked-Rational reference loops) and once with
+// TimePath::kAuto (the int64 tick engines, which these workloads are all
+// exactly representable on). Sections:
+//
+//   dp_table     optimal_broadcast_dp_table, the O(n^2) split recursion
+//                that dominates par::sweep_grid;
+//   greedy       optimal_broadcast_greedy frontier expansion;
+//   validator    validate_schedule over BCAST and PIPELINE-2 schedules;
+//   machine      the event-driven Machine under BcastProtocol;
+//   machine_f    the Machine under BcastProtocol with a crash+loss+spike
+//                fault plan attached (the PR-3 chaos shape);
+//   sweep        par::sweep_grid itself, cold caches, 1 thread -- the
+//                sweep-dominated configuration the >= 2x target is read on.
+//
+// The verdict is *correctness-based*: each pair of runs must agree exactly
+// (same Rational values, same events, same deliveries, same fault
+// timelines, sweep results equal ignoring wall times). Wall-clock speedups
+// are recorded per section in the bench record's extra fields; they are
+// the headline numbers of the perf trajectory but deliberately do not gate
+// the verdict, because absolute timings are machine-dependent.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "brute/optimal_search.hpp"
+#include "faults/fault_plan.hpp"
+#include "model/genfib.hpp"
+#include "obs/bench_record.hpp"
+#include "par/sweep.hpp"
+#include "sched/bcast.hpp"
+#include "sched/pipeline.hpp"
+#include "sim/machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "sim/validator.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace postal;
+
+struct Section {
+  std::string slug;  ///< stable bench-record key prefix, e.g. "dp_table"
+  std::string name;
+  double rational_ms = 0.0;
+  double tick_ms = 0.0;
+  bool consistent = false;
+};
+
+/// Time one workload on both paths and check the caller's equality verdict.
+/// `run` receives the TimePath and returns an opaque result; `equal`
+/// compares the two results.
+template <typename Run, typename Equal>
+Section measure(const std::string& slug, const std::string& name, Run&& run,
+                Equal&& equal) {
+  Section s;
+  s.slug = slug;
+  s.name = name;
+  const obs::WallClock rational_clock;
+  const auto reference = run(TimePath::kRational);
+  s.rational_ms = rational_clock.elapsed_ms();
+  const obs::WallClock tick_clock;
+  const auto fast = run(TimePath::kAuto);
+  s.tick_ms = tick_clock.elapsed_ms();
+  s.consistent = equal(fast, reference);
+  return s;
+}
+
+MachineResult run_machine(const PostalParams& params, TimePath path,
+                          const FaultPlan* plan) {
+  Machine machine(params, /*messages=*/1);
+  machine.set_time_path(path);
+  if (plan != nullptr) machine.attach_faults(*plan);
+  BcastProtocol protocol(params);
+  return machine.run(protocol);
+}
+
+bool machine_results_equal(const MachineResult& a, const MachineResult& b) {
+  return a.schedule.events() == b.schedule.events() &&
+         a.trace.deliveries() == b.trace.deliveries() &&
+         a.stats.events_processed == b.stats.events_processed &&
+         a.stats.port_busy == b.stats.port_busy &&
+         a.faults.events == b.faults.events;
+}
+
+}  // namespace
+
+int main() {
+  using namespace postal;
+  const obs::WallClock wall;
+  std::cout << "=== E22: tick-domain fast path vs. Rational reference ===\n\n";
+
+  std::vector<Section> sections;
+
+  // The sweep-dominated DP table: the loop par::sweep_grid spends most of
+  // its time in. One large instance, repeated so the measured section is
+  // well above timer noise.
+  const std::uint64_t dp_n = 4096;
+  const Rational lambda(5, 2);
+  sections.push_back(measure(
+      "dp_table", "dp_table n=4096",
+      [&](TimePath path) {
+        std::vector<Rational> table;
+        for (int rep = 0; rep < 4; ++rep) {
+          table = optimal_broadcast_dp_table(dp_n, lambda, path);
+        }
+        return table;
+      },
+      [](const auto& a, const auto& b) { return a == b; }));
+
+  sections.push_back(measure(
+      "greedy", "greedy n=2^20",
+      [&](TimePath path) {
+        return optimal_broadcast_greedy(std::uint64_t{1} << 20, lambda, path);
+      },
+      [](const Rational& a, const Rational& b) { return a == b; }));
+
+  const PostalParams bcast_params(std::uint64_t{1} << 16, lambda);
+  const Schedule bcast = bcast_schedule(bcast_params);
+  const PostalParams pipe_params(std::uint64_t{1} << 12, Rational(2));
+  const Schedule pipe = pipeline_schedule(pipe_params, /*m=*/16);
+  sections.push_back(measure(
+      "validator", "validator bcast n=2^16 + pipeline2 m=16",
+      [&](TimePath path) {
+        ValidatorOptions opts;
+        opts.time_path = path;
+        std::pair<SimReport, SimReport> reports{
+            validate_schedule(bcast, bcast_params, opts), SimReport{}};
+        ValidatorOptions popts;
+        popts.time_path = path;
+        popts.messages = 16;
+        reports.second = validate_schedule(pipe, pipe_params, popts);
+        return reports;
+      },
+      [](const auto& a, const auto& b) {
+        return a.first.ok && b.first.ok && a.second.ok && b.second.ok &&
+               a.first.makespan == b.first.makespan &&
+               a.second.makespan == b.second.makespan &&
+               a.first.trace.deliveries() == b.first.trace.deliveries() &&
+               a.second.trace.deliveries() == b.second.trace.deliveries();
+      }));
+
+  const PostalParams machine_params(std::uint64_t{1} << 14, lambda);
+  sections.push_back(measure(
+      "machine", "machine bcast n=2^14",
+      [&](TimePath path) { return run_machine(machine_params, path, nullptr); },
+      machine_results_equal));
+
+  const PostalParams faulted_params(std::uint64_t{1} << 12, lambda);
+  RandomFaultOptions fopts;
+  fopts.crashes = 3;
+  fopts.lossy_links = 8;
+  fopts.loss_p = Rational(1, 4);
+  fopts.spikes = 2;
+  const FaultPlan plan = random_fault_plan(faulted_params, /*seed=*/42, fopts);
+  sections.push_back(measure(
+      "machine_faulted", "machine bcast n=2^12 + faults",
+      [&](TimePath path) { return run_machine(faulted_params, path, &plan); },
+      machine_results_equal));
+
+  // The sweep engine end to end: cold caches, one thread, DP cross-check
+  // on -- the configuration whose wall time the tick domain targets.
+  const std::vector<Rational> sweep_lambdas = {Rational(1), Rational(3, 2),
+                                               Rational(5, 2), Rational(4)};
+  const std::vector<std::uint64_t> sweep_ns = {64, 128, 256, 512, 1024, 2048};
+  sections.push_back(measure(
+      "sweep", "sweep 4 lambdas x 6 ns",
+      [&](TimePath path) {
+        par::GenFibCache fib_cache;
+        par::ScheduleCache sched_cache;
+        par::SweepOptions opts;
+        opts.threads = 1;
+        opts.genfib_cache = &fib_cache;
+        opts.schedule_cache = &sched_cache;
+        opts.time_path = path;
+        return par::sweep_grid(sweep_ns, sweep_lambdas, opts);
+      },
+      [](const auto& a, const auto& b) {
+        return par::sweep_results_equal_ignoring_wall(a, b);
+      }));
+
+  bool all_ok = true;
+  double best_speedup = 0.0;
+  std::string best_section;
+  TextTable table({"section", "rational ms", "tick ms", "speedup", "identical"});
+  for (const Section& s : sections) {
+    const double speedup = s.tick_ms > 0.0 ? s.rational_ms / s.tick_ms : 0.0;
+    table.add_row({s.name, fmt(s.rational_ms, 1), fmt(s.tick_ms, 1),
+                   fmt(speedup, 2) + "x", s.consistent ? "yes" : "NO"});
+    all_ok = all_ok && s.consistent;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_section = s.name;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nbest speedup: " << fmt(best_speedup, 2) << "x (" << best_section
+            << ")\nE22 verdict: " << (all_ok ? "CONSISTENT" : "MISMATCH")
+            << "  (correctness-gated; speedups recorded, machine-dependent)\n";
+
+  obs::BenchRecord rec;
+  rec.bench = "bench_tick_domain";
+  rec.n = dp_n;
+  rec.lambda = lambda;
+  rec.makespan = GenFib(lambda).f(dp_n);
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "CONSISTENT" : "MISMATCH";
+  for (const Section& s : sections) {
+    rec.extra.emplace_back(s.slug + "_rational_ms", fmt(s.rational_ms, 2));
+    rec.extra.emplace_back(s.slug + "_tick_ms", fmt(s.tick_ms, 2));
+    rec.extra.emplace_back(
+        s.slug + "_speedup",
+        fmt(s.tick_ms > 0.0 ? s.rational_ms / s.tick_ms : 0.0, 2));
+  }
+  rec.extra.emplace_back("best_speedup", fmt(best_speedup, 2));
+  rec.extra.emplace_back("best_section", best_section);
+  obs::emit_bench_record(rec);
+  return all_ok ? 0 : 1;
+}

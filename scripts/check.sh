@@ -11,16 +11,24 @@
 #   scripts/check.sh --chaos     additionally run the fault-injection chaos
 #                                sweep and validate the reliability bench
 #                                records end to end (docs/FAULTS.md)
+#   scripts/check.sh --perf      additionally regenerate the tick-domain
+#                                speedup records: E22 plus the
+#                                sweep-dominated benches with record
+#                                collection on, validated end to end; any
+#                                tick-vs-Rational disagreement is a hard
+#                                failure (docs/PERFORMANCE.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 CHAOS=0
+PERF=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --chaos) CHAOS=1 ;;
-    *) echo "unknown argument: $arg (supported: --sanitize, --chaos)" >&2; exit 2 ;;
+    --perf) PERF=1 ;;
+    *) echo "unknown argument: $arg (supported: --sanitize, --chaos, --perf)" >&2; exit 2 ;;
   esac
 done
 
@@ -50,7 +58,7 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_pipeline --expect bench_dtree \
   --expect bench_multimessage_shootout --expect bench_collectives \
   --expect bench_network_transfer --expect bench_par_sweep \
-  --expect bench_fault_recovery
+  --expect bench_fault_recovery --expect bench_tick_domain
 
 # Thread-count invariance of the sweep engine, end to end through the CLI:
 # the per-point records of a threads=4 sweep must be identical to a
@@ -89,16 +97,42 @@ if [ "$CHAOS" -eq 1 ]; then
   grep -q '"verdict":"RECOVERED"' build/FAULTS_records.json
 fi
 
+if [ "$PERF" -eq 1 ]; then
+  # The perf trajectory (docs/PERFORMANCE.md): E22 re-times every ported
+  # hot loop on both TimePaths and exits nonzero if any section's tick run
+  # disagrees with the Rational reference; the sweep-dominated benches run
+  # with records on so the trajectory stays comparable release to release.
+  # A MISMATCH verdict in any record also hard-fails record validation.
+  echo "== perf: tick-domain speedup records"
+  rm -f build/PERF_records.json
+  for b in bench_tick_domain bench_par_sweep bench_bcast_optimality \
+           bench_theorem7_bounds bench_multimessage_shootout; do
+    echo "== $b"
+    POSTAL_BENCH_JSON=build/PERF_records.json "build/bench/$b" > /dev/null
+  done
+  POSTAL_BENCH_JSON=build/PERF_records.json \
+    build/bench/bench_micro --benchmark_filter='BM_Rational|BM_Tick|BM_EventQueue' \
+    > /dev/null
+  python3 scripts/validate_bench_records.py build/PERF_records.json \
+    --expect bench_tick_domain --expect bench_par_sweep \
+    --expect bench_bcast_optimality --expect bench_theorem7_bounds \
+    --expect bench_multimessage_shootout --expect bench_micro
+  grep -q '"bench":"bench_tick_domain".*"verdict":"CONSISTENT"' \
+    build/PERF_records.json
+fi
+
 if [ "$SANITIZE" -eq 1 ]; then
   # ThreadSanitizer over the concurrency surface: the thread pool, the
   # sharded caches, and the sweep engine, plus the differential test (which
   # drives the caches from gtest's single thread -- a TSan-clean baseline).
   echo "== sanitize: thread"
   cmake -B build-tsan -G Ninja -DPOSTAL_SANITIZE=thread
-  cmake --build build-tsan --target test_par test_differential test_chaos
+  cmake --build build-tsan --target test_par test_differential test_chaos \
+    test_tick_differential
   ./build-tsan/tests/test_par
   ./build-tsan/tests/test_differential
   ./build-tsan/tests/test_chaos
+  ./build-tsan/tests/test_tick_differential
 
   # ASan+UBSan over the randomized tests: the differential pass, the
   # validator mutation fuzzer, the par tests again (allocation-heavy), and
@@ -107,13 +141,17 @@ if [ "$SANITIZE" -eq 1 ]; then
   echo "== sanitize: address,undefined"
   cmake -B build-asan -G Ninja -DPOSTAL_SANITIZE=address,undefined
   cmake --build build-asan --target test_differential test_validator_fuzz \
-    test_par test_machine_faults test_reliable_bcast test_chaos
+    test_par test_machine_faults test_reliable_bcast test_chaos \
+    test_ticks test_event_queue test_tick_differential
   ./build-asan/tests/test_differential
   ./build-asan/tests/test_validator_fuzz
   ./build-asan/tests/test_par
   ./build-asan/tests/test_machine_faults
   ./build-asan/tests/test_reliable_bcast
   ./build-asan/tests/test_chaos
+  ./build-asan/tests/test_ticks
+  ./build-asan/tests/test_event_queue
+  ./build-asan/tests/test_tick_differential
 fi
 
 echo "ALL CHECKS PASSED"

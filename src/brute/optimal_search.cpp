@@ -1,5 +1,6 @@
 #include "brute/optimal_search.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -7,11 +8,22 @@
 
 namespace postal {
 
-std::vector<Rational> optimal_broadcast_dp_table(std::uint64_t n_max,
-                                                 const Rational& lambda) {
-  POSTAL_REQUIRE(n_max >= 1, "optimal_broadcast_dp_table: n_max must be >= 1");
-  POSTAL_REQUIRE(lambda >= Rational(1),
-                 "optimal_broadcast_dp_table: lambda must be >= 1");
+namespace {
+
+// Static overflow headroom for the tick loops: every value either route
+// produces is bounded by count * (lambda + 1), i.e. count * (lambda_ticks
+// + q) ticks, because each of the at most `count` steps adds 1 or lambda.
+// Admitting only runs whose bound stays far inside int64 lets the inner
+// loops use raw adds -- no per-operation checks, no UB (the bound is
+// checked in 128-bit arithmetic, so the probe itself cannot overflow).
+bool ticks_admissible(std::uint64_t count, const TickDomain& dom, Tick lambda_ticks) {
+  __extension__ using int128 = __int128;
+  const int128 bound = (static_cast<int128>(count) + 2) *
+                       (static_cast<int128>(lambda_ticks) + dom.q());
+  return bound < (int128{1} << 62);
+}
+
+std::vector<Rational> dp_table_rational(std::uint64_t n_max, const Rational& lambda) {
   std::vector<Rational> T(n_max + 1, Rational(0));
   for (std::uint64_t k = 2; k <= n_max; ++k) {
     // First split: the holder keeps j processors (continuing one unit
@@ -27,16 +39,56 @@ std::vector<Rational> optimal_broadcast_dp_table(std::uint64_t n_max,
   return T;
 }
 
-Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda) {
-  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_dp: n must be >= 1");
-  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_dp: lambda must be >= 1");
-  return optimal_broadcast_dp_table(n, lambda)[n];
+// The identical recursion on int64 ticks. Exactness: tick <-> Rational is
+// an order-preserving bijection on multiples of 1/q, and every T(k) is
+// such a multiple, so min/max decisions match the Rational loop exactly.
+std::vector<Rational> dp_table_ticks(std::uint64_t n_max, const TickDomain& dom,
+                                     Tick lambda_ticks) {
+  const Tick one = dom.q();
+  std::vector<Tick> T(n_max + 1, 0);
+  for (std::uint64_t k = 2; k <= n_max; ++k) {
+    Tick best = std::max(one + T[k - 1], lambda_ticks + T[1]);
+    for (std::uint64_t j = 1; j + 1 <= k - 1; ++j) {
+      const Tick cand = std::max(one + T[j], lambda_ticks + T[k - j]);
+      best = std::min(best, cand);
+    }
+    T[k] = best;
+  }
+  std::vector<Rational> out(n_max + 1, Rational(0));
+  for (std::uint64_t k = 2; k <= n_max; ++k) {
+    out[k] = dom.to_rational(T[k]);
+  }
+  return out;
 }
 
-Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda) {
-  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_greedy: n must be >= 1");
-  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_greedy: lambda must be >= 1");
-  if (n == 1) return Rational(0);
+}  // namespace
+
+std::vector<Rational> optimal_broadcast_dp_table(std::uint64_t n_max,
+                                                 const Rational& lambda,
+                                                 TimePath time_path) {
+  POSTAL_REQUIRE(n_max >= 1, "optimal_broadcast_dp_table: n_max must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1),
+                 "optimal_broadcast_dp_table: lambda must be >= 1");
+  if (time_path == TimePath::kAuto) {
+    const TickDomain dom(lambda.den());
+    const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
+    if (lambda_ticks.has_value() && ticks_admissible(n_max, dom, *lambda_ticks)) {
+      return dp_table_ticks(n_max, dom, *lambda_ticks);
+    }
+  }
+  return dp_table_rational(n_max, lambda);
+}
+
+Rational optimal_broadcast_dp(std::uint64_t n, const Rational& lambda,
+                              TimePath time_path) {
+  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_dp: n must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_dp: lambda must be >= 1");
+  return optimal_broadcast_dp_table(n, lambda, time_path)[n];
+}
+
+namespace {
+
+Rational greedy_rational(std::uint64_t n, const Rational& lambda) {
   // Heap of candidate inform times. Popping a candidate materializes the
   // next sibling (same sender, one unit later) and the new processor's own
   // first child (lambda after it is informed).
@@ -54,6 +106,44 @@ Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda) {
     heap.push(t + lambda);       // new processor's first own recipient
   }
   return last;
+}
+
+// Same expansion on ticks. Heap order among *equal* keys is unspecified
+// either way, but only the popped values feed the result, so the two
+// loops agree exactly.
+Rational greedy_ticks(std::uint64_t n, const TickDomain& dom, Tick lambda_ticks) {
+  const Tick one = dom.q();
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<>> heap;
+  heap.push(lambda_ticks);
+  std::uint64_t informed = 1;
+  Tick last = 0;
+  while (informed < n) {
+    POSTAL_CHECK(!heap.empty());
+    const Tick t = heap.top();
+    heap.pop();
+    ++informed;
+    last = t;
+    heap.push(t + one);
+    heap.push(t + lambda_ticks);
+  }
+  return dom.to_rational(last);
+}
+
+}  // namespace
+
+Rational optimal_broadcast_greedy(std::uint64_t n, const Rational& lambda,
+                                  TimePath time_path) {
+  POSTAL_REQUIRE(n >= 1, "optimal_broadcast_greedy: n must be >= 1");
+  POSTAL_REQUIRE(lambda >= Rational(1), "optimal_broadcast_greedy: lambda must be >= 1");
+  if (n == 1) return Rational(0);
+  if (time_path == TimePath::kAuto) {
+    const TickDomain dom(lambda.den());
+    const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
+    if (lambda_ticks.has_value() && ticks_admissible(n, dom, *lambda_ticks)) {
+      return greedy_ticks(n, dom, *lambda_ticks);
+    }
+  }
+  return greedy_rational(n, lambda);
 }
 
 }  // namespace postal

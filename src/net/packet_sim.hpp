@@ -39,6 +39,7 @@
 #include "sched/schedule.hpp"
 #include "support/prng.hpp"
 #include "support/rational.hpp"
+#include "support/ticks.hpp"
 
 namespace postal {
 
@@ -61,6 +62,13 @@ struct NetConfig {
   Rational jitter_max{0};      ///< max per-hop jitter (0 disables; >= 0)
   Switching switching = Switching::kStoreAndForward;
   std::uint64_t jitter_seed = 0x9e3779b9;
+
+  /// Time representation (docs/PERFORMANCE.md). kAuto (default) runs each
+  /// run() on int64 ticks when every config time, submit time, link
+  /// propagation, and fault-plan time folds onto one 1/q grid and a static
+  /// bound rules out tick overflow; kRational forces the reference engine.
+  /// Deliveries and stats are identical either way (differential-tested).
+  TimePath time_path = TimePath::kAuto;
 
   void validate() const;
 };
@@ -86,6 +94,10 @@ struct NetRunStats {
   Rational makespan;                    ///< latest delivery time (0 when idle)
   std::vector<WireUse> wires;           ///< per-wire use, sorted by (from, to)
   FaultStats faults;                    ///< faults applied (zero without a plan)
+  /// True iff this run executed on the tick fast path
+  /// (docs/PERFORMANCE.md). Informational: both paths produce identical
+  /// deliveries and stats, so equality checks should ignore it.
+  bool tick_domain = false;
 };
 
 /// One completed end-to-end packet delivery.

@@ -1,6 +1,41 @@
 #include "sched/bcast.hpp"
 
+#include "support/ticks.hpp"
+
 namespace postal {
+
+namespace {
+
+// bcast_emit on int64 ticks (docs/PERFORMANCE.md): identical recursion,
+// identical fib.bcast_split choices (those are pure integer arithmetic),
+// only the send times are carried as ticks and converted exactly when the
+// event is recorded. Every time is a multiple of 1/q bounded by
+// f_lambda(n) <= n * lambda, so the admission bound in bcast_schedule
+// makes the raw adds overflow-free.
+void bcast_emit_ticks(Schedule& schedule, GenFib& fib, const TickDomain& dom,
+                      Tick lambda_ticks, ProcId base, std::uint64_t count,
+                      Tick start, MsgId msg) {
+  const Tick one = dom.q();
+  ProcId holder = base;
+  std::uint64_t remaining = count;
+  Tick now = start;
+  while (remaining >= 2) {
+    const std::uint64_t j = fib.bcast_split(remaining);
+    POSTAL_CHECK(j >= 1 && j <= remaining - 1);
+    const ProcId recipient = holder + static_cast<ProcId>(j);
+    schedule.add(holder, recipient, msg, dom.to_rational(now));
+    const Tick recipient_start = now + lambda_ticks;
+    const std::uint64_t recipient_count = remaining - j;
+    if (recipient_count >= 2) {
+      bcast_emit_ticks(schedule, fib, dom, lambda_ticks, recipient,
+                       recipient_count, recipient_start, msg);
+    }
+    now += one;
+    remaining = j;
+  }
+}
+
+}  // namespace
 
 void bcast_emit(Schedule& schedule, GenFib& fib, ProcId base, std::uint64_t count,
                 const Rational& start, MsgId msg) {
@@ -34,7 +69,26 @@ Schedule bcast_schedule(const PostalParams& params, GenFib& fib) {
   POSTAL_REQUIRE(fib.lambda() == params.lambda(),
                  "bcast_schedule: GenFib lambda differs from params lambda");
   Schedule schedule;
-  bcast_emit(schedule, fib, /*base=*/0, params.n(), Rational(0), /*msg=*/0);
+  // Tick fast path: all emit times are multiples of 1/q bounded by
+  // f_lambda(n) <= n * lambda, so (n + 2) * (lambda_ticks + q) far inside
+  // int64 admits raw tick arithmetic. Otherwise (huge n * lambda, or a
+  // lambda whose tick count overflows) the Rational reference emit runs;
+  // both produce the identical schedule (differential-tested).
+  const Rational& lambda = params.lambda();
+  const TickDomain dom(lambda.den());
+  const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
+  __extension__ using int128 = __int128;
+  const bool ticks_ok =
+      lambda_ticks.has_value() &&
+      (static_cast<int128>(params.n()) + 2) *
+              (static_cast<int128>(*lambda_ticks) + dom.q()) <
+          (int128{1} << 62);
+  if (ticks_ok) {
+    bcast_emit_ticks(schedule, fib, dom, *lambda_ticks, /*base=*/0, params.n(),
+                     /*start=*/0, /*msg=*/0);
+  } else {
+    bcast_emit(schedule, fib, /*base=*/0, params.n(), Rational(0), /*msg=*/0);
+  }
   schedule.sort();
   return schedule;
 }

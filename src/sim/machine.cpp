@@ -1,20 +1,40 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace postal {
+
+namespace {
+
+// Timer fire times are admitted to the tick queue only up to this cap, and
+// enqueue_send_ticks checks its port slot against it, so every tick value
+// in a run stays below kTickCap + the per-event step budget < 2^62: all
+// tick arithmetic in the hot loop is overflow-free without per-op checks.
+constexpr Tick kTickCap = Tick{1} << 61;
+
+}  // namespace
 
 const PostalParams& MachineContext::params() const noexcept {
   return machine_.params_;
 }
 
 void MachineContext::send(ProcId dst, const Packet& packet) {
-  machine_.enqueue_send(self_, dst, packet, now_);
+  if (machine_.tick_mode_) {
+    machine_.enqueue_send_ticks(self_, dst, packet, now_ticks_);
+  } else {
+    machine_.enqueue_send(self_, dst, packet, now_);
+  }
 }
 
 void MachineContext::set_timer(const Rational& delay, std::uint64_t token) {
   POSTAL_REQUIRE(delay >= Rational(0), "Machine: timer delay must be >= 0");
-  machine_.enqueue_timer(self_, now_ + delay, token);
+  if (machine_.tick_mode_) {
+    machine_.enqueue_timer_ticks(self_, now_ticks_, now_, delay, token);
+  } else {
+    machine_.enqueue_timer(self_, now_ + delay, token);
+  }
 }
 
 Machine::Machine(PostalParams params, std::uint32_t messages)
@@ -96,6 +116,244 @@ void Machine::deliver(Protocol& protocol, const Rational& time,
   protocol.on_receive(ctx, flight.packet);
 }
 
+// ---------------------------------------------------------------------------
+// Tick engine (docs/PERFORMANCE.md). Every function below is the exact
+// integer-time image of its Rational twin above: same branch structure,
+// same fault-hook call order (loss draws consume per-link counters, so
+// order is behavior), same FaultEvent pushes with exactly-converted times.
+// The differential and chaos tests assert event-for-event identity.
+// ---------------------------------------------------------------------------
+
+bool Machine::try_tick_setup(std::uint64_t max_events) {
+  const Rational& lambda = params_.lambda();
+  std::int64_t q = lambda.den();
+  auto fold = [&q](const Rational& r) {
+    const std::optional<std::int64_t> folded = TickDomain::fold_denominator(q, r);
+    if (!folded.has_value()) return false;
+    q = *folded;
+    return true;
+  };
+  __extension__ using int128 = __int128;
+  int128 extra_sum = 0;
+  if (injector_) {
+    for (ProcId p = 0; p < params_.n(); ++p) {
+      const auto& c = injector_->crash_time(p);
+      if (c.has_value() && !fold(*c)) return false;
+    }
+    for (const LatencySpike& s : injector_->plan().spikes) {
+      if (!fold(s.from) || !fold(s.until) || !fold(s.extra)) return false;
+    }
+  }
+  const TickDomain dom(q);
+  const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
+  if (!lambda_ticks.has_value()) return false;
+
+  std::vector<SpikeTicks> spikes;
+  if (injector_) {
+    for (const LatencySpike& s : injector_->plan().spikes) {
+      const auto from = dom.to_ticks(s.from);
+      const auto until = dom.to_ticks(s.until);
+      const auto extra = dom.to_ticks(s.extra);
+      if (!from || !until || !extra) return false;
+      spikes.push_back(SpikeTicks{*from, *until, *extra});
+      extra_sum += *extra;
+    }
+  }
+
+  // Static headroom: each queue event advances some clock by at most
+  // step_max = 1 + lambda + sum(spike extras) ticks, and there are at most
+  // max_events of them, so admitting only runs with (max_events + 4) *
+  // step_max below kTickCap keeps every tick expression under 2^62 --
+  // overflow-free by construction (timer fire times are additionally
+  // capped at kTickCap on entry; see enqueue_timer_ticks).
+  const int128 step_max = static_cast<int128>(q) + *lambda_ticks + extra_sum;
+  if ((static_cast<int128>(max_events) + 4) * step_max >= kTickCap) return false;
+
+  std::vector<std::optional<Tick>> crash_ticks;
+  if (injector_) {
+    crash_ticks.resize(params_.n());
+    for (ProcId p = 0; p < params_.n(); ++p) {
+      const auto& c = injector_->crash_time(p);
+      if (!c.has_value()) continue;
+      const std::optional<Tick> ct = dom.to_ticks(*c);
+      if (!ct.has_value()) return false;
+      crash_ticks[p] = *ct;
+    }
+  }
+
+  tick_q_ = q;
+  lambda_ticks_ = *lambda_ticks;
+  crash_ticks_ = std::move(crash_ticks);
+  spike_ticks_ = std::move(spikes);
+  return true;
+}
+
+void Machine::enqueue_send_ticks(ProcId src, ProcId dst, const Packet& packet,
+                                 Tick now) {
+  POSTAL_REQUIRE(dst < params_.n(), "Machine: send destination out of range");
+  POSTAL_REQUIRE(dst != src, "Machine: a processor cannot send to itself");
+  POSTAL_REQUIRE(packet.msg < messages_, "Machine: message id out of range");
+  const Tick start = std::max(now, port_free_ticks_[src]);
+  // Unreachable before memory exhaustion (2^61/q sends queued on one
+  // port), but keeps the no-overflow guarantee airtight rather than UB.
+  POSTAL_CHECK(start <= kTickCap);
+  if (injector_ && crashed_ticks(src, start)) {
+    ++fault_stats_.sends_suppressed;
+    fault_stats_.events.push_back(
+        FaultEvent{FaultEvent::Kind::kSendSuppressed, tick_rational(start), src, dst});
+    return;
+  }
+  port_free_ticks_[src] = start + tick_q_;
+  ++stats_.sends_enqueued;
+  if (start > now) ++stats_.sends_deferred;
+  ++port_busy_units_[src];
+  // Integer image of ceil((port_free - now) / 1): the span is a positive
+  // multiple of ticks, so the rounded-up unit count matches exactly.
+  const std::uint64_t depth = static_cast<std::uint64_t>(
+      (port_free_ticks_[src] - now + tick_q_ - 1) / tick_q_);
+  if (depth > stats_.max_fifo_depth) stats_.max_fifo_depth = depth;
+  schedule_.add(src, dst, packet.msg, tick_rational(start));
+  Tick latency = lambda_ticks_;
+  if (injector_ && injector_->has_spikes()) {
+    Tick extra = 0;
+    for (const SpikeTicks& s : spike_ticks_) {
+      if (start >= s.from && start < s.until) extra += s.extra;
+    }
+    if (extra > 0) {
+      latency += extra;
+      ++fault_stats_.spikes_applied;
+      fault_stats_.events.push_back(
+          FaultEvent{FaultEvent::Kind::kSpike, tick_rational(start), src, dst});
+    }
+  }
+  if (injector_ && injector_->has_losses() && injector_->lose(src, dst)) {
+    ++fault_stats_.drops_loss;
+    fault_stats_.events.push_back(FaultEvent{
+        FaultEvent::Kind::kDropLoss, tick_rational(start + latency), dst, src});
+    return;
+  }
+  tick_queue_.push(start + latency, seq_++,
+                   PendingTicks{Pending::Kind::kFlight, src, dst, packet, start, 0});
+}
+
+void Machine::enqueue_timer_ticks(ProcId owner, Tick now_ticks, const Rational& now,
+                                  const Rational& delay, std::uint64_t token) {
+  ++stats_.timers_set;
+  const std::optional<Tick> d = TickDomain(tick_q_).to_ticks(delay);
+  Tick fire = 0;
+  if (d.has_value() && !__builtin_add_overflow(now_ticks, *d, &fire) &&
+      fire <= kTickCap) {
+    tick_queue_.push(fire, seq_++,
+                     PendingTicks{Pending::Kind::kTimer, owner, owner, Packet{},
+                                  fire, token});
+    return;
+  }
+  // The fire time is off this run's 1/q grid (or beyond the tick range):
+  // park it Rational-keyed under the shared seq counter. The loop top
+  // transplants the whole run to the Rational engine before anything else
+  // pops, so the global (time, seq) order is exactly what a pure Rational
+  // run would have used.
+  const Rational at = now + delay;
+  parked_.push_back(ParkedEvent{
+      at, seq_++,
+      Pending{Pending::Kind::kTimer, owner, owner, Packet{}, at, token}});
+}
+
+void Machine::deliver_ticks(Protocol& protocol, Tick time, const PendingTicks& flight,
+                            std::uint64_t& delivered) {
+  if (injector_ && crashed_ticks(flight.dst, time)) {
+    ++fault_stats_.drops_crash;
+    fault_stats_.events.push_back(FaultEvent{
+        FaultEvent::Kind::kDropCrash, tick_rational(time), flight.dst, flight.src});
+    return;
+  }
+  ++delivered;
+  trace_->record(Delivery{flight.src, flight.dst, flight.packet.msg,
+                          tick_rational(flight.send_start), tick_rational(time)});
+  MachineContext ctx(*this, flight.dst, tick_rational(time), time);
+  protocol.on_receive(ctx, flight.packet);
+}
+
+void Machine::run_tick_loop(Protocol& protocol, std::uint64_t max_events,
+                            std::uint64_t& steps, std::uint64_t& delivered) {
+  while (true) {
+    if (!parked_.empty()) {
+      // A handler armed an off-grid timer: finish the run on the Rational
+      // engine. Transplanting at the loop top (never mid-handler) means no
+      // event has popped since the park, so nothing is lost or reordered.
+      transplant_to_rational();
+      return;
+    }
+    if (tick_queue_.empty()) return;
+    auto [time, event] = tick_queue_.pop();
+    if (++steps > max_events) {
+      throw LogicError("Machine::run: exceeded max_events; runaway protocol?");
+    }
+    switch (event.kind) {
+      case Pending::Kind::kTimer: {
+        if (injector_ && crashed_ticks(event.dst, time)) break;
+        ++stats_.timers_fired;
+        MachineContext ctx(*this, event.dst, tick_rational(time), time);
+        protocol.on_timer(ctx, event.token);
+        break;
+      }
+      case Pending::Kind::kFlight: {
+        // Input-port serialization, integer image of the Rational loop:
+        // the receive needs [arrival-1, arrival) exclusively.
+        const Tick window_start =
+            std::max(time - tick_q_, recv_free_ticks_[event.dst]);
+        const Tick arrival = window_start + tick_q_;
+        recv_free_ticks_[event.dst] = arrival;
+        if (arrival > time) {
+          ++stats_.receives_queued;
+          PendingTicks requeued = event;
+          requeued.kind = Pending::Kind::kFlightFinal;
+          tick_queue_.push(arrival, seq_++, std::move(requeued));
+          break;
+        }
+        deliver_ticks(protocol, time, event, delivered);
+        break;
+      }
+      case Pending::Kind::kFlightFinal:
+        deliver_ticks(protocol, time, event, delivered);
+        break;
+    }
+  }
+}
+
+void Machine::transplant_to_rational() {
+  tick_mode_ = false;
+  stats_.tick_domain = false;
+  // Every pending tick event crosses over with its original seq;
+  // EventQueue::push_at_seq keeps later stamps strictly larger, so the
+  // merged queue pops in the exact (time, seq) order of a pure Rational
+  // run. Conversion is exact by the tick-domain invariant.
+  tick_queue_.drain([this](Tick t, std::uint64_t seq, PendingTicks&& e) {
+    queue_.push_at_seq(
+        tick_rational(t), seq,
+        Pending{e.kind, e.src, e.dst, e.packet, tick_rational(e.send_start),
+                e.token});
+  });
+  for (ParkedEvent& p : parked_) {
+    queue_.push_at_seq(std::move(p.time), p.seq, std::move(p.event));
+  }
+  parked_.clear();
+  for (std::size_t p = 0; p < port_free_ticks_.size(); ++p) {
+    port_free_[p] = tick_rational(port_free_ticks_[p]);
+    recv_free_[p] = tick_rational(recv_free_ticks_[p]);
+  }
+  fold_tick_port_busy();
+}
+
+void Machine::fold_tick_port_busy() {
+  for (std::size_t p = 0; p < port_busy_units_.size(); ++p) {
+    if (port_busy_units_[p] == 0) continue;
+    POSTAL_CHECK(port_busy_units_[p] <= static_cast<std::uint64_t>(INT64_MAX));
+    stats_.port_busy[p] += Rational(static_cast<std::int64_t>(port_busy_units_[p]));
+    port_busy_units_[p] = 0;
+  }
+}
+
 MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
   const std::uint64_t n = params_.n();
   port_free_.assign(n, Rational(0));
@@ -105,6 +363,16 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
   stats_ = MachineStats();
   stats_.port_busy.assign(n, Rational(0));
   fault_stats_ = FaultStats();
+  seq_ = 0;
+  tick_mode_ = time_path_ == TimePath::kAuto && try_tick_setup(max_events);
+  if (tick_mode_) {
+    stats_.tick_domain = true;
+    port_free_ticks_.assign(n, 0);
+    recv_free_ticks_.assign(n, 0);
+    port_busy_units_.assign(n, 0);
+    tick_queue_.clear();
+    parked_.clear();
+  }
   if (injector_) {
     injector_->reset();
     for (ProcId p = 0; p < n; ++p) {
@@ -122,12 +390,16 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
 
   for (ProcId p = 0; p < n; ++p) {
     if (injector_ && injector_->crashed(p, Rational(0))) continue;
-    MachineContext ctx(*this, p, Rational(0));
+    MachineContext ctx(*this, p, Rational(0), 0);
     protocol.on_start(ctx);
   }
 
   std::uint64_t delivered = 0;
   std::uint64_t steps = 0;
+  if (tick_mode_) {
+    run_tick_loop(protocol, max_events, steps, delivered);
+    // Falls through with a populated queue_ iff the run transplanted.
+  }
   while (!queue_.empty()) {
     auto [time, event] = queue_.pop();
     if (++steps > max_events) {
@@ -163,6 +435,10 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
         deliver(protocol, time, event, delivered);
         break;
     }
+  }
+  if (tick_mode_) {
+    fold_tick_port_busy();
+    tick_mode_ = false;
   }
 
   stats_.events_processed = delivered;

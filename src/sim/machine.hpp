@@ -18,6 +18,21 @@
 // guarded by a null injector test, so runs without a plan execute the
 // historical code path byte-for-byte (regression-tested).
 //
+// Tick-domain fast path (docs/PERFORMANCE.md): with lambda = p/q every
+// event time the paper's protocols produce is a multiple of 1/q, so by
+// default each run probes whether it can execute on int64 ticks -- plain
+// integer arithmetic, a bucketed monotone queue (sim/tick_queue.hpp), and
+// a recycled event arena -- instead of Rational-keyed heap events. The
+// probe admits a run only when lambda, every fault-plan time, and a static
+// overflow bound all check out; protocols may still arm timers at times
+// off the 1/q grid mid-run, in which case the pending event set is
+// transplanted exactly into the Rational engine (shared sequence numbers
+// preserve the global pop order) and the run finishes there. Either way
+// the observable result -- schedule, trace, stats, fault timeline -- is
+// event-for-event identical to the Rational reference (differential- and
+// chaos-tested); MachineStats::tick_domain reports which engine finished
+// the run, and set_time_path(TimePath::kRational) forces the reference.
+//
 // The Machine enforces nothing else by itself -- the resulting schedule is
 // meant to be passed through validate_schedule, which certifies all model
 // constraints independently. Tests cross-check that the event-driven BCAST
@@ -27,13 +42,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "faults/injector.hpp"
 #include "model/params.hpp"
 #include "sched/schedule.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/tick_queue.hpp"
 #include "sim/trace.hpp"
+#include "support/ticks.hpp"
 
 namespace postal {
 
@@ -70,12 +88,13 @@ class MachineContext {
 
  private:
   friend class Machine;
-  MachineContext(Machine& machine, ProcId self, Rational now)
-      : machine_(machine), self_(self), now_(std::move(now)) {}
+  MachineContext(Machine& machine, ProcId self, Rational now, Tick now_ticks = 0)
+      : machine_(machine), self_(self), now_(std::move(now)), now_ticks_(now_ticks) {}
 
   Machine& machine_;
   ProcId self_;
   Rational now_;
+  Tick now_ticks_;  ///< now_ in ticks while the tick engine runs; else unused
 };
 
 /// Per-processor behavior. Handlers must be deterministic.
@@ -118,6 +137,11 @@ struct MachineStats {
   std::uint64_t max_fifo_depth = 0;
   /// Per-processor output-port busy time (exact; one unit per send), sized n.
   std::vector<Rational> port_busy;
+  /// True iff the run executed on the tick-domain fast path end to end
+  /// (docs/PERFORMANCE.md); false for the Rational reference path and for
+  /// runs that transplanted mid-way. Informational: results are identical
+  /// either way, so equality checks should ignore it.
+  bool tick_domain = false;
 };
 
 /// Result of a machine run.
@@ -144,6 +168,12 @@ class Machine {
   /// True iff a (non-empty) plan is attached.
   [[nodiscard]] bool has_faults() const noexcept { return injector_ != nullptr; }
 
+  /// Time representation of subsequent runs (docs/PERFORMANCE.md): kAuto
+  /// (default) probes each run for the tick fast path, kRational forces
+  /// the reference engine. Results are identical either way.
+  void set_time_path(TimePath path) noexcept { time_path_ = path; }
+  [[nodiscard]] TimePath time_path() const noexcept { return time_path_; }
+
   /// Run `protocol` to quiescence (no in-flight packets or timers left).
   /// Throws InvalidArgument if a handler misbehaves (bad processor/message
   /// ids) and LogicError if the run exceeds `max_events` queue events.
@@ -167,16 +197,55 @@ class Machine {
     std::uint64_t token = 0;
   };
 
+  /// Tick-engine twin of Pending (send_start in ticks).
+  struct PendingTicks {
+    Pending::Kind kind = Pending::Kind::kFlight;
+    ProcId src = 0;
+    ProcId dst = 0;
+    Packet packet;
+    Tick send_start = 0;
+    std::uint64_t token = 0;
+  };
+
+  /// A timer whose fire time is off the 1/q grid (or out of tick range),
+  /// parked Rational-keyed with its global seq until the transplant.
+  struct ParkedEvent {
+    Rational time;
+    std::uint64_t seq = 0;
+    Pending event;
+  };
+
+  // Rational engine.
   void enqueue_send(ProcId src, ProcId dst, const Packet& packet, const Rational& now);
   void enqueue_timer(ProcId owner, const Rational& at, std::uint64_t token);
   void deliver(Protocol& protocol, const Rational& time, const Pending& flight,
                std::uint64_t& delivered);
 
+  // Tick engine (docs/PERFORMANCE.md).
+  bool try_tick_setup(std::uint64_t max_events);
+  void enqueue_send_ticks(ProcId src, ProcId dst, const Packet& packet, Tick now);
+  void enqueue_timer_ticks(ProcId owner, Tick now_ticks, const Rational& now,
+                           const Rational& delay, std::uint64_t token);
+  void deliver_ticks(Protocol& protocol, Tick time, const PendingTicks& flight,
+                     std::uint64_t& delivered);
+  void run_tick_loop(Protocol& protocol, std::uint64_t max_events,
+                     std::uint64_t& steps, std::uint64_t& delivered);
+  void transplant_to_rational();
+  void fold_tick_port_busy();
+  [[nodiscard]] bool crashed_ticks(ProcId p, Tick t) const {
+    const auto& c = crash_ticks_[p];
+    return c.has_value() && t >= *c;
+  }
+  [[nodiscard]] Rational tick_rational(Tick t) const {
+    return Rational(t, tick_q_);
+  }
+
   PostalParams params_;
   std::uint32_t messages_;
   std::unique_ptr<FaultInjector> injector_;
+  TimePath time_path_ = TimePath::kAuto;
 
-  // Per-run state.
+  // Per-run state (Rational engine; also the post-transplant target).
   std::vector<Rational> port_free_;
   std::vector<Rational> recv_free_;
   Schedule schedule_;
@@ -184,6 +253,24 @@ class Machine {
   MachineStats stats_;
   FaultStats fault_stats_;
   Trace* trace_ = nullptr;
+
+  // Per-run state (tick engine). tick_mode_ flips off at transplant.
+  struct SpikeTicks {
+    Tick from = 0;
+    Tick until = 0;
+    Tick extra = 0;
+  };
+  bool tick_mode_ = false;
+  std::int64_t tick_q_ = 1;         ///< resolution denominator of this run
+  Tick lambda_ticks_ = 0;           ///< lambda in ticks
+  std::uint64_t seq_ = 0;           ///< shared push counter (tick queue + parked)
+  TickEventQueue<PendingTicks> tick_queue_;
+  std::vector<ParkedEvent> parked_;         ///< off-grid timers awaiting transplant
+  std::vector<Tick> port_free_ticks_;
+  std::vector<Tick> recv_free_ticks_;
+  std::vector<std::uint64_t> port_busy_units_;  ///< sends per port (exact units)
+  std::vector<std::optional<Tick>> crash_ticks_;
+  std::vector<SpikeTicks> spike_ticks_;
 };
 
 }  // namespace postal

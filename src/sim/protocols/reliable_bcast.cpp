@@ -203,6 +203,7 @@ ReliableBcastReport run_reliable_bcast(const PostalParams& params,
                                        const FaultPlan* plan,
                                        const ReliableBcastOptions& options) {
   Machine machine(params, /*messages=*/1);
+  machine.set_time_path(options.time_path);
   if (plan != nullptr) machine.attach_faults(*plan);
   ReliableBcastProtocol protocol(params, options);
 
@@ -246,6 +247,7 @@ ReliableBcastReport run_reliable_bcast(const PostalParams& params,
   ValidatorOptions vopts;
   vopts.messages = 1;
   vopts.fifo_receive = true;
+  vopts.time_path = options.time_path;
   if (plan != nullptr) vopts.crashes = plan->crashes;
   report.validation =
       validate_schedule(report.result.schedule, params, vopts);

@@ -48,6 +48,11 @@ struct ReliableBcastOptions {
   std::uint32_t max_attempts = 4;
   /// Extra slack added to every ack timeout (model time units, >= 0).
   Rational timeout_slack{2};
+  /// Time representation for the Machine run and the validation pass
+  /// (docs/PERFORMANCE.md). kAuto takes the int64 tick fast path when the
+  /// run is exactly representable; kRational forces the reference engine.
+  /// Reports are identical either way (chaos-differential-tested).
+  TimePath time_path = TimePath::kAuto;
 };
 
 /// Traffic/recovery counters of one run.

@@ -16,48 +16,72 @@ std::string SimReport::summary() const {
   return oss.str();
 }
 
-SimReport validate_schedule(const Schedule& schedule, const PostalParams& params,
-                            const ValidatorOptions& options) {
-  const std::uint64_t n = params.n();
-  const Rational& lambda = params.lambda();
-  const std::uint32_t messages =
-      options.messages != 0 ? options.messages : schedule.message_count();
+namespace {
 
-  SimReport report;
-  report.trace = Trace(n, messages);
+// The validation loop is written once, generic over the time
+// representation (docs/PERFORMANCE.md). Two policies instantiate it:
+//
+//   RationalOps -- the historical reference: Rational times, IntervalSet
+//                  ports, checked arithmetic everywhere.
+//   TickOps     -- int64 ticks at resolution 1/q: plain integer adds and
+//                  compares, TickIntervalSet ports. Chosen by a static
+//                  probe (below) only when every input time is exactly
+//                  representable and a 128-bit bound proves no tick
+//                  expression can overflow, so the loop needs no per-op
+//                  checks and cannot invoke UB.
+//
+// Exactness: tick <-> Rational is an order-preserving bijection on the
+// admitted inputs, so both instantiations take identical branches, record
+// identical deliveries, and -- because conversion round-trips reproduce
+// the canonical reduced form -- produce byte-identical violation strings.
+
+struct RationalOps {
+  using Time = Rational;
+  using Ports = IntervalSet;
+  Rational lambda;
+  Rational one{1};
+
+  [[nodiscard]] const Time& event_time(const SendEvent& e, std::size_t i) const {
+    static_cast<void>(i);
+    return e.t;
+  }
+  [[nodiscard]] const Rational& rat(const Time& t) const { return t; }
+};
+
+struct TickOps {
+  using Time = Tick;
+  using Ports = TickIntervalSet;
+  TickDomain dom;
+  Tick lambda = 0;
+  Tick one = 0;
+  const std::vector<Tick>* event_ticks = nullptr;  // pre-converted, by index
+
+  [[nodiscard]] Time event_time(const SendEvent& e, std::size_t i) const {
+    static_cast<void>(e);
+    return (*event_ticks)[i];
+  }
+  [[nodiscard]] Rational rat(Time t) const { return dom.to_rational(t); }
+};
+
+template <typename Ops>
+void validate_events(const Ops& ops, const std::vector<SendEvent>& events,
+                     std::uint64_t n, std::uint32_t messages,
+                     const ValidatorOptions& options,
+                     const std::vector<std::optional<typename Ops::Time>>& crash,
+                     SimReport& report) {
+  using Time = typename Ops::Time;
   auto violate = [&report](const std::string& text) {
     report.violations.push_back(text);
   };
 
-  POSTAL_REQUIRE(options.origin < n, "validate_schedule: origin out of range");
-
-  // Earliest known crash per processor (docs/FAULTS.md): deliveries at or
-  // after it are void, sends at or after it are impossible, and the
-  // processor is exempt from coverage.
-  std::vector<std::optional<Rational>> crash(n);
-  for (const CrashFault& c : options.crashes) {
-    POSTAL_REQUIRE(c.proc < n, "validate_schedule: crashed processor out of range");
-    auto& slot = crash[c.proc];
-    if (!slot.has_value() || c.time < *slot) slot = c.time;
-  }
-
-  // Sort events by send time so causality state (arrival times) is always
-  // known before any later send is examined: an arrival enabling a send at
-  // t happened at a send that started at t - lambda < t. Because lambda is
-  // a constant, this order is simultaneously nominal-arrival order, which
-  // is what the fifo_receive serialization below iterates in.
-  std::vector<SendEvent> events = schedule.events();
-  std::stable_sort(events.begin(), events.end(),
-                   [](const SendEvent& a, const SendEvent& b) { return a.t < b.t; });
-
-  std::vector<IntervalSet> send_port(n);
-  std::vector<IntervalSet> recv_port(n);
-  std::vector<Rational> recv_free(options.fifo_receive ? n : 0, Rational(0));
-  // holds_at[p * messages + msg]: earliest time p holds msg (origin: 0).
-  std::vector<std::optional<Rational>> holds(n * messages);
+  std::vector<typename Ops::Ports> send_port(n);
+  std::vector<typename Ops::Ports> recv_port(n);
+  std::vector<Time> recv_free(options.fifo_receive ? n : 0, Time{});
+  // holds[p * messages + msg]: earliest time p holds msg (origin: 0).
+  std::vector<std::optional<Time>> holds(n * messages);
   if (options.origins.empty()) {
     for (MsgId msg = 0; msg < messages; ++msg) {
-      holds[options.origin * messages + msg] = Rational(0);
+      holds[options.origin * messages + msg] = Time{};
     }
   } else {
     POSTAL_REQUIRE(options.origins.size() == messages,
@@ -65,11 +89,12 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
     for (MsgId msg = 0; msg < messages; ++msg) {
       POSTAL_REQUIRE(options.origins[msg] < n,
                      "validate_schedule: message origin out of range");
-      holds[options.origins[msg] * messages + msg] = Rational(0);
+      holds[options.origins[msg] * messages + msg] = Time{};
     }
   }
 
-  for (const SendEvent& e : events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SendEvent& e = events[i];
     std::ostringstream who;
     who << "[" << e << "] ";
     if (e.src >= n || e.dst >= n) {
@@ -80,24 +105,26 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
       violate(who.str() + "message id out of range");
       continue;
     }
+    const Time t = ops.event_time(e, i);
     // A dead processor cannot transmit: such an event proves the schedule
     // was not produced under the declared crashes.
-    if (crash[e.src].has_value() && e.t >= *crash[e.src]) {
+    if (crash[e.src].has_value() && t >= *crash[e.src]) {
       violate(who.str() + "p" + std::to_string(e.src) + " crashed at t=" +
-              crash[e.src]->str() + " but sends afterwards");
+              ops.rat(*crash[e.src]).str() + " but sends afterwards");
       continue;
     }
     // Causality: the sender must hold the message when the send starts.
     const auto& held = holds[e.src * messages + e.msg];
-    if (!held.has_value() || e.t < *held) {
+    if (!held.has_value() || t < *held) {
       violate(who.str() + "sender does not hold the message yet" +
-              (held.has_value() ? " (holds it only from t=" + held->str() + ")" : ""));
+              (held.has_value() ? " (holds it only from t=" + ops.rat(*held).str() + ")"
+                                : ""));
     }
     // Send-port exclusivity: [t, t+1).
-    if (auto clash = send_port[e.src].insert(e.t, e.t + Rational(1))) {
+    if (auto clash = send_port[e.src].insert(t, t + ops.one)) {
       std::ostringstream oss;
       oss << who.str() << "send port of p" << e.src << " already busy on ["
-          << clash->lo << ", " << clash->hi << ")";
+          << ops.rat(clash->lo) << ", " << ops.rat(clash->hi) << ")";
       violate(oss.str());
     }
     // Receive port. Strict mode: exclusivity of [t+lambda-1, t+lambda),
@@ -105,20 +132,20 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
     // nominal-arrival order (the Machine's input-port queueing), so overlap
     // delays the arrival instead. Either way a delivery reaching a crashed
     // receiver at or after its crash time is void: no port use, no hold.
-    Rational arrive = e.t + lambda;
+    Time arrive = t + ops.lambda;
     bool voided;
     if (options.fifo_receive) {
-      const Rational window = rmax(arrive - Rational(1), recv_free[e.dst]);
-      arrive = window + Rational(1);
+      const Time window = std::max(arrive - ops.one, recv_free[e.dst]);
+      arrive = window + ops.one;
       recv_free[e.dst] = arrive;
       voided = crash[e.dst].has_value() && arrive >= *crash[e.dst];
     } else {
       voided = crash[e.dst].has_value() && arrive >= *crash[e.dst];
       if (!voided) {
-        if (auto clash = recv_port[e.dst].insert(arrive - Rational(1), arrive)) {
+        if (auto clash = recv_port[e.dst].insert(arrive - ops.one, arrive)) {
           std::ostringstream oss;
           oss << who.str() << "receive port of p" << e.dst << " already busy on ["
-              << clash->lo << ", " << clash->hi << ")";
+              << ops.rat(clash->lo) << ", " << ops.rat(clash->hi) << ")";
           violate(oss.str());
         }
       }
@@ -126,7 +153,7 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
     if (voided) continue;
     auto& dst_holds = holds[e.dst * messages + e.msg];
     if (!dst_holds.has_value() || arrive < *dst_holds) dst_holds = arrive;
-    report.trace.record(Delivery{e.src, e.dst, e.msg, e.t, arrive});
+    report.trace.record(Delivery{e.src, e.dst, e.msg, e.t, ops.rat(arrive)});
   }
 
   if (options.require_coverage) {
@@ -169,7 +196,115 @@ SimReport validate_schedule(const Schedule& schedule, const PostalParams& params
       }
     }
   }
+}
 
+/// Static tick-path probe: fold every time the loop will touch into one
+/// resolution q, convert, and bound the largest tick expression the loop
+/// can form (arrive = t + lambda, +- 1 per port window, plus one unit per
+/// event of FIFO receive drift) in 128-bit arithmetic. Any failure --
+/// unrepresentable time, lcm overflow, bound exceeded -- returns nullopt
+/// and validation stays on the Rational reference path.
+struct TickPlan {
+  TickOps ops;
+  std::vector<Tick> event_ticks;
+  std::vector<std::optional<Tick>> crash;
+};
+
+std::optional<TickPlan> probe_ticks(
+    const std::vector<SendEvent>& events, const Rational& lambda,
+    const std::vector<std::optional<Rational>>& crash_times) {
+  std::int64_t q = lambda.den();
+  auto fold = [&q](const Rational& r) {
+    const std::optional<std::int64_t> folded = TickDomain::fold_denominator(q, r);
+    if (!folded.has_value()) return false;
+    q = *folded;
+    return true;
+  };
+  for (const SendEvent& e : events) {
+    if (!fold(e.t)) return std::nullopt;
+  }
+  for (const auto& c : crash_times) {
+    if (c.has_value() && !fold(*c)) return std::nullopt;
+  }
+
+  const TickDomain dom(q);
+  const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
+  if (!lambda_ticks.has_value()) return std::nullopt;
+
+  TickPlan plan{TickOps{dom, *lambda_ticks, q, nullptr}, {}, {}};
+  plan.event_ticks.reserve(events.size());
+  Tick max_abs = 0;
+  for (const SendEvent& e : events) {
+    const std::optional<Tick> t = dom.to_ticks(e.t);
+    if (!t.has_value()) return std::nullopt;
+    plan.event_ticks.push_back(*t);
+    max_abs = std::max(max_abs, *t < 0 ? (*t == INT64_MIN ? INT64_MAX : -*t) : *t);
+  }
+  plan.crash.resize(crash_times.size());
+  for (std::size_t p = 0; p < crash_times.size(); ++p) {
+    if (!crash_times[p].has_value()) continue;
+    const std::optional<Tick> c = dom.to_ticks(*crash_times[p]);
+    if (!c.has_value()) return std::nullopt;
+    plan.crash[p] = *c;
+    max_abs = std::max(max_abs, *c < 0 ? (*c == INT64_MIN ? INT64_MAX : -*c) : *c);
+  }
+
+  __extension__ using int128 = __int128;
+  const int128 bound = static_cast<int128>(max_abs) + *lambda_ticks +
+                       (static_cast<int128>(events.size()) + 2) * q;
+  if (bound >= (int128{1} << 62)) return std::nullopt;
+  return plan;
+}
+
+}  // namespace
+
+SimReport validate_schedule(const Schedule& schedule, const PostalParams& params,
+                            const ValidatorOptions& options) {
+  const std::uint64_t n = params.n();
+  const Rational& lambda = params.lambda();
+  const std::uint32_t messages =
+      options.messages != 0 ? options.messages : schedule.message_count();
+
+  SimReport report;
+  report.trace = Trace(n, messages);
+
+  POSTAL_REQUIRE(options.origin < n, "validate_schedule: origin out of range");
+
+  // Earliest known crash per processor (docs/FAULTS.md): deliveries at or
+  // after it are void, sends at or after it are impossible, and the
+  // processor is exempt from coverage.
+  std::vector<std::optional<Rational>> crash(n);
+  for (const CrashFault& c : options.crashes) {
+    POSTAL_REQUIRE(c.proc < n, "validate_schedule: crashed processor out of range");
+    auto& slot = crash[c.proc];
+    if (!slot.has_value() || c.time < *slot) slot = c.time;
+  }
+
+  // Sort events by send time so causality state (arrival times) is always
+  // known before any later send is examined: an arrival enabling a send at
+  // t happened at a send that started at t - lambda < t. Because lambda is
+  // a constant, this order is simultaneously nominal-arrival order, which
+  // is what the fifo_receive serialization below iterates in. The sort is
+  // shared by both time paths, so their event order is identical by
+  // construction.
+  std::vector<SendEvent> events = schedule.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SendEvent& a, const SendEvent& b) { return a.t < b.t; });
+
+  if (options.time_path == TimePath::kAuto) {
+    if (std::optional<TickPlan> plan = probe_ticks(events, lambda, crash)) {
+      plan->ops.event_ticks = &plan->event_ticks;
+      validate_events(plan->ops, events, n, messages, options, plan->crash, report);
+      report.tick_domain = true;
+      report.makespan = report.trace.makespan();
+      report.order_preserving = report.trace.order_preserving();
+      report.ok = report.violations.empty();
+      return report;
+    }
+  }
+
+  validate_events(RationalOps{lambda, Rational(1)}, events, n, messages, options,
+                  crash, report);
   report.makespan = report.trace.makespan();
   report.order_preserving = report.trace.order_preserving();
   report.ok = report.violations.empty();

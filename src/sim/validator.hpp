@@ -24,6 +24,7 @@
 #include "model/params.hpp"
 #include "sched/schedule.hpp"
 #include "sim/trace.hpp"
+#include "support/ticks.hpp"
 
 namespace postal {
 
@@ -34,6 +35,10 @@ struct SimReport {
   Trace trace{1, 0};                     ///< all deliveries (even when !ok)
   Rational makespan;                     ///< latest arrival; 0 if none
   bool order_preserving = false;         ///< Section 4's order property
+  /// True iff this validation ran on the int64 tick fast path
+  /// (docs/PERFORMANCE.md). Informational: both paths produce identical
+  /// reports (differential-tested), so equality checks should ignore it.
+  bool tick_domain = false;
 
   /// Joined violation text for test failure messages.
   [[nodiscard]] std::string summary() const;
@@ -79,6 +84,14 @@ struct ValidatorOptions {
   /// deliveries instead of violating; needed for protocols whose receive
   /// times are fault-dependent (reliable_bcast acks under crashes).
   bool fifo_receive = false;
+
+  /// Time representation (docs/PERFORMANCE.md). kAuto (default) validates
+  /// on int64 ticks at resolution 1/q when every event and crash time is
+  /// exactly representable and a static bound rules out tick overflow,
+  /// falling back to the Rational reference otherwise; kRational forces
+  /// the reference. Reports are identical either way -- violations quote
+  /// the same strings because tick<->Rational conversion is exact.
+  TimePath time_path = TimePath::kAuto;
 };
 
 /// Validate `schedule` under MPS(params.n(), params.lambda()).

@@ -2,8 +2,9 @@
 
 namespace postal {
 
-std::optional<IntervalSet::Interval> IntervalSet::find_overlap(const Rational& lo,
-                                                               const Rational& hi) const {
+template <typename T>
+auto BasicIntervalSet<T>::find_overlap(const T& lo, const T& hi) const
+    -> std::optional<Interval> {
   POSTAL_REQUIRE(lo < hi, "IntervalSet: interval must be nonempty (lo < hi)");
   // Candidate 1: the first interval starting at or after lo; overlaps iff it
   // starts before hi.
@@ -22,26 +23,29 @@ std::optional<IntervalSet::Interval> IntervalSet::find_overlap(const Rational& l
   return std::nullopt;
 }
 
-std::optional<IntervalSet::Interval> IntervalSet::insert(const Rational& lo,
-                                                         const Rational& hi) {
+template <typename T>
+auto BasicIntervalSet<T>::insert(const T& lo, const T& hi) -> std::optional<Interval> {
   if (auto hit = find_overlap(lo, hi)) return hit;
   by_lo_.emplace(lo, hi);
   return std::nullopt;
 }
 
-bool IntervalSet::overlaps(const Rational& lo, const Rational& hi) const {
+template <typename T>
+bool BasicIntervalSet<T>::overlaps(const T& lo, const T& hi) const {
   return find_overlap(lo, hi).has_value();
 }
 
-Rational IntervalSet::total_length() const {
-  Rational sum;
+template <typename T>
+T BasicIntervalSet<T>::total_length() const {
+  T sum{};
   for (const auto& [lo, hi] : by_lo_) sum += hi - lo;
   return sum;
 }
 
-Rational IntervalSet::earliest_fit(const Rational& from, const Rational& len) const {
-  POSTAL_REQUIRE(Rational(0) < len, "IntervalSet::earliest_fit: length must be positive");
-  Rational start = from;
+template <typename T>
+T BasicIntervalSet<T>::earliest_fit(const T& from, const T& len) const {
+  POSTAL_REQUIRE(T{} < len, "IntervalSet::earliest_fit: length must be positive");
+  T start = from;
   // Walk intervals in order; each conflict pushes the start to the end of
   // the conflicting interval. Intervals are disjoint and sorted, so one
   // forward pass suffices.
@@ -52,5 +56,8 @@ Rational IntervalSet::earliest_fit(const Rational& from, const Rational& len) co
   }
   return start;
 }
+
+template class BasicIntervalSet<Rational>;
+template class BasicIntervalSet<std::int64_t>;
 
 }  // namespace postal

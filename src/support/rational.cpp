@@ -97,16 +97,6 @@ Rational& Rational::operator/=(const Rational& rhs) {
   return *this *= inv;
 }
 
-std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
-  // Compare a.num/a.den vs b.num/b.den via 128-bit cross products (exact).
-  __extension__ using int128 = __int128;
-  const int128 lhs = static_cast<int128>(a.num_) * b.den_;
-  const int128 rhs = static_cast<int128>(b.num_) * a.den_;
-  if (lhs < rhs) return std::strong_ordering::less;
-  if (lhs > rhs) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
-}
-
 Rational Rational::parse(const std::string& text) {
   POSTAL_REQUIRE(!text.empty(), "Rational::parse: empty string");
   const auto slash = text.find('/');

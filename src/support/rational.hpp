@@ -86,7 +86,32 @@ class Rational {
   friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
     return a.num_ == b.num_ && a.den_ == b.den_;
   }
-  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  /// Exact three-way comparison. Inline with two fast paths because this is
+  /// the hottest operation in the simulators (event-queue ordering,
+  /// interval bookkeeping): equal denominators -- which covers the
+  /// all-integer case (den == 1) and any two times on the same 1/q grid --
+  /// compare numerators directly, and otherwise the 64-bit cross products
+  /// are tried first (overflow-checked, so an integer operand's num * 1
+  /// always qualifies) before falling back to the always-exact 128-bit
+  /// products. Near-overflow comparisons stay exact on every path
+  /// (tests/support/rational_test.cpp covers the boundary).
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b) noexcept {
+    if (a.den_ == b.den_) return a.num_ <=> b.num_;
+    std::int64_t lhs = 0;
+    std::int64_t rhs = 0;
+    if (!__builtin_mul_overflow(a.num_, b.den_, &lhs) &&
+        !__builtin_mul_overflow(b.num_, a.den_, &rhs)) {
+      return lhs <=> rhs;
+    }
+    __extension__ using int128 = __int128;
+    const int128 wide_lhs = static_cast<int128>(a.num_) * b.den_;
+    const int128 wide_rhs = static_cast<int128>(b.num_) * a.den_;
+    if (wide_lhs < wide_rhs) return std::strong_ordering::less;
+    if (wide_lhs > wide_rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
 
  private:
   static std::int64_t checked_neg(std::int64_t v);

@@ -1,0 +1,16 @@
+#include "support/ticks.hpp"
+
+#include <numeric>
+
+namespace postal {
+
+std::optional<std::int64_t> TickDomain::fold_denominator(
+    std::int64_t q, const Rational& r) noexcept {
+  const std::int64_t d = r.den();  // > 0 by Rational's invariant
+  const std::int64_t g = std::gcd(q, d);
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(q, d / g, &out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace postal

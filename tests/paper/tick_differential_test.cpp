@@ -1,0 +1,440 @@
+// The tick-domain differential gate (docs/PERFORMANCE.md): every hot loop
+// that grew an int64 fast path must be *byte-identical* to its Rational
+// reference on randomized corpora -- same events, same makespans, same
+// validator verdicts and violation strings, same fault timelines. The two
+// engines share the TimePath knob; kAuto takes the tick path whenever the
+// run is exactly representable, kRational forces the reference, and this
+// file asserts the outputs cannot be told apart:
+//
+//   * dp table / greedy search      (src/brute/optimal_search)
+//   * BCAST schedule emission       (src/sched/bcast)
+//   * the schedule validator        (src/sim/validator), incl. violation
+//                                   strings on deliberately broken input
+//   * the event-driven Machine      (src/sim/machine), incl. fault plans
+//                                   from random_fault_plan and the
+//                                   off-grid-timer mid-run transplant
+//   * the reliable broadcast        (sim/protocols/reliable_bcast) under
+//                                   chaos-style crash+loss storms
+//   * the packet network            (src/net/packet_sim), jitter and all
+//   * the sweep engine              (src/par/sweep)
+//
+// scripts/check.sh --sanitize re-runs this binary under TSan and under
+// ASan+UBSan.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "brute/optimal_search.hpp"
+#include "faults/fault_plan.hpp"
+#include "net/packet_sim.hpp"
+#include "par/sweep.hpp"
+#include "sched/bcast.hpp"
+#include "sim/machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "sim/protocols/multi_protocols.hpp"
+#include "sim/protocols/reliable_bcast.hpp"
+#include "sim/validator.hpp"
+#include "support/prng.hpp"
+
+namespace postal {
+namespace {
+
+struct RandomPair {
+  std::uint64_t n;
+  Rational lambda;
+};
+
+std::vector<RandomPair> random_pairs(std::uint64_t seed, std::size_t count) {
+  Xoshiro256 rng(seed);
+  std::vector<RandomPair> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const std::uint64_t n = rng.uniform(1, 192);
+    const std::uint64_t q = rng.uniform(1, 4);
+    const std::uint64_t p = rng.uniform(q, 8 * q);  // lambda = p/q in [1, 8]
+    pairs.push_back({n, Rational(static_cast<std::int64_t>(p),
+                                 static_cast<std::int64_t>(q))});
+  }
+  return pairs;
+}
+
+/// Everything a MachineResult exposes must match except the engine flag.
+void expect_identical_runs(const MachineResult& tick, const MachineResult& ref,
+                           const std::string& tag) {
+  EXPECT_EQ(tick.schedule.events(), ref.schedule.events()) << tag;
+  EXPECT_EQ(tick.trace.deliveries(), ref.trace.deliveries()) << tag;
+  EXPECT_EQ(tick.stats.events_processed, ref.stats.events_processed) << tag;
+  EXPECT_EQ(tick.stats.sends_enqueued, ref.stats.sends_enqueued) << tag;
+  EXPECT_EQ(tick.stats.sends_deferred, ref.stats.sends_deferred) << tag;
+  EXPECT_EQ(tick.stats.timers_set, ref.stats.timers_set) << tag;
+  EXPECT_EQ(tick.stats.timers_fired, ref.stats.timers_fired) << tag;
+  EXPECT_EQ(tick.stats.receives_queued, ref.stats.receives_queued) << tag;
+  EXPECT_EQ(tick.stats.max_fifo_depth, ref.stats.max_fifo_depth) << tag;
+  EXPECT_EQ(tick.stats.port_busy, ref.stats.port_busy) << tag;
+  EXPECT_EQ(tick.faults.crashes_applied, ref.faults.crashes_applied) << tag;
+  EXPECT_EQ(tick.faults.sends_suppressed, ref.faults.sends_suppressed) << tag;
+  EXPECT_EQ(tick.faults.drops_crash, ref.faults.drops_crash) << tag;
+  EXPECT_EQ(tick.faults.drops_loss, ref.faults.drops_loss) << tag;
+  EXPECT_EQ(tick.faults.spikes_applied, ref.faults.spikes_applied) << tag;
+  EXPECT_EQ(tick.faults.events, ref.faults.events) << tag;
+}
+
+void expect_identical_reports(const SimReport& tick, const SimReport& ref,
+                              const std::string& tag) {
+  EXPECT_EQ(tick.ok, ref.ok) << tag;
+  EXPECT_EQ(tick.violations, ref.violations) << tag;
+  EXPECT_EQ(tick.makespan, ref.makespan) << tag;
+  EXPECT_EQ(tick.order_preserving, ref.order_preserving) << tag;
+  EXPECT_EQ(tick.trace.deliveries(), ref.trace.deliveries()) << tag;
+}
+
+TEST(TickDifferential, DpTableAndGreedyMatchTheRationalReference) {
+  for (const RandomPair& pair : random_pairs(0x71C5u, 60)) {
+    const std::string tag =
+        "n=" + std::to_string(pair.n) + " lambda=" + pair.lambda.str();
+    EXPECT_EQ(optimal_broadcast_dp(pair.n, pair.lambda, TimePath::kAuto),
+              optimal_broadcast_dp(pair.n, pair.lambda, TimePath::kRational))
+        << tag;
+    EXPECT_EQ(optimal_broadcast_greedy(pair.n, pair.lambda, TimePath::kAuto),
+              optimal_broadcast_greedy(pair.n, pair.lambda, TimePath::kRational))
+        << tag;
+    EXPECT_EQ(optimal_broadcast_dp_table(pair.n, pair.lambda, TimePath::kAuto),
+              optimal_broadcast_dp_table(pair.n, pair.lambda, TimePath::kRational))
+        << tag;
+  }
+}
+
+TEST(TickDifferential, BcastScheduleMatchesTheRationalEmit) {
+  for (const RandomPair& pair : random_pairs(0xBCA57u, 60)) {
+    const PostalParams params(pair.n, pair.lambda);
+    GenFib fib(pair.lambda);
+    const Schedule dispatched = bcast_schedule(params, fib);
+    Schedule reference;
+    bcast_emit(reference, fib, /*base=*/0, pair.n, Rational(0), /*msg=*/0);
+    reference.sort();
+    EXPECT_EQ(dispatched.events(), reference.events())
+        << "n=" << pair.n << " lambda=" << pair.lambda;
+  }
+}
+
+TEST(TickDifferential, ValidatorReportsAreIdenticalOnValidSchedules) {
+  for (const RandomPair& pair : random_pairs(0x7A11Du, 40)) {
+    const PostalParams params(pair.n, pair.lambda);
+    const Schedule schedule = bcast_schedule(params);
+    ValidatorOptions tick_opts;
+    ValidatorOptions ref_opts;
+    ref_opts.time_path = TimePath::kRational;
+    const SimReport tick = validate_schedule(schedule, params, tick_opts);
+    const SimReport ref = validate_schedule(schedule, params, ref_opts);
+    const std::string tag =
+        "n=" + std::to_string(pair.n) + " lambda=" + pair.lambda.str();
+    expect_identical_reports(tick, ref, tag);
+    EXPECT_TRUE(tick.tick_domain) << tag;  // small grids must take the fast path
+    EXPECT_FALSE(ref.tick_domain) << tag;
+  }
+}
+
+TEST(TickDifferential, ValidatorViolationStringsAreIdenticalOnBrokenSchedules) {
+  for (const RandomPair& pair : random_pairs(0xBAD5Du, 30)) {
+    if (pair.n < 3) continue;
+    const PostalParams params(pair.n, pair.lambda);
+    Schedule broken = bcast_schedule(params);
+    // Port clash: duplicate the first event (same sender, same start).
+    const SendEvent first = broken.events().front();
+    broken.add(first.src, first.dst, first.msg, first.t);
+    // Causality breach: a processor that holds nothing at t=0 sends at t=0.
+    broken.add(static_cast<ProcId>(pair.n - 1), 0, 0, Rational(0));
+    broken.sort();
+    ValidatorOptions tick_opts;
+    ValidatorOptions ref_opts;
+    ref_opts.time_path = TimePath::kRational;
+    const SimReport tick = validate_schedule(broken, params, tick_opts);
+    const SimReport ref = validate_schedule(broken, params, ref_opts);
+    const std::string tag =
+        "n=" + std::to_string(pair.n) + " lambda=" + pair.lambda.str();
+    EXPECT_FALSE(ref.ok) << tag;
+    expect_identical_reports(tick, ref, tag);
+  }
+}
+
+TEST(TickDifferential, MachineBcastRunsAreByteIdentical) {
+  for (const RandomPair& pair : random_pairs(0x3AC41u, 30)) {
+    const PostalParams params(pair.n, pair.lambda);
+    Machine tick_machine(params, 1);
+    BcastProtocol tick_protocol(params);
+    const MachineResult tick = tick_machine.run(tick_protocol);
+    Machine ref_machine(params, 1);
+    ref_machine.set_time_path(TimePath::kRational);
+    BcastProtocol ref_protocol(params);
+    const MachineResult ref = ref_machine.run(ref_protocol);
+    const std::string tag =
+        "n=" + std::to_string(pair.n) + " lambda=" + pair.lambda.str();
+    expect_identical_runs(tick, ref, tag);
+    EXPECT_TRUE(tick.stats.tick_domain) << tag;
+    EXPECT_FALSE(ref.stats.tick_domain) << tag;
+  }
+}
+
+TEST(TickDifferential, MachineMultiMessageProtocolsAreByteIdentical) {
+  const PostalParams params(24, Rational(5, 2));
+  const auto run_both = [&](auto make_protocol, std::uint32_t m,
+                            const std::string& tag) {
+    Machine tick_machine(params, m);
+    auto tick_protocol = make_protocol(m);
+    const MachineResult tick = tick_machine.run(tick_protocol);
+    Machine ref_machine(params, m);
+    ref_machine.set_time_path(TimePath::kRational);
+    auto ref_protocol = make_protocol(m);
+    const MachineResult ref = ref_machine.run(ref_protocol);
+    expect_identical_runs(tick, ref, tag);
+    EXPECT_TRUE(tick.stats.tick_domain) << tag;
+  };
+  run_both([&](std::uint32_t m) { return RepeatProtocol(params, m); }, 6, "repeat");
+  run_both([&](std::uint32_t m) { return PackProtocol(params, m); }, 6, "pack");
+  // PIPELINE-1 requires m <= lambda.
+  run_both([&](std::uint32_t m) { return Pipeline1Protocol(params, m); }, 2,
+           "pipeline1");
+  run_both([&](std::uint32_t m) { return Pipeline2Protocol(params, m); }, 6,
+           "pipeline2");
+}
+
+TEST(TickDifferential, FaultInjectedMachineRunsAreByteIdentical) {
+  // Crash + loss + spike storms from random_fault_plan: the tick engine
+  // must reproduce the Rational fault timeline event for event (loss draws
+  // consume per-link PRNG state, so even the *order* of checks matters).
+  std::uint64_t tick_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const std::uint64_t n = 8 + (seed % 3) * 12;
+    const Rational lambda = seed % 2 == 0 ? Rational(2) : Rational(7, 2);
+    const PostalParams params(n, lambda);
+    RandomFaultOptions fopts;
+    fopts.crashes = seed % 4;
+    fopts.lossy_links = 4;
+    fopts.loss_p = Rational(1, 3);
+    fopts.spikes = seed % 3;
+    const FaultPlan plan = random_fault_plan(params, seed, fopts);
+
+    Machine tick_machine(params, 1);
+    tick_machine.attach_faults(plan);
+    BcastProtocol tick_protocol(params);
+    const MachineResult tick = tick_machine.run(tick_protocol);
+
+    Machine ref_machine(params, 1);
+    ref_machine.set_time_path(TimePath::kRational);
+    ref_machine.attach_faults(plan);
+    BcastProtocol ref_protocol(params);
+    const MachineResult ref = ref_machine.run(ref_protocol);
+
+    expect_identical_runs(tick, ref, "seed " + std::to_string(seed));
+    if (tick.stats.tick_domain) ++tick_runs;
+  }
+  // random_fault_plan keeps crash times on the lambda grid, so the fast
+  // path must actually engage on these runs -- no silent fallback.
+  EXPECT_EQ(tick_runs, 24u);
+}
+
+/// Arms one off-grid timer (delay 1/3 with q = 2) mid-run, forcing the
+/// tick engine to transplant its pending events into the Rational queue.
+class OffGridTimerProtocol final : public Protocol {
+ public:
+  explicit OffGridTimerProtocol(std::uint64_t n) : n_(n) {}
+
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() != 0) return;
+    for (ProcId p = 1; p < n_; ++p) ctx.send(p, Packet{0, 0, 0});
+    ctx.set_timer(Rational(1, 3), /*token=*/7);  // off the 1/2 grid
+  }
+
+  void on_receive(MachineContext& ctx, const Packet& packet) override {
+    static_cast<void>(packet);
+    if (ctx.self() == 1 && !echoed_) {
+      echoed_ = true;
+      ctx.send(0, Packet{0, 1, 0});
+    }
+  }
+
+  void on_timer(MachineContext& ctx, std::uint64_t token) override {
+    EXPECT_EQ(token, 7u);
+    EXPECT_EQ(ctx.now(), Rational(1, 3));
+    // Post-transplant traffic: must interleave exactly as in the pure
+    // Rational run.
+    ctx.send(static_cast<ProcId>(n_ - 1), Packet{0, 2, 0});
+  }
+
+ private:
+  std::uint64_t n_;
+  bool echoed_ = false;
+};
+
+TEST(TickDifferential, OffGridTimerTransplantsExactlyMidRun) {
+  const PostalParams params(6, Rational(3, 2));
+  Machine tick_machine(params, 1);
+  OffGridTimerProtocol tick_protocol(6);
+  const MachineResult tick = tick_machine.run(tick_protocol);
+  Machine ref_machine(params, 1);
+  ref_machine.set_time_path(TimePath::kRational);
+  OffGridTimerProtocol ref_protocol(6);
+  const MachineResult ref = ref_machine.run(ref_protocol);
+  expect_identical_runs(tick, ref, "off-grid transplant");
+  // The run *started* on ticks but cannot have finished there.
+  EXPECT_FALSE(tick.stats.tick_domain);
+  EXPECT_GT(tick.stats.timers_fired, 0u);
+}
+
+TEST(TickDifferential, ReliableBcastChaosRunsAreIdentical) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const std::uint64_t n = 6 + (seed % 4) * 7;
+    const Rational lambda = seed % 2 == 0 ? Rational(1) : Rational(5, 2);
+    const PostalParams params(n, lambda);
+    RandomFaultOptions fopts;
+    fopts.crashes = seed % 3;
+    fopts.lossy_links = 3;
+    fopts.loss_p = Rational(1, 2);
+    fopts.max_losses = 3;
+    const FaultPlan plan = random_fault_plan(params, seed, fopts);
+
+    ReliableBcastOptions tick_opts;
+    ReliableBcastOptions ref_opts;
+    ref_opts.time_path = TimePath::kRational;
+    const ReliableBcastReport tick = run_reliable_bcast(params, &plan, tick_opts);
+    const ReliableBcastReport ref = run_reliable_bcast(params, &plan, ref_opts);
+
+    const std::string tag = "seed " + std::to_string(seed);
+    expect_identical_runs(tick.result, ref.result, tag);
+    EXPECT_EQ(tick.completion, ref.completion) << tag;
+    EXPECT_EQ(tick.covered, ref.covered) << tag;
+    EXPECT_EQ(tick.uncovered_alive, ref.uncovered_alive) << tag;
+    EXPECT_EQ(tick.counters.data_sends, ref.counters.data_sends) << tag;
+    EXPECT_EQ(tick.counters.retransmissions, ref.counters.retransmissions) << tag;
+    EXPECT_EQ(tick.counters.acks_sent, ref.counters.acks_sent) << tag;
+    EXPECT_EQ(tick.counters.acks_received, ref.counters.acks_received) << tag;
+    EXPECT_EQ(tick.counters.timeouts, ref.counters.timeouts) << tag;
+    EXPECT_EQ(tick.counters.dead_declared, ref.counters.dead_declared) << tag;
+    EXPECT_EQ(tick.counters.repairs, ref.counters.repairs) << tag;
+    expect_identical_reports(tick.validation, ref.validation, tag);
+  }
+}
+
+void expect_identical_net_runs(const std::vector<NetDelivery>& tick,
+                               const NetRunStats& tick_stats,
+                               const std::vector<NetDelivery>& ref,
+                               const NetRunStats& ref_stats,
+                               const std::string& tag) {
+  ASSERT_EQ(tick.size(), ref.size()) << tag;
+  for (std::size_t i = 0; i < tick.size(); ++i) {
+    EXPECT_EQ(tick[i].src, ref[i].src) << tag << " #" << i;
+    EXPECT_EQ(tick[i].dst, ref[i].dst) << tag << " #" << i;
+    EXPECT_EQ(tick[i].msg, ref[i].msg) << tag << " #" << i;
+    EXPECT_EQ(tick[i].requested, ref[i].requested) << tag << " #" << i;
+    EXPECT_EQ(tick[i].delivered, ref[i].delivered) << tag << " #" << i;
+  }
+  EXPECT_EQ(tick_stats.packets_delivered, ref_stats.packets_delivered) << tag;
+  EXPECT_EQ(tick_stats.hops_total, ref_stats.hops_total) << tag;
+  EXPECT_EQ(tick_stats.jitter_draws, ref_stats.jitter_draws) << tag;
+  EXPECT_EQ(tick_stats.egress_busy_total, ref_stats.egress_busy_total) << tag;
+  EXPECT_EQ(tick_stats.ingress_busy_total, ref_stats.ingress_busy_total) << tag;
+  EXPECT_EQ(tick_stats.makespan, ref_stats.makespan) << tag;
+  ASSERT_EQ(tick_stats.wires.size(), ref_stats.wires.size()) << tag;
+  for (std::size_t i = 0; i < tick_stats.wires.size(); ++i) {
+    EXPECT_EQ(tick_stats.wires[i].from, ref_stats.wires[i].from) << tag;
+    EXPECT_EQ(tick_stats.wires[i].to, ref_stats.wires[i].to) << tag;
+    EXPECT_EQ(tick_stats.wires[i].packets, ref_stats.wires[i].packets) << tag;
+    EXPECT_EQ(tick_stats.wires[i].busy, ref_stats.wires[i].busy) << tag;
+  }
+  EXPECT_EQ(tick_stats.faults.events, ref_stats.faults.events) << tag;
+}
+
+TEST(TickDifferential, PacketNetworkRunsAreByteIdentical) {
+  const PostalParams params(16, Rational(2));
+  const Schedule traffic = bcast_schedule(params);
+  const struct {
+    Switching switching;
+    Rational jitter;
+    const char* tag;
+  } cases[] = {
+      {Switching::kStoreAndForward, Rational(0), "saf"},
+      {Switching::kStoreAndForward, Rational(1, 2), "saf+jitter"},
+      {Switching::kCutThrough, Rational(1, 4), "cut+jitter"},
+  };
+  for (const auto& c : cases) {
+    for (int topo = 0; topo < 2; ++topo) {
+      NetConfig config;
+      config.send_overhead = Rational(1);
+      config.recv_overhead = Rational(1, 2);
+      config.wire_time = Rational(3, 4);
+      config.header_time = Rational(1, 4);
+      config.jitter_max = c.jitter;
+      config.switching = c.switching;
+      const Topology topology = topo == 0
+                                    ? Topology::complete(16, Rational(1, 4))
+                                    : Topology::mesh2d(4, 4, Rational(1, 4));
+      const std::string tag = std::string(c.tag) + (topo == 0 ? "/complete" : "/mesh");
+
+      PacketNetwork tick_net(topology, config);
+      tick_net.submit_schedule(traffic);
+      const std::vector<NetDelivery> tick = tick_net.run();
+      EXPECT_TRUE(tick_net.last_run_stats().tick_domain) << tag;
+
+      config.time_path = TimePath::kRational;
+      PacketNetwork ref_net(topology, config);
+      ref_net.submit_schedule(traffic);
+      const std::vector<NetDelivery> ref = ref_net.run();
+      EXPECT_FALSE(ref_net.last_run_stats().tick_domain) << tag;
+
+      expect_identical_net_runs(tick, tick_net.last_run_stats(), ref,
+                                ref_net.last_run_stats(), tag);
+    }
+  }
+}
+
+TEST(TickDifferential, FaultedPacketNetworkRunsAreByteIdentical) {
+  const PostalParams params(12, Rational(3, 2));
+  const Schedule traffic = bcast_schedule(params);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomFaultOptions fopts;
+    fopts.crashes = seed % 3;
+    fopts.lossy_links = 3;
+    fopts.loss_p = Rational(1, 4);
+    fopts.spikes = seed % 2;
+    const FaultPlan plan = random_fault_plan(params, seed, fopts);
+    NetConfig config;
+    config.recv_overhead = Rational(1, 2);
+
+    PacketNetwork tick_net(Topology::mesh2d(3, 4, Rational(1, 2)), config);
+    tick_net.attach_faults(plan);
+    tick_net.submit_schedule(traffic);
+    const std::vector<NetDelivery> tick = tick_net.run();
+
+    config.time_path = TimePath::kRational;
+    PacketNetwork ref_net(Topology::mesh2d(3, 4, Rational(1, 2)), config);
+    ref_net.attach_faults(plan);
+    ref_net.submit_schedule(traffic);
+    const std::vector<NetDelivery> ref = ref_net.run();
+
+    expect_identical_net_runs(tick, tick_net.last_run_stats(), ref,
+                              ref_net.last_run_stats(),
+                              "seed " + std::to_string(seed));
+  }
+}
+
+TEST(TickDifferential, SweepResultsAreTimePathInvariant) {
+  const std::vector<std::uint64_t> ns = {1, 2, 7, 16, 33, 64};
+  const std::vector<Rational> lambdas = {Rational(1), Rational(3, 2),
+                                         Rational(5, 2), Rational(4)};
+  par::SweepOptions tick_opts;
+  tick_opts.threads = 1;
+  par::SweepOptions ref_opts;
+  ref_opts.threads = 1;
+  ref_opts.time_path = TimePath::kRational;
+  const auto tick = par::sweep_grid(ns, lambdas, tick_opts);
+  const auto ref = par::sweep_grid(ns, lambdas, ref_opts);
+  EXPECT_TRUE(par::sweep_results_equal_ignoring_wall(tick, ref));
+  for (const par::SweepPointResult& r : tick) {
+    EXPECT_TRUE(r.ok) << "n=" << r.n << " lambda=" << r.lambda;
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,200 @@
+// The (time, seq) tie-break contract of both event queues.
+//
+// EventQueue documents that pops are ordered by (time, seq): strictly
+// earliest time first, FIFO among same-time events. These tests pin that
+// contract directly, pin the push_at_seq transplant hook, and then verify
+// the tick-keyed twin (sim/tick_queue.hpp) against the *same* contract --
+// including randomized differential workloads where both queues, fed
+// identical pushes, must pop identical payload sequences.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/tick_queue.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+TEST(EventQueue, PopsEarliestTimeFirst) {
+  EventQueue<int> q;
+  q.push(Rational(5, 2), 1);
+  q.push(Rational(1), 2);
+  q.push(Rational(7, 3), 3);
+  EXPECT_EQ(q.next_time(), Rational(1));
+  EXPECT_EQ(q.pop().second, 2);
+  EXPECT_EQ(q.pop().second, 3);  // 7/3 < 5/2
+  EXPECT_EQ(q.pop().second, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  // std::priority_queue guarantees nothing for equal keys; the seq stamp
+  // must force first-pushed-first.
+  EventQueue<int> q;
+  for (int i = 0; i < 64; ++i) q.push(Rational(3, 2), i);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(q.pop().second, i) << "FIFO order broken at " << i;
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsGlobalOrder) {
+  EventQueue<int> q;
+  q.push(Rational(1), 10);
+  q.push(Rational(2), 20);
+  EXPECT_EQ(q.pop().second, 10);
+  q.push(Rational(2), 21);  // same time as 20, pushed later
+  q.push(Rational(3, 2), 15);
+  EXPECT_EQ(q.pop().second, 15);
+  EXPECT_EQ(q.pop().second, 20);
+  EXPECT_EQ(q.pop().second, 21);
+}
+
+TEST(EventQueue, PushAtSeqMergesIntoGlobalOrder) {
+  // The transplant hook: explicit seqs must interleave with same-time
+  // events exactly as the original stamps dictate, and later push() stamps
+  // must stay strictly larger.
+  EventQueue<int> q;
+  q.push_at_seq(Rational(1), 7, 70);
+  q.push_at_seq(Rational(1), 3, 30);
+  q.push_at_seq(Rational(1, 2), 9, 90);
+  q.push(Rational(1), 100);  // must stamp seq >= 10, i.e. after 30 and 70
+  EXPECT_EQ(q.pop().second, 90);
+  EXPECT_EQ(q.pop().second, 30);
+  EXPECT_EQ(q.pop().second, 70);
+  EXPECT_EQ(q.pop().second, 100);
+}
+
+TEST(TickEventQueue, PopsEarliestTickFirst) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  q.push(50, seq++, 1);
+  q.push(10, seq++, 2);
+  q.push(23, seq++, 3);
+  EXPECT_EQ(q.next_time(), 10);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{10, 2}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{23, 3}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{50, 1}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TickEventQueue, FifoAmongEqualTicks) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 64; ++i) q.push(17, seq++, i);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(q.pop().second, i) << "FIFO order broken at " << i;
+  }
+}
+
+TEST(TickEventQueue, FarHorizonEventsReturnInOrder) {
+  // Events beyond the ring window overflow into the far heap and must
+  // come back in (tick, seq) order when the window jumps to them.
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  q.push(0, seq++, 0);
+  q.push(5'000, seq++, 1);
+  q.push(2'000, seq++, 2);
+  q.push(1'000'000'000'000, seq++, 3);
+  q.push(5'000, seq++, 4);  // same far tick, later seq
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{0, 0}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{2'000, 2}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{5'000, 1}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{5'000, 4}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{1'000'000'000'000, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TickEventQueue, RejectsNonMonotonePushes) {
+  TickEventQueue<int> q;
+  q.push(10, 0, 1);
+  EXPECT_EQ(q.pop().first, 10);
+  POSTAL_EXPECT_THROW(q.push(5, 1, 2), LogicError);  // before the cursor
+  q.push(10, 1, 3);  // at the cursor is fine
+  EXPECT_EQ(q.pop().second, 3);
+}
+
+TEST(TickEventQueue, ClearKeepsCapacityAndWorks) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  for (Tick t = 0; t < 100; ++t) q.push(t * 7, seq++, static_cast<int>(t));
+  for (int i = 0; i < 40; ++i) static_cast<void>(q.pop());
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // Time restarts at zero after clear (it is a per-run structure).
+  q.push(0, 0, 123);
+  q.push(2'000'000, 1, 456);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{0, 123}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{2'000'000, 456}));
+}
+
+TEST(TickEventQueue, DrainHandsBackEverythingInPopOrder) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  q.push(30, seq++, 3);
+  q.push(10, seq++, 1);
+  q.push(10, seq++, 2);
+  q.push(99'999, seq++, 4);
+  std::vector<Tick> ticks;
+  std::vector<std::uint64_t> seqs;
+  std::vector<int> payloads;
+  q.drain([&](Tick t, std::uint64_t s, int&& v) {
+    ticks.push_back(t);
+    seqs.push_back(s);
+    payloads.push_back(v);
+  });
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(ticks, (std::vector<Tick>{10, 10, 30, 99'999}));
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 0, 3}));
+  EXPECT_EQ(payloads, (std::vector<int>{1, 2, 3, 4}));
+}
+
+// The differential contract check: identical monotone workloads through
+// both queues must pop identical payload sequences. Times are carried as
+// ticks on one side and as t/3 Rationals on the other (same total order).
+TEST(QueueDifferential, RandomizedWorkloadsPopIdentically) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL);
+    EventQueue<std::uint64_t> ref;
+    TickEventQueue<std::uint64_t> tick;
+    std::uint64_t seq = 0;
+    Tick now = 0;
+    std::uint64_t next_payload = 0;
+    std::vector<std::uint64_t> ref_order;
+    std::vector<std::uint64_t> tick_order;
+    for (int step = 0; step < 4000; ++step) {
+      const bool do_push = ref.empty() || rng.uniform(0, 99) < 55;
+      if (do_push) {
+        // Mostly near-future, occasionally far beyond the ring window.
+        const std::uint64_t r = rng.uniform(0, 99);
+        const Tick delta = r < 90 ? static_cast<Tick>(rng.uniform(0, 2000))
+                                  : static_cast<Tick>(rng.uniform(0, 5'000'000));
+        const Tick t = now + delta;
+        const std::uint64_t payload = next_payload++;
+        ref.push(Rational(t, 3), payload);
+        tick.push(t, seq++, payload);
+      } else {
+        const auto [rt, rv] = ref.pop();
+        const auto [tt, tv] = tick.pop();
+        EXPECT_EQ(rt, Rational(tt, 3)) << "seed " << seed << " step " << step;
+        ref_order.push_back(rv);
+        tick_order.push_back(tv);
+        now = tt;
+      }
+    }
+    while (!ref.empty()) {
+      ref_order.push_back(ref.pop().second);
+      ASSERT_FALSE(tick.empty());
+      tick_order.push_back(tick.pop().second);
+    }
+    EXPECT_TRUE(tick.empty());
+    EXPECT_EQ(ref_order, tick_order) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -204,5 +204,89 @@ TEST(Rational, DecimalParseMatchesFractionParse) {
   EXPECT_EQ(Rational::parse("-0.125"), Rational::parse("-1/8"));
 }
 
+TEST(Rational, ComparisonNearOverflowSameDenominator) {
+  // Same canonical denominator takes the numerator-compare fast path; it
+  // must stay exact at the edges of the 64-bit range.
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_LT(Rational(max - 5, 5), Rational(max, 5));
+  EXPECT_GT(Rational(max, 5), Rational(max - 5, 5));
+  EXPECT_EQ(Rational(max, 5) <=> Rational(max, 5), std::strong_ordering::equal);
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min() + 1;
+  EXPECT_LT(Rational(lo, 3), Rational(lo + 3, 3));
+}
+
+TEST(Rational, ComparisonNearOverflowCrossProducts) {
+  // Different denominators whose 64-bit cross products overflow must fall
+  // through to the 128-bit compare, never to UB or a wrong sign.
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_GT(Rational(max, 2), Rational(max - 2, 3));
+  EXPECT_LT(Rational(max - 2, 3), Rational(max, 2));
+  // max/(max-1) vs (max-1)/(max-2): both just above 1, second is larger.
+  EXPECT_LT(Rational(max, max - 1), Rational(max - 1, max - 2));
+  // Large negatives: x/3 > x/2 for negative x.
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min() + 1;
+  EXPECT_GT(Rational(lo, 3), Rational(lo, 2));
+  EXPECT_LT(Rational(lo, 2), Rational(lo, 3));
+}
+
+TEST(Rational, ComparisonMatches128BitReferenceOnRandomBigValues) {
+  std::uint64_t state = 0xC0FFEE;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  __extension__ using int128 = __int128;
+  for (int i = 0; i < 2000; ++i) {
+    // Magnitudes up to ~2^62 so cross products routinely overflow 64 bits.
+    const auto a_num = static_cast<std::int64_t>(next() >> 2) - (1LL << 61);
+    const auto a_den = static_cast<std::int64_t>(next() >> 3) + 1;
+    const auto b_num = static_cast<std::int64_t>(next() >> 2) - (1LL << 61);
+    const auto b_den = static_cast<std::int64_t>(next() >> 3) + 1;
+    const Rational a(a_num, a_den);
+    const Rational b(b_num, b_den);
+    const int128 lhs = static_cast<int128>(a.num()) * b.den();
+    const int128 rhs = static_cast<int128>(b.num()) * a.den();
+    EXPECT_EQ(a < b, lhs < rhs) << a << " vs " << b;
+    EXPECT_EQ(a == b, lhs == rhs) << a << " vs " << b;
+    EXPECT_EQ(a > b, lhs > rhs) << a << " vs " << b;
+  }
+}
+
+TEST(Rational, ParseDecimalTrailingZeros) {
+  EXPECT_EQ(Rational::parse("2.50"), Rational(5, 2));
+  EXPECT_EQ(Rational::parse("0.250"), Rational(1, 4));
+  EXPECT_EQ(Rational::parse("3.000"), Rational(3));
+}
+
+TEST(Rational, ParseBareAndNegativeFractionalForms) {
+  EXPECT_EQ(Rational::parse(".5"), Rational(1, 2));
+  EXPECT_EQ(Rational::parse("-.5"), Rational(-1, 2));
+  EXPECT_EQ(Rational::parse("-0.5"), Rational(-1, 2));
+  EXPECT_EQ(Rational::parse("-2.25"), Rational(-9, 4));
+}
+
+TEST(Rational, ParseDecimalDigitLimit) {
+  // 18 fractional digits is the last exactly-representable width...
+  EXPECT_EQ(Rational::parse("0.000000000000000001"),
+            Rational(1, 1'000'000'000'000'000'000));
+  // ...19 must be rejected, not silently rounded.
+  EXPECT_THROW(static_cast<void>(Rational::parse("0.0000000000000000001")),
+               InvalidArgument);
+}
+
+TEST(Rational, ParseRejectsZeroDenominatorAndMalformedFraction) {
+  EXPECT_THROW(static_cast<void>(Rational::parse("1/0")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(Rational::parse("1.-5")), InvalidArgument);
+}
+
+TEST(Rational, ParseReportsOverflowDistinctly) {
+  EXPECT_THROW(static_cast<void>(Rational::parse("9223372036854775808")),
+               OverflowError);
+  EXPECT_THROW(static_cast<void>(Rational::parse("1/9223372036854775808")),
+               OverflowError);
+}
+
 }  // namespace
 }  // namespace postal
