@@ -25,7 +25,8 @@
 int main() {
   using namespace postal;
   const obs::WallClock wall;
-  std::cout << "=== E2: Theorem 6 -- BCAST optimality, T_B(n, lambda) = f_lambda(n) ===\n\n";
+  std::cout
+      << "=== E2: Theorem 6 -- BCAST optimality, T_B(n, lambda) = f_lambda(n) ===\n\n";
 
   const std::vector<Rational> lambdas = {Rational(1),    Rational(3, 2), Rational(2),
                                          Rational(5, 2), Rational(3),    Rational(4),

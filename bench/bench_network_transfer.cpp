@@ -45,8 +45,10 @@ int main() {
 
   std::vector<NetCase> cases;
   cases.push_back({"complete/prop=4", Topology::complete(32, Rational(4)), plain, true});
-  cases.push_back({"complete/heavy-sw", Topology::complete(32, Rational(6)), heavy, true});
-  cases.push_back({"complete/jitter", Topology::complete(32, Rational(4)), jittery, false});
+  cases.push_back(
+      {"complete/heavy-sw", Topology::complete(32, Rational(6)), heavy, true});
+  cases.push_back(
+      {"complete/jitter", Topology::complete(32, Rational(4)), jittery, false});
   cases.push_back({"mesh 6x6", Topology::mesh2d(6, 6, Rational(1)), plain, false});
   cases.push_back({"torus 6x6", Topology::torus2d(6, 6, Rational(1)), plain, false});
 
@@ -85,7 +87,8 @@ int main() {
   // under normal conditions of operation". Quantify what happens when the
   // load is NOT normal: replay an all-to-all (n*(n-1) packets) on a mesh
   // whose lambda was calibrated idle.
-  std::cout << "\n--- congestion probe: idle-calibrated lambda under all-to-all load ---\n";
+  std::cout
+      << "\n--- congestion probe: idle-calibrated lambda under all-to-all load ---\n";
   {
     PacketNetwork net(Topology::mesh2d(6, 6, Rational(1)), plain);
     const std::uint64_t n = net.topology().n();

@@ -42,8 +42,10 @@ int main() {
         }
         const std::uint64_t h = relation_degree(params, demands);
         const SimReport report = validate_schedule(
-            hrelation_schedule(params, demands), params, hrelation_goal(params, demands));
-        const bool ok = report.ok && report.makespan == predict_hrelation(params, demands);
+            hrelation_schedule(params, demands), params,
+            hrelation_goal(params, demands));
+        const bool ok =
+            report.ok && report.makespan == predict_hrelation(params, demands);
         all_ok = all_ok && ok;
         t1.add_row({lambda.str(), std::to_string(n), std::to_string(h),
                     std::to_string(demands.size()), report.makespan.str(),

@@ -79,7 +79,8 @@ int main() {
   const unsigned threads = par::threads_from_env(par::default_threads());
 
   // Part (1): lower <= F <= upper on a t-grid.
-  std::cout << "--- Part (1): (ceil(L)+1)^floor(t/2L) <= F_L(t) <= (ceil(L)+1)^floor(t/L) ---\n";
+  std::cout << "--- Part (1): (ceil(L)+1)^floor(t/2L) <= F_L(t) <= "
+               "(ceil(L)+1)^floor(t/L) ---\n";
   const std::vector<Rational> p1_lambdas = {Rational(3, 2), Rational(5, 2), Rational(4)};
   TextTable t1({"lambda", "t", "lower", "F_lambda(t)", "upper"});
   all_ok = append_blocks(
@@ -91,7 +92,8 @@ int main() {
   t1.print(std::cout);
 
   // Part (2): bracket on f_lambda(n).
-  std::cout << "\n--- Part (2): L*log n/log(ceil(L)+1) <= f_L(n) <= 2L + 2L*log n/log(ceil(L)+1) ---\n";
+  std::cout << "\n--- Part (2): L*log n/log(ceil(L)+1) <= f_L(n) <= 2L + "
+               "2L*log n/log(ceil(L)+1) ---\n";
   const std::vector<Rational> p2_lambdas = {Rational(3, 2), Rational(5, 2),
                                             Rational(4), Rational(8)};
   TextTable t2({"lambda", "n", "lower", "f_lambda(n)", "upper"});

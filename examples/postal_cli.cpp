@@ -19,12 +19,21 @@
 //   postal_cli faults <n> <lambda> --plan <file.json>
 //                                               ... under an explicit plan
 //     both forms accept a trailing [--trace out.json] fault-overlay export
+//   postal_cli oracle <n> <lambda> makespan     f_lambda(n) + witness rank,
+//                                               O(1) memory at any n
+//   postal_cli oracle <n> <lambda> rank <r>     one rank's parent / inform
+//                                               time / children
+//   postal_cli oracle <n> <lambda> range <lo> <hi>
+//                                               dump + streaming-validate
+//                                               the receive events of ranks
+//                                               [lo, hi) (docs/ORACLE.md)
 //
 // Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
 // With POSTAL_BENCH_JSON set, sweep appends one bench record per grid point
-// (thread count and per-point wall time in extra; docs/PARALLELISM.md) and
+// (thread count and per-point wall time in extra; docs/PARALLELISM.md),
 // faults appends one "postal_cli_faults" record (faults_injected,
-// retransmissions, repair_time in extra; docs/FAULTS.md).
+// retransmissions, repair_time in extra; docs/FAULTS.md), and oracle range
+// appends one "postal_cli_oracle" record (stream verdict in extra).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -40,6 +49,7 @@
 #include "obs/instrument.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
+#include "oracle/oracle.hpp"
 #include "par/sweep.hpp"
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
@@ -66,7 +76,10 @@ int usage() {
             << "  postal_cli faults <n> <lambda> <seed> <crashes> [loss_p] "
                "[--trace out.json]\n"
             << "  postal_cli faults <n> <lambda> --plan <file.json> "
-               "[--trace out.json]\n";
+               "[--trace out.json]\n"
+            << "  postal_cli oracle <n> <lambda> makespan\n"
+            << "  postal_cli oracle <n> <lambda> rank <r>\n"
+            << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n";
   return 2;
 }
 
@@ -328,6 +341,83 @@ int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
   return pass ? 0 : 1;
 }
 
+int cmd_oracle_makespan(std::uint64_t n, const Rational& lambda) {
+  const oracle::ScheduleOracle oracle(n, lambda);
+  const oracle::Rank witness = oracle.last_informed_rank();
+  std::cout << "implicit BCAST oracle for MPS(" << n << ", " << lambda << "):\n"
+            << "  f_lambda(n)        = " << oracle.makespan() << "\n"
+            << "  last informed rank = " << witness << "\n"
+            << "  its inform time    = " << oracle.inform_time(witness)
+            << "  (the Theorem 6 certificate: equals f_lambda(n))\n";
+  return 0;
+}
+
+int cmd_oracle_rank(std::uint64_t n, const Rational& lambda, std::uint64_t r) {
+  const oracle::ScheduleOracle oracle(n, lambda);
+  const oracle::RankInfo info = oracle.info(r);
+  TextTable table({"quantity", "value"});
+  table.add_row({"rank", std::to_string(info.rank)});
+  table.add_row({"parent", info.depth == 0 ? "(origin)" : std::to_string(info.parent)});
+  table.add_row({"inform time", info.inform_time.str()});
+  table.add_row({"parent send start", info.parent_send.str()});
+  table.add_row({"subtree size", std::to_string(info.subtree)});
+  table.add_row({"depth", std::to_string(info.depth)});
+  table.add_row({"out-degree", std::to_string(info.out_degree)});
+  table.print(std::cout);
+  constexpr std::uint64_t kMaxChildren = 24;
+  std::uint64_t shown = 0;
+  for (const oracle::Child& child : oracle.children(r)) {
+    if (shown == 0) std::cout << "\nchildren (send order):\n";
+    if (shown == kMaxChildren) {
+      std::cout << "  ... " << (info.out_degree - shown) << " more\n";
+      break;
+    }
+    std::cout << "  -> p" << child.rank << " at t = " << child.send_time
+              << "  (subtree " << child.subtree << ")\n";
+    ++shown;
+  }
+  return 0;
+}
+
+int cmd_oracle_range(std::uint64_t n, const Rational& lambda, std::uint64_t lo,
+                     std::uint64_t hi) {
+  const oracle::ScheduleOracle oracle(n, lambda);
+  const obs::WallClock clock;
+  const std::vector<StreamEvent> events = oracle.events(lo, hi);
+  StreamingValidator validator(oracle, lo, hi);
+  validator.feed(events);
+  const StreamReport report = validator.finish();
+  const double wall_ms = clock.elapsed_ms();
+
+  constexpr std::size_t kMaxPrinted = 64;
+  for (std::size_t i = 0; i < events.size() && i < kMaxPrinted; ++i) {
+    std::cout << "p" << events[i].src << " -> p" << events[i].dst
+              << " at t = " << events[i].t << "\n";
+  }
+  if (events.size() > kMaxPrinted) {
+    std::cout << "... " << (events.size() - kMaxPrinted) << " more\n";
+  }
+  std::cout << "\nranks [" << lo << ", " << hi << ") of MPS(" << n << ", "
+            << lambda << "): " << report.events_checked
+            << " receive event(s), streaming validation "
+            << (report.ok ? "PASS" : "FAIL") << "\n";
+  if (!report.ok) std::cout << report.summary() << "\n";
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_oracle";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = oracle.makespan();
+  rec.wall_ms = wall_ms;
+  rec.verdict = report.ok ? "CONSISTENT" : "MISMATCH";
+  rec.extra = {{"lo", std::to_string(lo)},
+               {"hi", std::to_string(hi)},
+               {"events_checked", std::to_string(report.events_checked)},
+               {"last_arrival", report.last_arrival.str()}};
+  obs::emit_bench_record(rec);
+  return report.ok ? 0 : 1;
+}
+
 int cmd_bounds(std::uint64_t n, const Rational& lambda) {
   GenFib fib(lambda);
   std::cout << "f_lambda(n)          = " << fib.f(n) << "\n";
@@ -372,6 +462,22 @@ int main(int argc, char** argv) {
           args.size() == 3 ? static_cast<unsigned>(std::stoul(args[2]))
                            : par::threads_from_env(par::default_threads());
       return cmd_sweep(args[0], args[1], threads);
+    }
+    if (cmd == "oracle" && args.size() >= 3) {
+      const std::uint64_t n = std::stoull(args[0]);
+      const Rational lambda = Rational::parse(args[1]);
+      const std::string& sub = args[2];
+      if (sub == "makespan" && args.size() == 3) {
+        return cmd_oracle_makespan(n, lambda);
+      }
+      if (sub == "rank" && args.size() == 4) {
+        return cmd_oracle_rank(n, lambda, std::stoull(args[3]));
+      }
+      if (sub == "range" && args.size() == 5) {
+        return cmd_oracle_range(n, lambda, std::stoull(args[3]),
+                                std::stoull(args[4]));
+      }
+      return usage();
     }
     if (cmd == "faults" && args.size() >= 3) {
       const std::uint64_t n = std::stoull(args[0]);

@@ -17,20 +17,50 @@
 #                                collection on, validated end to end; any
 #                                tick-vs-Rational disagreement is a hard
 #                                failure (docs/PERFORMANCE.md)
+#   scripts/check.sh --format    check-only formatting gate: every tracked
+#                                C++ file must be clang-format clean per the
+#                                committed .clang-format (docs/CI.md). Runs
+#                                alone -- no build -- so CI can gate on it
+#                                in seconds. Set CLANG_FORMAT to pick a
+#                                specific binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 CHAOS=0
 PERF=0
+FORMAT=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --chaos) CHAOS=1 ;;
     --perf) PERF=1 ;;
-    *) echo "unknown argument: $arg (supported: --sanitize, --chaos, --perf)" >&2; exit 2 ;;
+    --format) FORMAT=1 ;;
+    *) echo "unknown argument: $arg (supported: --sanitize, --chaos, --perf, --format)" >&2; exit 2 ;;
   esac
 done
+
+if [ "$FORMAT" -eq 1 ]; then
+  # Check-only: print a unified diff per drifted file and exit nonzero on
+  # any drift. Never rewrites the tree (CI must not).
+  FMT="${CLANG_FORMAT:-clang-format}"
+  if ! command -v "$FMT" > /dev/null 2>&1; then
+    echo "error: '$FMT' not found; install clang-format or set CLANG_FORMAT" >&2
+    echo "       (the CI format job installs it; see docs/CI.md)" >&2
+    exit 2
+  fi
+  echo "== format gate ($("$FMT" --version))"
+  STATUS=0
+  while IFS= read -r f; do
+    if ! diff -u "$f" <("$FMT" --style=file "$f") > /dev/null; then
+      echo "format drift: $f" >&2
+      diff -u "$f" <("$FMT" --style=file "$f") | head -40 >&2 || true
+      STATUS=1
+    fi
+  done < <(git ls-files '*.cpp' '*.hpp')
+  [ "$STATUS" -eq 0 ] && echo "all tracked C++ files are clang-format clean"
+  exit "$STATUS"
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -58,7 +88,15 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_pipeline --expect bench_dtree \
   --expect bench_multimessage_shootout --expect bench_collectives \
   --expect bench_network_transfer --expect bench_par_sweep \
-  --expect bench_fault_recovery --expect bench_tick_domain
+  --expect bench_fault_recovery --expect bench_tick_domain \
+  --expect bench_oracle
+
+# Perf-trajectory drift guard (bench/trajectory/README.md): verdict
+# regressions against the committed baselines are hard failures; wall-time
+# and throughput drift only warns (trajectory numbers are snapshots of
+# whichever box committed them).
+echo "== perf trajectory vs committed baselines"
+python3 scripts/compare_trajectory.py build/BENCH_postal.json
 
 # Thread-count invariance of the sweep engine, end to end through the CLI:
 # the per-point records of a threads=4 sweep must be identical to a

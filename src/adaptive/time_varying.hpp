@@ -43,7 +43,8 @@ class LatencyProfile {
   /// The latency in force at time t >= 0.
   [[nodiscard]] const Rational& at(const Rational& t) const;
 
-  [[nodiscard]] const std::vector<std::pair<Rational, Rational>>& pieces() const noexcept {
+  [[nodiscard]] const std::vector<std::pair<Rational, Rational>>& pieces()
+      const noexcept {
     return pieces_;
   }
 

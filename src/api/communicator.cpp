@@ -42,6 +42,10 @@ Communicator::Communicator(std::uint64_t n, Rational lambda)
 
 Rational Communicator::broadcast_time() { return fib_.f(params_.n()); }
 
+oracle::ScheduleOracle Communicator::broadcast_oracle() const {
+  return oracle::ScheduleOracle(params_.n(), params_.lambda());
+}
+
 ReliableBcastReport Communicator::broadcast_reliable(
     const FaultPlan* plan, const ReliableBcastOptions& options) {
   return run_reliable_bcast(params_, plan, options);

@@ -22,6 +22,7 @@
 #include "faults/fault_plan.hpp"
 #include "model/genfib.hpp"
 #include "model/params.hpp"
+#include "oracle/oracle.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedule.hpp"
 #include "sim/protocols/reliable_bcast.hpp"
@@ -80,6 +81,12 @@ class Communicator {
 
   /// The exact optimal broadcast time f_lambda(n) (Theorem 6).
   [[nodiscard]] Rational broadcast_time();
+
+  /// Per-rank queries against the optimal broadcast without materializing
+  /// its schedule (docs/ORACLE.md): O(1)-memory inform-time / parent /
+  /// children / send-slot answers for n far beyond what broadcast() can
+  /// hold. Cheap to construct; backed by the process-wide GenFibCache.
+  [[nodiscard]] oracle::ScheduleOracle broadcast_oracle() const;
 
   /// Reliable broadcast under an optional fault plan (docs/FAULTS.md):
   /// ack/timeout/retransmit with subtree repair on the optimal BCAST tree,

@@ -257,8 +257,10 @@ FaultPlan random_fault_plan(const PostalParams& params, std::uint64_t seed,
 
   for (std::uint64_t i = 0; i < options.spikes; ++i) {
     const auto from_k = static_cast<std::int64_t>(rng.uniform(0, grid_steps));
-    const auto len_k = static_cast<std::int64_t>(rng.uniform(1, std::max<std::uint64_t>(grid_steps, 1)));
-    const auto extra_k = static_cast<std::int64_t>(rng.uniform(1, 4 * static_cast<std::uint64_t>(q)));
+    const auto len_k = static_cast<std::int64_t>(
+        rng.uniform(1, std::max<std::uint64_t>(grid_steps, 1)));
+    const auto extra_k = static_cast<std::int64_t>(
+        rng.uniform(1, 4 * static_cast<std::uint64_t>(q)));
     plan.spikes.push_back(LatencySpike{Rational(from_k, q),
                                        Rational(from_k + len_k, q),
                                        Rational(extra_k, q)});

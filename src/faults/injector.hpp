@@ -29,7 +29,8 @@ namespace postal {
 struct FaultEvent {
   enum class Kind : std::uint8_t {
     kCrash,            ///< processor halted (proc; time = crash time)
-    kSendSuppressed,   ///< crashed processor's queued send never left (proc=src, peer=dst)
+    kSendSuppressed,   ///< crashed processor's queued send never left
+                       ///< (proc=src, peer=dst)
     kDropCrash,        ///< delivery discarded: receiver dead (proc=dst, peer=src)
     kDropLoss,         ///< delivery discarded: link loss (proc=dst, peer=src)
     kSpike,            ///< send delayed by a latency-spike window (proc=src, peer=dst)

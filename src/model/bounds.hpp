@@ -68,11 +68,13 @@ namespace postal {
 // Section 4.2: upper-bound corollaries for the BCAST generalizations.
 // ---------------------------------------------------------------------------
 
-/// Corollary 11 (REPEAT): T <= 2*m*lambda*log2(n)/log2(lambda+1) + m*lambda + m + lambda - 1.
+/// Corollary 11 (REPEAT):
+/// T <= 2*m*lambda*log2(n)/log2(lambda+1) + m*lambda + m + lambda - 1.
 [[nodiscard]] double cor11_repeat_upper(const Rational& lambda, std::uint64_t n,
                                         std::uint64_t m);
 
-/// Corollary 13 (PACK): T <= 2*(m+lambda-1)*log2(n)/log2(2+(lambda-1)/m) + 2*(m+lambda-1).
+/// Corollary 13 (PACK):
+/// T <= 2*(m+lambda-1)*log2(n)/log2(2+(lambda-1)/m) + 2*(m+lambda-1).
 [[nodiscard]] double cor13_pack_upper(const Rational& lambda, std::uint64_t n,
                                       std::uint64_t m);
 

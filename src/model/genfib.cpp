@@ -1,5 +1,7 @@
 #include "model/genfib.hpp"
 
+#include <algorithm>
+
 namespace postal {
 
 GenFib::GenFib(Rational lambda) : lambda_(std::move(lambda)) {
@@ -34,20 +36,29 @@ std::uint64_t GenFib::F(const Rational& t) {
   return F_at_index(scaled.floor());
 }
 
-Rational GenFib::f(std::uint64_t n) {
+Rational GenFib::f(std::uint64_t n) { return Rational(f_index(n), q_); }
+
+std::int64_t GenFib::f_index(std::uint64_t n) {
   POSTAL_REQUIRE(n >= 1, "GenFib::f: n must be >= 1");
   POSTAL_REQUIRE(n < kSaturated, "GenFib::f: n exceeds the saturation cap");
-  std::int64_t k = 0;
-  while (F_at_index(k) < n) ++k;
-  return Rational(k, q_);
+  // Grow the memo geometrically until it contains a value >= n; because F
+  // is (weakly) exponential past index p, this stays O(q * f_lambda(n))
+  // entries. Saturated entries compare correctly (kSaturated >= any n).
+  while (memo_.back() < n) {
+    extend_to(static_cast<std::int64_t>(memo_.size()) * 2 - 1);
+  }
+  // memo_ is nondecreasing, so the index function is a lower bound.
+  const auto it = std::lower_bound(memo_.begin(), memo_.end(), n);
+  return static_cast<std::int64_t>(it - memo_.begin());
 }
 
 std::uint64_t GenFib::bcast_split(std::uint64_t n) {
   POSTAL_REQUIRE(n >= 2, "GenFib::bcast_split: needs a range of size >= 2");
-  const Rational idx = f(n) - Rational(1);
+  // F_lambda(f_lambda(n) - 1) on the grid: one time unit is q indices.
+  const std::int64_t idx = f_index(n) - q_;
   // f_lambda(n) >= lambda >= 1 for n >= 2, so idx >= 0 (proof of Lemma 3).
-  POSTAL_CHECK(idx >= Rational(0));
-  return F(idx);
+  POSTAL_CHECK(idx >= 0);
+  return F_at_index(idx);
 }
 
 std::vector<Rational> GenFib::breakpoints(const Rational& t_max) {

@@ -46,6 +46,16 @@ class GenFib {
   /// OverflowError if n exceeds the saturation cap.
   [[nodiscard]] Rational f(std::uint64_t n);
 
+  /// The grid index of f_lambda(n): the k with f_lambda(n) = k/q. This is
+  /// the big-index entry point the implicit-schedule oracle descends with
+  /// (src/oracle): the memo is grown geometrically (F is exponential, so
+  /// the table stays O(q * f_lambda(n)) even for n near 10^12) and the
+  /// answer found by binary search instead of a front-to-back scan. The
+  /// index is checked int64 by construction -- it indexes the memo vector
+  /// -- and converts to exact Rational time as k/q, the same
+  /// grid-tick-to-Rational discipline as support/ticks.
+  [[nodiscard]] std::int64_t f_index(std::uint64_t n);
+
   /// The j used by Algorithm BCAST on a range of size n >= 2:
   /// j = F_lambda(f_lambda(n) - 1). Satisfies 1 <= j <= n-1 (Lemma 3).
   [[nodiscard]] std::uint64_t bcast_split(std::uint64_t n);

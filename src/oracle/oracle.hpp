@@ -1,0 +1,218 @@
+// The implicit schedule oracle: Algorithm BCAST's answers without the
+// schedule (docs/ORACLE.md).
+//
+// Every generator in src/sched materializes its schedule as an event list,
+// which caps the largest system the repo can reason about at whatever fits
+// in memory (~10^7 processors). But the paper's closed forms define the
+// optimal broadcast tree *implicitly*: with j = F_lambda(f_lambda(n) - 1)
+// (Theorem 6), the holder of a contiguous rank range [base, base + count)
+// keeps [base, base + j) and hands [base + j, base + count) to the
+// processor it informs next. A rank's parent, inform time, and send slots
+// are therefore computable by *descending* that split recursion from
+// (0, n) -- O(f_lambda(n)) arithmetic steps and O(1) memory per query,
+// with no event list anywhere. This is the same per-rank closed-form shape
+// collective libraries in the LogP tradition use to serve huge
+// communicators without global coordination.
+//
+// Exactness discipline: the descent carries times as int64 grid ticks
+// (multiples of 1/q, support/ticks) with overflow-checked adds -- an
+// inform time's tick index is bounded by f_lambda(n) * q, the size of
+// GenFib's own memo table, so the checks cannot fire for any constructible
+// lambda -- and converts to exact Rational only at the API boundary.
+// Split values come from the process-wide (or caller-owned) sharded
+// par::GenFibCache: a query's chain of range sizes n > j(n) > j(j(n)) ...
+// shares its prefix with every other query at the same lambda, so the
+// cache turns repeated queries into pure hash lookups.
+//
+// The oracle is certified two ways (tests/oracle/): a differential gate
+// proves it reproduces the materialized sched::bcast schedule
+// event-for-event on every (n, lambda) the old path can hold, and the
+// streaming validator (sim/stream_validator.hpp) re-checks oracle-emitted
+// event chunks against the postal-model clauses at any n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "par/genfib_cache.hpp"
+#include "sim/stream_validator.hpp"
+#include "support/rational.hpp"
+#include "support/ticks.hpp"
+
+namespace postal::oracle {
+
+/// A processor rank in [0, n). 64-bit on purpose: the oracle serves
+/// systems far larger than the ProcId-indexed materialized path.
+using Rank = std::uint64_t;
+
+/// Everything one descent learns about a rank.
+struct RankInfo {
+  Rank rank = 0;
+  Rank parent = 0;            ///< the rank that informs it; == rank for p0
+  Rational inform_time;       ///< arrival of its single receive; 0 for p0
+  Rational parent_send;       ///< start of the send informing it; 0 for p0
+  std::uint64_t subtree = 1;  ///< processors in its BCAST range (incl. itself)
+  std::uint64_t depth = 0;    ///< receive hops from the origin
+  std::uint64_t out_degree = 0;  ///< sends it performs
+};
+
+/// One child edge yielded by the lazy children generator.
+struct Child {
+  Rank rank = 0;              ///< the recipient
+  Rational send_time;         ///< when the parent starts this send
+  std::uint64_t subtree = 1;  ///< processors handed to the recipient
+};
+
+/// Per-rank queries against the optimal broadcast schedule of
+/// MPS(n, lambda), without materializing it.
+///
+/// Thread-safe: all state is immutable after construction except the
+/// shared GenFibCache, which synchronizes internally.
+class ScheduleOracle final : public RankScheduleSource {
+ public:
+  /// Throws InvalidArgument unless n >= 1 and lambda >= 1.
+  /// `cache` = nullptr uses par::GenFibCache::global().
+  ScheduleOracle(std::uint64_t n, Rational lambda,
+                 par::GenFibCache* cache = nullptr);
+
+  [[nodiscard]] std::uint64_t n() const noexcept override { return n_; }
+  [[nodiscard]] Rational lambda() const override { return lambda_; }
+
+  /// The exact completion time f_lambda(n) (0 for n == 1).
+  [[nodiscard]] Rational makespan() const;
+
+  /// When `rank` is fully informed (0 for the origin).
+  [[nodiscard]] Rational inform_time(Rank rank) const;
+
+  /// The rank that informs `rank`. The origin is its own parent by
+  /// convention (use depth == 0 to distinguish it).
+  [[nodiscard]] Rank parent(Rank rank) const;
+
+  /// Parent, inform time, subtree size, depth, and out-degree in one
+  /// descent.
+  [[nodiscard]] RankInfo info(Rank rank) const;
+
+  /// Number of sends `rank` performs.
+  [[nodiscard]] std::uint64_t out_degree(Rank rank) const;
+
+  /// Start time of `rank`'s send number `slot` (its sends start at
+  /// inform_time, inform_time + 1, ...). Throws InvalidArgument unless
+  /// slot < out_degree(rank).
+  [[nodiscard]] Rational send_slot(Rank rank, std::uint64_t slot) const;
+
+  /// The rank addressed by `rank`'s send in `slot`, or nullopt past its
+  /// out-degree.
+  [[nodiscard]] std::optional<Rank> child_at(Rank rank,
+                                             std::uint64_t slot) const;
+
+  /// A rank whose inform time equals the makespan -- the witness that the
+  /// implicit schedule attains f_lambda(n) exactly, found by descending
+  /// into whichever branch of the split recursion completes last. Returns
+  /// 0 for n == 1; throws LogicError if the witness's inform time ever
+  /// disagreed with f_lambda(n) (that would disprove Theorem 6).
+  [[nodiscard]] Rank last_informed_rank() const;
+
+  /// Bounded lazy generator over `rank`'s children in send order. The
+  /// range is input-iterable, O(1) memory, and at most
+  /// out_degree(rank) <= f_lambda(n)/1 items long.
+  class ChildRange;
+  [[nodiscard]] ChildRange children(Rank rank) const;
+
+  /// The receive events of ranks [max(lo, 1), hi), one per rank in rank
+  /// order -- the chunk shape StreamingValidator certifies. O(hi - lo)
+  /// memory; throws InvalidArgument unless lo <= hi <= n.
+  [[nodiscard]] std::vector<StreamEvent> events(Rank lo, Rank hi) const;
+
+  // RankScheduleSource (the streaming validator's closed-form source).
+  [[nodiscard]] Rational rank_inform_time(std::uint64_t rank) const override {
+    return inform_time(rank);
+  }
+  [[nodiscard]] std::optional<std::uint64_t> rank_child_at(
+      std::uint64_t rank, std::uint64_t slot) const override {
+    return child_at(rank, slot);
+  }
+  [[nodiscard]] Rational schedule_makespan() const override {
+    return makespan();
+  }
+
+  /// The cache serving this oracle's split/f lookups (never null).
+  [[nodiscard]] par::GenFibCache& cache() const noexcept { return *cache_; }
+
+ private:
+  /// Descent state at the moment `rank` became the holder of its range.
+  struct Cursor {
+    Rank base = 0;             ///< == the queried rank on return
+    std::uint64_t count = 1;   ///< size of the range it holds
+    Tick inform = 0;           ///< when it was informed (grid ticks)
+    Tick parent_send = 0;      ///< start of the send that informed it
+    Rank parent = 0;
+    std::uint64_t depth = 0;
+  };
+
+  [[nodiscard]] Cursor locate(Rank rank) const;
+  [[nodiscard]] std::uint64_t split(std::uint64_t count) const;
+  [[nodiscard]] Tick f_ticks(std::uint64_t count) const;
+  [[nodiscard]] Rational tick_time(Tick t) const { return Rational(t, q_); }
+
+  std::uint64_t n_;
+  Rational lambda_;
+  std::int64_t q_;     ///< grid resolution: times are multiples of 1/q
+  Tick lambda_ticks_;  ///< lambda as grid ticks (= its numerator)
+  par::GenFibCache* cache_;
+
+  friend class ChildRange;
+};
+
+/// Input range over a rank's children; see ScheduleOracle::children.
+class ScheduleOracle::ChildRange {
+ public:
+  class iterator {
+   public:
+    using value_type = Child;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+
+    [[nodiscard]] Child operator*() const;
+    iterator& operator++();
+    void operator++(int) { ++*this; }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      const bool a_end = a.oracle_ == nullptr || a.remaining_ < 2;
+      const bool b_end = b.oracle_ == nullptr || b.remaining_ < 2;
+      if (a_end || b_end) return a_end == b_end;
+      return a.base_ == b.base_ && a.remaining_ == b.remaining_ &&
+             a.now_ == b.now_;
+    }
+
+   private:
+    friend class ChildRange;
+    iterator(const ScheduleOracle* oracle, Rank base, std::uint64_t remaining,
+             Tick now)
+        : oracle_(oracle), base_(base), remaining_(remaining), now_(now) {}
+
+    const ScheduleOracle* oracle_ = nullptr;
+    Rank base_ = 0;
+    std::uint64_t remaining_ = 1;  ///< < 2 means exhausted
+    Tick now_ = 0;                 ///< start time of the current send
+  };
+
+  [[nodiscard]] iterator begin() const {
+    return iterator(oracle_, base_, count_, start_);
+  }
+  [[nodiscard]] iterator end() const { return iterator(); }
+
+ private:
+  friend class ScheduleOracle;
+  ChildRange(const ScheduleOracle* oracle, Rank base, std::uint64_t count,
+             Tick start)
+      : oracle_(oracle), base_(base), count_(count), start_(start) {}
+
+  const ScheduleOracle* oracle_;
+  Rank base_;
+  std::uint64_t count_;
+  Tick start_;
+};
+
+}  // namespace postal::oracle

@@ -48,13 +48,23 @@ std::uint64_t GenFibCache::F(const Rational& lambda, const Rational& t) {
 std::uint64_t GenFibCache::bcast_split(const Rational& lambda, std::uint64_t n) {
   const std::shared_ptr<Entry> e = entry(lambda);
   const std::lock_guard<std::mutex> lock(e->mu);
-  return e->fib.bcast_split(n);
+  auto it = e->split_memo.find(n);
+  if (it != e->split_memo.end()) {
+    split_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  split_misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t value = e->fib.bcast_split(n);
+  e->split_memo.emplace(n, value);
+  return value;
 }
 
 GenFibCache::Stats GenFibCache::stats() const noexcept {
   Stats out;
   out.f_hits = f_hits_.load(std::memory_order_relaxed);
   out.f_misses = f_misses_.load(std::memory_order_relaxed);
+  out.split_hits = split_hits_.load(std::memory_order_relaxed);
+  out.split_misses = split_misses_.load(std::memory_order_relaxed);
   out.tables = tables_.load(std::memory_order_relaxed);
   return out;
 }
@@ -66,6 +76,8 @@ void GenFibCache::clear() {
   }
   f_hits_.store(0, std::memory_order_relaxed);
   f_misses_.store(0, std::memory_order_relaxed);
+  split_hits_.store(0, std::memory_order_relaxed);
+  split_misses_.store(0, std::memory_order_relaxed);
   tables_.store(0, std::memory_order_relaxed);
 }
 

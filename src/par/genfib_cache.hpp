@@ -42,13 +42,20 @@ class GenFibCache {
   /// F_lambda(t). Same contract as GenFib::F (the grid memo is shared).
   [[nodiscard]] std::uint64_t F(const Rational& lambda, const Rational& t);
 
-  /// The BCAST split j = F_lambda(f_lambda(n) - 1) (GenFib::bcast_split).
+  /// The BCAST split j = F_lambda(f_lambda(n) - 1) (GenFib::bcast_split),
+  /// memoized per (lambda, n). This is the descent cache of the implicit
+  /// schedule oracle (src/oracle): every per-rank query walks a chain of
+  /// range sizes n > j(n) > j(j(n)) > ... whose prefixes are shared between
+  /// ranks, so one oracle query warms the splits every later query on the
+  /// same lambda re-reads.
   [[nodiscard]] std::uint64_t bcast_split(const Rational& lambda, std::uint64_t n);
 
   /// Cache effectiveness counters (monotone since construction/clear).
   struct Stats {
     std::uint64_t f_hits = 0;    ///< f() answered from the per-lambda memo
     std::uint64_t f_misses = 0;  ///< f() computed (and then memoized)
+    std::uint64_t split_hits = 0;    ///< bcast_split() memo hits
+    std::uint64_t split_misses = 0;  ///< bcast_split() computed + memoized
     std::uint64_t tables = 0;    ///< distinct lambda tables materialized
   };
   [[nodiscard]] Stats stats() const noexcept;
@@ -65,6 +72,7 @@ class GenFibCache {
     std::mutex mu;
     GenFib fib;                                      // guarded by mu
     std::unordered_map<std::uint64_t, Rational> f_memo;  // guarded by mu
+    std::unordered_map<std::uint64_t, std::uint64_t> split_memo;  // guarded by mu
   };
   struct Shard {
     std::mutex mu;
@@ -76,6 +84,8 @@ class GenFibCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> f_hits_{0};
   std::atomic<std::uint64_t> f_misses_{0};
+  std::atomic<std::uint64_t> split_hits_{0};
+  std::atomic<std::uint64_t> split_misses_{0};
   std::atomic<std::uint64_t> tables_{0};
 };
 

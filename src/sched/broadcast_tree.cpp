@@ -102,7 +102,8 @@ BroadcastTree BroadcastTree::from_schedule(const Schedule& schedule, std::uint64
     received[e.dst] = true;
     timed[e.src].emplace_back(e.t, e.dst);
   }
-  POSTAL_REQUIRE(!received[root], "BroadcastTree::from_schedule: root receives the message");
+  POSTAL_REQUIRE(!received[root],
+                 "BroadcastTree::from_schedule: root receives the message");
   std::vector<std::vector<ProcId>> children(n);
   for (std::uint64_t p = 0; p < n; ++p) {
     std::sort(timed[p].begin(), timed[p].end());

@@ -31,7 +31,8 @@ inline constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::
 }
 
 /// base^exp, clamped to kSaturated.
-[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t base, std::uint64_t exp) noexcept {
+[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t base,
+                                              std::uint64_t exp) noexcept {
   std::uint64_t result = 1;
   std::uint64_t b = base;
   std::uint64_t e = exp;

@@ -28,7 +28,8 @@ TEST(Theorem7, Part1BracketsF) {
   }
 }
 
-// Theorem 7 part (2): lambda*log n/log(ceil(l)+1) <= f_l(n) <= 2l + 2l*log n/log(ceil(l)+1).
+// Theorem 7 part (2):
+// lambda*log n/log(ceil(l)+1) <= f_l(n) <= 2l + 2l*log n/log(ceil(l)+1).
 TEST(Theorem7, Part2BracketsIndexFunction) {
   for (const Rational lambda :
        {Rational(1), Rational(3, 2), Rational(5, 2), Rational(4), Rational(9)}) {

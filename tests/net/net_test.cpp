@@ -127,7 +127,9 @@ TEST(PacketNetwork, DeterministicWithJitter) {
   config.jitter_seed = 99;
   auto run_once = [&]() {
     PacketNetwork net(Topology::complete(8, Rational(2)), config);
-    for (NodeId p = 1; p < 8; ++p) net.submit(0, p, 0, Rational(static_cast<std::int64_t>(p)));
+    for (NodeId p = 1; p < 8; ++p) {
+      net.submit(0, p, 0, Rational(static_cast<std::int64_t>(p)));
+    }
     return net.run();
   };
   const auto a = run_once();

@@ -1,0 +1,138 @@
+// The oracle differential gate (docs/ORACLE.md): on every (n, lambda) the
+// materialized path can hold, the implicit oracle must reproduce Algorithm
+// BCAST *event-for-event* -- same sender, same receiver, same send start
+// for every rank -- and its per-rank answers must agree with the tree
+// reconstructed from that schedule. This is what licenses trusting the
+// oracle's closed forms at n = 10^12, where nothing can double-check them
+// but the streaming validator (whose source is the oracle itself) and the
+// last-informed witness.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.hpp"
+#include "sched/bcast.hpp"
+#include "sched/broadcast_tree.hpp"
+#include "sim/stream_validator.hpp"
+#include "sim/validator.hpp"
+#include "support/prng.hpp"
+
+namespace postal {
+namespace {
+
+struct RandomPair {
+  std::uint64_t n;
+  Rational lambda;
+};
+
+std::vector<RandomPair> random_pairs(std::uint64_t seed, std::size_t count) {
+  Xoshiro256 rng(seed);
+  std::vector<RandomPair> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const std::uint64_t n = rng.uniform(1, 256);
+    const std::uint64_t q = rng.uniform(1, 4);
+    const std::uint64_t p = rng.uniform(q, 8 * q);  // lambda = p/q in [1, 8]
+    pairs.push_back({n, Rational(static_cast<std::int64_t>(p),
+                                 static_cast<std::int64_t>(q))});
+  }
+  return pairs;
+}
+
+/// The materialized schedule's events keyed by receiver, the total order
+/// the oracle emits.
+std::vector<StreamEvent> by_receiver(const Schedule& schedule) {
+  std::vector<StreamEvent> events;
+  events.reserve(schedule.size());
+  for (const SendEvent& e : schedule.events()) {
+    events.push_back({e.src, e.dst, e.t});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const StreamEvent& a, const StreamEvent& b) { return a.dst < b.dst; });
+  return events;
+}
+
+TEST(OracleDifferentialTest, EventForEventOnRandomCorpus) {
+  for (const RandomPair& pair : random_pairs(2024, 60)) {
+    const PostalParams params(pair.n, pair.lambda);
+    const Schedule schedule = bcast_schedule(params);
+    const oracle::ScheduleOracle oracle(pair.n, pair.lambda);
+
+    const std::vector<StreamEvent> expect = by_receiver(schedule);
+    const std::vector<StreamEvent> got = oracle.events(0, pair.n);
+    ASSERT_EQ(got.size(), expect.size())
+        << "event count mismatch at n=" << pair.n << " lambda=" << pair.lambda;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i])
+          << "event " << i << " mismatch at n=" << pair.n
+          << " lambda=" << pair.lambda << ": oracle p" << got[i].src << "->p"
+          << got[i].dst << " at " << got[i].t << ", sched p" << expect[i].src
+          << "->p" << expect[i].dst << " at " << expect[i].t;
+    }
+  }
+}
+
+TEST(OracleDifferentialTest, PerRankAnswersMatchReconstructedTree) {
+  for (const RandomPair& pair : random_pairs(777, 25)) {
+    if (pair.n < 2) continue;
+    const PostalParams params(pair.n, pair.lambda);
+    const Schedule schedule = bcast_schedule(params);
+    const BroadcastTree tree = BroadcastTree::from_schedule(schedule, pair.n);
+    const oracle::ScheduleOracle oracle(pair.n, pair.lambda);
+    for (std::uint64_t r = 0; r < pair.n; ++r) {
+      const oracle::RankInfo info = oracle.info(r);
+      EXPECT_EQ(info.parent, tree.parent(static_cast<ProcId>(r)));
+      EXPECT_EQ(info.out_degree, tree.children(static_cast<ProcId>(r)).size());
+    }
+  }
+}
+
+TEST(OracleDifferentialTest, MakespanMatchesValidator) {
+  for (const RandomPair& pair : random_pairs(31415, 20)) {
+    const PostalParams params(pair.n, pair.lambda);
+    const Schedule schedule = bcast_schedule(params);
+    const SimReport report = validate_schedule(schedule, params);
+    ASSERT_TRUE(report.ok) << report.summary();
+    const oracle::ScheduleOracle oracle(pair.n, pair.lambda);
+    EXPECT_EQ(oracle.makespan(), report.makespan)
+        << "n=" << pair.n << " lambda=" << pair.lambda;
+    const oracle::Rank witness = oracle.last_informed_rank();
+    EXPECT_EQ(oracle.inform_time(witness), report.makespan);
+  }
+}
+
+TEST(OracleDifferentialTest, StreamingAndMaterializedValidatorsAgree) {
+  // The streaming validator accepting the oracle stream must coincide with
+  // the full validator accepting the materialized schedule.
+  for (const RandomPair& pair : random_pairs(999, 15)) {
+    const PostalParams params(pair.n, pair.lambda);
+    ASSERT_TRUE(validate_schedule(bcast_schedule(params), params).ok);
+    const oracle::ScheduleOracle oracle(pair.n, pair.lambda);
+    StreamingValidator streaming(oracle);
+    streaming.feed(oracle.events(0, pair.n));
+    const StreamReport report = streaming.finish();
+    EXPECT_TRUE(report.ok) << "n=" << pair.n << " lambda=" << pair.lambda
+                           << ": " << report.summary();
+  }
+}
+
+TEST(OracleDifferentialTest, HugeSystemSmoke) {
+  // Beyond the differential range nothing materializes; the witness gate
+  // plus a streaming-validated tail chunk still certify the closed forms.
+  for (const std::uint64_t n : {1000000000ull, 1000000000000ull}) {
+    const oracle::ScheduleOracle oracle(n, Rational(5, 2));
+    const oracle::Rank witness = oracle.last_informed_rank();
+    EXPECT_EQ(oracle.inform_time(witness), oracle.makespan());
+    const std::uint64_t lo = n - 1024;
+    StreamingValidator streaming(oracle, lo, n);
+    streaming.feed(oracle.events(lo, n));
+    const StreamReport report = streaming.finish();
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_EQ(report.events_checked, 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace postal

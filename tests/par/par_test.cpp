@@ -47,8 +47,9 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
   par::ThreadPool pool(4);
   EXPECT_EQ(pool.threads(), 4u);
   for (int round = 0; round < 20; ++round) {
-    const std::vector<std::size_t> out =
-        pool.map(50, [round](std::size_t i) { return i * static_cast<std::size_t>(round + 1); });
+    const std::vector<std::size_t> out = pool.map(50, [round](std::size_t i) {
+      return i * static_cast<std::size_t>(round + 1);
+    });
     for (std::size_t i = 0; i < out.size(); ++i) {
       EXPECT_EQ(out[i], i * static_cast<std::size_t>(round + 1));
     }

@@ -83,11 +83,12 @@ TEST(LogPMachine, RejectsAbsorptionPileUp) {
   const LogPParams params{Rational(4), Rational(1), Rational(2), 4};
   Schedule s;
   s.add(0, 2, 0, Rational(0));   // usable at p2 at 6
-  s.add(0, 1, 0, Rational(2));   // usable at p1 at 8 (need p1 informed first? no: causality ok)
+  s.add(0, 1, 0, Rational(2));   // usable at p1 at 8 (causality ok)
   s.add(1, 2, 0, Rational(9));   // usable at p2 at 15 -- fine
   s.add(0, 3, 0, Rational(4));
   const LogPReport ok_report = validate_logp_schedule(s, params);
-  ASSERT_TRUE(ok_report.ok) << (ok_report.violations.empty() ? "" : ok_report.violations[0]);
+  ASSERT_TRUE(ok_report.ok)
+      << (ok_report.violations.empty() ? "" : ok_report.violations[0]);
 
   Schedule bad = s;
   bad.add(1, 2, 0, Rational(10));  // usable at 16, 1 < gap after 15

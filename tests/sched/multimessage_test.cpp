@@ -182,8 +182,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MultiCase{2, 1, Rational(2)}, MultiCase{14, 2, Rational(5, 2)},
                       MultiCase{9, 3, Rational(3)}, MultiCase{33, 2, Rational(4)},
                       MultiCase{100, 4, Rational(9, 2)}, MultiCase{64, 8, Rational(8)},
-                      MultiCase{7, 5, Rational(11, 2)}, MultiCase{256, 3, Rational(3)},
-                      MultiCase{50, 6, Rational(13, 2)}, MultiCase{2, 4, Rational(17, 4)}),
+                      MultiCase{7, 5, Rational(11, 2)},
+                      MultiCase{256, 3, Rational(3)},
+                      MultiCase{50, 6, Rational(13, 2)},
+                      MultiCase{2, 4, Rational(17, 4)}),
     case_name);
 
 class Pipeline2Sweep : public ::testing::TestWithParam<MultiCase> {};
@@ -203,9 +205,12 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, Pipeline2Sweep,
     ::testing::Values(MultiCase{2, 2, Rational(2)}, MultiCase{14, 5, Rational(5, 2)},
                       MultiCase{9, 9, Rational(3)}, MultiCase{33, 16, Rational(4)},
-                      MultiCase{100, 8, Rational(3, 2)}, MultiCase{64, 32, Rational(2)},
-                      MultiCase{7, 12, Rational(7, 2)}, MultiCase{128, 10, Rational(5, 2)},
-                      MultiCase{25, 20, Rational(5)}, MultiCase{2, 64, Rational(1)},
+                      MultiCase{100, 8, Rational(3, 2)},
+                      MultiCase{64, 32, Rational(2)},
+                      MultiCase{7, 12, Rational(7, 2)},
+                      MultiCase{128, 10, Rational(5, 2)},
+                      MultiCase{25, 20, Rational(5)},
+                      MultiCase{2, 64, Rational(1)},
                       MultiCase{200, 7, Rational(7, 4)}),
     case_name);
 

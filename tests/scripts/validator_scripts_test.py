@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Tests for the bench-record tooling in scripts/ (docs/OBSERVABILITY.md).
+
+Covers validate_bench_records.py (the CI gate on BENCH_postal.json) and
+compare_sweep_records.py (the sweep determinism contract): happy paths,
+malformed JSON lines, missing stable keys, zero-record files, MISMATCH
+verdicts, unmet --expect names, thread-count and wall-time normalization,
+and record-count mismatches. Standard-library unittest on purpose -- the
+suite runs from ctest with the same python3 the build already requires.
+
+Usage: python3 validator_scripts_test.py [--scripts-dir DIR]
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "scripts"))
+
+
+def run_script(name, *args):
+    """Run scripts/<name> with args; returns (exit code, stdout, stderr)."""
+    proc = subprocess.run(
+        [sys.executable, os.path.join(SCRIPTS_DIR, name), *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def good_record(**overrides):
+    rec = {"bench": "bench_demo", "n": 14, "lambda": "5/2",
+           "makespan": "15/2", "wall_ms": 1.25, "verdict": "CONSISTENT",
+           "extra": {"threads": "4", "point_ms": "0.5", "sends": "13"}}
+    rec.update(overrides)
+    return rec
+
+
+class TempRecordFile:
+    """Write JSONL records (or raw text) to a NamedTemporaryFile."""
+
+    def __init__(self, records=None, raw=None):
+        self.file = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False, encoding="utf-8")
+        if raw is not None:
+            self.file.write(raw)
+        else:
+            for rec in records:
+                self.file.write(json.dumps(rec) + "\n")
+        self.file.close()
+        self.path = self.file.name
+
+    def __enter__(self):
+        return self.path
+
+    def __exit__(self, *exc):
+        os.unlink(self.path)
+
+
+class ValidateBenchRecordsTest(unittest.TestCase):
+    def test_accepts_valid_records(self):
+        with TempRecordFile([good_record(), good_record(bench="other")]) as path:
+            code, out, err = run_script("validate_bench_records.py", path)
+        self.assertEqual(code, 0, err)
+        self.assertIn("2 valid record(s)", out)
+
+    def test_rejects_missing_file(self):
+        code, _, err = run_script("validate_bench_records.py",
+                                  "/nonexistent/BENCH.json")
+        self.assertEqual(code, 1)
+        self.assertIn("cannot read", err)
+
+    def test_rejects_zero_records(self):
+        with TempRecordFile(raw="\n  \n") as path:
+            code, _, err = run_script("validate_bench_records.py", path)
+        self.assertEqual(code, 1)
+        self.assertIn("zero bench records", err)
+
+    def test_rejects_malformed_line(self):
+        raw = json.dumps(good_record()) + "\n{not json}\n"
+        with TempRecordFile(raw=raw) as path:
+            code, _, err = run_script("validate_bench_records.py", path)
+        self.assertEqual(code, 1)
+        self.assertIn("unparseable record line", err)
+
+    def test_rejects_missing_stable_key(self):
+        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
+            rec = good_record()
+            del rec[key]
+            with TempRecordFile([rec]) as path:
+                code, _, err = run_script("validate_bench_records.py", path)
+            self.assertEqual(code, 1, f"missing {key} must be rejected")
+            self.assertIn(f"missing key {key!r}", err)
+
+    def test_rejects_mismatch_verdict(self):
+        with TempRecordFile([good_record(verdict="MISMATCH")]) as path:
+            code, _, err = run_script("validate_bench_records.py", path)
+        self.assertEqual(code, 1)
+        self.assertIn("MISMATCH", err)
+
+    def test_expect_satisfied_and_unmet(self):
+        with TempRecordFile([good_record(bench="bench_oracle")]) as path:
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--expect", "bench_oracle")
+            self.assertEqual(code, 0, err)
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--expect", "bench_oracle",
+                                      "--expect", "bench_absent")
+        self.assertEqual(code, 1)
+        self.assertIn("bench_absent", err)
+
+
+class CompareSweepRecordsTest(unittest.TestCase):
+    def test_identical_modulo_walltime_and_threads(self):
+        a = [good_record(), good_record(n=64)]
+        b = [good_record(wall_ms=99.0,
+                         extra={"threads": "1", "point_ms": "7.0",
+                                "sends": "13"}),
+             good_record(n=64, wall_ms=0.001,
+                         extra={"threads": "8", "point_ms": "0.1",
+                                "sends": "13"})]
+        with TempRecordFile(a) as pa, TempRecordFile(b) as pb:
+            code, out, err = run_script("compare_sweep_records.py", pa, pb)
+        self.assertEqual(code, 0, err)
+        self.assertIn("identical ignoring wall-time", out)
+
+    def test_semantic_difference_fails(self):
+        a = [good_record(makespan="15/2")]
+        b = [good_record(makespan="8")]
+        with TempRecordFile(a) as pa, TempRecordFile(b) as pb:
+            code, _, err = run_script("compare_sweep_records.py", pa, pb)
+        self.assertEqual(code, 1)
+        self.assertIn("records differ at point 0", err)
+
+    def test_extra_difference_fails(self):
+        a = [good_record()]
+        b = [good_record(extra={"threads": "4", "point_ms": "0.5",
+                                "sends": "14"})]
+        with TempRecordFile(a) as pa, TempRecordFile(b) as pb:
+            code, _, err = run_script("compare_sweep_records.py", pa, pb)
+        self.assertEqual(code, 1)
+
+    def test_count_mismatch_fails(self):
+        a = [good_record(), good_record(n=64)]
+        b = [good_record()]
+        with TempRecordFile(a) as pa, TempRecordFile(b) as pb:
+            code, _, err = run_script("compare_sweep_records.py", pa, pb)
+        self.assertEqual(code, 1)
+        self.assertIn("record counts differ", err)
+
+    def test_empty_file_fails(self):
+        with TempRecordFile(raw="") as pa, TempRecordFile([good_record()]) as pb:
+            code, _, err = run_script("compare_sweep_records.py", pa, pb)
+        self.assertEqual(code, 1)
+        self.assertIn("empty record file", err)
+
+    def test_usage_error(self):
+        code, _, err = run_script("compare_sweep_records.py")
+        self.assertEqual(code, 2)
+        self.assertIn("Usage", err)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--scripts-dir":
+        SCRIPTS_DIR = os.path.abspath(sys.argv[2])
+        sys.argv = sys.argv[:1] + sys.argv[3:]
+    unittest.main(verbosity=2)

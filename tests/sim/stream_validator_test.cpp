@@ -1,0 +1,153 @@
+// Tests for the streaming schedule validator (sim/stream_validator.hpp):
+// oracle-emitted streams must be accepted at every chunking, and every
+// corruption class -- wrong time, wrong sender, wrong receiver, duplicate,
+// gap, truncation, events past the certified range -- must be flagged.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.hpp"
+#include "sim/stream_validator.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+namespace {
+
+std::vector<StreamEvent> full_stream(const oracle::ScheduleOracle& oracle) {
+  return oracle.events(0, oracle.n());
+}
+
+StreamReport run_stream(const oracle::ScheduleOracle& oracle,
+                        const std::vector<StreamEvent>& events) {
+  StreamingValidator validator(oracle);
+  validator.feed(events);
+  return validator.finish();
+}
+
+TEST(StreamValidatorTest, AcceptsOracleStreamAtEveryChunking) {
+  const oracle::ScheduleOracle oracle(64, Rational(5, 2));
+  const std::vector<StreamEvent> events = full_stream(oracle);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{17}, events.size()}) {
+    StreamingValidator validator(oracle);
+    for (std::size_t i = 0; i < events.size(); i += chunk) {
+      const std::size_t count = std::min(chunk, events.size() - i);
+      validator.feed(events.data() + i, count);
+    }
+    const StreamReport report = validator.finish();
+    EXPECT_TRUE(report.ok) << "chunk=" << chunk << ": " << report.summary();
+    EXPECT_EQ(report.events_checked, events.size());
+    EXPECT_EQ(report.last_arrival, oracle.makespan());
+  }
+}
+
+TEST(StreamValidatorTest, AcceptsEmptyChunksAndSubRanges) {
+  const oracle::ScheduleOracle oracle(64, Rational(5, 2));
+  StreamingValidator validator(oracle, 10, 20);
+  validator.feed(nullptr, 0);
+  validator.feed(oracle.events(10, 20));
+  validator.feed({});
+  const StreamReport report = validator.finish();
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.events_checked, 10u);
+}
+
+TEST(StreamValidatorTest, FlagsWrongSendTime) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events[5].t = events[5].t + Rational(1, 7);  // off the slot grid
+  const StreamReport report = run_stream(oracle, events);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(StreamValidatorTest, FlagsSendBeforeSenderInformed) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  // Find an event whose sender is informed strictly after t = 0 and pull
+  // its send to before that inform time (staying on the unit grid).
+  bool mutated = false;
+  for (StreamEvent& e : events) {
+    const Rational inform = oracle.inform_time(e.src);
+    if (inform >= Rational(1)) {
+      e.t = inform - Rational(1);
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+}
+
+TEST(StreamValidatorTest, FlagsWrongSender) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events[8].src = events[8].src == 0 ? 1 : 0;
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+}
+
+TEST(StreamValidatorTest, FlagsDuplicateReceiver) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events.insert(events.begin() + 4, events[3]);
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+}
+
+TEST(StreamValidatorTest, FlagsGapInCoverage) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events.erase(events.begin() + 10);
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+}
+
+TEST(StreamValidatorTest, FlagsTruncatedStream) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events.pop_back();
+  const StreamReport report = run_stream(oracle, events);
+  EXPECT_FALSE(report.ok);  // finish() notices the run stopped early
+}
+
+TEST(StreamValidatorTest, FlagsEventPastCertifiedRange) {
+  const oracle::ScheduleOracle oracle(32, Rational(2));
+  std::vector<StreamEvent> events = oracle.events(1, 5);
+  events.push_back(oracle.events(5, 6).front());  // rank 5 is out of range
+  StreamingValidator validator(oracle, 1, 5);
+  validator.feed(events);
+  EXPECT_FALSE(validator.finish().ok);
+}
+
+TEST(StreamValidatorTest, FlagsBadEndpoints) {
+  const oracle::ScheduleOracle oracle(8, Rational(2));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  events[2].dst = 99;  // receiver outside [0, n)
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+
+  events = full_stream(oracle);
+  events[2].src = events[2].dst;  // self-send
+  EXPECT_FALSE(run_stream(oracle, events).ok);
+}
+
+TEST(StreamValidatorTest, ViolationCapSetsTruncatedFlag) {
+  const oracle::ScheduleOracle oracle(256, Rational(1));
+  std::vector<StreamEvent> events = full_stream(oracle);
+  for (StreamEvent& e : events) e.t = e.t + Rational(1, 3);  // corrupt all
+  const StreamReport report = run_stream(oracle, events);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.violations.size(), StreamingValidator::kMaxViolations);
+}
+
+TEST(StreamValidatorTest, LifecycleErrors) {
+  const oracle::ScheduleOracle oracle(8, Rational(2));
+  EXPECT_THROW(StreamingValidator(oracle, 5, 3), InvalidArgument);
+  EXPECT_THROW(StreamingValidator(oracle, 0, 9), InvalidArgument);
+  StreamingValidator validator(oracle);
+  validator.feed(full_stream(oracle));
+  (void)validator.finish();
+  EXPECT_THROW((void)validator.finish(), LogicError);
+  EXPECT_THROW(validator.feed(nullptr, 0), LogicError);
+}
+
+}  // namespace
+}  // namespace postal
