@@ -9,6 +9,11 @@
 //                                               (chrome://tracing / Perfetto;
 //                                               out defaults to stdout)
 //   postal_cli metrics <n> <lambda>             run metrics as JSON lines
+//   postal_cli simulate <n> <lambda> [--threads T]
+//                                               event-driven BCAST run on the
+//                                               sharded ParMachine + validate;
+//                                               prints the engine/shard/window
+//                                               breakdown (docs/SIMULATION.md)
 //   postal_cli sweep <ns> <lambdas> [threads]   fan a (n, lambda) grid across
 //                                               cores; cross-check Theorem 6
 //                                               at every point (comma lists,
@@ -18,7 +23,8 @@
 //                                               seeded random fault plan
 //   postal_cli faults <n> <lambda> --plan <file.json>
 //                                               ... under an explicit plan
-//     both forms accept a trailing [--trace out.json] fault-overlay export
+//     both forms accept [--trace out.json] fault-overlay export and
+//     [--threads T] simulation lanes (results identical at every T)
 //   postal_cli oracle <n> <lambda> makespan     f_lambda(n) + witness rank,
 //                                               O(1) memory at any n
 //   postal_cli oracle <n> <lambda> rank <r>     one rank's parent / inform
@@ -54,6 +60,7 @@
 #include "sched/bcast.hpp"
 #include "sched/broadcast_tree.hpp"
 #include "sim/machine.hpp"
+#include "sim/par_machine.hpp"
 #include "sim/protocols/bcast_protocol.hpp"
 #include "sim/protocols/reliable_bcast.hpp"
 #include "sim/validator.hpp"
@@ -72,15 +79,30 @@ int usage() {
             << "  postal_cli bounds <n> <lambda>\n"
             << "  postal_cli trace-export <n> <lambda> [out.json]\n"
             << "  postal_cli metrics <n> <lambda>\n"
+            << "  postal_cli simulate <n> <lambda> [--threads T]\n"
             << "  postal_cli sweep <n,n,...> <lambda,lambda,...> [threads]\n"
             << "  postal_cli faults <n> <lambda> <seed> <crashes> [loss_p] "
-               "[--trace out.json]\n"
+               "[--trace out.json] [--threads T]\n"
             << "  postal_cli faults <n> <lambda> --plan <file.json> "
-               "[--trace out.json]\n"
+               "[--trace out.json] [--threads T]\n"
             << "  postal_cli oracle <n> <lambda> makespan\n"
             << "  postal_cli oracle <n> <lambda> rank <r>\n"
             << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n";
   return 2;
+}
+
+/// Remove "<flag> <value>" from `rest` wherever it appears; returns the
+/// value, or "" if the flag is absent.
+std::string take_flag(std::vector<std::string>& rest, const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < rest.size(); ++i) {
+    if (rest[i] == flag) {
+      std::string value = rest[i + 1];
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                 rest.begin() + static_cast<std::ptrdiff_t>(i + 2));
+      return value;
+    }
+  }
+  return std::string();
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -157,6 +179,58 @@ int cmd_metrics(std::uint64_t n, const Rational& lambda) {
   obs::record_machine_stats(registry, result.stats);
 
   std::cout << registry.to_jsonl();
+  return report.ok ? 0 : 1;
+}
+
+int cmd_simulate(std::uint64_t n, const Rational& lambda, unsigned threads) {
+  const PostalParams params(n, lambda);
+  const obs::WallClock clock;
+  ParMachine machine(params, 1);
+  machine.set_threads(threads);
+  auto factory = make_protocol_factory<BcastProtocol>(params);
+  const MachineResult result = machine.run(factory);
+  const double wall_ms = clock.elapsed_ms();
+  const ParRunInfo& info = machine.last_run_info();
+  const SimReport report = validate_schedule(result.schedule, params);
+
+  std::cout << "event-driven BCAST on MPS(" << n << ", " << lambda << "), "
+            << threads << " lane(s):\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"engine", info.parallel_engine
+                               ? "sharded (" + std::to_string(info.shards) + " shard(s))"
+                               : "sequential fallback: " + info.fallback_reason});
+  if (info.parallel_engine) {
+    table.add_row({"windows", std::to_string(info.windows)});
+    table.add_row({"barrier events", std::to_string(info.barrier_events)});
+    table.add_row({"cross-shard events", std::to_string(info.cross_shard_events)});
+    table.add_row({"replayed pops", std::to_string(info.replayed_pops)});
+    table.add_row({"window / merge ms",
+                   fmt(info.window_ms, 2) + " / " + fmt(info.merge_ms, 2)});
+  }
+  table.add_row({"events processed", std::to_string(result.stats.events_processed)});
+  table.add_row({"sends enqueued", std::to_string(result.stats.sends_enqueued)});
+  table.add_row({"makespan", report.makespan.str()});
+  table.add_row({"validation", report.ok ? "PASS" : "FAIL"});
+  table.print(std::cout);
+  for (std::size_t s = 0; s < info.shard.size(); ++s) {
+    const ParShardInfo& sh = info.shard[s];
+    std::cout << "  shard " << s << ": " << sh.pops << " pop(s), "
+              << sh.mailbox_in << " mailbox-in, " << sh.stalled_windows
+              << " stalled window(s)\n";
+  }
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_simulate";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = report.makespan;
+  rec.wall_ms = wall_ms;
+  rec.verdict = report.ok ? "CONSISTENT" : "MISMATCH";
+  rec.extra = {{"threads", std::to_string(threads)},
+               {"shards", std::to_string(info.shards)},
+               {"windows", std::to_string(info.windows)},
+               {"engine", info.parallel_engine ? "sharded" : "sequential"}};
+  obs::emit_bench_record(rec);
   return report.ok ? 0 : 1;
 }
 
@@ -278,15 +352,21 @@ int cmd_sweep(const std::string& ns_csv, const std::string& lambdas_csv,
 }
 
 int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
-               const std::string& trace_path) {
+               const std::string& trace_path, unsigned threads) {
   const PostalParams params(n, lambda);
+  ReliableBcastOptions options;
+  options.threads = threads;
   const obs::WallClock clock;
-  const ReliableBcastReport report = run_reliable_bcast(params, &plan);
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan, options);
   const double wall_ms = clock.elapsed_ms();
 
   std::cout << "fault plan: " << plan.crashes.size() << " crash(es), "
             << plan.losses.size() << " lossy link(s), " << plan.spikes.size()
             << " spike window(s)  [seed " << plan.seed << "]\n";
+  if (threads > 1) {
+    std::cout << "simulation lanes: " << threads
+              << " (sharded engine; report identical at every count)\n";
+  }
   for (const CrashFault& c : plan.crashes) {
     std::cout << "  crash p" << c.proc << " at t = " << c.time << "\n";
   }
@@ -336,7 +416,8 @@ int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
                {"retransmissions", std::to_string(report.counters.retransmissions)},
                {"repair_time", report.recovery_overhead.str()},
                {"crashes", std::to_string(plan.crashes.size())},
-               {"seed", std::to_string(plan.seed)}};
+               {"seed", std::to_string(plan.seed)},
+               {"threads", std::to_string(threads == 0 ? 1 : threads)}};
   obs::emit_bench_record(rec);
   return pass ? 0 : 1;
 }
@@ -457,6 +538,17 @@ int main(int argc, char** argv) {
     if (cmd == "metrics" && args.size() == 2) {
       return cmd_metrics(std::stoull(args[0]), Rational::parse(args[1]));
     }
+    if (cmd == "simulate" && args.size() >= 2) {
+      const std::uint64_t n = std::stoull(args[0]);
+      const Rational lambda = Rational::parse(args[1]);
+      std::vector<std::string> rest(args.begin() + 2, args.end());
+      const std::string t = take_flag(rest, "--threads");
+      if (!rest.empty()) return usage();
+      const unsigned threads =
+          t.empty() ? par::threads_from_env(par::default_threads())
+                    : static_cast<unsigned>(std::stoul(t));
+      return cmd_simulate(n, lambda, threads);
+    }
     if (cmd == "sweep" && (args.size() == 2 || args.size() == 3)) {
       const unsigned threads =
           args.size() == 3 ? static_cast<unsigned>(std::stoul(args[2]))
@@ -483,11 +575,11 @@ int main(int argc, char** argv) {
       const std::uint64_t n = std::stoull(args[0]);
       const Rational lambda = Rational::parse(args[1]);
       std::vector<std::string> rest(args.begin() + 2, args.end());
-      std::string trace_path;
-      if (rest.size() >= 2 && rest[rest.size() - 2] == "--trace") {
-        trace_path = rest.back();
-        rest.resize(rest.size() - 2);
-      }
+      const std::string threads_arg = take_flag(rest, "--threads");
+      const unsigned threads =
+          threads_arg.empty() ? 1
+                              : static_cast<unsigned>(std::stoul(threads_arg));
+      const std::string trace_path = take_flag(rest, "--trace");
       FaultPlan plan;
       if (rest.size() == 2 && rest[0] == "--plan") {
         std::ifstream in(rest[1]);
@@ -511,7 +603,7 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
-      return cmd_faults(n, lambda, plan, trace_path);
+      return cmd_faults(n, lambda, plan, trace_path, threads);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

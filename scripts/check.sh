@@ -17,11 +17,13 @@
 #                                collection on, validated end to end; any
 #                                tick-vs-Rational disagreement is a hard
 #                                failure (docs/PERFORMANCE.md)
-#   scripts/check.sh --format    check-only formatting gate: every tracked
-#                                C++ file must be clang-format clean per the
-#                                committed .clang-format (docs/CI.md). Runs
-#                                alone -- no build -- so CI can gate on it
-#                                in seconds. Set CLANG_FORMAT to pick a
+#   scripts/check.sh --format    check-only formatting + docs gate: every
+#                                tracked C++ file must be clang-format clean
+#                                per the committed .clang-format, and every
+#                                relative Markdown link must resolve
+#                                (scripts/check_docs_links.py, docs/CI.md).
+#                                Runs alone -- no build -- so CI can gate on
+#                                it in seconds. Set CLANG_FORMAT to pick a
 #                                specific binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,6 +61,11 @@ if [ "$FORMAT" -eq 1 ]; then
     fi
   done < <(git ls-files '*.cpp' '*.hpp')
   [ "$STATUS" -eq 0 ] && echo "all tracked C++ files are clang-format clean"
+
+  # Docs lint rides the same fast gate: every relative Markdown link must
+  # point at a file that exists (documentation rot guard, docs/CI.md).
+  echo "== docs link gate"
+  python3 scripts/check_docs_links.py || STATUS=1
   exit "$STATUS"
 fi
 
@@ -89,7 +96,7 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_multimessage_shootout --expect bench_collectives \
   --expect bench_network_transfer --expect bench_par_sweep \
   --expect bench_fault_recovery --expect bench_tick_domain \
-  --expect bench_oracle
+  --expect bench_oracle --expect bench_par_machine
 
 # Perf-trajectory drift guard (bench/trajectory/README.md): verdict
 # regressions against the committed baselines are hard failures; wall-time
@@ -161,16 +168,21 @@ fi
 
 if [ "$SANITIZE" -eq 1 ]; then
   # ThreadSanitizer over the concurrency surface: the thread pool, the
-  # sharded caches, and the sweep engine, plus the differential test (which
-  # drives the caches from gtest's single thread -- a TSan-clean baseline).
+  # sharded caches, the sweep engine, and the sharded ParMachine (whose
+  # shard loops write shared per-rank arrays and merge at barriers --
+  # exactly the access pattern TSan exists to audit), plus the differential
+  # test (which drives the caches from gtest's single thread -- a
+  # TSan-clean baseline).
   echo "== sanitize: thread"
   cmake -B build-tsan -G Ninja -DPOSTAL_SANITIZE=thread
   cmake --build build-tsan --target test_par test_differential test_chaos \
-    test_tick_differential
+    test_tick_differential test_par_machine test_par_differential
   ./build-tsan/tests/test_par
   ./build-tsan/tests/test_differential
   ./build-tsan/tests/test_chaos
   ./build-tsan/tests/test_tick_differential
+  ./build-tsan/tests/test_par_machine
+  ./build-tsan/tests/test_par_differential
 
   # ASan+UBSan over the randomized tests: the differential pass, the
   # validator mutation fuzzer, the par tests again (allocation-heavy), and
@@ -180,7 +192,8 @@ if [ "$SANITIZE" -eq 1 ]; then
   cmake -B build-asan -G Ninja -DPOSTAL_SANITIZE=address,undefined
   cmake --build build-asan --target test_differential test_validator_fuzz \
     test_par test_machine_faults test_reliable_bcast test_chaos \
-    test_ticks test_event_queue test_tick_differential
+    test_ticks test_event_queue test_tick_differential test_par_machine \
+    test_par_differential
   ./build-asan/tests/test_differential
   ./build-asan/tests/test_validator_fuzz
   ./build-asan/tests/test_par
@@ -190,6 +203,8 @@ if [ "$SANITIZE" -eq 1 ]; then
   ./build-asan/tests/test_ticks
   ./build-asan/tests/test_event_queue
   ./build-asan/tests/test_tick_differential
+  ./build-asan/tests/test_par_machine
+  ./build-asan/tests/test_par_differential
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repository's Markdown documentation.
+
+Scans every tracked *.md file for inline Markdown links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that each
+*relative* target resolves to a real file or directory in the tree.
+External targets (http/https/mailto), pure in-page anchors (``#...``),
+and absolute paths are ignored -- the gate exists to catch documentation
+rot when files move or get renamed (docs/CI.md), not to probe the network.
+
+A target's ``#fragment`` suffix is stripped before the existence check;
+fragments are not validated (heading anchors are renderer-specific).
+
+Usage: check_docs_links.py [ROOT]
+
+ROOT defaults to the repository root (the parent of this script's
+directory). Exits 0 when every relative link resolves, 1 otherwise,
+listing each dead link as ``file:line: target``. Requires git (tracked
+files only: build trees and scratch files are not documentation).
+"""
+import os
+import re
+import subprocess
+import sys
+
+# Inline link/image: ](target) with no nested parens in the target (none of
+# this repo's docs need them; <...>-wrapped targets are unwrapped below).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\s+\"[^\"]*\")?)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "-C", root, "ls-files", "*.md"],
+        check=True, capture_output=True, text=True)
+    return [line for line in out.stdout.splitlines() if line.strip()]
+
+
+def target_of(raw):
+    """Strip an optional title, <> wrapping, and any #fragment."""
+    target = raw.split()[0].strip()
+    if target.startswith("<") and target.endswith(">"):
+        target = target[1:-1]
+    return target.split("#", 1)[0]
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    dead = []
+    checked = 0
+    for rel in tracked_markdown(root):
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        in_code_fence = False
+        for lineno, line in enumerate(lines, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = target_of(match.group(1))
+                if not target or target.startswith(SKIP_PREFIXES):
+                    continue
+                if target.startswith("/"):
+                    continue  # absolute: outside the gate's remit
+                checked += 1
+                resolved = os.path.normpath(
+                    os.path.join(root, os.path.dirname(rel), target))
+                if not os.path.exists(resolved):
+                    dead.append(f"{rel}:{lineno}: {target}")
+    if dead:
+        print("dead relative links:", file=sys.stderr)
+        for entry in dead:
+            print(f"  {entry}", file=sys.stderr)
+        sys.exit(1)
+    print(f"docs links OK ({checked} relative link(s) across "
+          f"{len(tracked_markdown(root))} markdown file(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,7 +48,9 @@ oracle::ScheduleOracle Communicator::broadcast_oracle() const {
 
 ReliableBcastReport Communicator::broadcast_reliable(
     const FaultPlan* plan, const ReliableBcastOptions& options) {
-  return run_reliable_bcast(params_, plan, options);
+  ReliableBcastOptions effective = options;
+  if (effective.threads == 0) effective.threads = threads_;
+  return run_reliable_bcast(params_, plan, effective);
 }
 
 CollectivePlan Communicator::broadcast(std::uint64_t m) {

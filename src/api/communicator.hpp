@@ -49,6 +49,15 @@ class Communicator {
   [[nodiscard]] std::uint64_t n() const noexcept { return params_.n(); }
   [[nodiscard]] const Rational& lambda() const noexcept { return params_.lambda(); }
 
+  /// Simulation lanes for event-driven runs this Communicator launches
+  /// (currently broadcast_reliable). Values > 1 select the sharded
+  /// ParMachine engine (docs/SIMULATION.md); results are byte-identical at
+  /// every setting. Clamped to >= 1. Planning calls are unaffected.
+  void set_threads(unsigned threads) noexcept {
+    threads_ = threads == 0 ? 1 : threads;
+  }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
   /// Optimal single-message broadcast (Algorithm BCAST, Theorem 6); for
   /// m > 1, the best algorithm in the registry for this (n, m, lambda).
   [[nodiscard]] CollectivePlan broadcast(std::uint64_t m = 1);
@@ -93,6 +102,7 @@ class Communicator {
   /// executed on the event-driven Machine and judged against the
   /// f_lambda(n) baseline. Fault-free (plan == nullptr) the run IS
   /// Algorithm BCAST and completes in exactly broadcast_time().
+  /// options.threads == 0 inherits set_threads().
   [[nodiscard]] ReliableBcastReport broadcast_reliable(
       const FaultPlan* plan = nullptr,
       const ReliableBcastOptions& options = {});
@@ -100,6 +110,7 @@ class Communicator {
  private:
   PostalParams params_;
   GenFib fib_;
+  unsigned threads_ = 1;
 };
 
 }  // namespace postal

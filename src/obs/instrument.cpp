@@ -43,6 +43,22 @@ void record_sim_report(MetricsRegistry& registry, const SimReport& report,
   registry.rational(prefix + ".makespan").add(report.makespan);
 }
 
+void record_par_run(MetricsRegistry& registry, const ParRunInfo& info,
+                    const std::string& prefix) {
+  registry.gauge(prefix + ".parallel_engine").set(info.parallel_engine ? 1 : 0);
+  registry.gauge(prefix + ".shards").set(static_cast<std::int64_t>(info.shards));
+  registry.counter(prefix + ".windows").add(info.windows);
+  registry.counter(prefix + ".barrier_events").add(info.barrier_events);
+  registry.counter(prefix + ".cross_shard_events").add(info.cross_shard_events);
+  registry.counter(prefix + ".replayed_pops").add(info.replayed_pops);
+  for (std::size_t s = 0; s < info.shard.size(); ++s) {
+    const std::string base = prefix + ".shard" + std::to_string(s);
+    registry.counter(base + ".pops").add(info.shard[s].pops);
+    registry.counter(base + ".stalled_windows").add(info.shard[s].stalled_windows);
+    registry.counter(base + ".mailbox_in").add(info.shard[s].mailbox_in);
+  }
+}
+
 void record_fault_stats(MetricsRegistry& registry, const FaultStats& stats,
                         const std::string& prefix) {
   registry.counter(prefix + ".crashes").add(stats.crashes_applied);

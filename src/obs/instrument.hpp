@@ -10,6 +10,7 @@
 #include "net/packet_sim.hpp"
 #include "obs/metrics.hpp"
 #include "sim/machine.hpp"
+#include "sim/par_machine.hpp"
 #include "sim/validator.hpp"
 
 namespace postal::obs {
@@ -35,6 +36,19 @@ void record_net_stats(MetricsRegistry& registry, const NetRunStats& stats,
 ///   <prefix>.order_preserving (gauge 0/1), <prefix>.makespan (rational).
 void record_sim_report(MetricsRegistry& registry, const SimReport& report,
                        const std::string& prefix = "validate");
+
+/// Fold one ParMachine run's introspection into `registry` under `prefix`:
+///   <prefix>.parallel_engine (gauge 0/1), .shards (gauge),
+///   <prefix>.windows, .barrier_events, .cross_shard_events,
+///   <prefix>.replayed_pops                                      (counter)
+///   <prefix>.shard<s>.pops, .shard<s>.stalled_windows,
+///   <prefix>.shard<s>.mailbox_in  per shard                     (counter)
+/// The stalled-window counters are the deterministic barrier-stall signal
+/// (docs/SIMULATION.md): a shard that popped nothing all window sat at the
+/// barrier for it. Wall-clock split (window_ms/merge_ms) is left out of
+/// the registry -- it varies run to run; read it off ParRunInfo directly.
+void record_par_run(MetricsRegistry& registry, const ParRunInfo& info,
+                    const std::string& prefix = "par");
 
 /// Fold the faults applied during one run (Machine or PacketNetwork) into
 /// `registry` under `prefix`:

@@ -6,36 +6,38 @@
 
 namespace postal {
 
-namespace {
-
-// Timer fire times are admitted to the tick queue only up to this cap, and
-// enqueue_send_ticks checks its port slot against it, so every tick value
-// in a run stays below kTickCap + the per-event step budget < 2^62: all
-// tick arithmetic in the hot loop is overflow-free without per-op checks.
-constexpr Tick kTickCap = Tick{1} << 61;
-
-}  // namespace
-
 const PostalParams& MachineContext::params() const noexcept {
-  return machine_.params_;
+  return sink_.sink_params();
 }
 
 void MachineContext::send(ProcId dst, const Packet& packet) {
-  if (machine_.tick_mode_) {
-    machine_.enqueue_send_ticks(self_, dst, packet, now_ticks_);
-  } else {
-    machine_.enqueue_send(self_, dst, packet, now_);
-  }
+  sink_.sink_send(self_, dst, packet, now_, now_ticks_);
 }
 
 void MachineContext::set_timer(const Rational& delay, std::uint64_t token) {
   POSTAL_REQUIRE(delay >= Rational(0), "Machine: timer delay must be >= 0");
-  if (machine_.tick_mode_) {
-    machine_.enqueue_timer_ticks(self_, now_ticks_, now_, delay, token);
+  sink_.sink_timer(self_, now_, now_ticks_, delay, token);
+}
+
+void Machine::sink_send(ProcId self, ProcId dst, const Packet& packet,
+                        const Rational& now, Tick now_ticks) {
+  if (tick_mode_) {
+    enqueue_send_ticks(self, dst, packet, now_ticks);
   } else {
-    machine_.enqueue_timer(self_, now_ + delay, token);
+    enqueue_send(self, dst, packet, now);
   }
 }
+
+void Machine::sink_timer(ProcId self, const Rational& now, Tick now_ticks,
+                         const Rational& delay, std::uint64_t token) {
+  if (tick_mode_) {
+    enqueue_timer_ticks(self, now_ticks, now, delay, token);
+  } else {
+    enqueue_timer(self, now + delay, token);
+  }
+}
+
+const PostalParams& Machine::sink_params() const noexcept { return params_; }
 
 Machine::Machine(PostalParams params, std::uint32_t messages)
     : params_(std::move(params)), messages_(messages) {}
@@ -125,66 +127,15 @@ void Machine::deliver(Protocol& protocol, const Rational& time,
 // ---------------------------------------------------------------------------
 
 bool Machine::try_tick_setup(std::uint64_t max_events) {
-  const Rational& lambda = params_.lambda();
-  std::int64_t q = lambda.den();
-  auto fold = [&q](const Rational& r) {
-    const std::optional<std::int64_t> folded = TickDomain::fold_denominator(q, r);
-    if (!folded.has_value()) return false;
-    q = *folded;
-    return true;
-  };
-  __extension__ using int128 = __int128;
-  int128 extra_sum = 0;
-  if (injector_) {
-    for (ProcId p = 0; p < params_.n(); ++p) {
-      const auto& c = injector_->crash_time(p);
-      if (c.has_value() && !fold(*c)) return false;
-    }
-    for (const LatencySpike& s : injector_->plan().spikes) {
-      if (!fold(s.from) || !fold(s.until) || !fold(s.extra)) return false;
-    }
-  }
-  const TickDomain dom(q);
-  const std::optional<Tick> lambda_ticks = dom.to_ticks(lambda);
-  if (!lambda_ticks.has_value()) return false;
-
-  std::vector<SpikeTicks> spikes;
-  if (injector_) {
-    for (const LatencySpike& s : injector_->plan().spikes) {
-      const auto from = dom.to_ticks(s.from);
-      const auto until = dom.to_ticks(s.until);
-      const auto extra = dom.to_ticks(s.extra);
-      if (!from || !until || !extra) return false;
-      spikes.push_back(SpikeTicks{*from, *until, *extra});
-      extra_sum += *extra;
-    }
-  }
-
-  // Static headroom: each queue event advances some clock by at most
-  // step_max = 1 + lambda + sum(spike extras) ticks, and there are at most
-  // max_events of them, so admitting only runs with (max_events + 4) *
-  // step_max below kTickCap keeps every tick expression under 2^62 --
-  // overflow-free by construction (timer fire times are additionally
-  // capped at kTickCap on entry; see enqueue_timer_ticks).
-  const int128 step_max = static_cast<int128>(q) + *lambda_ticks + extra_sum;
-  if ((static_cast<int128>(max_events) + 4) * step_max >= kTickCap) return false;
-
-  std::vector<std::optional<Tick>> crash_ticks;
-  if (injector_) {
-    crash_ticks.resize(params_.n());
-    for (ProcId p = 0; p < params_.n(); ++p) {
-      const auto& c = injector_->crash_time(p);
-      if (!c.has_value()) continue;
-      const std::optional<Tick> ct = dom.to_ticks(*c);
-      if (!ct.has_value()) return false;
-      crash_ticks[p] = *ct;
-    }
-  }
-
-  tick_q_ = q;
-  lambda_ticks_ = *lambda_ticks;
-  crash_ticks_ = std::move(crash_ticks);
-  spike_ticks_ = std::move(spikes);
+  // The admission logic lives in sim/tick_setup.hpp, shared with
+  // ParMachine so both engines tick exactly the same runs.
+  std::optional<TickRunSetup> setup =
+      plan_tick_run(params_, injector_.get(), max_events);
+  if (!setup.has_value()) return false;
+  tick_q_ = setup->q;
+  lambda_ticks_ = setup->lambda_ticks;
+  crash_ticks_ = std::move(setup->crash_ticks);
+  spike_ticks_ = std::move(setup->spike_ticks);
   return true;
 }
 

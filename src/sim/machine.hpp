@@ -50,6 +50,7 @@
 #include "sched/schedule.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/tick_queue.hpp"
+#include "sim/tick_setup.hpp"
 #include "sim/trace.hpp"
 #include "support/ticks.hpp"
 
@@ -64,6 +65,30 @@ struct Packet {
 };
 
 class Machine;
+class MachineContext;
+
+/// The dispatch seam between MachineContext and the engine that invoked
+/// the running handler (docs/ARCHITECTURE.md). The sequential Machine is
+/// one implementation; ParMachine's per-shard engines (sim/par_machine)
+/// are another -- protocols see the same MachineContext either way, which
+/// is what lets one Protocol implementation run unchanged on both engines.
+class ContextSink {
+ public:
+  virtual ~ContextSink() = default;
+
+ protected:
+  ContextSink() = default;
+  ContextSink(const ContextSink&) = default;
+  ContextSink& operator=(const ContextSink&) = default;
+
+ private:
+  friend class MachineContext;
+  virtual void sink_send(ProcId self, ProcId dst, const Packet& packet,
+                         const Rational& now, Tick now_ticks) = 0;
+  virtual void sink_timer(ProcId self, const Rational& now, Tick now_ticks,
+                          const Rational& delay, std::uint64_t token) = 0;
+  [[nodiscard]] virtual const PostalParams& sink_params() const noexcept = 0;
+};
 
 /// Handle protocols use to interact with the machine from inside handlers.
 class MachineContext {
@@ -88,13 +113,14 @@ class MachineContext {
 
  private:
   friend class Machine;
-  MachineContext(Machine& machine, ProcId self, Rational now, Tick now_ticks = 0)
-      : machine_(machine), self_(self), now_(std::move(now)), now_ticks_(now_ticks) {}
+  friend class ParShard;  // sim/par_machine.cpp: ParMachine's shard engine
+  MachineContext(ContextSink& sink, ProcId self, Rational now, Tick now_ticks = 0)
+      : sink_(sink), self_(self), now_(std::move(now)), now_ticks_(now_ticks) {}
 
-  Machine& machine_;
+  ContextSink& sink_;
   ProcId self_;
   Rational now_;
-  Tick now_ticks_;  ///< now_ in ticks while the tick engine runs; else unused
+  Tick now_ticks_;  ///< now_ in ticks while a tick engine runs; else unused
 };
 
 /// Per-processor behavior. Handlers must be deterministic.
@@ -153,7 +179,7 @@ struct MachineResult {
 };
 
 /// The event-driven runtime itself.
-class Machine {
+class Machine : private ContextSink {
  public:
   /// `messages` sizes the trace; handlers may send ids in [0, messages).
   Machine(PostalParams params, std::uint32_t messages);
@@ -181,7 +207,12 @@ class Machine {
                                   std::uint64_t max_events = 1ULL << 22);
 
  private:
-  friend class MachineContext;
+  // ContextSink: route a handler's request to whichever engine is running.
+  void sink_send(ProcId self, ProcId dst, const Packet& packet,
+                 const Rational& now, Tick now_ticks) override;
+  void sink_timer(ProcId self, const Rational& now, Tick now_ticks,
+                  const Rational& delay, std::uint64_t token) override;
+  [[nodiscard]] const PostalParams& sink_params() const noexcept override;
 
   struct Pending {
     enum class Kind : std::uint8_t {
@@ -254,12 +285,8 @@ class Machine {
   FaultStats fault_stats_;
   Trace* trace_ = nullptr;
 
-  // Per-run state (tick engine). tick_mode_ flips off at transplant.
-  struct SpikeTicks {
-    Tick from = 0;
-    Tick until = 0;
-    Tick extra = 0;
-  };
+  // Per-run state (tick engine; SpikeTicks/TickRunSetup in tick_setup.hpp).
+  // tick_mode_ flips off at transplant.
   bool tick_mode_ = false;
   std::int64_t tick_q_ = 1;         ///< resolution denominator of this run
   Tick lambda_ticks_ = 0;           ///< lambda in ticks

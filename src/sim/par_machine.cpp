@@ -1,0 +1,641 @@
+// The sharded engine and its determinism machinery. Three pieces:
+//
+//  1. ParShard -- the per-lane event loop. An exact transliteration of
+//     Machine's tick-domain hot path (same branch structure, same fault
+//     hook order, same REQUIRE messages), except that instead of writing
+//     to the global trace/fault-timeline/sequence-counter directly it
+//     *logs* what each pop produced.
+//
+//  2. The stamp algebra. Every queued event carries a stamp standing in
+//     for Machine's global push counter. Events routed through a barrier
+//     carry their true global sequence number (gseq); events pushed and
+//     consumed inside one window carry a provisional stamp (top bit set,
+//     window-local counter). Provisional stamps compare correctly against
+//     everything they can ever meet: within a shard's queue, in-window
+//     pushes are strictly later (in sequential push order) than anything
+//     that crossed a barrier, and the window-local counter orders them
+//     among themselves exactly as the sequential engine's counter would --
+//     a shard pops its own events in the same relative order the global
+//     engine would, so it also pushes in that relative order (induction
+//     over windows).
+//
+//  3. The barrier merge-replay. When a window closes, the caller k-way
+//     merges the shards' pop logs by (tick, resolved stamp): the head of a
+//     log with a provisional stamp always resolves, because the push that
+//     created it sits earlier in the *same* log (pushed, then popped,
+//     both in-window) and the merge consumes logs front to back. The merge
+//     visits pops in exactly the sequential engine's pop order, so
+//     replaying each entry's logged deliveries and fault events rebuilds
+//     the sequential trace and fault timeline byte for byte, and handing
+//     out gseqs to each entry's pushes in replay order reproduces the
+//     sequential push-counter order. Outbox entries get their gseq here,
+//     then flush into their destination shard's queue sorted by
+//     (tick, gseq) -- the append order TickEventQueue's same-tick FIFO
+//     contract requires.
+//
+// Window placement needs no alignment: each window is [B, B + lambda)
+// with B = the global minimum pending tick, so every send started in the
+// window (at start >= B, latency >= lambda ticks) arrives at or after the
+// window's end -- sends *always* route through the barrier, and only
+// timers and input-port requeues can land in-window. Shared per-rank
+// arrays (port_free, recv_free, port_busy_units) are safe unsynchronized:
+// send-side fields are indexed by the handler's own rank and receive-side
+// fields by the delivering event's destination rank, and both ranks
+// belong to the shard doing the write; the pool's batch join publishes
+// them across windows. Loss draws are likewise shard-local per directed
+// link (keyed by the sending rank), so the per-link draw counters consume
+// in sequential order.
+#include "sim/par_machine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+
+#include "par/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace postal {
+
+namespace {
+
+/// Provisional stamps live above every possible gseq (gseqs count queue
+/// pushes, bounded by max_events, far below 2^63).
+constexpr std::uint64_t kProvBase = std::uint64_t{1} << 63;
+constexpr Tick kNoTick = std::numeric_limits<Tick>::max();
+
+/// Raised by a shard when a handler arms a timer the tick engine cannot
+/// key (off the 1/q grid or out of range). The sequential Machine
+/// transplants to the Rational engine mid-run; the sharded engine cannot
+/// (shards have already diverged from sequential state), so the whole run
+/// restarts on a fresh sequential Machine.
+struct ParFallbackError : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "ParMachine: off-grid timer; rerunning sequentially";
+  }
+};
+
+}  // namespace
+
+/// One lane's event engine. Plain-struct wiring: ParMachine::run_windowed
+/// sets every field, runs the windows, then reads the accumulators back.
+/// Lives in this TU only; MachineContext befriends it by name.
+class ParShard final : public ContextSink {
+ public:
+  /// ParMachine's pending-event record (Machine::Pending is private to
+  /// Machine; the shard engine keeps its own, with send_start in ticks).
+  struct Ev {
+    enum class Kind : std::uint8_t { kFlight, kFlightFinal, kTimer };
+    Kind kind = Kind::kFlight;
+    ProcId src = 0;
+    ProcId dst = 0;
+    Packet packet;
+    Tick send_start = 0;
+    std::uint64_t token = 0;
+  };
+
+  /// A push that must cross a barrier: delivered to shard_of(ev.dst) once
+  /// the merge has assigned its gseq.
+  struct OutboxEntry {
+    Tick tick = 0;
+    std::uint64_t gseq = 0;  ///< filled during barrier replay
+    Ev ev;
+  };
+
+  /// One productive pop in a shard's window log. `pushes`, `faults`, and
+  /// `delivered` are counts into the shard's side streams (push_kinds /
+  /// fevents / deliveries), consumed in order during replay. Pops that
+  /// produce nothing observable (e.g. a crash-skipped timer) are not
+  /// logged.
+  struct PopEntry {
+    Tick tick = 0;
+    std::uint64_t stamp = 0;
+    std::uint32_t pushes = 0;
+    std::uint32_t faults = 0;
+    std::uint8_t delivered = 0;
+  };
+
+  // Wiring (constant during a run).
+  const PostalParams* params = nullptr;
+  std::uint32_t messages = 0;
+  FaultInjector* injector = nullptr;
+  ProcId lo = 0;  ///< first rank owned
+  ProcId hi = 0;  ///< one past last rank owned
+  std::int64_t tick_q = 1;
+  Tick lambda_ticks = 0;
+  const std::vector<std::optional<Tick>>* crash_ticks = nullptr;
+  const std::vector<SpikeTicks>* spike_ticks = nullptr;
+  Tick* port_free = nullptr;                 ///< shared, written at own ranks
+  Tick* recv_free = nullptr;                 ///< shared, written at own ranks
+  std::uint64_t* port_busy_units = nullptr;  ///< shared, written at own ranks
+  std::uint64_t max_events = 0;
+  std::unique_ptr<Protocol> protocol;
+
+  // Run-cumulative accumulators, merged by ParMachine at the end.
+  TickEventQueue<Ev> q;
+  Schedule schedule;
+  MachineStats stats;  ///< port_busy stays empty (folded from the units array)
+  FaultStats faults;   ///< counters only; the timeline is built at replay
+  std::uint64_t steps = 0;
+  std::uint64_t stalled_windows = 0;
+  std::uint64_t mailbox_in = 0;
+
+  // Window-local pop log and side streams (cleared after every barrier).
+  std::vector<PopEntry> log;
+  std::vector<std::uint8_t> push_kinds;  ///< per push: 0 = in-window, 1 = outbox
+  std::vector<Delivery> deliveries;
+  std::vector<FaultEvent> fevents;
+  std::vector<OutboxEntry> outbox;
+  std::uint64_t prov_count = 0;  ///< provisional stamps handed out this window
+
+  /// The preamble image of Machine's on_start loop for one owned rank:
+  /// a pseudo-pop at (tick 0, stamp = rank), every push routed to the
+  /// outbox (window_end_ = 0), so the preamble barrier's rank-ordered
+  /// merge reproduces the sequential on_start push order.
+  void start_rank(ProcId p) {
+    window_end_ = 0;
+    cur_ = PopEntry{0, p, 0, 0, 0};
+    if (injector != nullptr && injector->crashed(p, Rational(0))) return;
+    MachineContext ctx(*this, p, Rational(0), 0);
+    protocol->on_start(ctx);
+    commit_log();
+  }
+
+  /// Drain every owned event strictly before `window_end`.
+  void run_window(Tick window_end) {
+    window_end_ = window_end;
+    const std::uint64_t before = steps;
+    while (!q.empty()) {
+      const Tick t = q.peek_time();
+      if (t >= window_end) break;
+      q.drain_current_tick([&](std::uint64_t stamp, Ev&& ev) {
+        process(t, stamp, std::move(ev));
+      });
+    }
+    if (steps == before) ++stalled_windows;
+  }
+
+  void clear_window() {
+    log.clear();
+    push_kinds.clear();
+    deliveries.clear();
+    fevents.clear();
+    outbox.clear();
+    prov_count = 0;
+  }
+
+ private:
+  // ContextSink: the tick-domain images of Machine::enqueue_send_ticks /
+  // enqueue_timer_ticks, logging instead of globally sequencing.
+  void sink_send(ProcId self, ProcId dst, const Packet& packet,
+                 const Rational& now, Tick now_ticks) override {
+    static_cast<void>(now);
+    POSTAL_REQUIRE(dst < params->n(), "Machine: send destination out of range");
+    POSTAL_REQUIRE(dst != self, "Machine: a processor cannot send to itself");
+    POSTAL_REQUIRE(packet.msg < messages, "Machine: message id out of range");
+    const Tick start = std::max(now_ticks, port_free[self]);
+    POSTAL_CHECK(start <= kTickCap);
+    if (injector != nullptr && crashed_at(self, start)) {
+      ++faults.sends_suppressed;
+      log_fault(FaultEvent{FaultEvent::Kind::kSendSuppressed,
+                           tick_rational(start), self, dst});
+      return;
+    }
+    port_free[self] = start + tick_q;
+    ++stats.sends_enqueued;
+    if (start > now_ticks) ++stats.sends_deferred;
+    ++port_busy_units[self];
+    const std::uint64_t depth = static_cast<std::uint64_t>(
+        (port_free[self] - now_ticks + tick_q - 1) / tick_q);
+    if (depth > stats.max_fifo_depth) stats.max_fifo_depth = depth;
+    schedule.add(self, dst, packet.msg, tick_rational(start));
+    Tick latency = lambda_ticks;
+    if (injector != nullptr && injector->has_spikes()) {
+      Tick extra = 0;
+      for (const SpikeTicks& s : *spike_ticks) {
+        if (start >= s.from && start < s.until) extra += s.extra;
+      }
+      if (extra > 0) {
+        latency += extra;
+        ++faults.spikes_applied;
+        log_fault(
+            FaultEvent{FaultEvent::Kind::kSpike, tick_rational(start), self, dst});
+      }
+    }
+    if (injector != nullptr && injector->has_losses() && injector->lose(self, dst)) {
+      ++faults.drops_loss;
+      log_fault(FaultEvent{FaultEvent::Kind::kDropLoss,
+                           tick_rational(start + latency), dst, self});
+      return;
+    }
+    route_push(start + latency,
+               Ev{Ev::Kind::kFlight, self, dst, packet, start, 0});
+  }
+
+  void sink_timer(ProcId self, const Rational& now, Tick now_ticks,
+                  const Rational& delay, std::uint64_t token) override {
+    static_cast<void>(now);
+    ++stats.timers_set;
+    const std::optional<Tick> d = TickDomain(tick_q).to_ticks(delay);
+    Tick fire = 0;
+    if (!d.has_value() || __builtin_add_overflow(now_ticks, *d, &fire) ||
+        fire > kTickCap) {
+      throw ParFallbackError{};
+    }
+    route_push(fire, Ev{Ev::Kind::kTimer, self, self, Packet{}, fire, token});
+  }
+
+  [[nodiscard]] const PostalParams& sink_params() const noexcept override {
+    return *params;
+  }
+
+  /// One pop: Machine::run_tick_loop's switch, against the window log.
+  void process(Tick time, std::uint64_t stamp, Ev&& ev) {
+    if (++steps > max_events) {
+      throw LogicError("ParMachine::run: exceeded max_events; runaway protocol?");
+    }
+    cur_ = PopEntry{time, stamp, 0, 0, 0};
+    switch (ev.kind) {
+      case Ev::Kind::kTimer: {
+        if (injector != nullptr && crashed_at(ev.dst, time)) break;
+        ++stats.timers_fired;
+        MachineContext ctx(*this, ev.dst, tick_rational(time), time);
+        protocol->on_timer(ctx, ev.token);
+        break;
+      }
+      case Ev::Kind::kFlight: {
+        const Tick window_start = std::max(time - tick_q, recv_free[ev.dst]);
+        const Tick arrival = window_start + tick_q;
+        recv_free[ev.dst] = arrival;
+        if (arrival > time) {
+          ++stats.receives_queued;
+          Ev requeued = ev;
+          requeued.kind = Ev::Kind::kFlightFinal;
+          route_push(arrival, std::move(requeued));
+          break;
+        }
+        deliver(time, ev);
+        break;
+      }
+      case Ev::Kind::kFlightFinal:
+        deliver(time, ev);
+        break;
+    }
+    commit_log();
+  }
+
+  void deliver(Tick time, const Ev& ev) {
+    if (injector != nullptr && crashed_at(ev.dst, time)) {
+      ++faults.drops_crash;
+      log_fault(FaultEvent{FaultEvent::Kind::kDropCrash, tick_rational(time),
+                           ev.dst, ev.src});
+      return;
+    }
+    ++stats.events_processed;
+    cur_.delivered = 1;
+    deliveries.push_back(Delivery{ev.src, ev.dst, ev.packet.msg,
+                                  tick_rational(ev.send_start),
+                                  tick_rational(time)});
+    MachineContext ctx(*this, ev.dst, tick_rational(time), time);
+    protocol->on_receive(ctx, ev.packet);
+  }
+
+  /// Every queue push of the sequential engine maps to exactly one call
+  /// here, so replaying `pushes` per entry reproduces its seq counter.
+  void route_push(Tick at, Ev&& ev) {
+    ++cur_.pushes;
+    if (at < window_end_) {
+      push_kinds.push_back(0);
+      q.push(at, kProvBase + prov_count++, std::move(ev));
+    } else {
+      push_kinds.push_back(1);
+      outbox.push_back(OutboxEntry{at, 0, std::move(ev)});
+    }
+  }
+
+  void log_fault(const FaultEvent& e) {
+    fevents.push_back(e);
+    ++cur_.faults;
+  }
+
+  void commit_log() {
+    if (cur_.pushes != 0 || cur_.faults != 0 || cur_.delivered != 0) {
+      log.push_back(cur_);
+    }
+  }
+
+  [[nodiscard]] bool crashed_at(ProcId p, Tick t) const {
+    const auto& c = (*crash_ticks)[p];
+    return c.has_value() && t >= *c;
+  }
+  [[nodiscard]] Rational tick_rational(Tick t) const {
+    return Rational(t, tick_q);
+  }
+
+  Tick window_end_ = 0;
+  PopEntry cur_{};
+};
+
+namespace {
+
+/// The barrier-side sequencer: merges shard pop logs into the sequential
+/// pop order, rebuilding the global trace and fault timeline and handing
+/// out gseqs (see file comment, piece 3). One instance per run; the
+/// scratch vectors are reused across barriers.
+class Replay {
+ public:
+  Replay(std::vector<ParShard>& shards, Trace& trace, FaultStats& faults)
+      : shards_(shards), trace_(trace), faults_(faults) {
+    const std::size_t s = shards_.size();
+    head_.resize(s);
+    fev_.resize(s);
+    del_.resize(s);
+    push_.resize(s);
+    live_.resize(s);
+    out_.resize(s);
+    prov2g_.resize(s);
+  }
+
+  std::uint64_t replayed_pops = 0;
+
+  void barrier() {
+    const std::size_t s_count = shards_.size();
+    for (std::size_t s = 0; s < s_count; ++s) {
+      head_[s] = fev_[s] = del_[s] = push_[s] = live_[s] = out_[s] = 0;
+      prov2g_[s].assign(shards_[s].prov_count, 0);
+    }
+    while (true) {
+      // Linear head scan: the shard count is tiny (<= threads), so a heap
+      // would cost more than it saves. Keys never tie -- resolved stamps
+      // are distinct gseqs (or distinct ranks, at the preamble barrier).
+      std::size_t best = s_count;
+      Tick best_tick = 0;
+      std::uint64_t best_stamp = 0;
+      for (std::size_t s = 0; s < s_count; ++s) {
+        const std::vector<ParShard::PopEntry>& log = shards_[s].log;
+        if (head_[s] >= log.size()) continue;
+        const ParShard::PopEntry& e = log[head_[s]];
+        const std::uint64_t stamp = resolve(s, e.stamp);
+        if (best == s_count || e.tick < best_tick ||
+            (e.tick == best_tick && stamp < best_stamp)) {
+          best = s;
+          best_tick = e.tick;
+          best_stamp = stamp;
+        }
+      }
+      if (best == s_count) break;
+      ParShard& sh = shards_[best];
+      const ParShard::PopEntry& e = sh.log[head_[best]++];
+      for (std::uint32_t i = 0; i < e.faults; ++i) {
+        faults_.events.push_back(sh.fevents[fev_[best]++]);
+      }
+      if (e.delivered != 0) trace_.record(sh.deliveries[del_[best]++]);
+      for (std::uint32_t i = 0; i < e.pushes; ++i) {
+        const std::uint8_t kind = sh.push_kinds[push_[best]++];
+        const std::uint64_t g = gseq_++;
+        if (kind == 0) {
+          prov2g_[best][live_[best]++] = g;
+        } else {
+          sh.outbox[out_[best]++].gseq = g;
+        }
+      }
+      ++replayed_pops;
+    }
+  }
+
+ private:
+  /// A provisional head always resolves: the push that minted it sits in
+  /// an earlier entry of the same log, already consumed front-to-back.
+  [[nodiscard]] std::uint64_t resolve(std::size_t s, std::uint64_t stamp) const {
+    return stamp >= kProvBase ? prov2g_[s][stamp - kProvBase] : stamp;
+  }
+
+  std::vector<ParShard>& shards_;
+  Trace& trace_;
+  FaultStats& faults_;
+  std::uint64_t gseq_ = 0;  ///< image of Machine's push counter, run-global
+  std::vector<std::size_t> head_, fev_, del_, push_, live_, out_;
+  std::vector<std::vector<std::uint64_t>> prov2g_;
+};
+
+}  // namespace
+
+ParMachine::ParMachine(PostalParams params, std::uint32_t messages)
+    : params_(std::move(params)), messages_(messages) {}
+
+void ParMachine::attach_faults(const FaultPlan& plan) {
+  if (plan.empty()) {
+    injector_.reset();
+    return;
+  }
+  injector_ = std::make_unique<FaultInjector>(plan, params_.n());
+}
+
+MachineResult ParMachine::run(ShardProtocolFactory& factory,
+                              std::uint64_t max_events) {
+  info_ = ParRunInfo();
+  if (time_path_ == TimePath::kRational) {
+    return run_sequential(factory, max_events, "rational time path forced");
+  }
+  const std::optional<TickRunSetup> setup =
+      plan_tick_run(params_, injector_.get(), max_events);
+  if (!setup.has_value()) {
+    return run_sequential(factory, max_events, "tick-domain admission failed");
+  }
+  try {
+    return run_windowed(factory, *setup, max_events);
+  } catch (const ParFallbackError&) {
+    info_ = ParRunInfo();
+    return run_sequential(factory, max_events, "off-grid timer armed mid-run");
+  }
+}
+
+MachineResult ParMachine::run_sequential(ShardProtocolFactory& factory,
+                                         std::uint64_t max_events,
+                                         std::string reason) {
+  Machine machine(params_, messages_);
+  if (injector_ != nullptr) machine.attach_faults(injector_->plan());
+  machine.set_time_path(time_path_);
+  std::unique_ptr<Protocol> protocol = factory.make(0, 1);
+  POSTAL_CHECK(protocol != nullptr);
+  MachineResult result = machine.run(*protocol, max_events);
+  factory.reclaim(0, std::move(protocol));
+  info_.parallel_engine = false;
+  info_.fallback_reason = std::move(reason);
+  info_.shards = 1;
+  return result;
+}
+
+MachineResult ParMachine::run_windowed(ShardProtocolFactory& factory,
+                                       const TickRunSetup& setup,
+                                       std::uint64_t max_events) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+
+  const std::uint64_t n = params_.n();
+  const std::uint64_t lanes = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(threads_, n == 0 ? 1 : n));
+  const std::uint64_t shard_size = n == 0 ? 1 : (n + lanes - 1) / lanes;
+  const std::uint32_t s_count =
+      static_cast<std::uint32_t>(n == 0 ? 1 : (n + shard_size - 1) / shard_size);
+  const auto shard_of = [shard_size](ProcId p) {
+    return static_cast<std::uint32_t>(p / shard_size);
+  };
+
+  std::vector<Tick> port_free(n, 0);
+  std::vector<Tick> recv_free(n, 0);
+  std::vector<std::uint64_t> port_busy_units(n, 0);
+
+  MachineResult result;
+  result.trace = Trace(n, messages_);
+
+  std::vector<ParShard> shards(s_count);
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    ParShard& sh = shards[s];
+    sh.params = &params_;
+    sh.messages = messages_;
+    sh.injector = injector_.get();
+    sh.lo = static_cast<ProcId>(s * shard_size);
+    sh.hi = static_cast<ProcId>(std::min<std::uint64_t>(n, (s + 1) * shard_size));
+    sh.tick_q = setup.q;
+    sh.lambda_ticks = setup.lambda_ticks;
+    sh.crash_ticks = &setup.crash_ticks;
+    sh.spike_ticks = &setup.spike_ticks;
+    sh.port_free = port_free.data();
+    sh.recv_free = recv_free.data();
+    sh.port_busy_units = port_busy_units.data();
+    sh.max_events = max_events;
+    sh.stats.tick_domain = true;
+    sh.protocol = factory.make(s, s_count);
+    POSTAL_CHECK(sh.protocol != nullptr);
+  }
+
+  if (injector_ != nullptr) {
+    injector_->reset();
+    for (ProcId p = 0; p < n; ++p) {
+      const auto& c = injector_->crash_time(p);
+      if (c.has_value()) {
+        ++result.faults.crashes_applied;
+        result.faults.events.push_back(
+            FaultEvent{FaultEvent::Kind::kCrash, *c, p, p});
+      }
+    }
+  }
+
+  Replay replay(shards, result.trace, result.faults);
+  par::ThreadPool pool(static_cast<unsigned>(lanes));
+
+  // Per-destination-shard mailbox staging, reused across barriers.
+  std::vector<std::vector<ParShard::OutboxEntry>> mailbox(s_count);
+  const auto flush_outboxes = [&] {
+    for (std::uint32_t s = 0; s < s_count; ++s) {
+      for (ParShard::OutboxEntry& e : shards[s].outbox) {
+        const std::uint32_t d = shard_of(e.ev.dst);
+        if (d != s) ++info_.cross_shard_events;
+        ++info_.barrier_events;
+        mailbox[d].push_back(std::move(e));
+      }
+    }
+    for (std::uint32_t d = 0; d < s_count; ++d) {
+      std::vector<ParShard::OutboxEntry>& in = mailbox[d];
+      if (in.empty()) continue;
+      // (tick, gseq) append order satisfies the queue's same-tick FIFO
+      // contract; every tick is >= the window end, hence >= the cursor.
+      std::sort(in.begin(), in.end(),
+                [](const ParShard::OutboxEntry& a, const ParShard::OutboxEntry& b) {
+                  if (a.tick != b.tick) return a.tick < b.tick;
+                  return a.gseq < b.gseq;
+                });
+      shards[d].mailbox_in += in.size();
+      for (ParShard::OutboxEntry& e : in) {
+        shards[d].q.push(e.tick, e.gseq, std::move(e.ev));
+      }
+      in.clear();
+    }
+    for (ParShard& sh : shards) sh.clear_window();
+  };
+  const auto check_total_steps = [&] {
+    std::uint64_t total = 0;
+    for (const ParShard& sh : shards) total += sh.steps;
+    if (total > max_events) {
+      throw LogicError("ParMachine::run: exceeded max_events; runaway protocol?");
+    }
+  };
+
+  // Preamble: Machine's sequential on_start loop, as pseudo-pops merged in
+  // rank order (stamp = rank, everything outboxed).
+  auto t0 = Clock::now();
+  pool.for_each(s_count, [&shards](std::size_t s) {
+    ParShard& sh = shards[s];
+    for (ProcId p = sh.lo; p < sh.hi; ++p) sh.start_rank(p);
+  });
+  info_.window_ms += ms_since(t0);
+  t0 = Clock::now();
+  replay.barrier();
+  flush_outboxes();
+  info_.merge_ms += ms_since(t0);
+
+  while (true) {
+    Tick next = kNoTick;
+    for (ParShard& sh : shards) {
+      if (!sh.q.empty()) next = std::min(next, sh.q.peek_time());
+    }
+    if (next == kNoTick) break;
+    const Tick window_end = next + setup.lambda_ticks;
+    t0 = Clock::now();
+    pool.for_each(s_count, [&shards, window_end](std::size_t s) {
+      shards[s].run_window(window_end);
+    });
+    info_.window_ms += ms_since(t0);
+    t0 = Clock::now();
+    replay.barrier();
+    flush_outboxes();
+    check_total_steps();
+    info_.merge_ms += ms_since(t0);
+    ++info_.windows;
+  }
+
+  // Merge run accumulators into the sequential result shape.
+  result.stats.tick_domain = true;
+  result.stats.port_busy.assign(n, Rational(0));
+  Schedule schedule;
+  for (ParShard& sh : shards) {
+    result.stats.events_processed += sh.stats.events_processed;
+    result.stats.sends_enqueued += sh.stats.sends_enqueued;
+    result.stats.sends_deferred += sh.stats.sends_deferred;
+    result.stats.timers_set += sh.stats.timers_set;
+    result.stats.timers_fired += sh.stats.timers_fired;
+    result.stats.receives_queued += sh.stats.receives_queued;
+    result.stats.max_fifo_depth =
+        std::max(result.stats.max_fifo_depth, sh.stats.max_fifo_depth);
+    result.faults.sends_suppressed += sh.faults.sends_suppressed;
+    result.faults.drops_crash += sh.faults.drops_crash;
+    result.faults.drops_loss += sh.faults.drops_loss;
+    result.faults.spikes_applied += sh.faults.spikes_applied;
+    for (const SendEvent& e : sh.schedule.events()) schedule.add(e);
+  }
+  for (std::uint64_t p = 0; p < n; ++p) {
+    if (port_busy_units[p] == 0) continue;
+    POSTAL_CHECK(port_busy_units[p] <= static_cast<std::uint64_t>(INT64_MAX));
+    result.stats.port_busy[p] +=
+        Rational(static_cast<std::int64_t>(port_busy_units[p]));
+  }
+  schedule.sort();
+  result.schedule = std::move(schedule);
+
+  info_.parallel_engine = true;
+  info_.shards = s_count;
+  info_.replayed_pops = replay.replayed_pops;
+  info_.shard.resize(s_count);
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    info_.shard[s].pops = shards[s].steps;
+    info_.shard[s].stalled_windows = shards[s].stalled_windows;
+    info_.shard[s].mailbox_in = shards[s].mailbox_in;
+    factory.reclaim(s, std::move(shards[s].protocol));
+  }
+  return result;
+}
+
+}  // namespace postal

@@ -1,7 +1,9 @@
 #include "sim/protocols/reliable_bcast.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "sim/par_machine.hpp"
 #include "support/error.hpp"
 
 namespace postal {
@@ -21,6 +23,44 @@ Packet make_data(ProcId sender, std::uint64_t lo, std::uint64_t hi) {
 Packet make_ack(ProcId sender) {
   return Packet{/*msg=*/0, static_cast<std::uint64_t>(sender) << 32, 0};
 }
+
+// Factory for the sharded runner: one ReliableBcastProtocol per shard,
+// counters folded back on reclaim. Each counter increments inside exactly
+// one rank's handler, and a rank's handlers run on the shard that owns it,
+// so the per-shard sums equal the sequential run's totals.
+class ReliableBcastFactory final : public ShardProtocolFactory {
+ public:
+  ReliableBcastFactory(const PostalParams& params,
+                       const ReliableBcastOptions& options)
+      : params_(params), options_(options) {}
+
+  [[nodiscard]] std::unique_ptr<Protocol> make(std::uint32_t /*shard*/,
+                                               std::uint32_t /*shards*/) override {
+    return std::make_unique<ReliableBcastProtocol>(params_, options_);
+  }
+
+  void reclaim(std::uint32_t /*shard*/,
+               std::unique_ptr<Protocol> protocol) override {
+    const ReliableBcastCounters& c =
+        static_cast<const ReliableBcastProtocol&>(*protocol).counters();
+    counters_.data_sends += c.data_sends;
+    counters_.retransmissions += c.retransmissions;
+    counters_.acks_sent += c.acks_sent;
+    counters_.acks_received += c.acks_received;
+    counters_.timeouts += c.timeouts;
+    counters_.dead_declared += c.dead_declared;
+    counters_.repairs += c.repairs;
+  }
+
+  [[nodiscard]] const ReliableBcastCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  const PostalParams& params_;
+  const ReliableBcastOptions& options_;
+  ReliableBcastCounters counters_;
+};
 
 }  // namespace
 
@@ -202,14 +242,23 @@ void ReliableBcastProtocol::on_timer(MachineContext& ctx, std::uint64_t token) {
 ReliableBcastReport run_reliable_bcast(const PostalParams& params,
                                        const FaultPlan* plan,
                                        const ReliableBcastOptions& options) {
-  Machine machine(params, /*messages=*/1);
-  machine.set_time_path(options.time_path);
-  if (plan != nullptr) machine.attach_faults(*plan);
-  ReliableBcastProtocol protocol(params, options);
-
   ReliableBcastReport report;
-  report.result = machine.run(protocol);
-  report.counters = protocol.counters();
+  if (options.threads > 1) {
+    ParMachine machine(params, /*messages=*/1);
+    machine.set_time_path(options.time_path);
+    machine.set_threads(options.threads);
+    if (plan != nullptr) machine.attach_faults(*plan);
+    ReliableBcastFactory factory(params, options);
+    report.result = machine.run(factory);
+    report.counters = factory.counters();
+  } else {
+    Machine machine(params, /*messages=*/1);
+    machine.set_time_path(options.time_path);
+    if (plan != nullptr) machine.attach_faults(*plan);
+    ReliableBcastProtocol protocol(params, options);
+    report.result = machine.run(protocol);
+    report.counters = protocol.counters();
+  }
 
   GenFib fib(params.lambda());
   report.baseline = params.n() >= 2 ? fib.f(params.n()) : Rational(0);

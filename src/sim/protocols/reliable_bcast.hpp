@@ -53,6 +53,13 @@ struct ReliableBcastOptions {
   /// run is exactly representable; kRational forces the reference engine.
   /// Reports are identical either way (chaos-differential-tested).
   TimePath time_path = TimePath::kAuto;
+  /// Simulation lanes (docs/SIMULATION.md). 0 = inherit the caller's
+  /// setting (Communicator::set_threads; the standalone runner treats it
+  /// as 1). Values > 1 run the sharded ParMachine; the report is
+  /// byte-identical at every setting. Note the ack timers are on the tick
+  /// grid only when f_lambda values are (integer lambda): off-grid runs
+  /// fall back to the sequential engine automatically.
+  unsigned threads = 0;
 };
 
 /// Traffic/recovery counters of one run.

@@ -66,10 +66,31 @@ class TickEventQueue {
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
-  /// Tick of the earliest event; requires !empty().
+  /// Tick of the earliest event; requires !empty(). Commits the scan: the
+  /// cursor moves to that tick, so later pushes below it are rejected even
+  /// if nothing was popped there. Use peek_time() to look without
+  /// committing.
   [[nodiscard]] Tick next_time() {
     advance();
     return cursor_;
+  }
+
+  /// Tick of the earliest event without moving the cursor; requires
+  /// !empty(). Lets a caller decide *whether* to pop here at all (e.g.
+  /// ParMachine's window loops stop at a horizon, then push barrier
+  /// traffic at ticks the committed cursor would have overshot). Cost
+  /// mirrors advance()'s forward scan without its amortization, bounded
+  /// by the ring size.
+  [[nodiscard]] Tick peek_time() const {
+    POSTAL_CHECK(size_ != 0);
+    if (ring_count_ == 0) return far_.top().time;
+    Tick t = cursor_;
+    while (true) {
+      POSTAL_CHECK(t < base_ + static_cast<Tick>(kRingSize));
+      const std::size_t b = bucket(t);
+      if (head_[b] < ring_[b].size()) return t;
+      ++t;
+    }
   }
 
   /// Remove and return the earliest event; requires !empty().
@@ -78,6 +99,42 @@ class TickEventQueue {
     Payload out = std::move(arena_[slot.idx]);
     free_.push_back(slot.idx);
     return {tick, std::move(out)};
+  }
+
+  /// Batched per-bucket pop: position the cursor on the earliest nonempty
+  /// tick and hand every event at that tick to fn(seq, Payload&&) in FIFO
+  /// order -- including events fn itself pushes back at the same tick while
+  /// the batch drains, exactly as repeated pop() calls would order them.
+  /// Returns the drained tick. Requires !empty(). fn may push() into this
+  /// queue but must not pop/drain/clear it. Compared to a pop() loop this
+  /// touches the cursor/bucket bookkeeping once per tick instead of once
+  /// per event; slot metadata (seq, arena index) stays separate from the
+  /// payload arena, so the batch walk is a contiguous scan. This is the
+  /// data-oriented hot path of ParMachine's shard loop
+  /// (docs/SIMULATION.md).
+  template <typename Fn>
+  Tick drain_current_tick(Fn&& fn) {
+    advance();
+    const Tick tick = cursor_;
+    const std::size_t b = bucket(tick);
+    std::vector<Slot>& slots = ring_[b];
+    std::size_t i = head_[b];
+    std::size_t drained = 0;
+    // Index-based: fn may push at `tick`, growing (and reallocating) the
+    // bucket vector mid-walk; seqs only grow, so appends extend FIFO order.
+    while (i < slots.size()) {
+      const Slot slot = slots[i];
+      ++i;
+      ++drained;
+      Payload payload = std::move(arena_[slot.idx]);
+      free_.push_back(slot.idx);
+      fn(slot.seq, std::move(payload));
+    }
+    slots.clear();
+    head_[b] = 0;
+    ring_count_ -= drained;
+    size_ -= drained;
+    return tick;
   }
 
   /// Empty the queue through fn(tick, seq, Payload&&), in pop order. Used

@@ -139,6 +139,37 @@ TEST(Communicator, ReliableBroadcastSurvivesACrashPlan) {
   EXPECT_EQ(report.crashed[0], 5u);
 }
 
+TEST(Communicator, SetThreadsIsInheritedByReliableBroadcast) {
+  // threads plumbing: options.threads == 0 inherits set_threads(), and the
+  // sharded run's report is identical to the sequential default.
+  Communicator seq(48, Rational(2));
+  Communicator par(48, Rational(2));
+  par.set_threads(4);
+  EXPECT_EQ(par.threads(), 4u);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{7, Rational(3)});
+  const ReliableBcastReport a = seq.broadcast_reliable(&plan);
+  const ReliableBcastReport b = par.broadcast_reliable(&plan);
+  EXPECT_EQ(a.result.schedule.events(), b.result.schedule.events());
+  EXPECT_EQ(a.result.trace.deliveries(), b.result.trace.deliveries());
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.counters.retransmissions, b.counters.retransmissions);
+  EXPECT_EQ(a.counters.repairs, b.counters.repairs);
+  EXPECT_TRUE(b.covered);
+
+  // An explicit options.threads wins over the communicator setting.
+  ReliableBcastOptions options;
+  options.threads = 1;
+  const ReliableBcastReport c = par.broadcast_reliable(&plan, options);
+  EXPECT_EQ(a.completion, c.completion);
+}
+
+TEST(Communicator, SetThreadsZeroClampsToOne) {
+  Communicator comm(8, Rational(2));
+  comm.set_threads(0);
+  EXPECT_EQ(comm.threads(), 1u);
+}
+
 TEST(Communicator, PlansAreDeterministic) {
   Communicator a(20, Rational(5, 2));
   Communicator b(20, Rational(5, 2));

@@ -153,6 +153,52 @@ TEST(ReliableBcast, RunsAreDeterministic) {
   EXPECT_EQ(a.counters.retransmissions, b.counters.retransmissions);
 }
 
+TEST(ReliableBcast, ShardedRunsMatchSequentialByteForByte) {
+  // options.threads > 1 swaps the Machine for the sharded ParMachine
+  // (docs/SIMULATION.md); the whole report -- schedule, trace, fault
+  // timeline, counters folded across shard instances, judgments -- must be
+  // identical. Integer lambda keeps the ack timers on the tick grid so the
+  // sharded engine actually runs (no sequential fallback).
+  const PostalParams params = mps(40, Rational(2));
+  RandomFaultOptions opts;
+  opts.crashes = 3;
+  opts.loss_p = Rational(1, 8);
+  opts.lossy_links = 10;
+  const FaultPlan plan = random_fault_plan(params, 99, opts);
+  const ReliableBcastReport seq = run_reliable_bcast(params, &plan);
+  for (const unsigned threads : {2u, 4u}) {
+    ReliableBcastOptions options;
+    options.threads = threads;
+    const ReliableBcastReport par = run_reliable_bcast(params, &plan, options);
+    EXPECT_EQ(par.result.schedule.events(), seq.result.schedule.events());
+    EXPECT_EQ(par.result.trace.deliveries(), seq.result.trace.deliveries());
+    EXPECT_EQ(par.result.faults.events, seq.result.faults.events);
+    EXPECT_EQ(par.completion, seq.completion);
+    EXPECT_EQ(par.covered, seq.covered);
+    EXPECT_EQ(par.validation.ok, seq.validation.ok);
+    EXPECT_EQ(par.counters.data_sends, seq.counters.data_sends);
+    EXPECT_EQ(par.counters.retransmissions, seq.counters.retransmissions);
+    EXPECT_EQ(par.counters.acks_sent, seq.counters.acks_sent);
+    EXPECT_EQ(par.counters.acks_received, seq.counters.acks_received);
+    EXPECT_EQ(par.counters.timeouts, seq.counters.timeouts);
+    EXPECT_EQ(par.counters.dead_declared, seq.counters.dead_declared);
+    EXPECT_EQ(par.counters.repairs, seq.counters.repairs);
+  }
+}
+
+TEST(ReliableBcast, ShardedFaultFreeRunIsStillAlgorithmBcast) {
+  const PostalParams params = mps(57, Rational(3));
+  GenFib fib(params.lambda());
+  ReliableBcastOptions options;
+  options.threads = 4;
+  const ReliableBcastReport report = run_reliable_bcast(params, nullptr, options);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.completion, fib.f(57));
+  EXPECT_EQ(report.counters.retransmissions, 0u);
+  EXPECT_EQ(report.counters.dead_declared, 0u);
+}
+
 TEST(ReliableBcast, OptionsAreValidated) {
   const PostalParams params = mps(4, Rational(2));
   ReliableBcastOptions zero_attempts;

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "sched/bcast.hpp"
 #include "sim/machine.hpp"
+#include "sim/par_machine.hpp"
 #include "sim/protocols/bcast_protocol.hpp"
 #include "support/error.hpp"
 #include "test_util.hpp"
@@ -181,6 +182,34 @@ TEST(MachineStats, RecordIntoRegistry) {
             Rational(static_cast<std::int64_t>(result.schedule.size())));
   EXPECT_EQ(reg.gauge("machine.max_fifo_depth").max(),
             static_cast<std::int64_t>(result.stats.max_fifo_depth));
+  EXPECT_EQ(obs::jsonl_lint(reg.to_jsonl()), std::nullopt);
+}
+
+TEST(MachineStats, RecordParRunIntoRegistry) {
+  const PostalParams params(32, Rational(2));
+  ParMachine machine(params, 1);
+  machine.set_threads(4);
+  auto factory = make_protocol_factory<BcastProtocol>(params);
+  static_cast<void>(machine.run(factory));
+  const ParRunInfo& info = machine.last_run_info();
+  ASSERT_TRUE(info.parallel_engine);
+
+  MetricsRegistry reg;
+  obs::record_par_run(reg, info);
+  EXPECT_EQ(reg.gauge("par.parallel_engine").max(), 1);
+  EXPECT_EQ(reg.gauge("par.shards").max(), static_cast<std::int64_t>(info.shards));
+  EXPECT_EQ(reg.counter("par.windows").value(), info.windows);
+  EXPECT_EQ(reg.counter("par.barrier_events").value(), info.barrier_events);
+  EXPECT_EQ(reg.counter("par.replayed_pops").value(), info.replayed_pops);
+  std::uint64_t stalled = 0;
+  for (std::uint32_t s = 0; s < info.shards; ++s) {
+    const std::string base = "par.shard" + std::to_string(s);
+    EXPECT_EQ(reg.counter(base + ".pops").value(), info.shard[s].pops);
+    stalled += reg.counter(base + ".stalled_windows").value();
+  }
+  std::uint64_t expected_stalled = 0;
+  for (const ParShardInfo& s : info.shard) expected_stalled += s.stalled_windows;
+  EXPECT_EQ(stalled, expected_stalled);
   EXPECT_EQ(obs::jsonl_lint(reg.to_jsonl()), std::nullopt);
 }
 

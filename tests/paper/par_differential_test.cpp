@@ -1,0 +1,296 @@
+// The shard-count-invariance gate (docs/SIMULATION.md): ParMachine must be
+// byte-identical to the sequential Machine -- same schedule events, same
+// trace deliveries in the same order, same stats, same fault timeline,
+// same validator verdicts -- at every thread count, over the full protocol
+// family and fault-injection corpus the tick differential uses. threads=1
+// is not a special case here: the windowed engine (with its barrier
+// merge-replay) runs at every shard count including one, so a threads=1
+// pass already exercises the window/merge machinery, and the higher
+// thread counts exercise true cross-shard mailboxes.
+//
+// scripts/check.sh --sanitize re-runs this binary under TSan (the shard
+// loops run on real pool lanes at threads > 1) and under ASan+UBSan.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "sim/machine.hpp"
+#include "sim/par_machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
+#include "sim/protocols/dtree_protocol.hpp"
+#include "sim/protocols/multi_protocols.hpp"
+#include "sim/validator.hpp"
+#include "support/prng.hpp"
+
+namespace postal {
+namespace {
+
+std::vector<unsigned> thread_counts() {
+  std::vector<unsigned> counts = {1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+/// Everything a MachineResult exposes must match, including the engine
+/// flag: a sharded tick run reports tick_domain exactly like a sequential
+/// tick run would.
+void expect_identical_runs(const MachineResult& par, const MachineResult& ref,
+                           const std::string& tag) {
+  EXPECT_EQ(par.schedule.events(), ref.schedule.events()) << tag;
+  EXPECT_EQ(par.trace.deliveries(), ref.trace.deliveries()) << tag;
+  EXPECT_EQ(par.stats.events_processed, ref.stats.events_processed) << tag;
+  EXPECT_EQ(par.stats.sends_enqueued, ref.stats.sends_enqueued) << tag;
+  EXPECT_EQ(par.stats.sends_deferred, ref.stats.sends_deferred) << tag;
+  EXPECT_EQ(par.stats.timers_set, ref.stats.timers_set) << tag;
+  EXPECT_EQ(par.stats.timers_fired, ref.stats.timers_fired) << tag;
+  EXPECT_EQ(par.stats.receives_queued, ref.stats.receives_queued) << tag;
+  EXPECT_EQ(par.stats.max_fifo_depth, ref.stats.max_fifo_depth) << tag;
+  EXPECT_EQ(par.stats.port_busy, ref.stats.port_busy) << tag;
+  EXPECT_EQ(par.stats.tick_domain, ref.stats.tick_domain) << tag;
+  EXPECT_EQ(par.faults.crashes_applied, ref.faults.crashes_applied) << tag;
+  EXPECT_EQ(par.faults.sends_suppressed, ref.faults.sends_suppressed) << tag;
+  EXPECT_EQ(par.faults.drops_crash, ref.faults.drops_crash) << tag;
+  EXPECT_EQ(par.faults.drops_loss, ref.faults.drops_loss) << tag;
+  EXPECT_EQ(par.faults.spikes_applied, ref.faults.spikes_applied) << tag;
+  EXPECT_EQ(par.faults.events, ref.faults.events) << tag;
+}
+
+/// Validator verdicts over the two schedules+params must agree too (they
+/// must, given identical schedules -- this guards the plumbing end).
+void expect_identical_verdicts(const MachineResult& par, const MachineResult& ref,
+                               const PostalParams& params, const std::string& tag) {
+  const SimReport a = validate_schedule(par.schedule, params);
+  const SimReport b = validate_schedule(ref.schedule, params);
+  EXPECT_EQ(a.ok, b.ok) << tag;
+  EXPECT_EQ(a.violations, b.violations) << tag;
+  EXPECT_EQ(a.makespan, b.makespan) << tag;
+  EXPECT_EQ(a.order_preserving, b.order_preserving) << tag;
+}
+
+class ParDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParDifferential, BcastRunsAreByteIdentical) {
+  const unsigned threads = GetParam();
+  Xoshiro256 rng(0xA55Cu ^ threads);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t n = rng.uniform(1, 160);
+    const std::uint64_t q = rng.uniform(1, 4);
+    const Rational lambda(static_cast<std::int64_t>(rng.uniform(q, 8 * q)),
+                          static_cast<std::int64_t>(q));
+    const PostalParams params(n, lambda);
+    const std::string tag = "threads=" + std::to_string(threads) +
+                            " n=" + std::to_string(n) + " lambda=" + lambda.str();
+
+    Machine machine(params, 1);
+    BcastProtocol protocol(params);
+    const MachineResult ref = machine.run(protocol);
+
+    ParMachine par(params, 1);
+    par.set_threads(threads);
+    auto factory = make_protocol_factory<BcastProtocol>(params);
+    const MachineResult got = par.run(factory);
+
+    expect_identical_runs(got, ref, tag);
+    expect_identical_verdicts(got, ref, params, tag);
+    EXPECT_TRUE(par.last_run_info().parallel_engine) << tag;
+    EXPECT_EQ(par.last_run_info().shards,
+              std::min<std::uint64_t>(threads, n))
+        << tag;
+  }
+}
+
+TEST_P(ParDifferential, MultiMessageProtocolFamiliesAreByteIdentical) {
+  const unsigned threads = GetParam();
+  const PostalParams params(24, Rational(5, 2));
+  const auto check = [&](auto ref_protocol, auto factory, std::uint32_t m,
+                         const std::string& name) {
+    const std::string tag = name + " threads=" + std::to_string(threads);
+    Machine machine(params, m);
+    const MachineResult ref = machine.run(ref_protocol);
+    ParMachine par(params, m);
+    par.set_threads(threads);
+    const MachineResult got = par.run(factory);
+    expect_identical_runs(got, ref, tag);
+    expect_identical_verdicts(got, ref, params, tag);
+  };
+  check(BcastProtocol(params), make_protocol_factory<BcastProtocol>(params), 1,
+        "bcast");
+  check(RepeatProtocol(params, 6),
+        make_protocol_factory<RepeatProtocol>(params, std::uint32_t{6}), 6,
+        "repeat");
+  check(PackProtocol(params, 6),
+        make_protocol_factory<PackProtocol>(params, std::uint32_t{6}), 6, "pack");
+  // PIPELINE-1 requires m <= lambda.
+  check(Pipeline1Protocol(params, 2),
+        make_protocol_factory<Pipeline1Protocol>(params, std::uint32_t{2}), 2,
+        "pipeline1");
+  check(Pipeline2Protocol(params, 6),
+        make_protocol_factory<Pipeline2Protocol>(params, std::uint32_t{6}), 6,
+        "pipeline2");
+  check(DTreeProtocol(params, 2, 3),
+        make_protocol_factory<DTreeProtocol>(params, std::uint32_t{2},
+                                             std::uint64_t{3}),
+        2, "dtree");
+}
+
+TEST_P(ParDifferential, FaultInjectedRunsAreByteIdentical) {
+  const unsigned threads = GetParam();
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const std::uint64_t n = 8 + (seed % 3) * 12;
+    const Rational lambda = seed % 2 == 0 ? Rational(2) : Rational(7, 2);
+    const PostalParams params(n, lambda);
+    RandomFaultOptions fopts;
+    fopts.crashes = seed % 4;
+    fopts.lossy_links = 4;
+    fopts.loss_p = Rational(1, 3);
+    fopts.spikes = seed % 3;
+    const FaultPlan plan = random_fault_plan(params, seed, fopts);
+    const std::string tag =
+        "threads=" + std::to_string(threads) + " seed=" + std::to_string(seed);
+
+    Machine machine(params, 1);
+    machine.attach_faults(plan);
+    BcastProtocol protocol(params);
+    const MachineResult ref = machine.run(protocol);
+
+    ParMachine par(params, 1);
+    par.set_threads(threads);
+    par.attach_faults(plan);
+    auto factory = make_protocol_factory<BcastProtocol>(params);
+    const MachineResult got = par.run(factory);
+
+    expect_identical_runs(got, ref, tag);
+    // The corpus stays on the lambda grid: the sharded engine must have
+    // actually run, not fallen back.
+    EXPECT_TRUE(par.last_run_info().parallel_engine) << tag;
+  }
+}
+
+TEST_P(ParDifferential, RationalTimePathFallsBackToTheReferenceEngine) {
+  const unsigned threads = GetParam();
+  const PostalParams params(40, Rational(3, 2));
+  Machine machine(params, 1);
+  machine.set_time_path(TimePath::kRational);
+  BcastProtocol protocol(params);
+  const MachineResult ref = machine.run(protocol);
+
+  ParMachine par(params, 1);
+  par.set_threads(threads);
+  par.set_time_path(TimePath::kRational);
+  auto factory = make_protocol_factory<BcastProtocol>(params);
+  const MachineResult got = par.run(factory);
+
+  expect_identical_runs(got, ref, "rational fallback");
+  EXPECT_FALSE(par.last_run_info().parallel_engine);
+  EXPECT_EQ(par.last_run_info().fallback_reason, "rational time path forced");
+}
+
+/// Arms one off-grid timer mid-run (delay 1/3 with q = 2). The sequential
+/// Machine transplants to the Rational engine; ParMachine must rerun the
+/// whole protocol sequentially and still match byte for byte.
+class OffGridTimerProtocol final : public Protocol {
+ public:
+  explicit OffGridTimerProtocol(std::uint64_t n) : n_(n) {}
+
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() != 0) return;
+    for (ProcId p = 1; p < n_; ++p) ctx.send(p, Packet{0, 0, 0});
+    ctx.set_timer(Rational(1, 3), /*token=*/7);  // off the 1/2 grid
+  }
+
+  void on_receive(MachineContext& ctx, const Packet& packet) override {
+    static_cast<void>(packet);
+    if (ctx.self() == 1 && !echoed_) {
+      echoed_ = true;
+      ctx.send(0, Packet{0, 1, 0});
+    }
+  }
+
+  void on_timer(MachineContext& ctx, std::uint64_t token) override {
+    EXPECT_EQ(token, 7u);
+    ctx.send(static_cast<ProcId>(n_ - 1), Packet{0, 2, 0});
+  }
+
+ private:
+  std::uint64_t n_;
+  bool echoed_ = false;
+};
+
+TEST_P(ParDifferential, OffGridTimerFallsBackToSequentialRerun) {
+  const unsigned threads = GetParam();
+  const PostalParams params(6, Rational(3, 2));
+  Machine machine(params, 1);
+  OffGridTimerProtocol protocol(6);
+  const MachineResult ref = machine.run(protocol);
+
+  ParMachine par(params, 1);
+  par.set_threads(threads);
+  auto factory = make_protocol_factory<OffGridTimerProtocol>(std::uint64_t{6});
+  const MachineResult got = par.run(factory);
+
+  expect_identical_runs(got, ref, "off-grid fallback");
+  EXPECT_FALSE(par.last_run_info().parallel_engine);
+  EXPECT_EQ(par.last_run_info().fallback_reason, "off-grid timer armed mid-run");
+}
+
+/// A timer-heavy protocol whose timers stay on-grid: every rank forwards a
+/// token around a ring after a per-hop timer delay. Exercises in-window
+/// live pushes (timers and input-port requeues) across many barriers.
+class TimerRelayProtocol final : public Protocol {
+ public:
+  TimerRelayProtocol(std::uint64_t n, std::int64_t delay_num,
+                     std::int64_t delay_den)
+      : n_(n), delay_(delay_num, delay_den) {}
+
+  void on_start(MachineContext& ctx) override {
+    if (ctx.self() == 0 && n_ > 1) ctx.set_timer(delay_, 0);
+  }
+
+  void on_receive(MachineContext& ctx, const Packet& packet) override {
+    if (packet.ctl_a < 3 * n_) ctx.set_timer(delay_, packet.ctl_a);
+  }
+
+  void on_timer(MachineContext& ctx, std::uint64_t token) override {
+    const ProcId next = static_cast<ProcId>((ctx.self() + 1) % n_);
+    if (next != ctx.self()) ctx.send(next, Packet{0, token + 1, 0});
+  }
+
+ private:
+  std::uint64_t n_;
+  Rational delay_;
+};
+
+TEST_P(ParDifferential, OnGridTimerRelayIsByteIdentical) {
+  const unsigned threads = GetParam();
+  for (const auto& [num, den] : {std::pair<std::int64_t, std::int64_t>{1, 2},
+                                 {3, 1},
+                                 {0, 1}}) {
+    const PostalParams params(12, Rational(5, 2));
+    const std::string tag = "threads=" + std::to_string(threads) + " delay=" +
+                            Rational(num, den).str();
+    Machine machine(params, 1);
+    TimerRelayProtocol protocol(12, num, den);
+    const MachineResult ref = machine.run(protocol);
+
+    ParMachine par(params, 1);
+    par.set_threads(threads);
+    auto factory = make_protocol_factory<TimerRelayProtocol>(
+        std::uint64_t{12}, num, den);
+    const MachineResult got = par.run(factory);
+
+    expect_identical_runs(got, ref, tag);
+    EXPECT_TRUE(par.last_run_info().parallel_engine) << tag;
+    EXPECT_GT(got.stats.timers_fired, 0u) << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParDifferential,
+                         ::testing::ValuesIn(thread_counts()));
+
+}  // namespace
+}  // namespace postal

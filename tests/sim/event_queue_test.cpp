@@ -6,7 +6,9 @@
 // the tick-keyed twin (sim/tick_queue.hpp) against the *same* contract --
 // including randomized differential workloads where both queues, fed
 // identical pushes, must pop identical payload sequences.
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -151,6 +153,93 @@ TEST(TickEventQueue, DrainHandsBackEverythingInPopOrder) {
   EXPECT_EQ(ticks, (std::vector<Tick>{10, 10, 30, 99'999}));
   EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 0, 3}));
   EXPECT_EQ(payloads, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TickEventQueue, PeekTimeDoesNotCommitTheCursor) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  q.push(5, seq++, 1);
+  q.push(2'000, seq++, 2);
+  EXPECT_EQ(q.peek_time(), 5);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{5, 1}));
+  // peek sees 2000 but must not move the cursor there: a later push at 100
+  // (>= the popped tick, < the peeked one) stays legal. This is exactly
+  // ParMachine's barrier pattern -- peek to stop at the window horizon,
+  // then push mailbox traffic below the peeked tick.
+  EXPECT_EQ(q.peek_time(), 2'000);
+  q.push(100, seq++, 3);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{100, 3}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{2'000, 2}));
+  // next_time() commits: after it, the same kind of push throws.
+  q.push(9'000, seq++, 4);
+  EXPECT_EQ(q.next_time(), 9'000);
+  POSTAL_EXPECT_THROW(q.push(8'000, seq++, 5), LogicError);
+}
+
+TEST(TickEventQueue, PeekTimeReadsTheFarHeapWhenTheRingIsEmpty) {
+  TickEventQueue<int> q;
+  q.push(3'000'000, 0, 7);  // far beyond the 1024-tick ring window
+  EXPECT_EQ(q.peek_time(), 3'000'000);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{3'000'000, 7}));
+}
+
+TEST(TickEventQueue, DrainCurrentTickHandsOutOneTickInFifoOrder) {
+  TickEventQueue<int> q;
+  std::uint64_t seq = 0;
+  q.push(40, seq++, 4);
+  q.push(7, seq++, 1);
+  q.push(7, seq++, 2);
+  std::vector<std::pair<std::uint64_t, int>> got;
+  const Tick t = q.drain_current_tick([&](std::uint64_t s, int&& v) {
+    got.emplace_back(s, v);
+    // A same-tick push from inside the drain joins the tail of the batch,
+    // exactly as repeated pop() calls would order it.
+    if (v == 1) q.push(7, seq++, 3);
+  });
+  EXPECT_EQ(t, 7);
+  EXPECT_EQ(got, (std::vector<std::pair<std::uint64_t, int>>{
+                     {1, 1}, {2, 2}, {3, 3}}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, int>{40, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TickEventQueue, WindowLoopStraddlesTheRingBoundaryAtABarrierTick) {
+  // ParMachine's window loop (peek_time + drain_current_tick until the
+  // horizon, then barrier pushes) run across the 1024-bucket ring boundary
+  // with the lambda-barrier tick falling just past the wrap: in-window
+  // events sit on both sides of tick 1024 (the far side starts in the far
+  // heap and is ring-refilled mid-window), and the barrier then pushes at
+  // ticks a committed cursor would have rejected.
+  constexpr Tick kRing = 1024;  // mirrors TickEventQueue's ring size
+  constexpr Tick kLambda = 40;
+  const Tick window_start = kRing - kLambda / 2;
+  const Tick window_end = window_start + kLambda;  // 1044: past the wrap
+  TickEventQueue<Tick> q;
+  std::uint64_t seq = 0;
+  std::vector<Tick> in_window = {window_start, kRing - 1, kRing, kRing + 1,
+                                 window_end - 1};
+  for (const Tick t : in_window) q.push(t, seq++, t);
+  q.push(window_end, seq++, window_end);  // first at-the-barrier tick
+  q.push(kRing * 3, seq++, kRing * 3);    // stays in the far heap
+
+  std::vector<Tick> popped;
+  while (!q.empty()) {
+    if (q.peek_time() >= window_end) break;
+    q.drain_current_tick(
+        [&](std::uint64_t, Tick&& v) { popped.push_back(v); });
+  }
+  std::sort(in_window.begin(), in_window.end());
+  EXPECT_EQ(popped, in_window);
+
+  // Barrier traffic: same-tick FIFO behind the pre-existing entry, plus a
+  // tick between the horizon and the far-heap resident.
+  q.push(window_end, seq++, window_end + 1);
+  q.push(window_end + 3, seq++, window_end + 3);
+  EXPECT_EQ(q.pop(), (std::pair<Tick, Tick>{window_end, window_end}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, Tick>{window_end, window_end + 1}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, Tick>{window_end + 3, window_end + 3}));
+  EXPECT_EQ(q.pop(), (std::pair<Tick, Tick>{kRing * 3, kRing * 3}));
+  EXPECT_TRUE(q.empty());
 }
 
 // The differential contract check: identical monotone workloads through
