@@ -1,0 +1,206 @@
+// E25 (engineering) -- the broadcast service under open-loop load
+// (docs/SERVICE.md).
+//
+// Two workload sections stream 20k jobs each through run_service and
+// report tail sojourn latency (p50/p99/p999) plus model-time throughput
+// and wall-clock jobs/sec:
+//
+//   poisson_20k   Poisson arrivals, two-shape mix (n=64 lambda=2 and
+//                 n=256 lambda=5/2), queue capacity 256, utilization
+//                 below 1 -- the steady-load shape of the percentile
+//                 pipeline (waits come from stochastic bursts, not
+//                 saturation);
+//   burst_onoff   ON/OFF bursts at 8 jobs/unit on a capacity-64 queue --
+//                 the shed-heavy shape the back-pressure policy exists for.
+//
+// The verdict is *correctness-gated*; wall times are recorded but never
+// gate. Every section must pass:
+//
+//   * conservation: generated = admitted + shed and admitted = completed;
+//   * replay identity: a second run of (spec, seed, options) produces the
+//     byte-identical report JSON;
+//   * thread invariance: a threads=4 run (sharded ParMachine under the
+//     executed sample) produces the byte-identical report JSON;
+//   * percentile certification: the streaming histogram's p50/p99/p999
+//     are held against the exact nearest-rank quantile of the full
+//     sojourn list with the hard bound v <= q <= v + floor(v * 2^-bits)
+//     (obs/histogram.hpp) -- no tolerance;
+//   * bounded depth: the queue high-water mark never exceeds capacity.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_record.hpp"
+#include "obs/histogram.hpp"
+#include "support/table.hpp"
+#include "support/ticks.hpp"
+#include "svc/service.hpp"
+#include "svc/workload.hpp"
+
+namespace {
+
+using namespace postal;
+
+struct Section {
+  std::string slug;
+  std::string spec_text;
+  std::uint64_t seed = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t exec_every = 0;
+  // Results.
+  svc::ServiceReport report;
+  double wall_ms = 0.0;
+  double jobs_per_sec = 0.0;
+  bool gates_ok = false;
+  std::string failure;  ///< first failed gate, for the table
+};
+
+/// Hard percentile bound: reported q vs exact nearest-rank v over the full
+/// sojourn tick list (overflow-safe form of q <= v + floor(v * 2^-bits)).
+bool certified(std::uint64_t q, std::uint64_t v, unsigned bits) {
+  return v <= q && q - v <= (v >> bits);
+}
+
+void run_section(Section& s) {
+  const svc::WorkloadSpec spec = svc::WorkloadSpec::parse(s.spec_text);
+  svc::ServiceOptions options;
+  options.queue_capacity = s.queue_capacity;
+  options.exec_every = s.exec_every;
+
+  const obs::WallClock clock;
+  s.report = svc::run_service(spec, s.seed, options);
+  s.wall_ms = clock.elapsed_ms();
+  s.jobs_per_sec = s.wall_ms > 0.0
+                       ? static_cast<double>(s.report.counters.generated) /
+                             (s.wall_ms / 1e3)
+                       : 0.0;
+  const std::string reference = s.report.to_json();
+  const auto& c = s.report.counters;
+
+  // Gate 1: conservation.
+  if (c.generated != spec.jobs || c.generated != c.admitted + c.shed ||
+      c.admitted != c.completed) {
+    s.failure = "conservation";
+    return;
+  }
+  // Gate 2: bounded depth.
+  if (s.queue_capacity != 0 && c.depth_max > s.queue_capacity) {
+    s.failure = "depth > capacity";
+    return;
+  }
+  // Gate 3: replay identity.
+  if (svc::run_service(spec, s.seed, options).to_json() != reference) {
+    s.failure = "replay drift";
+    return;
+  }
+  // Gate 4: thread invariance (the executed sample runs sharded).
+  svc::ServiceOptions threaded = options;
+  threaded.threads = 4;
+  if (svc::run_service(spec, s.seed, threaded).to_json() != reference) {
+    s.failure = "threads=4 drift";
+    return;
+  }
+  // Gate 5: percentile certification against the exact sojourn list.
+  svc::ServiceOptions keep = options;
+  keep.keep_sojourns = true;
+  const svc::ServiceReport full = svc::run_service(spec, s.seed, keep);
+  if (full.to_json() != reference || full.counters.sojourn_offgrid != 0) {
+    s.failure = "keep_sojourns drift";
+    return;
+  }
+  const TickDomain domain(full.sojourn_grid);
+  std::vector<std::uint64_t> ticks;
+  ticks.reserve(full.sojourns.size());
+  for (const Rational& sojourn : full.sojourns) {
+    const auto t = domain.to_ticks(sojourn);
+    if (!t) {
+      s.failure = "sojourn off grid";
+      return;
+    }
+    ticks.push_back(static_cast<std::uint64_t>(*t));
+  }
+  std::sort(ticks.begin(), ticks.end());
+  if (!certified(full.p50_ticks, obs::exact_quantile(ticks, 1, 2),
+                 full.histogram_bits) ||
+      !certified(full.p99_ticks, obs::exact_quantile(ticks, 99, 100),
+                 full.histogram_bits) ||
+      !certified(full.p999_ticks, obs::exact_quantile(ticks, 999, 1000),
+                 full.histogram_bits)) {
+    s.failure = "percentile bound";
+    return;
+  }
+  s.gates_ok = true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace postal;
+  const obs::WallClock wall;
+  std::cout << "=== E25: broadcast service under open-loop load ===\n\n";
+
+  std::vector<Section> sections(2);
+  sections[0].slug = "poisson_20k";
+  sections[0].spec_text =
+      "poisson;grid=16;rate=1/16;jobs=20000;mix=w3:n64:l2:m1|w1:n256:l5/2:m1";
+  sections[0].seed = 7;
+  sections[0].queue_capacity = 256;
+  sections[0].exec_every = 512;
+
+  sections[1].slug = "burst_onoff";
+  sections[1].spec_text =
+      "onoff;grid=16;rate=8;on=64;off=192;jobs=20000;mix=w1:n128:l3:m1";
+  sections[1].seed = 11;
+  sections[1].queue_capacity = 64;
+  sections[1].exec_every = 1024;
+
+  bool all_ok = true;
+  TextTable table({"section", "jobs", "shed", "p50", "p99", "p999",
+                   "throughput", "jobs/s", "gates"});
+  for (Section& s : sections) {
+    run_section(s);
+    const auto& c = s.report.counters;
+    table.add_row({s.slug, std::to_string(c.generated), std::to_string(c.shed),
+                   s.report.p50.str(), s.report.p99.str(), s.report.p999.str(),
+                   s.report.throughput.str(), fmt(s.jobs_per_sec, 0),
+                   s.gates_ok ? "pass" : "FAIL: " + s.failure});
+    all_ok = all_ok && s.gates_ok;
+  }
+  table.print(std::cout);
+  std::cout << "\nE25 verdict: " << (all_ok ? "CERTIFIED" : "MISMATCH")
+            << "  (replay + thread-invariance + percentile-bound gated; "
+               "wall times recorded, machine-dependent)\n";
+
+  // The headline record carries the poisson section's percentiles at the
+  // top level (the svc.* contract scripts/validate_bench_records.py --svc
+  // checks) plus per-section details.
+  const Section& head = sections[0];
+  obs::BenchRecord rec;
+  rec.bench = "bench_service";
+  rec.n = 256;
+  rec.lambda = Rational(2);
+  rec.makespan = head.report.horizon;
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "CERTIFIED" : "MISMATCH";
+  rec.extra.emplace_back("p50", head.report.p50.str());
+  rec.extra.emplace_back("p99", head.report.p99.str());
+  rec.extra.emplace_back("p999", head.report.p999.str());
+  rec.extra.emplace_back("throughput", head.report.throughput.str());
+  for (const Section& s : sections) {
+    const auto& c = s.report.counters;
+    rec.extra.emplace_back(s.slug + "_jobs", std::to_string(c.generated));
+    rec.extra.emplace_back(s.slug + "_shed", std::to_string(c.shed));
+    rec.extra.emplace_back(s.slug + "_depth_max", std::to_string(c.depth_max));
+    rec.extra.emplace_back(s.slug + "_exec_runs", std::to_string(c.exec_runs));
+    rec.extra.emplace_back(s.slug + "_p50", s.report.p50.str());
+    rec.extra.emplace_back(s.slug + "_p99", s.report.p99.str());
+    rec.extra.emplace_back(s.slug + "_p999", s.report.p999.str());
+    rec.extra.emplace_back(s.slug + "_throughput", s.report.throughput.str());
+    rec.extra.emplace_back(s.slug + "_wall_ms", fmt(s.wall_ms, 2));
+    rec.extra.emplace_back(s.slug + "_jobs_per_sec", fmt(s.jobs_per_sec, 0));
+  }
+  obs::emit_bench_record(rec);
+  return all_ok ? 0 : 1;
+}

@@ -33,6 +33,15 @@
 //                                               dump + streaming-validate
 //                                               the receive events of ranks
 //                                               [lo, hi) (docs/ORACLE.md)
+//   postal_cli serve <workload> <seed> [--queue CAP] [--exec-every K]
+//                    [--fault-seed S] [--threads T] [--time-path auto|rational]
+//                                               open-loop broadcast service
+//                                               over a seeded workload spec
+//                                               (docs/SERVICE.md); stdout is
+//                                               a pure function of the
+//                                               arguments -- byte-identical
+//                                               across reruns and thread
+//                                               counts (wall time on stderr)
 //
 // Latencies accept integers, fractions ("5/2"), or decimals ("2.5").
 // With POSTAL_BENCH_JSON set, sweep appends one bench record per grid point
@@ -87,7 +96,13 @@ int usage() {
                "[--trace out.json] [--threads T]\n"
             << "  postal_cli oracle <n> <lambda> makespan\n"
             << "  postal_cli oracle <n> <lambda> rank <r>\n"
-            << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n";
+            << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n"
+            << "  postal_cli serve <workload> <seed> [--queue CAP] "
+               "[--exec-every K]\n"
+            << "             [--fault-seed S] [--threads T] "
+               "[--time-path auto|rational]\n"
+            << "    e.g. serve 'poisson;grid=16;rate=1/4;jobs=1000;"
+               "mix=w1:n64:l2:m1' 7\n";
   return 2;
 }
 
@@ -499,6 +514,64 @@ int cmd_oracle_range(std::uint64_t n, const Rational& lambda, std::uint64_t lo,
   return report.ok ? 0 : 1;
 }
 
+int cmd_serve(const svc::WorkloadSpec& spec, std::uint64_t seed,
+              const svc::ServiceOptions& options) {
+  const obs::WallClock clock;
+  const svc::ServiceReport report = svc::run_service(spec, seed, options);
+  const double wall_ms = clock.elapsed_ms();
+  const svc::ServiceCounters& c = report.counters;
+
+  // stdout carries only virtual-time quantities: byte-identical across
+  // reruns and thread counts (the determinism contract, docs/SERVICE.md).
+  std::cout << "broadcast service over '" << report.spec << "' [seed " << seed
+            << "]\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"jobs generated", std::to_string(c.generated)});
+  table.add_row({"admitted", std::to_string(c.admitted)});
+  table.add_row({"shed (back-pressure)", std::to_string(c.shed)});
+  table.add_row({"completed", std::to_string(c.completed)});
+  table.add_row({"queue depth max", std::to_string(c.depth_max)});
+  table.add_row({"planned via oracle", std::to_string(c.planned_oracle)});
+  table.add_row({"planned materialized", std::to_string(c.planned_materialized)});
+  table.add_row({"planned via registry", std::to_string(c.planned_registry)});
+  table.add_row({"executed event-driven", std::to_string(c.exec_runs)});
+  table.add_row({"exec verified", std::to_string(c.exec_verified)});
+  table.add_row({"exec under faults", std::to_string(c.exec_faulted)});
+  table.add_row({"sojourn p50", report.p50.str()});
+  table.add_row({"sojourn p99", report.p99.str()});
+  table.add_row({"sojourn p999", report.p999.str()});
+  table.add_row({"sojourn max", report.sojourn_max.str()});
+  table.add_row({"horizon (model time)", report.horizon.str()});
+  table.add_row({"throughput (jobs/unit)", report.throughput.str()});
+  table.print(std::cout);
+  std::cout << "\n" << report.to_json() << "\n";
+
+  std::cerr << "wall: " << wall_ms << " ms, threads: "
+            << (options.threads == 0 ? 1 : options.threads) << "\n";
+
+  std::uint64_t headline_n = 0;
+  for (const svc::MixEntry& entry : spec.mix) {
+    if (entry.n > headline_n) headline_n = entry.n;
+  }
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_serve";
+  rec.n = headline_n;
+  rec.lambda = spec.mix.front().lambda;
+  rec.makespan = report.horizon;
+  rec.wall_ms = wall_ms;
+  rec.verdict = "SERVED";
+  rec.extra = {{"seed", std::to_string(seed)},
+               {"jobs", std::to_string(c.generated)},
+               {"shed", std::to_string(c.shed)},
+               {"p50", report.p50.str()},
+               {"p99", report.p99.str()},
+               {"p999", report.p999.str()},
+               {"throughput", report.throughput.str()},
+               {"threads", std::to_string(options.threads == 0 ? 1 : options.threads)}};
+  obs::emit_bench_record(rec);
+  return 0;
+}
+
 int cmd_bounds(std::uint64_t n, const Rational& lambda) {
   GenFib fib(lambda);
   std::cout << "f_lambda(n)          = " << fib.f(n) << "\n";
@@ -570,6 +643,31 @@ int main(int argc, char** argv) {
                                 std::stoull(args[4]));
       }
       return usage();
+    }
+    if (cmd == "serve" && args.size() >= 2) {
+      const svc::WorkloadSpec spec = svc::WorkloadSpec::parse(args[0]);
+      const std::uint64_t seed = std::stoull(args[1]);
+      std::vector<std::string> rest(args.begin() + 2, args.end());
+      svc::ServiceOptions options;
+      options.exec_every = 32;  // sample the event-driven tier by default
+      const std::string queue_arg = take_flag(rest, "--queue");
+      if (!queue_arg.empty()) options.queue_capacity = std::stoull(queue_arg);
+      const std::string exec_arg = take_flag(rest, "--exec-every");
+      if (!exec_arg.empty()) options.exec_every = std::stoull(exec_arg);
+      const std::string fault_arg = take_flag(rest, "--fault-seed");
+      if (!fault_arg.empty()) options.fault_seed = std::stoull(fault_arg);
+      const std::string threads_arg = take_flag(rest, "--threads");
+      if (!threads_arg.empty()) {
+        options.threads = static_cast<unsigned>(std::stoul(threads_arg));
+      }
+      const std::string time_path = take_flag(rest, "--time-path");
+      if (time_path == "rational") {
+        options.time_path = TimePath::kRational;
+      } else if (!time_path.empty() && time_path != "auto") {
+        return usage();
+      }
+      if (!rest.empty()) return usage();
+      return cmd_serve(spec, seed, options);
     }
     if (cmd == "faults" && args.size() >= 3) {
       const std::uint64_t n = std::stoull(args[0]);

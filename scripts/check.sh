@@ -17,6 +17,14 @@
 #                                collection on, validated end to end; any
 #                                tick-vs-Rational disagreement is a hard
 #                                failure (docs/PERFORMANCE.md)
+#   scripts/check.sh --soak      additionally run the service long-soak: the
+#                                200+-scenario admission-queue invariant
+#                                sweep, then a 10^6-job open-loop run driven
+#                                end to end through `postal_cli serve`,
+#                                byte-compared across threads=1 and
+#                                threads=4, plus a shed-heavy ON/OFF run at
+#                                the same scale (docs/SERVICE.md). Nightly
+#                                in CI (docs/CI.md).
 #   scripts/check.sh --format    check-only formatting + docs gate: every
 #                                tracked C++ file must be clang-format clean
 #                                per the committed .clang-format, and every
@@ -31,14 +39,16 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 CHAOS=0
 PERF=0
+SOAK=0
 FORMAT=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --chaos) CHAOS=1 ;;
     --perf) PERF=1 ;;
+    --soak) SOAK=1 ;;
     --format) FORMAT=1 ;;
-    *) echo "unknown argument: $arg (supported: --sanitize, --chaos, --perf, --format)" >&2; exit 2 ;;
+    *) echo "unknown argument: $arg (supported: --sanitize, --chaos, --perf, --soak, --format)" >&2; exit 2 ;;
   esac
 done
 
@@ -96,7 +106,8 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_multimessage_shootout --expect bench_collectives \
   --expect bench_network_transfer --expect bench_par_sweep \
   --expect bench_fault_recovery --expect bench_tick_domain \
-  --expect bench_oracle --expect bench_par_machine
+  --expect bench_oracle --expect bench_par_machine \
+  --expect bench_service --svc
 
 # Perf-trajectory drift guard (bench/trajectory/README.md): verdict
 # regressions against the committed baselines are hard failures; wall-time
@@ -166,34 +177,75 @@ if [ "$PERF" -eq 1 ]; then
     build/PERF_records.json
 fi
 
+if [ "$SOAK" -eq 1 ]; then
+  # The service long-soak (docs/SERVICE.md): the seeded admission-queue
+  # invariant sweep (200+ scenarios), then 10^6-job open-loop runs driven
+  # end to end through the CLI. stdout carries only virtual-time
+  # quantities, so the threads=1 and threads=4 runs must be byte-identical
+  # -- any diff is a determinism break in the service layer, never noise.
+  echo "== soak: admission-queue invariant sweep"
+  ./build/tests/test_svc_soak
+
+  echo "== soak: 10^6-job Poisson replay (threads=1 vs threads=4)"
+  SOAK_SPEC='poisson;grid=16;rate=1/16;jobs=1000000;mix=w3:n64:l2:m1|w1:n256:l5/2:m1'
+  rm -f build/SOAK_t1.json build/SOAK_t4.json
+  POSTAL_BENCH_JSON=build/SOAK_t1.json build/examples/postal_cli \
+    serve "$SOAK_SPEC" 7 --queue 512 --exec-every 65536 --threads 1 \
+    > build/SOAK_t1.out
+  POSTAL_BENCH_JSON=build/SOAK_t4.json build/examples/postal_cli \
+    serve "$SOAK_SPEC" 7 --queue 512 --exec-every 65536 --threads 4 \
+    > build/SOAK_t4.out
+  diff build/SOAK_t1.out build/SOAK_t4.out
+
+  # A shed-heavy ON/OFF burst at the same scale: the back-pressure path at
+  # depth, with the svc record contract validated on the collected records.
+  echo "== soak: 10^6-job ON/OFF bursts (back-pressure at depth)"
+  BURST_SPEC='onoff;grid=16;rate=8;on=64;off=192;jobs=1000000;mix=w1:n128:l3:m1'
+  POSTAL_BENCH_JSON=build/SOAK_t1.json build/examples/postal_cli \
+    serve "$BURST_SPEC" 11 --queue 64 --exec-every 65536 > /dev/null
+  head -1 build/SOAK_t1.json | grep -q '"shed":"0"'    # Poisson: sheds nothing
+  ! tail -1 build/SOAK_t1.json | grep -q '"shed":"0"'  # bursts: must shed
+  python3 scripts/validate_bench_records.py build/SOAK_t1.json \
+    --expect postal_cli_serve --svc
+fi
+
 if [ "$SANITIZE" -eq 1 ]; then
   # ThreadSanitizer over the concurrency surface: the thread pool, the
   # sharded caches, the sweep engine, and the sharded ParMachine (whose
   # shard loops write shared per-rank arrays and merge at barriers --
   # exactly the access pattern TSan exists to audit), plus the differential
   # test (which drives the caches from gtest's single thread -- a
-  # TSan-clean baseline).
+  # TSan-clean baseline), plus the service tests that run sampled broadcasts
+  # on the sharded engine (the svc differential loops threads 1/2/4; the
+  # soak and chaos sweeps stress the same path under load and faults).
   echo "== sanitize: thread"
   cmake -B build-tsan -G Ninja -DPOSTAL_SANITIZE=thread
   cmake --build build-tsan --target test_par test_differential test_chaos \
-    test_tick_differential test_par_machine test_par_differential
+    test_tick_differential test_par_machine test_par_differential \
+    test_svc_service test_svc_soak test_svc_chaos
   ./build-tsan/tests/test_par
   ./build-tsan/tests/test_differential
   ./build-tsan/tests/test_chaos
   ./build-tsan/tests/test_tick_differential
   ./build-tsan/tests/test_par_machine
   ./build-tsan/tests/test_par_differential
+  ./build-tsan/tests/test_svc_service
+  ./build-tsan/tests/test_svc_soak
+  ./build-tsan/tests/test_svc_chaos
 
   # ASan+UBSan over the randomized tests: the differential pass, the
-  # validator mutation fuzzer, the par tests again (allocation-heavy), and
-  # the fault-injection paths (crash truncation exercises every simulator
-  # early-exit; the chaos sweep stresses them with random plans).
+  # validator mutation fuzzer, the par tests again (allocation-heavy), the
+  # fault-injection paths (crash truncation exercises every simulator
+  # early-exit; the chaos sweep stresses them with random plans), and the
+  # whole service layer (parser edge cases, the 200+-scenario soak, the
+  # histogram's bucket math at 2^64 extremes, and the faulted exec tier).
   echo "== sanitize: address,undefined"
   cmake -B build-asan -G Ninja -DPOSTAL_SANITIZE=address,undefined
   cmake --build build-asan --target test_differential test_validator_fuzz \
     test_par test_machine_faults test_reliable_bcast test_chaos \
     test_ticks test_event_queue test_tick_differential test_par_machine \
-    test_par_differential
+    test_par_differential test_svc_workload test_svc_service \
+    test_svc_soak test_svc_percentile test_svc_chaos
   ./build-asan/tests/test_differential
   ./build-asan/tests/test_validator_fuzz
   ./build-asan/tests/test_par
@@ -205,6 +257,11 @@ if [ "$SANITIZE" -eq 1 ]; then
   ./build-asan/tests/test_tick_differential
   ./build-asan/tests/test_par_machine
   ./build-asan/tests/test_par_differential
+  ./build-asan/tests/test_svc_workload
+  ./build-asan/tests/test_svc_service
+  ./build-asan/tests/test_svc_soak
+  ./build-asan/tests/test_svc_percentile
+  ./build-asan/tests/test_svc_chaos
 fi
 
 echo "ALL CHECKS PASSED"

@@ -7,13 +7,20 @@ Hard errors (exit 1, robust to ``python3 -O`` -- no assert statements):
   * any record lacks one of the six stable keys
     {bench, n, lambda, makespan, wall_ms, verdict},
   * any record carries a MISMATCH verdict,
-  * any bench named via --expect emitted no record at all.
+  * any bench named via --expect emitted no record at all,
+  * under --svc: no service record at all, or a service record (bench in
+    {postal_cli_serve, bench_service}) whose ``extra`` object lacks one of
+    the percentile-contract keys {p50, p99, p999, throughput}
+    (docs/SERVICE.md).
 
-Usage: validate_bench_records.py FILE [--expect BENCH]...
+Usage: validate_bench_records.py FILE [--expect BENCH]... [--svc]
 """
 import argparse
 import json
 import sys
+
+SVC_BENCHES = frozenset({"postal_cli_serve", "bench_service"})
+SVC_KEYS = ("p50", "p99", "p999", "throughput")
 
 
 def main() -> int:
@@ -21,6 +28,9 @@ def main() -> int:
     parser.add_argument("path")
     parser.add_argument("--expect", action="append", default=[],
                         help="bench name that must have emitted >= 1 record")
+    parser.add_argument("--svc", action="store_true",
+                        help="require >= 1 service record carrying the "
+                             "p50/p99/p999/throughput extra keys")
     args = parser.parse_args()
 
     try:
@@ -35,6 +45,7 @@ def main() -> int:
         return 1
 
     seen = {}
+    svc_records = 0
     for line in lines:
         try:
             rec = json.loads(line)
@@ -50,11 +61,28 @@ def main() -> int:
             print(f"error: bench reported MISMATCH: {line}", file=sys.stderr)
             return 1
         seen[rec["bench"]] = seen.get(rec["bench"], 0) + 1
+        if args.svc and rec["bench"] in SVC_BENCHES:
+            svc_records += 1
+            extra = rec.get("extra")
+            if not isinstance(extra, dict):
+                print(f"error: service record lacks an extra object: {line}",
+                      file=sys.stderr)
+                return 1
+            absent = [key for key in SVC_KEYS if key not in extra]
+            if absent:
+                print(f"error: service record missing extra key(s) "
+                      f"{', '.join(absent)}: {line}", file=sys.stderr)
+                return 1
 
     missing = [name for name in args.expect if name not in seen]
     if missing:
         print(f"error: expected record(s) from {', '.join(missing)} but "
               "none were emitted", file=sys.stderr)
+        return 1
+    if args.svc and svc_records == 0:
+        print("error: --svc given but no service record "
+              f"({' or '.join(sorted(SVC_BENCHES))}) was emitted",
+              file=sys.stderr)
         return 1
 
     print(f"{args.path}: {len(lines)} valid record(s) from "

@@ -53,6 +53,25 @@ ReliableBcastReport Communicator::broadcast_reliable(
   return run_reliable_bcast(params_, plan, effective);
 }
 
+svc::JobOutcome Communicator::broadcast_job(svc::BroadcastService& service,
+                                            const Rational& arrival,
+                                            std::uint64_t m) const {
+  svc::Job job;
+  job.id = service.counters().generated;
+  job.arrival = arrival;
+  job.n = params_.n();
+  job.lambda = params_.lambda();
+  job.m = m;
+  return service.submit(job);
+}
+
+svc::ServiceReport Communicator::serve(const svc::WorkloadSpec& spec,
+                                       std::uint64_t seed,
+                                       const svc::ServiceOptions& options,
+                                       obs::MetricsRegistry* metrics) {
+  return svc::run_service(spec, seed, options, metrics);
+}
+
 CollectivePlan Communicator::broadcast(std::uint64_t m) {
   POSTAL_REQUIRE(m >= 1, "Communicator::broadcast: m must be >= 1");
   if (m == 1) {

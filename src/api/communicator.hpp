@@ -27,6 +27,8 @@
 #include "sched/schedule.hpp"
 #include "sim/protocols/reliable_bcast.hpp"
 #include "support/rational.hpp"
+#include "svc/service.hpp"
+#include "svc/workload.hpp"
 
 namespace postal {
 
@@ -106,6 +108,24 @@ class Communicator {
   [[nodiscard]] ReliableBcastReport broadcast_reliable(
       const FaultPlan* plan = nullptr,
       const ReliableBcastOptions& options = {});
+
+  /// Submit one broadcast job with this Communicator's (n, lambda) to a
+  /// running BroadcastService (docs/SERVICE.md): the job enters the
+  /// admission queue at `arrival` (nondecreasing across submissions to
+  /// `service`) and the outcome reports admit-or-shed, the exact start /
+  /// completion / sojourn, and the planner used.
+  [[nodiscard]] svc::JobOutcome broadcast_job(svc::BroadcastService& service,
+                                              const Rational& arrival,
+                                              std::uint64_t m = 1) const;
+
+  /// Run the open-loop broadcast service over a seeded workload
+  /// (docs/SERVICE.md): every job of (spec, seed) streamed through a fresh
+  /// BroadcastService. The report is a pure function of
+  /// (spec, seed, options) -- byte-replayable, no wall clock.
+  [[nodiscard]] static svc::ServiceReport serve(
+      const svc::WorkloadSpec& spec, std::uint64_t seed,
+      const svc::ServiceOptions& options = {},
+      obs::MetricsRegistry* metrics = nullptr);
 
  private:
   PostalParams params_;

@@ -1,0 +1,115 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace postal::obs {
+
+LatencyHistogram::LatencyHistogram(unsigned bits) : bits_(bits) {
+  if (bits < 1 || bits > 20) {
+    throw InvalidArgument("LatencyHistogram: precision bits must be in [1, 20], got " +
+                          std::to_string(bits));
+  }
+}
+
+std::size_t LatencyHistogram::index_of(std::uint64_t value) const noexcept {
+  // Values below 2^bits get exact unit buckets [0, 2^bits). Larger values:
+  // with k = bit_width(value) - 1 >= bits, the top (bits+1) significant
+  // bits select a bucket of width 2^(k-bits); consecutive half-octaves of
+  // 2^bits buckets each are laid out contiguously after the unit range.
+  const auto width = static_cast<unsigned>(std::bit_width(value));
+  if (width <= bits_) return static_cast<std::size_t>(value);
+  const unsigned shift = width - 1U - bits_;
+  const auto sub = static_cast<std::size_t>(value >> shift);  // in [2^bits, 2^(bits+1))
+  const std::size_t base = static_cast<std::size_t>(shift) << bits_;
+  return base + sub;
+}
+
+std::uint64_t LatencyHistogram::upper_of(std::size_t index) const noexcept {
+  const std::size_t unit = std::size_t{1} << bits_;
+  if (index < unit * 2) return static_cast<std::uint64_t>(index);
+  const unsigned shift = static_cast<unsigned>(index >> bits_) - 1U;
+  const std::uint64_t sub = static_cast<std::uint64_t>(index) - (static_cast<std::uint64_t>(shift) << bits_);
+  // Largest value mapping to this bucket: (sub+1) << shift, minus 1.
+  return ((sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  const std::size_t idx = index_of(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  // Split the 128-bit sum to avoid precision loss on the cast.
+  const auto hi = static_cast<std::uint64_t>(sum_ >> 64);
+  const auto lo = static_cast<std::uint64_t>(sum_);
+  const double total = static_cast<double>(hi) * 18446744073709551616.0 + static_cast<double>(lo);
+  return total / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile(std::uint64_t num, std::uint64_t den) const {
+  if (den == 0) throw InvalidArgument("LatencyHistogram::quantile: zero denominator");
+  if (num > den) throw InvalidArgument("LatencyHistogram::quantile: p > 1");
+  if (count_ == 0) throw InvalidArgument("LatencyHistogram::quantile: empty histogram");
+  // rank = ceil(p * count), clamped to [1, count]. Exact in 128 bits.
+  __extension__ unsigned __int128 prod =
+      static_cast<unsigned __int128>(num) * static_cast<unsigned __int128>(count_);
+  auto rank = static_cast<std::uint64_t>((prod + den - 1) / den);
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The max bucket's upper bound may overshoot max(); clamp so p=1 is
+      // exact and no reported quantile exceeds an actually-recorded value
+      // range.
+      return std::min(upper_of(i), max_);
+    }
+  }
+  return max_;  // unreachable: seen reaches count_ >= rank
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.bits_ != bits_) {
+    throw InvalidArgument("LatencyHistogram::merge: precision mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+std::uint64_t exact_quantile(const std::vector<std::uint64_t>& sorted, std::uint64_t num,
+                             std::uint64_t den) {
+  if (den == 0) throw InvalidArgument("exact_quantile: zero denominator");
+  if (num > den) throw InvalidArgument("exact_quantile: p > 1");
+  if (sorted.empty()) throw InvalidArgument("exact_quantile: empty sample");
+  POSTAL_REQUIRE(std::is_sorted(sorted.begin(), sorted.end()),
+                 "exact_quantile: sample must be sorted ascending");
+  const auto n = static_cast<std::uint64_t>(sorted.size());
+  __extension__ unsigned __int128 prod =
+      static_cast<unsigned __int128>(num) * static_cast<unsigned __int128>(n);
+  auto rank = static_cast<std::uint64_t>((prod + den - 1) / den);
+  rank = std::clamp<std::uint64_t>(rank, 1, n);
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+}  // namespace postal::obs

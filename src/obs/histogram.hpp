@@ -1,0 +1,81 @@
+// Streaming percentile accumulation for the service layer: an HDR-style
+// log-bucketed histogram over integer tick values (docs/SERVICE.md,
+// docs/OBSERVABILITY.md).
+//
+// The broadcast service records one sojourn latency per completed job --
+// up to millions per run -- and must report p50/p99/p999 without holding
+// the full value list. A LatencyHistogram buckets values the way HDR
+// histograms do: values below 2^precision_bits land in exact unit buckets,
+// and every larger value lands in a bucket of relative width 2^-bits, so
+// the histogram is O(64 * 2^bits) memory no matter how many values are
+// recorded.
+//
+// Certified error bound (the contract tests/svc/percentile_test.cpp and
+// E25 enforce): counts are exact, so the histogram selects the *same
+// nearest-rank element* as an exact reference over the full value list.
+// The reported quantile is that element's bucket upper bound, hence for
+// the true nearest-rank value v:
+//
+//     v <= quantile(p) <= v + floor(v * 2^-bits)
+//
+// (exact equality whenever v < 2^(bits+1): those buckets have width 1).
+// There is no rank error, only this bounded value rounding -- which is why
+// the certification test can use a hard inequality, not a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace postal::obs {
+
+/// Exact-count, bounded-relative-error histogram over uint64 values.
+class LatencyHistogram {
+ public:
+  /// Bucket precision: relative value error is at most 2^-bits. Throws
+  /// InvalidArgument unless 1 <= bits <= 20 (memory is O(64 * 2^bits)).
+  explicit LatencyHistogram(unsigned bits = 7);
+
+  [[nodiscard]] unsigned precision_bits() const noexcept { return bits_; }
+
+  /// Record one value.
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Smallest / largest recorded value (exact; 0 if empty).
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  /// Mean of all recorded values (exact 128-bit sum; lossy division for
+  /// reporting only). 0 if empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// The nearest-rank p-quantile with p = num/den in [0, 1]: the bucket
+  /// upper bound of the element at rank ceil(p * count) (rank clamped to
+  /// [1, count]). Throws InvalidArgument if den == 0, num > den, or the
+  /// histogram is empty. p = 1 reports max() exactly.
+  [[nodiscard]] std::uint64_t quantile(std::uint64_t num, std::uint64_t den) const;
+
+  /// Fold `other` into this histogram. Precision bits must match.
+  void merge(const LatencyHistogram& other);
+
+ private:
+  [[nodiscard]] std::size_t index_of(std::uint64_t value) const noexcept;
+  [[nodiscard]] std::uint64_t upper_of(std::size_t index) const noexcept;
+
+  unsigned bits_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  __extension__ unsigned __int128 sum_ = 0;
+  std::vector<std::uint64_t> buckets_;  ///< grown on demand, index_of order
+};
+
+/// The exact nearest-rank p-quantile of `sorted` (ascending), p = num/den
+/// in [0, 1]: the element at rank ceil(p * n) clamped to [1, n]. This is
+/// the reference the histogram's bound is certified against. Throws
+/// InvalidArgument if den == 0, num > den, or `sorted` is empty.
+[[nodiscard]] std::uint64_t exact_quantile(const std::vector<std::uint64_t>& sorted,
+                                           std::uint64_t num, std::uint64_t den);
+
+}  // namespace postal::obs

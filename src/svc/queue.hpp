@@ -1,0 +1,92 @@
+// The bounded admission queue: back-pressure bookkeeping for the broadcast
+// service (docs/SERVICE.md).
+//
+// The service is a single-server FIFO queue in virtual time: an admitted
+// job's completion time is fixed the moment it is admitted (start =
+// max(arrival, server-free), completion = start + service time), so the
+// queue only has to track the multiset of in-flight completion times --
+// which, because service is FIFO, is a monotone sequence retired from the
+// front. `capacity` bounds the in-flight population (waiting + in
+// service); an arrival that finds the queue full is *shed* by the service,
+// never enqueued, which is the whole back-pressure policy: depth() can
+// never exceed capacity (asserted here, property-tested in
+// tests/svc/service_soak_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+
+namespace postal::svc {
+
+/// Bounded FIFO of in-flight job completion times.
+class AdmissionQueue {
+ public:
+  /// capacity = 0 means unbounded (full() is always false).
+  explicit AdmissionQueue(std::uint64_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// In-flight jobs right now (waiting + in service).
+  [[nodiscard]] std::uint64_t depth() const noexcept {
+    return static_cast<std::uint64_t>(entries_.size());
+  }
+
+  /// Highest depth() ever reached.
+  [[nodiscard]] std::uint64_t depth_max() const noexcept { return depth_max_; }
+
+  /// Jobs ever admitted via push().
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+
+  /// Jobs retired (completed) so far. admitted() == retired() + depth()
+  /// always -- the conservation law the soak tests assert.
+  [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }
+
+  /// True iff an arrival right now would have to be shed.
+  [[nodiscard]] bool full() const noexcept {
+    return capacity_ != 0 && depth() >= capacity_;
+  }
+
+  /// Retire every in-flight job whose completion is <= t (a job departing
+  /// at exactly t frees its slot before an arrival at t is judged);
+  /// returns how many retired.
+  std::uint64_t retire_until(const Rational& t) {
+    std::uint64_t count = 0;
+    while (!entries_.empty() && entries_.front() <= t) {
+      entries_.pop_front();
+      ++count;
+    }
+    retired_ += count;
+    return count;
+  }
+
+  /// Retire everything in flight; returns how many retired.
+  std::uint64_t retire_all() {
+    const auto count = static_cast<std::uint64_t>(entries_.size());
+    entries_.clear();
+    retired_ += count;
+    return count;
+  }
+
+  /// Admit a job completing at `completion`. Throws LogicError if the
+  /// queue is full or completions would go backwards (FIFO service makes
+  /// them monotone by construction; a violation is a service bug).
+  void push(const Rational& completion) {
+    POSTAL_CHECK(!full());
+    POSTAL_CHECK(entries_.empty() || !(completion < entries_.back()));
+    entries_.push_back(completion);
+    ++admitted_;
+    if (depth() > depth_max_) depth_max_ = depth();
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::deque<Rational> entries_;
+  std::uint64_t depth_max_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace postal::svc

@@ -1,0 +1,132 @@
+// Seeded open-loop workload generation for the broadcast service
+// (docs/SERVICE.md).
+//
+// A WorkloadSpec describes a stream of broadcast *jobs* -- arrival process,
+// job count, and the distribution of job shapes (n, lambda, m) -- as pure
+// data with a canonical string form, so a run is fully named by
+// (spec, seed) and `postal_cli serve` can replay it byte-for-byte.
+//
+// Arrivals live on an integer tick grid of resolution 1/grid model-time
+// units and are drawn *without floating point*: each tick flips an exact
+// Bernoulli coin with p = rate/grid by comparing a 64-bit PRNG draw x
+// against the reduced fraction a/b via 128-bit cross products
+// (x * b < a * 2^64), so the accept/reject decision is a pure integer
+// function of the xoshiro stream -- identical on every platform and
+// compiler. kPoisson flips every tick (the Bernoulli discretization of a
+// Poisson process: geometric gaps, at most one arrival per tick); kOnOff
+// flips only during the ON phase of a deterministic on/off square wave,
+// producing the bursty traffic the admission queue's shed policy exists
+// for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/prng.hpp"
+#include "support/rational.hpp"
+
+namespace postal::svc {
+
+/// One broadcast job: at `arrival`, broadcast m messages in MPS(n, lambda).
+struct Job {
+  std::uint64_t id = 0;  ///< generation order, dense from 0
+  Rational arrival;      ///< model-time arrival (multiple of 1/grid)
+  std::uint64_t n = 1;
+  Rational lambda{1};
+  std::uint64_t m = 1;
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+/// Arrival process families.
+enum class ArrivalKind : std::uint8_t {
+  kPoisson,  ///< Bernoulli(rate/grid) every tick
+  kOnOff,    ///< Bernoulli(rate/grid) during ON ticks, silent during OFF
+};
+
+/// One job shape in the mix, drawn with probability weight/sum(weights).
+struct MixEntry {
+  std::uint64_t weight = 1;
+  std::uint64_t n = 2;
+  Rational lambda{1};
+  std::uint64_t m = 1;
+
+  friend bool operator==(const MixEntry&, const MixEntry&) = default;
+};
+
+/// A complete workload description. Canonical string form (round-tripped
+/// by parse/to_string, used in bench records and golden tests):
+///
+///   poisson;grid=16;rate=1/4;jobs=1000;mix=w1:n64:l2:m1|w1:n256:l5/2:m1
+///   onoff;grid=16;rate=1/2;on=64;off=192;jobs=500;mix=w1:n64:l2:m1
+struct WorkloadSpec {
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  std::int64_t grid = 16;  ///< arrival ticks per model-time unit, >= 1
+  Rational rate{1, 4};     ///< mean jobs per model-time unit (ON phase for kOnOff)
+  std::int64_t on_ticks = 64;   ///< kOnOff: ON phase length in ticks, >= 1
+  std::int64_t off_ticks = 192; ///< kOnOff: OFF phase length in ticks, >= 0
+  std::uint64_t jobs = 1000;    ///< jobs to generate
+  // One default entry; vector(1) rather than {MixEntry{}} because GCC 12's
+  // -Wmaybe-uninitialized misfires on the initializer_list backing array.
+  std::vector<MixEntry> mix = std::vector<MixEntry>(1);
+
+  /// Throws InvalidArgument on any violated bound: grid >= 1,
+  /// 0 < rate <= grid (a per-tick Bernoulli probability cannot exceed 1),
+  /// nonempty mix with weight >= 1, n >= 1, lambda >= 1, m >= 1 each, and
+  /// for kOnOff on_ticks >= 1, off_ticks >= 0.
+  void validate() const;
+
+  /// Canonical form; parse(to_string()) == *this.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse the canonical form. Throws InvalidArgument on malformed input,
+  /// unknown keys, or a spec that fails validate().
+  [[nodiscard]] static WorkloadSpec parse(const std::string& text);
+
+  /// The smallest tick resolution carrying every sojourn a service run over
+  /// this spec can produce fault-free: lcm of `grid` and every mix lambda's
+  /// denominator (arrival times are multiples of 1/grid; a job's service
+  /// time is a multiple of 1/den(lambda)). nullopt if the lcm overflows.
+  [[nodiscard]] std::optional<std::int64_t> sojourn_grid() const;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Streams the job sequence determined by (spec, seed). Exactly spec.jobs
+/// jobs are produced, with strictly increasing arrival times (one tick can
+/// carry at most one arrival).
+class WorkloadGenerator {
+ public:
+  /// Validates the spec. The generator owns its PRNG; two generators built
+  /// from equal (spec, seed) produce identical job sequences.
+  WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The next job, or nullopt once spec.jobs have been emitted. Throws
+  /// LogicError if the arrival tick counter would overflow (astronomically
+  /// sparse specs only; the bound is ~2^62 ticks).
+  [[nodiscard]] std::optional<Job> next();
+
+  /// Jobs emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  [[nodiscard]] bool tick_active(std::int64_t tick) const noexcept;
+  [[nodiscard]] bool bernoulli();
+  [[nodiscard]] const MixEntry& draw_mix();
+
+  WorkloadSpec spec_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+  std::uint64_t accept_num_ = 0;  ///< Bernoulli p = accept_num_/accept_den_
+  std::uint64_t accept_den_ = 1;
+  std::uint64_t weight_total_ = 0;
+  std::int64_t tick_ = 0;     ///< last inspected tick
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace postal::svc

@@ -4,8 +4,9 @@
 Covers validate_bench_records.py (the CI gate on BENCH_postal.json) and
 compare_sweep_records.py (the sweep determinism contract): happy paths,
 malformed JSON lines, missing stable keys, zero-record files, MISMATCH
-verdicts, unmet --expect names, thread-count and wall-time normalization,
-and record-count mismatches. Standard-library unittest on purpose -- the
+verdicts, unmet --expect names, the --svc percentile-key contract on
+service records (docs/SERVICE.md), thread-count and wall-time
+normalization, and record-count mismatches. Standard-library unittest on purpose -- the
 suite runs from ctest with the same python3 the build already requires.
 
 Usage: python3 validator_scripts_test.py [--scripts-dir DIR]
@@ -109,6 +110,54 @@ class ValidateBenchRecordsTest(unittest.TestCase):
                                       "--expect", "bench_absent")
         self.assertEqual(code, 1)
         self.assertIn("bench_absent", err)
+
+    def svc_record(self, bench="bench_service", **extra_overrides):
+        extra = {"p50": "309/16", "p99": "1231/16", "p999": "1567/16",
+                 "throughput": "320000/5039263", "threads": "1"}
+        extra.update(extra_overrides)
+        extra = {k: v for k, v in extra.items() if v is not None}
+        return good_record(bench=bench, verdict="CERTIFIED", extra=extra)
+
+    def test_svc_accepts_records_with_percentile_keys(self):
+        for bench in ("bench_service", "postal_cli_serve"):
+            with TempRecordFile([self.svc_record(bench=bench)]) as path:
+                code, _, err = run_script("validate_bench_records.py", path,
+                                          "--svc")
+            self.assertEqual(code, 0, f"{bench}: {err}")
+
+    def test_svc_rejects_missing_percentile_keys(self):
+        for key in ("p50", "p99", "p999", "throughput"):
+            rec = self.svc_record(**{key: None})
+            with TempRecordFile([rec]) as path:
+                code, _, err = run_script("validate_bench_records.py", path,
+                                          "--svc")
+            self.assertEqual(code, 1, f"missing {key} must be rejected")
+            self.assertIn(key, err)
+
+    def test_svc_rejects_non_object_extra(self):
+        rec = good_record(bench="postal_cli_serve", extra="p50=1")
+        with TempRecordFile([rec]) as path:
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--svc")
+        self.assertEqual(code, 1)
+        self.assertIn("extra object", err)
+
+    def test_svc_requires_a_service_record(self):
+        with TempRecordFile([good_record()]) as path:
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--svc")
+            self.assertEqual(code, 1)
+            self.assertIn("no service record", err)
+            # Without --svc the same file is fine: the contract is opt-in.
+            code, _, err = run_script("validate_bench_records.py", path)
+        self.assertEqual(code, 0, err)
+
+    def test_svc_ignores_non_service_records(self):
+        # A non-service record may omit the percentile keys even under --svc.
+        with TempRecordFile([good_record(), self.svc_record()]) as path:
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--svc")
+        self.assertEqual(code, 0, err)
 
 
 class CompareSweepRecordsTest(unittest.TestCase):

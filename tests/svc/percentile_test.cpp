@@ -1,0 +1,234 @@
+// The percentile certification suite (docs/SERVICE.md): the streaming
+// LatencyHistogram's quantiles are held against an exact nearest-rank
+// reference over the full value list, with the *hard* bound the header
+// certifies:
+//
+//     v <= quantile(p) <= v + floor(v * 2^-bits)
+//
+// (no tolerance -- counts are exact, so only bounded value rounding is
+// allowed), plus the golden replay gate: a fixed (spec, seed, options)
+// must produce the byte-identical ServiceReport JSON, forever.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/rational.hpp"
+#include "support/ticks.hpp"
+#include "svc/service.hpp"
+#include "svc/workload.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+using obs::exact_quantile;
+using obs::LatencyHistogram;
+using svc::ServiceOptions;
+using svc::ServiceReport;
+using svc::WorkloadSpec;
+
+/// The quantile fractions every certification below checks: p50, p90, p99,
+/// p99.9, p99.99, and the extremes.
+const std::pair<std::uint64_t, std::uint64_t> kQuantiles[] = {
+    {0, 1}, {1, 2}, {9, 10}, {99, 100}, {999, 1000}, {9999, 10000}, {1, 1}};
+
+/// Assert the certified bound for every probe quantile of `values`.
+void certify(const LatencyHistogram& hist, std::vector<std::uint64_t> values,
+             const std::string& tag) {
+  ASSERT_EQ(hist.count(), values.size()) << tag;
+  std::sort(values.begin(), values.end());
+  for (const auto& [num, den] : kQuantiles) {
+    const std::uint64_t v = exact_quantile(values, num, den);
+    const std::uint64_t q = hist.quantile(num, den);
+    ASSERT_LE(v, q) << tag << " p=" << num << "/" << den;
+    // q <= v + floor(v * 2^-bits), written overflow-safe (v can be ~2^64).
+    EXPECT_LE(q - v, v >> hist.precision_bits()) << tag << " p=" << num << "/" << den;
+  }
+  // The extremes are exact regardless of precision.
+  EXPECT_EQ(hist.min(), values.front()) << tag;
+  EXPECT_EQ(hist.max(), values.back()) << tag;
+  EXPECT_EQ(hist.quantile(1, 1), values.back()) << tag;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, ValidatesConstructionAndQueries) {
+  POSTAL_EXPECT_THROW(LatencyHistogram(0), InvalidArgument);
+  POSTAL_EXPECT_THROW(LatencyHistogram(21), InvalidArgument);
+
+  LatencyHistogram hist(7);
+  POSTAL_EXPECT_THROW(hist.quantile(1, 2), InvalidArgument);  // empty
+  hist.record(5);
+  POSTAL_EXPECT_THROW(hist.quantile(3, 2), InvalidArgument);  // p > 1
+  POSTAL_EXPECT_THROW(hist.quantile(1, 0), InvalidArgument);  // den == 0
+  EXPECT_EQ(hist.quantile(1, 2), 5u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExactNotJustBounded) {
+  // Every value below 2^(bits+1) sits in a width-1 bucket: quantiles are
+  // exactly the nearest-rank element, not an upper bound.
+  LatencyHistogram hist(4);  // exact below 32
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(0, 31);
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const auto& [num, den] : kQuantiles) {
+    EXPECT_EQ(hist.quantile(num, den), exact_quantile(values, num, den))
+        << num << "/" << den;
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+}
+
+TEST(LatencyHistogram, CertifiedBoundHoldsAcrossMagnitudesAndPrecisions) {
+  for (const unsigned bits : {1u, 4u, 7u, 12u}) {
+    LatencyHistogram hist(bits);
+    std::vector<std::uint64_t> values;
+    Xoshiro256 rng(7 + bits);
+    // Log-uniform magnitudes: every bucket regime from unit buckets to the
+    // widest, including 0 and near-2^64 extremes.
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t shift = rng.uniform(0, 63);
+      const std::uint64_t v = rng() >> shift;
+      values.push_back(v);
+      hist.record(v);
+    }
+    values.push_back(0);
+    hist.record(0);
+    values.push_back(~std::uint64_t{0});
+    hist.record(~std::uint64_t{0});
+    certify(hist, values, "bits=" + std::to_string(bits));
+  }
+}
+
+TEST(LatencyHistogram, MeanIsTheExactSumOverCount) {
+  LatencyHistogram hist(7);
+  EXPECT_EQ(hist.mean(), 0.0);
+  hist.record(1);
+  hist.record(2);
+  hist.record(9);
+  EXPECT_DOUBLE_EQ(hist.mean(), 4.0);
+  // The 128-bit sum survives values that would wrap a 64-bit accumulator.
+  LatencyHistogram big(7);
+  big.record(~std::uint64_t{0});
+  big.record(~std::uint64_t{0});
+  EXPECT_NEAR(big.mean(), 1.8446744073709552e19, 1e5);
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingEverythingInOne) {
+  LatencyHistogram a(7);
+  LatencyHistogram b(7);
+  LatencyHistogram all(7);
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng() >> rng.uniform(0, 50);
+    values.push_back(v);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), all.count());
+  for (const auto& [num, den] : kQuantiles) {
+    EXPECT_EQ(a.quantile(num, den), all.quantile(num, den)) << num << "/" << den;
+  }
+  certify(a, std::move(values), "merged");
+
+  LatencyHistogram coarse(4);
+  POSTAL_EXPECT_THROW(a.merge(coarse), InvalidArgument);
+}
+
+TEST(ExactQuantile, NearestRankReferenceSemantics) {
+  const std::vector<std::uint64_t> sorted = {10, 20, 30, 40};
+  EXPECT_EQ(exact_quantile(sorted, 0, 1), 10u);   // rank clamps up to 1
+  EXPECT_EQ(exact_quantile(sorted, 1, 2), 20u);   // ceil(0.5 * 4) = 2
+  EXPECT_EQ(exact_quantile(sorted, 1, 4), 10u);   // ceil(0.25 * 4) = 1
+  EXPECT_EQ(exact_quantile(sorted, 51, 100), 30u);  // ceil(2.04) = 3
+  EXPECT_EQ(exact_quantile(sorted, 1, 1), 40u);
+  POSTAL_EXPECT_THROW(exact_quantile({}, 1, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Service percentile certification: streaming histogram vs the exact
+// sojourn list of a real run
+// ---------------------------------------------------------------------------
+
+TEST(ServicePercentiles, ReportedQuantilesAreCertifiedAgainstTheExactSojourns) {
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "poisson;grid=16;rate=1/2;jobs=2000;mix=w3:n64:l2:m1|w1:n256:l5/2:m1");
+  ServiceOptions options;
+  options.queue_capacity = 0;  // unbounded: all 2000 sojourns certified
+  options.keep_sojourns = true;
+  const ServiceReport report = svc::run_service(spec, 1234, options);
+  ASSERT_EQ(report.sojourns.size(), report.counters.completed);
+  ASSERT_EQ(report.counters.completed, 2000u);
+  ASSERT_EQ(report.counters.sojourn_offgrid, 0u);
+
+  // Exact tick conversion of every sojourn (fault-free they all sit on the
+  // folded grid), then the nearest-rank reference.
+  const TickDomain domain(report.sojourn_grid);
+  std::vector<std::uint64_t> ticks;
+  for (const Rational& sojourn : report.sojourns) {
+    const auto t = domain.to_ticks(sojourn);
+    ASSERT_TRUE(t.has_value()) << sojourn.str();
+    ticks.push_back(static_cast<std::uint64_t>(*t));
+  }
+  std::sort(ticks.begin(), ticks.end());
+
+  const std::pair<std::uint64_t, std::uint64_t> reported[] = {
+      {1, 2}, {99, 100}, {999, 1000}};
+  const std::uint64_t values[] = {report.p50_ticks, report.p99_ticks,
+                                  report.p999_ticks};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::uint64_t v = exact_quantile(ticks, reported[i].first, reported[i].second);
+    EXPECT_LE(v, values[i]) << i;
+    EXPECT_LE(values[i], v + (v >> report.histogram_bits)) << i;
+    // And the Rational rendering is exactly ticks/grid.
+    EXPECT_EQ(Rational(static_cast<std::int64_t>(values[i]), report.sojourn_grid),
+              i == 0 ? report.p50 : (i == 1 ? report.p99 : report.p999));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden replay: the committed report JSON of a fixed (spec, seed, options)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceGolden, FixedSpecSeedOptionsReplayToTheCommittedJson) {
+  const WorkloadSpec spec =
+      WorkloadSpec::parse("poisson;grid=16;rate=1/4;jobs=100;mix=w1:n64:l2:m1");
+  ServiceOptions options;
+  options.exec_every = 8;
+  // Captured from `postal_cli serve` at the layer's introduction; any
+  // byte-level drift here is a replay-contract break, not a refresh.
+  const std::string json =
+      R"({"spec":"poisson;grid=16;rate=1/4;jobs=100;mix=w1:n64:l2:m1","seed":42,)"
+      R"("generated":100,"admitted":100,"shed":0,"completed":100,"depth_max":64,)"
+      R"("planned_oracle":100,"planned_materialized":0,"planned_registry":0,)"
+      R"("exec_runs":13,"exec_verified":13,"exec_faulted":0,)"
+      R"("exec_retransmissions":0,"exec_repairs":0,"exec_crashed":0,)"
+      R"("sojourn_grid":16,"histogram_bits":7,"sojourn_offgrid":0,)"
+      R"("sojourn_total":"243801/8","sojourn_max":"5109/8","horizon":"16173/16",)"
+      R"("p50_ticks":4671,"p99_ticks":10175,"p999_ticks":10218,"p50":"4671/16",)"
+      R"("p99":"10175/16","p999":"5109/8","throughput":"1600/16173"})";
+  for (const unsigned threads : {1u, 4u}) {
+    ServiceOptions opts = options;
+    opts.threads = threads;
+    EXPECT_EQ(svc::run_service(spec, 42, opts).to_json(), json)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace postal

@@ -1,0 +1,186 @@
+// The service soak suite (docs/SERVICE.md): sweep 200+ seeded workload
+// scenarios -- arrival families crossed with rates, grids, queue
+// capacities, mixes, and seeds -- and hold the admission-queue invariants
+// on every one:
+//
+//   * bounded depth: depth_max never exceeds the configured capacity;
+//   * conservation: generated = admitted + shed and, after drain,
+//     admitted = completed (no lost or duplicated jobs);
+//   * the percentile chain is monotone: p50 <= p99 <= p999 <= max sojourn;
+//   * accounting is exact: sojourn_total/completed brackets the
+//     percentiles, throughput = completed/horizon;
+//   * determinism: the same (spec, seed, options) replays to the
+//     byte-identical report.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rational.hpp"
+#include "svc/service.hpp"
+#include "svc/workload.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+using svc::ServiceOptions;
+using svc::ServiceReport;
+using svc::WorkloadSpec;
+
+struct Scenario {
+  WorkloadSpec spec;
+  std::uint64_t seed = 0;
+  ServiceOptions options;
+  std::string tag;
+};
+
+void check_invariants(const Scenario& s, const ServiceReport& report) {
+  const auto& c = report.counters;
+  // Conservation: every generated job is accounted for exactly once.
+  EXPECT_EQ(c.generated, s.spec.jobs) << s.tag;
+  EXPECT_EQ(c.generated, c.admitted + c.shed) << s.tag;
+  EXPECT_EQ(c.admitted, c.completed) << s.tag << ": drain retired everything";
+
+  // Back-pressure: the queue never exceeded its capacity, and nothing was
+  // shed while it had room (shed implies the bound was actually reached).
+  if (s.options.queue_capacity != 0) {
+    EXPECT_LE(c.depth_max, s.options.queue_capacity) << s.tag;
+    if (c.shed > 0) {
+      EXPECT_EQ(c.depth_max, s.options.queue_capacity) << s.tag;
+    }
+  } else {
+    EXPECT_EQ(c.shed, 0u) << s.tag << ": unbounded queues never shed";
+  }
+
+  // Every admitted job was planned by exactly one planner.
+  EXPECT_EQ(c.planned_oracle + c.planned_materialized + c.planned_registry,
+            c.admitted)
+      << s.tag;
+
+  bool single_message = true;
+  for (const auto& entry : s.spec.mix) single_message = single_message && entry.m == 1;
+
+  if (c.completed > 0) {
+    // Percentile chain and bracketing (ticks are exact counts, so the
+    // chain is monotone by construction -- a violation is a histogram bug).
+    EXPECT_LE(report.p50_ticks, report.p99_ticks) << s.tag;
+    EXPECT_LE(report.p99_ticks, report.p999_ticks) << s.tag;
+    EXPECT_FALSE(report.sojourn_max < report.p999) << s.tag;
+    EXPECT_FALSE(report.sojourn_total < report.sojourn_max) << s.tag;
+    EXPECT_FALSE(report.horizon < report.sojourn_max) << s.tag;
+    EXPECT_EQ(report.throughput * report.horizon,
+              Rational(static_cast<std::int64_t>(c.completed)))
+        << s.tag;
+    // Fault-free single-message runs with the grid folded from the spec
+    // never leave it (m > 1 registry predictions carry no such guarantee).
+    if (single_message) {
+      EXPECT_EQ(c.sojourn_offgrid, 0u) << s.tag;
+    }
+  }
+}
+
+TEST(ServiceSoak, TwoHundredPlusSeededScenariosHoldTheInvariants) {
+  std::uint64_t scenarios = 0;
+  std::uint64_t total_shed = 0;
+  std::uint64_t saturated = 0;
+  const auto run = [&](const Scenario& s) {
+    const ServiceReport report = svc::run_service(s.spec, s.seed, s.options);
+    check_invariants(s, report);
+    ++scenarios;
+    total_shed += report.counters.shed;
+    if (s.options.queue_capacity != 0 &&
+        report.counters.depth_max == s.options.queue_capacity) {
+      ++saturated;
+    }
+  };
+
+  // Poisson sweep: 3 rates x 3 capacities x 8 seeds = 72 scenarios, over
+  // a two-shape mix (oracle planning for both).
+  const std::uint64_t capacities[] = {2, 16, 0};
+  for (const char* rate : {"1/8", "1/2", "2"}) {
+    for (const std::uint64_t capacity : capacities) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Scenario s;
+        s.spec = WorkloadSpec::parse(std::string("poisson;grid=16;rate=") + rate +
+                                     ";jobs=120;mix=w1:n64:l2:m1|w2:n16:l5/2:m1");
+        s.seed = seed;
+        s.options.queue_capacity = capacity;
+        s.tag = "poisson rate=" + std::string(rate) +
+                " cap=" + std::to_string(capacity) + " seed=" + std::to_string(seed);
+        run(s);
+      }
+    }
+  }
+
+  // Bursty sweep: 2 duty cycles x 2 capacities x 8 seeds = 32 scenarios;
+  // the ON/OFF bursts are what actually stress the shed policy.
+  const std::uint64_t burst_capacities[] = {4, 32};
+  for (const char* phase : {"on=16;off=48", "on=64;off=64"}) {
+    for (const std::uint64_t capacity : burst_capacities) {
+      for (std::uint64_t seed = 10; seed <= 17; ++seed) {
+        Scenario s;
+        s.spec = WorkloadSpec::parse(std::string("onoff;grid=16;rate=8;") + phase +
+                                     ";jobs=150;mix=w1:n128:l3:m1");
+        s.seed = seed;
+        s.options.queue_capacity = capacity;
+        s.tag = std::string("onoff ") + phase + " cap=" + std::to_string(capacity) +
+                " seed=" + std::to_string(seed);
+        run(s);
+      }
+    }
+  }
+
+  // Mixed-m sweep (registry planning rides along): 2 grids x 2 rates x
+  // 8 seeds = 32 scenarios.
+  const std::int64_t grids[] = {4, 32};
+  for (const std::int64_t grid : grids) {
+    for (const char* rate : {"1/4", "1"}) {
+      for (std::uint64_t seed = 20; seed <= 27; ++seed) {
+        Scenario s;
+        s.spec = WorkloadSpec::parse("poisson;grid=" + std::to_string(grid) +
+                                     ";rate=" + rate +
+                                     ";jobs=80;mix=w1:n32:l2:m1|w1:n32:l2:m4");
+        s.seed = seed;
+        s.options.queue_capacity = 8;
+        s.tag = "mixed-m grid=" + std::to_string(grid) + " rate=" + rate +
+                " seed=" + std::to_string(seed);
+        run(s);
+      }
+    }
+  }
+
+  // Seed-heavy tail on one saturating config: 80 seeds of heavy overload,
+  // where the queue lives pinned at capacity and shed dominates.
+  for (std::uint64_t seed = 100; seed < 180; ++seed) {
+    Scenario s;
+    s.spec = WorkloadSpec::parse(
+        "poisson;grid=16;rate=4;jobs=100;mix=w1:n256:l5/2:m1");
+    s.seed = seed;
+    s.options.queue_capacity = 3;
+    s.tag = "overload seed=" + std::to_string(seed);
+    run(s);
+  }
+
+  EXPECT_GE(scenarios, 200u);
+  // The sweep must actually exercise back-pressure, not tiptoe around it.
+  EXPECT_GT(total_shed, 0u);
+  EXPECT_GT(saturated, 50u);
+}
+
+TEST(ServiceSoak, ReplaysAreByteIdentical) {
+  // A saturating bursty config with a mixed workload replays exactly.
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "onoff;grid=16;rate=8;on=32;off=96;jobs=200;mix=w1:n64:l2:m1|w1:n96:l5/2:m1");
+  ServiceOptions options;
+  options.queue_capacity = 8;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::string a = svc::run_service(spec, seed, options).to_json();
+    const std::string b = svc::run_service(spec, seed, options).to_json();
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace postal

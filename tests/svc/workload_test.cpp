@@ -1,0 +1,245 @@
+// Tests for the seeded open-loop workload layer (docs/SERVICE.md):
+// canonical spec round-trips, validation bounds, generator determinism,
+// strictly increasing arrivals on the tick grid, and the ON/OFF square
+// wave's silence guarantee.
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+#include "svc/workload.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+using svc::ArrivalKind;
+using svc::Job;
+using svc::MixEntry;
+using svc::WorkloadGenerator;
+using svc::WorkloadSpec;
+
+std::vector<Job> all_jobs(const WorkloadSpec& spec, std::uint64_t seed) {
+  WorkloadGenerator gen(spec, seed);
+  std::vector<Job> jobs;
+  while (auto job = gen.next()) jobs.push_back(*job);
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical string form
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadSpec, PoissonRoundTripsThroughCanonicalString) {
+  WorkloadSpec spec;
+  spec.arrivals = ArrivalKind::kPoisson;
+  spec.grid = 16;
+  spec.rate = Rational(1, 4);
+  spec.jobs = 1000;
+  spec.mix = {MixEntry{1, 64, Rational(2), 1}, MixEntry{1, 256, Rational(5, 2), 1}};
+
+  const std::string text = spec.to_string();
+  EXPECT_EQ(text,
+            "poisson;grid=16;rate=1/4;jobs=1000;mix=w1:n64:l2:m1|w1:n256:l5/2:m1");
+  EXPECT_EQ(WorkloadSpec::parse(text), spec);
+}
+
+TEST(WorkloadSpec, OnOffRoundTripsThroughCanonicalString) {
+  WorkloadSpec spec;
+  spec.arrivals = ArrivalKind::kOnOff;
+  spec.grid = 8;
+  spec.rate = Rational(1, 2);
+  spec.on_ticks = 64;
+  spec.off_ticks = 192;
+  spec.jobs = 500;
+  spec.mix = {MixEntry{3, 64, Rational(2), 1}, MixEntry{1, 32, Rational(1), 4}};
+
+  const std::string text = spec.to_string();
+  EXPECT_EQ(text,
+            "onoff;grid=8;rate=1/2;on=64;off=192;jobs=500;"
+            "mix=w3:n64:l2:m1|w1:n32:l1:m4");
+  EXPECT_EQ(WorkloadSpec::parse(text), spec);
+}
+
+TEST(WorkloadSpec, ParseRejectsMalformedInput) {
+  // Unknown family / key / malformed mix entries and numbers.
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse(""), InvalidArgument);
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("uniform;grid=16;rate=1;jobs=1;"
+                                          "mix=w1:n2:l1:m1"),
+                      InvalidArgument);
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("poisson;grid=16;rate=1;jobs=1;"
+                                          "mix=w1:n2:l1:m1;bogus=3"),
+                      InvalidArgument);
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("poisson;grid=16;rate=1;jobs=1"),
+                      InvalidArgument);  // missing mix
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("poisson;grid=16;rate=1;jobs=1;"
+                                          "mix=n2:l1:m1"),
+                      InvalidArgument);  // mix entry missing weight
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("poisson;grid=x;rate=1;jobs=1;"
+                                          "mix=w1:n2:l1:m1"),
+                      InvalidArgument);
+  // on/off keys only make sense for onoff.
+  POSTAL_EXPECT_THROW(WorkloadSpec::parse("poisson;grid=16;rate=1;on=4;off=4;"
+                                          "jobs=1;mix=w1:n2:l1:m1"),
+                      InvalidArgument);
+}
+
+TEST(WorkloadSpec, ValidateEnforcesEveryBound) {
+  const WorkloadSpec good;
+  EXPECT_NO_THROW(good.validate());
+
+  WorkloadSpec spec = good;
+  spec.grid = 0;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.rate = Rational(0);
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  // rate > grid would need a per-tick Bernoulli probability above 1.
+  spec = good;
+  spec.rate = Rational(spec.grid + 1);
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.mix.clear();
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.mix[0].weight = 0;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.mix[0].n = 0;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.mix[0].lambda = Rational(1, 2);
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.mix[0].m = 0;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.arrivals = ArrivalKind::kOnOff;
+  spec.on_ticks = 0;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.arrivals = ArrivalKind::kOnOff;
+  spec.off_ticks = -1;
+  POSTAL_EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(WorkloadSpec, SojournGridFoldsGridAndMixLambdaDenominators) {
+  WorkloadSpec spec;
+  spec.grid = 16;
+  spec.mix = {MixEntry{1, 64, Rational(5, 2), 1}, MixEntry{1, 32, Rational(7, 3), 1}};
+  // lcm(16, 2, 3) = 48.
+  ASSERT_TRUE(spec.sojourn_grid().has_value());
+  EXPECT_EQ(*spec.sojourn_grid(), 48);
+
+  // Integer lambdas add nothing beyond the arrival grid.
+  spec.mix = {MixEntry{1, 64, Rational(2), 1}};
+  ASSERT_TRUE(spec.sojourn_grid().has_value());
+  EXPECT_EQ(*spec.sojourn_grid(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadGenerator, EqualSpecAndSeedReproduceTheIdenticalSequence) {
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "poisson;grid=16;rate=1/2;jobs=300;mix=w2:n64:l2:m1|w1:n256:l5/2:m1");
+  const std::vector<Job> a = all_jobs(spec, 12345);
+  const std::vector<Job> b = all_jobs(spec, 12345);
+  EXPECT_EQ(a, b);
+
+  // A different seed must not produce the same stream (arrival pattern or
+  // mix draw differs somewhere in 300 jobs with overwhelming probability).
+  const std::vector<Job> c = all_jobs(spec, 12346);
+  EXPECT_NE(a, c);
+}
+
+TEST(WorkloadGenerator, EmitsExactlyJobsWithDenseIdsAndStrictlyIncreasingArrivals) {
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "poisson;grid=4;rate=1;jobs=500;mix=w1:n16:l1:m1");
+  const std::vector<Job> jobs = all_jobs(spec, 7);
+  ASSERT_EQ(jobs.size(), 500u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    // Arrivals sit on the tick grid: arrival * grid is an integer >= 1.
+    EXPECT_EQ(4 % jobs[i].arrival.den(), 0) << "job " << i;
+    if (i > 0) {
+      EXPECT_LT(jobs[i - 1].arrival, jobs[i].arrival) << "job " << i;
+    }
+  }
+
+  WorkloadGenerator gen(spec, 7);
+  while (gen.next()) {
+  }
+  EXPECT_EQ(gen.emitted(), 500u);
+  EXPECT_EQ(gen.next(), std::nullopt);  // exhausted stays exhausted
+}
+
+TEST(WorkloadGenerator, DrawsEveryMixEntryAndOnlyMixEntries) {
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "poisson;grid=4;rate=2;jobs=400;mix=w1:n16:l1:m1|w1:n64:l2:m1|w2:n8:l1:m3");
+  std::set<std::uint64_t> seen_n;
+  for (const Job& job : all_jobs(spec, 99)) {
+    seen_n.insert(job.n);
+    const bool known = (job.n == 16 && job.lambda == Rational(1) && job.m == 1) ||
+                       (job.n == 64 && job.lambda == Rational(2) && job.m == 1) ||
+                       (job.n == 8 && job.lambda == Rational(1) && job.m == 3);
+    EXPECT_TRUE(known) << "job shape outside the mix: n=" << job.n;
+  }
+  EXPECT_EQ(seen_n, (std::set<std::uint64_t>{8, 16, 64}));
+}
+
+TEST(WorkloadGenerator, OnOffIsSilentDuringEveryOffPhase) {
+  // rate == grid: every ON tick fires, so arrivals are exactly the ON
+  // ticks -- the square wave laid bare.
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "onoff;grid=4;rate=4;on=8;off=24;jobs=64;mix=w1:n16:l1:m1");
+  const std::vector<Job> jobs = all_jobs(spec, 5);
+  ASSERT_EQ(jobs.size(), 64u);
+  for (const Job& job : jobs) {
+    // arrival = tick/grid with tick in an ON window:
+    // (tick - 1) % (on + off) < on.
+    const Rational ticks = job.arrival * Rational(4);
+    ASSERT_EQ(ticks.den(), 1);
+    const std::int64_t tick = ticks.num();
+    EXPECT_LT((tick - 1) % 32, 8) << "arrival inside an OFF phase, tick " << tick;
+  }
+  // Determinism of the bursty family too.
+  EXPECT_EQ(jobs, all_jobs(spec, 5));
+}
+
+TEST(WorkloadGenerator, OnOffBurstsFillTheOnWindowBackToBack) {
+  const WorkloadSpec spec = WorkloadSpec::parse(
+      "onoff;grid=4;rate=4;on=8;off=24;jobs=24;mix=w1:n16:l1:m1");
+  const std::vector<Job> jobs = all_jobs(spec, 1);
+  ASSERT_EQ(jobs.size(), 24u);
+  // With p = 1, the first burst is ticks 1..8 exactly.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(jobs[i].arrival, Rational(static_cast<std::int64_t>(i) + 1, 4));
+  }
+  // The second burst starts one full period later.
+  EXPECT_EQ(jobs[8].arrival, Rational(33, 4));
+}
+
+TEST(WorkloadGenerator, RejectsInvalidSpecAtConstruction) {
+  WorkloadSpec spec;
+  spec.grid = 0;
+  POSTAL_EXPECT_THROW(WorkloadGenerator(spec, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal
