@@ -25,6 +25,19 @@
 //                                               ... under an explicit plan
 //     both forms accept [--trace out.json] fault-overlay export and
 //     [--threads T] simulation lanes (results identical at every T)
+//   postal_cli elect <n> <lambda> [--seed S [--crashes C]] [--plan file.json]
+//                    [--crash R:T] [--policy rank|depth] [--threads T]
+//                    [--trace out.json]
+//                                               postal-model leader election
+//                                               under an optional fault plan
+//                                               (docs/COORDINATION.md)
+//   postal_cli consensus <n> <lambda> [--seed S [--crashes C]]
+//                    [--plan file.json] [--crash R:T] [--threads T]
+//                    [--trace out.json]
+//                                               broadcast-based view-change
+//                                               consensus; exits non-zero
+//                                               unless the coordination
+//                                               validator certifies the run
 //   postal_cli oracle <n> <lambda> makespan     f_lambda(n) + witness rank,
 //                                               O(1) memory at any n
 //   postal_cli oracle <n> <lambda> rank <r>     one rank's parent / inform
@@ -57,6 +70,9 @@
 #include <vector>
 
 #include "api/communicator.hpp"
+#include "coord/consensus.hpp"
+#include "coord/election.hpp"
+#include "coord/metrics.hpp"
 #include "faults/fault_plan.hpp"
 #include "model/bounds.hpp"
 #include "net/calibrate.hpp"
@@ -94,6 +110,13 @@ int usage() {
                "[--trace out.json] [--threads T]\n"
             << "  postal_cli faults <n> <lambda> --plan <file.json> "
                "[--trace out.json] [--threads T]\n"
+            << "  postal_cli elect <n> <lambda> [--seed S [--crashes C]] "
+               "[--plan file.json]\n"
+            << "             [--crash R:T] [--policy rank|depth] [--threads T] "
+               "[--trace out.json]\n"
+            << "  postal_cli consensus <n> <lambda> [--seed S [--crashes C]] "
+               "[--plan file.json]\n"
+            << "             [--crash R:T] [--threads T] [--trace out.json]\n"
             << "  postal_cli oracle <n> <lambda> makespan\n"
             << "  postal_cli oracle <n> <lambda> rank <r>\n"
             << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n"
@@ -406,6 +429,13 @@ int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
             << " (" << report.crashed.size() << " crashed, exempt)\n"
             << "validation: " << report.validation.summary() << "\n"
             << "verdict: " << (pass ? "PASS" : "FAIL") << "\n";
+  if (!report.validation.ok) {
+    // Rejected runs spell out every violation string on stderr (one per
+    // line) so scripts can capture the validator's exact complaint.
+    for (const std::string& v : report.validation.violations) {
+      std::cerr << "violation: " << v << "\n";
+    }
+  }
 
   if (!trace_path.empty()) {
     const std::string trace_json =
@@ -435,6 +465,163 @@ int cmd_faults(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
                {"threads", std::to_string(threads == 0 ? 1 : threads)}};
   obs::emit_bench_record(rec);
   return pass ? 0 : 1;
+}
+
+void print_plan_header(const FaultPlan& plan, bool have_plan) {
+  if (!have_plan) {
+    std::cout << "fault plan: none (fault-free run)\n";
+    return;
+  }
+  std::cout << "fault plan: " << plan.crashes.size() << " crash(es), "
+            << plan.losses.size() << " lossy link(s), " << plan.spikes.size()
+            << " spike window(s)  [seed " << plan.seed << "]\n";
+  for (const CrashFault& c : plan.crashes) {
+    std::cout << "  crash p" << c.proc << " at t = " << c.time << "\n";
+  }
+}
+
+/// Shared tail of elect/consensus: the judged verdict lines (violations on
+/// stderr), the optional marker-overlaid Chrome trace, one bench record.
+int finish_coord_run(const PostalParams& params, const SimReport& validation,
+                     const coord::CoordCheck& check, const Trace& trace,
+                     const FaultStats& faults,
+                     const std::vector<obs::TraceMarker>& markers,
+                     const std::string& trace_path, obs::BenchRecord rec,
+                     double wall_ms) {
+  const bool pass = validation.ok && check.ok;
+  std::cout << "\nvalidation: " << validation.summary() << "\n"
+            << "coordination check: " << check.summary() << "\n"
+            << "verdict: " << (pass ? "PASS" : "FAIL") << "\n";
+  if (!validation.ok) {
+    for (const std::string& v : validation.violations) {
+      std::cerr << "violation: " << v << "\n";
+    }
+  }
+  if (!check.ok) {
+    for (const std::string& v : check.violations) {
+      std::cerr << "violation: " << v << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    const std::string trace_json =
+        obs::trace_to_chrome_json(trace, params, faults, markers);
+    std::ofstream out(trace_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << trace_path << "' for writing\n";
+      return 1;
+    }
+    out << trace_json << "\n";
+    std::cerr << "wrote " << trace_json.size() << " bytes to " << trace_path
+              << " (" << markers.size()
+              << " coordination marker(s) overlaid; open in ui.perfetto.dev)\n";
+  }
+  rec.wall_ms = wall_ms;
+  obs::emit_bench_record(rec);
+  return pass ? 0 : 1;
+}
+
+int cmd_elect(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
+              bool have_plan, coord::ElectionPolicy policy,
+              const std::string& trace_path, unsigned threads) {
+  const PostalParams params(n, lambda);
+  coord::ElectionOptions options;
+  options.policy = policy;
+  options.threads = threads;
+  const obs::WallClock clock;
+  const coord::ElectionReport report =
+      coord::run_election(params, have_plan ? &plan : nullptr, options);
+  const double wall_ms = clock.elapsed_ms();
+
+  print_plan_header(plan, have_plan);
+  std::cout << "\nleader election on MPS(" << n << ", " << lambda << "), policy "
+            << (policy == coord::ElectionPolicy::kOracleDepth ? "oracle-depth"
+                                                              : "highest-rank")
+            << ":\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"leader", "p" + std::to_string(report.leader)});
+  table.add_row({"heartbeat period", report.options.heartbeat_period.str()});
+  table.add_row({"watchdog patience", report.watchdog.str()});
+  table.add_row({"horizon", report.options.horizon.str()});
+  table.add_row({"first suspicion", report.first_suspect.str()});
+  table.add_row({"elected at", report.elected_at.str()});
+  table.add_row({"election latency", report.election_latency.str()});
+  table.add_row({"heartbeats", std::to_string(report.counters.heartbeats_sent)});
+  table.add_row({"probes", std::to_string(report.counters.probes_sent)});
+  table.add_row({"victories", std::to_string(report.counters.victories_sent)});
+  table.add_row({"suspicions", std::to_string(report.counters.suspicions)});
+  table.add_row({"adoptions", std::to_string(report.counters.adoptions)});
+  table.add_row({"settled", report.settled ? "yes" : "no"});
+  table.print(std::cout);
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_elect";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = report.elected_at;
+  rec.verdict = report.validation.ok && report.check.ok ? "ELECTED" : "FAIL";
+  rec.extra = {{"leader", std::to_string(report.leader)},
+               {"latency", report.election_latency.str()},
+               {"suspicions", std::to_string(report.counters.suspicions)},
+               {"seed", std::to_string(plan.seed)},
+               {"threads", std::to_string(threads == 0 ? 1 : threads)}};
+  return finish_coord_run(params, report.validation, report.check,
+                          report.result.trace, report.result.faults,
+                          coord::election_markers(report), trace_path,
+                          std::move(rec), wall_ms);
+}
+
+int cmd_consensus(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
+                  bool have_plan, const std::string& trace_path,
+                  unsigned threads) {
+  const PostalParams params(n, lambda);
+  coord::ConsensusOptions options;
+  options.threads = threads;
+  const obs::WallClock clock;
+  const coord::ConsensusReport report =
+      coord::run_consensus(params, have_plan ? &plan : nullptr, options);
+  const double wall_ms = clock.elapsed_ms();
+
+  print_plan_header(plan, have_plan);
+  std::uint64_t decides = 0;
+  std::string value = "(none)";
+  for (const coord::RankDecision& d : report.decisions) {
+    if (!d.decided) continue;
+    ++decides;
+    value = std::to_string(d.value);
+  }
+  std::cout << "\nview-change consensus on MPS(" << n << ", " << lambda << "):\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"decided value", value});
+  table.add_row({"ranks decided", std::to_string(decides)});
+  table.add_row({"quorum", std::to_string(report.quorum)});
+  table.add_row({"view length", report.options.view_length.str()});
+  table.add_row({"views used", std::to_string(report.views_used + 1)});
+  table.add_row({"decision latency", report.decision_latency.str()});
+  table.add_row({"fault-free baseline", report.baseline.str()});
+  table.add_row({"recovery time", report.recovery_time.str()});
+  table.add_row({"view-changes", std::to_string(report.counters.view_changes_sent)});
+  table.add_row({"proposals", std::to_string(report.counters.proposals)});
+  table.add_row({"acks", std::to_string(report.counters.acks_sent)});
+  table.add_row({"repairs", std::to_string(report.counters.proposal_repairs)});
+  table.add_row({"heal replies", std::to_string(report.counters.heal_replies)});
+  table.add_row({"settled", report.settled ? "yes" : "no"});
+  table.print(std::cout);
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_consensus";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = report.decision_latency;
+  rec.verdict = report.validation.ok && report.check.ok ? "DECIDED" : "FAIL";
+  rec.extra = {{"value", value},
+               {"views", std::to_string(report.views_used + 1)},
+               {"recovery", report.recovery_time.str()},
+               {"seed", std::to_string(plan.seed)},
+               {"threads", std::to_string(threads == 0 ? 1 : threads)}};
+  return finish_coord_run(params, report.validation, report.check,
+                          report.result.trace, report.result.faults,
+                          coord::consensus_markers(report), trace_path,
+                          std::move(rec), wall_ms);
 }
 
 int cmd_oracle_makespan(std::uint64_t n, const Rational& lambda) {
@@ -668,6 +855,65 @@ int main(int argc, char** argv) {
       }
       if (!rest.empty()) return usage();
       return cmd_serve(spec, seed, options);
+    }
+    if ((cmd == "elect" || cmd == "consensus") && args.size() >= 2) {
+      const std::uint64_t n = std::stoull(args[0]);
+      const Rational lambda = Rational::parse(args[1]);
+      std::vector<std::string> rest(args.begin() + 2, args.end());
+      const std::string threads_arg = take_flag(rest, "--threads");
+      const unsigned threads =
+          threads_arg.empty() ? 1
+                              : static_cast<unsigned>(std::stoul(threads_arg));
+      const std::string trace_path = take_flag(rest, "--trace");
+      const std::string plan_path = take_flag(rest, "--plan");
+      const std::string seed_arg = take_flag(rest, "--seed");
+      const std::string crashes_arg = take_flag(rest, "--crashes");
+      const std::string crash_arg = take_flag(rest, "--crash");
+      std::string policy_arg;
+      if (cmd == "elect") policy_arg = take_flag(rest, "--policy");
+      if (!rest.empty() || (!plan_path.empty() && !seed_arg.empty())) {
+        return usage();
+      }
+      FaultPlan plan;
+      bool have_plan = false;
+      if (!plan_path.empty()) {
+        std::ifstream in(plan_path);
+        if (!in.good()) {
+          std::cerr << "error: cannot read plan file '" << plan_path << "'\n";
+          return 1;
+        }
+        std::ostringstream contents;
+        contents << in.rdbuf();
+        plan = parse_fault_plan(contents.str());
+        have_plan = true;
+      } else if (!seed_arg.empty()) {
+        RandomFaultOptions fopts;
+        fopts.crashes = crashes_arg.empty() ? 1 : std::stoull(crashes_arg);
+        plan = random_fault_plan(PostalParams(n, lambda),
+                                 std::stoull(seed_arg), fopts);
+        have_plan = true;
+      }
+      if (!crash_arg.empty()) {
+        // "--crash R:T" appends one explicit crash (e.g. the incumbent
+        // leader, which seeded plans never crash).
+        const std::size_t colon = crash_arg.find(':');
+        if (colon == std::string::npos) return usage();
+        plan.crashes.push_back(
+            CrashFault{static_cast<ProcId>(std::stoul(crash_arg.substr(0, colon))),
+                       Rational::parse(crash_arg.substr(colon + 1))});
+        have_plan = true;
+      }
+      if (have_plan) plan.validate(n);
+      coord::ElectionPolicy policy = coord::ElectionPolicy::kHighestRank;
+      if (policy_arg == "depth" || policy_arg == "oracle") {
+        policy = coord::ElectionPolicy::kOracleDepth;
+      } else if (!policy_arg.empty() && policy_arg != "rank") {
+        return usage();
+      }
+      if (cmd == "elect") {
+        return cmd_elect(n, lambda, plan, have_plan, policy, trace_path, threads);
+      }
+      return cmd_consensus(n, lambda, plan, have_plan, trace_path, threads);
     }
     if (cmd == "faults" && args.size() >= 3) {
       const std::uint64_t n = std::stoull(args[0]);

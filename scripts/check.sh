@@ -9,8 +9,13 @@
 #                                and differential tests under TSan and
 #                                ASan+UBSan (docs/PARALLELISM.md)
 #   scripts/check.sh --chaos     additionally run the fault-injection chaos
-#                                sweep and validate the reliability bench
-#                                records end to end (docs/FAULTS.md)
+#                                sweep, the coordination chaos suite
+#                                (docs/COORDINATION.md), and validate the
+#                                reliability bench records end to end
+#                                (docs/FAULTS.md). Failing scenarios drop
+#                                replayable seed+plan JSON artifacts into
+#                                build/chaos-artifacts (POSTAL_CHAOS_ARTIFACTS),
+#                                which the nightly CI job uploads.
 #   scripts/check.sh --perf      additionally regenerate the tick-domain
 #                                speedup records: E22 plus the
 #                                sweep-dominated benches with record
@@ -107,7 +112,7 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_network_transfer --expect bench_par_sweep \
   --expect bench_fault_recovery --expect bench_tick_domain \
   --expect bench_oracle --expect bench_par_machine \
-  --expect bench_service --svc
+  --expect bench_service --expect bench_coord --svc
 
 # Perf-trajectory drift guard (bench/trajectory/README.md): verdict
 # regressions against the committed baselines are hard failures; wall-time
@@ -132,12 +137,26 @@ if [ "$CHAOS" -eq 1 ]; then
   # The chaos sweep (docs/FAULTS.md): >= 100 seeded fault scenarios against
   # the reliable broadcast protocol, the fault-free byte-identical
   # regression, and the data-model tests -- run explicitly so a chaos
-  # failure is loud even if ctest filtering above ever changes.
+  # failure is loud even if ctest filtering above ever changes. Any failing
+  # scenario dumps its seed + resolved FaultPlan JSON to stderr and into
+  # $POSTAL_CHAOS_ARTIFACTS for replay with `postal_cli faults --plan`
+  # (the nightly CI job uploads that directory on failure, docs/CI.md).
+  export POSTAL_CHAOS_ARTIFACTS=build/chaos-artifacts
+  rm -rf "$POSTAL_CHAOS_ARTIFACTS" && mkdir -p "$POSTAL_CHAOS_ARTIFACTS"
   echo "== chaos: fault-injection sweep"
   ./build/tests/test_fault_plan
   ./build/tests/test_machine_faults
   ./build/tests/test_reliable_bcast
   ./build/tests/test_chaos
+
+  # The coordination chaos suite (docs/COORDINATION.md): 150+ seeded
+  # scenarios against leader election and view-change consensus, holding
+  # the validator's safety clauses and the guarded liveness clause on
+  # every one, plus the protocol unit suites.
+  echo "== chaos: coordination suite"
+  ./build/tests/test_coord_election
+  ./build/tests/test_coord_consensus
+  ./build/tests/test_coord_chaos
 
   # Reliability bench records end to end through the CLI: a crash run and a
   # crash+loss run must both emit postal_cli_faults records (schema:

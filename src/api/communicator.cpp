@@ -53,6 +53,20 @@ ReliableBcastReport Communicator::broadcast_reliable(
   return run_reliable_bcast(params_, plan, effective);
 }
 
+coord::ElectionReport Communicator::elect_leader(
+    const FaultPlan* plan, const coord::ElectionOptions& options) {
+  coord::ElectionOptions effective = options;
+  if (effective.threads == 0) effective.threads = threads_;
+  return coord::run_election(params_, plan, effective);
+}
+
+coord::ConsensusReport Communicator::run_consensus(
+    const FaultPlan* plan, const coord::ConsensusOptions& options) {
+  coord::ConsensusOptions effective = options;
+  if (effective.threads == 0) effective.threads = threads_;
+  return coord::run_consensus(params_, plan, effective);
+}
+
 svc::JobOutcome Communicator::broadcast_job(svc::BroadcastService& service,
                                             const Rational& arrival,
                                             std::uint64_t m) const {

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "coord/consensus.hpp"
+#include "coord/election.hpp"
 #include "faults/fault_plan.hpp"
 #include "model/genfib.hpp"
 #include "model/params.hpp"
@@ -108,6 +110,25 @@ class Communicator {
   [[nodiscard]] ReliableBcastReport broadcast_reliable(
       const FaultPlan* plan = nullptr,
       const ReliableBcastOptions& options = {});
+
+  /// Postal-model leader election under an optional fault plan
+  /// (docs/COORDINATION.md): lambda-scaled heartbeat watchdogs detect a
+  /// dead leader and the bully protocol installs the deterministic
+  /// successor (highest rank or smallest BCAST-tree depth). The report
+  /// carries the crash-aware validation and the coordination validator's
+  /// verdict. options.threads == 0 inherits set_threads().
+  [[nodiscard]] coord::ElectionReport elect_leader(
+      const FaultPlan* plan = nullptr,
+      const coord::ElectionOptions& options = {});
+
+  /// Broadcast-based view-change consensus under an optional fault plan
+  /// (docs/COORDINATION.md): epoch-numbered views, tree-disseminated
+  /// proposals, quorum acks; agreement / validity / integrity certified by
+  /// the coordination validator. options.threads == 0 inherits
+  /// set_threads().
+  [[nodiscard]] coord::ConsensusReport run_consensus(
+      const FaultPlan* plan = nullptr,
+      const coord::ConsensusOptions& options = {});
 
   /// Submit one broadcast job with this Communicator's (n, lambda) to a
   /// running BroadcastService (docs/SERVICE.md): the job enters the

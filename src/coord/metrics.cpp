@@ -1,0 +1,103 @@
+#include "coord/metrics.hpp"
+
+namespace postal::coord {
+
+void record_election(obs::MetricsRegistry& registry,
+                     const ElectionReport& report) {
+  const ElectionCounters& c = report.counters;
+  registry.counter("coord.elect.heartbeats").add(c.heartbeats_sent);
+  registry.counter("coord.elect.probes").add(c.probes_sent);
+  registry.counter("coord.elect.alives").add(c.alives_sent);
+  registry.counter("coord.elect.victories").add(c.victories_sent);
+  registry.counter("coord.elect.suspicions").add(c.suspicions);
+  registry.counter("coord.elect.takeovers").add(c.takeovers);
+  registry.counter("coord.elect.adoptions").add(c.adoptions);
+  registry.counter("coord.elect.step_downs").add(c.step_downs);
+  registry.counter("coord.elect.events").add(report.events.size());
+  registry.counter("coord.elect.crashed").add(report.crashed.size());
+  registry.counter("coord.elect.settled").add(report.settled ? 1 : 0);
+  registry.counter("coord.elect.check_ok").add(report.check.ok ? 1 : 0);
+  registry.rational("coord.elect.first_suspect").add(report.first_suspect);
+  registry.rational("coord.elect.elected_at").add(report.elected_at);
+  registry.rational("coord.elect.latency").add(report.election_latency);
+  registry.gauge("coord.elect.leader")
+      .set(static_cast<std::int64_t>(report.leader));
+}
+
+void record_consensus(obs::MetricsRegistry& registry,
+                      const ConsensusReport& report) {
+  const ConsensusCounters& c = report.counters;
+  registry.counter("coord.consensus.view_changes").add(c.view_changes_sent);
+  registry.counter("coord.consensus.proposals").add(c.proposals);
+  registry.counter("coord.consensus.proposal_relays").add(c.proposal_relays);
+  registry.counter("coord.consensus.proposal_repairs").add(c.proposal_repairs);
+  registry.counter("coord.consensus.acks").add(c.acks_sent);
+  registry.counter("coord.consensus.commits").add(c.commits);
+  registry.counter("coord.consensus.commit_relays").add(c.commit_relays);
+  registry.counter("coord.consensus.heal_replies").add(c.heal_replies);
+  registry.counter("coord.consensus.decides").add(c.decides);
+  registry.counter("coord.consensus.views_used").add(report.views_used);
+  registry.counter("coord.consensus.crashed").add(report.crashed.size());
+  registry.counter("coord.consensus.settled").add(report.settled ? 1 : 0);
+  registry.counter("coord.consensus.check_ok").add(report.check.ok ? 1 : 0);
+  registry.rational("coord.consensus.latency").add(report.decision_latency);
+  registry.rational("coord.consensus.baseline").add(report.baseline);
+  registry.rational("coord.consensus.recovery").add(report.recovery_time);
+  registry.gauge("coord.consensus.quorum")
+      .set(static_cast<std::int64_t>(report.quorum));
+}
+
+std::vector<obs::TraceMarker> election_markers(const ElectionReport& report) {
+  std::vector<obs::TraceMarker> out;
+  out.reserve(report.events.size());
+  for (const ElectionEvent& e : report.events) {
+    std::string name;
+    switch (e.kind) {
+      case ElectionEvent::Kind::kSuspect:
+        name = "suspect p" + std::to_string(e.leader);
+        break;
+      case ElectionEvent::Kind::kVictory:
+        name = "victory t" + std::to_string(e.term);
+        break;
+      case ElectionEvent::Kind::kAdopt:
+        name = "adopt p" + std::to_string(e.leader) + " t" +
+               std::to_string(e.term);
+        break;
+      case ElectionEvent::Kind::kStepDown:
+        name = "step down";
+        break;
+    }
+    out.push_back(obs::TraceMarker{
+        std::move(name), e.rank, e.time,
+        "\"term\":" + std::to_string(e.term) +
+            ",\"leader\":" + std::to_string(e.leader)});
+  }
+  return out;
+}
+
+std::vector<obs::TraceMarker> consensus_markers(const ConsensusReport& report) {
+  std::vector<obs::TraceMarker> out;
+  out.reserve(report.events.size());
+  for (const ConsensusEvent& e : report.events) {
+    std::string name;
+    switch (e.kind) {
+      case ConsensusEvent::Kind::kViewChange:
+        name = "view-change v" + std::to_string(e.view);
+        break;
+      case ConsensusEvent::Kind::kPropose:
+        name = "propose " + std::to_string(e.value) + " v" +
+               std::to_string(e.view);
+        break;
+      case ConsensusEvent::Kind::kDecide:
+        name = "decide " + std::to_string(e.value);
+        break;
+    }
+    out.push_back(obs::TraceMarker{
+        std::move(name), e.rank, e.time,
+        "\"view\":" + std::to_string(e.view) +
+            ",\"value\":" + std::to_string(e.value)});
+  }
+  return out;
+}
+
+}  // namespace postal::coord

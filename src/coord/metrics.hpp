@@ -1,0 +1,39 @@
+// Observability for coordination runs (docs/OBSERVABILITY.md): fold an
+// election or consensus report into a MetricsRegistry under the "coord.*"
+// prefix, in the registry's exactness classes -- counters for traffic and
+// transitions, exact Rational accumulators for the model-time latencies.
+#pragma once
+
+#include <vector>
+
+#include "coord/consensus.hpp"
+#include "coord/election.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+
+namespace postal::coord {
+
+/// Record `report` under "coord.elect.*": the traffic counters, the
+/// suspicion/adoption transitions, and the latency quantities
+/// (first_suspect, elected_at, election_latency) as exact Rationals.
+void record_election(obs::MetricsRegistry& registry,
+                     const ElectionReport& report);
+
+/// Record `report` under "coord.consensus.*": the message counters, the
+/// decide/view tallies, and decision_latency / recovery_time as exact
+/// Rationals.
+void record_consensus(obs::MetricsRegistry& registry,
+                      const ConsensusReport& report);
+
+/// Chrome-trace overlay markers for an election run: one instant event per
+/// suspicion, victory, adoption, and step-down, on the rank's track at its
+/// exact model time (feed to trace_to_chrome_json's marker overload).
+[[nodiscard]] std::vector<obs::TraceMarker> election_markers(
+    const ElectionReport& report);
+
+/// Chrome-trace overlay markers for a consensus run: view changes,
+/// proposals, and decisions.
+[[nodiscard]] std::vector<obs::TraceMarker> consensus_markers(
+    const ConsensusReport& report);
+
+}  // namespace postal::coord

@@ -1,0 +1,45 @@
+// Crash-aware coordination validator (docs/COORDINATION.md).
+//
+// Judges an election or consensus run against the classic coordination
+// clauses, in sim/validator's violation-string style:
+//
+//   election   -- the machine validation passed; fault-free runs never
+//                 suspect and keep the initial leader; settled runs leave
+//                 every live rank agreeing on one live leader under one
+//                 term; and under crash-only plans that leader is the
+//                 legitimate one (the initial leader if it survives, else
+//                 the best survivor under the configured policy).
+//   consensus  -- the machine validation passed; agreement (no two ranks
+//                 decide different values); validity (every decided value
+//                 was some rank's client value and was actually proposed);
+//                 integrity (each rank decides at most once, and the event
+//                 log matches the harvested decisions); a single legitimate
+//                 proposer per view (rank view mod n, alive at propose
+//                 time, at most one proposal per view); and guarded
+//                 liveness -- when the run settled and a quorum survived,
+//                 every live rank decided. Fault-free runs must decide
+//                 rank 0's client value in view 0.
+//
+// The guarded clauses only apply when the report says the run settled
+// (bounded disturbances inside the horizon / view budget);
+// CoordCheck::liveness_checked records whether they fired.
+#pragma once
+
+#include "coord/check.hpp"
+#include "coord/consensus.hpp"
+#include "coord/election.hpp"
+
+namespace postal::coord {
+
+/// Check an election run's safety (and guarded liveness) clauses.
+[[nodiscard]] CoordCheck check_election(const ElectionReport& report,
+                                        const PostalParams& params,
+                                        const FaultPlan* plan);
+
+/// Check a consensus run's agreement / validity / integrity /
+/// single-proposer clauses and the guarded liveness-under-quorum clause.
+[[nodiscard]] CoordCheck check_consensus(const ConsensusReport& report,
+                                         const PostalParams& params,
+                                         const FaultPlan* plan);
+
+}  // namespace postal::coord

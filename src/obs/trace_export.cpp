@@ -128,6 +128,24 @@ std::string trace_to_chrome_json(const Trace& trace, const PostalParams& params,
   return writer.finish();
 }
 
+std::string trace_to_chrome_json(const Trace& trace, const PostalParams& params,
+                                 const FaultStats& faults,
+                                 const std::vector<TraceMarker>& markers,
+                                 const ChromeTraceOptions& options) {
+  TraceWriter writer(options);
+  writer.thread_names(trace.n(), "p");
+  for (const Delivery& d : trace.deliveries()) {
+    emit_send(writer, d.src, d.dst, d.msg, d.send_start, params.lambda());
+  }
+  emit_faults(writer, faults);
+  for (const TraceMarker& m : markers) {
+    std::string args = "\"t\":\"" + m.time.str() + "\"";
+    if (!m.args_json.empty()) args += "," + m.args_json;
+    writer.instant(m.name, m.proc, m.time, args);
+  }
+  return writer.finish();
+}
+
 std::string schedule_to_chrome_json(const Schedule& schedule,
                                     const PostalParams& params,
                                     const ChromeTraceOptions& options) {

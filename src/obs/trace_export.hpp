@@ -53,6 +53,25 @@ struct ChromeTraceOptions {
                                                const FaultStats& faults,
                                                const ChromeTraceOptions& options = {});
 
+/// A protocol-level annotation overlaid on a trace as an instant marker:
+/// coordination runs use these for view changes, elections, suspicions and
+/// decisions (src/coord/metrics.hpp builds them from a report's events).
+struct TraceMarker {
+  std::string name;       ///< marker label, e.g. "view-change v3"
+  std::uint64_t proc = 0; ///< track (processor) hosting the marker
+  Rational time;          ///< exact model time
+  std::string args_json;  ///< preformatted JSON object body ("" = none)
+};
+
+/// Same as the fault overlay, additionally rendering `markers` as instant
+/// events on their processors' tracks -- the coordination view-change
+/// overlay (docs/COORDINATION.md).
+[[nodiscard]] std::string trace_to_chrome_json(const Trace& trace,
+                                               const PostalParams& params,
+                                               const FaultStats& faults,
+                                               const std::vector<TraceMarker>& markers,
+                                               const ChromeTraceOptions& options = {});
+
 /// Export a schedule directly (send windows [t, t+1), receive windows
 /// [t+lambda-1, t+lambda) derived from each event). Same format as above.
 [[nodiscard]] std::string schedule_to_chrome_json(

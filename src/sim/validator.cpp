@@ -79,7 +79,9 @@ void validate_events(const Ops& ops, const std::vector<SendEvent>& events,
   std::vector<Time> recv_free(options.fifo_receive ? n : 0, Time{});
   // holds[p * messages + msg]: earliest time p holds msg (origin: 0).
   std::vector<std::optional<Time>> holds(n * messages);
-  if (options.origins.empty()) {
+  if (options.preholds) {
+    for (auto& h : holds) h = Time{};
+  } else if (options.origins.empty()) {
     for (MsgId msg = 0; msg < messages; ++msg) {
       holds[options.origin * messages + msg] = Time{};
     }

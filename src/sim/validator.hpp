@@ -76,6 +76,14 @@ struct ValidatorOptions {
   /// the caller cannot silently excuse missing processors.
   std::vector<CrashFault> crashes;
 
+  /// Control-plane mode: every processor holds every message id from t=0,
+  /// so the causality clause never fires. For protocols whose packets are
+  /// locally originated control traffic (heartbeats, votes, acks keyed by
+  /// message id) rather than relayed payloads; the port, crash, and FIFO
+  /// clauses stay fully active. `origin`/`origins` become irrelevant to
+  /// causality but still define the coverage goal if one is requested.
+  bool preholds = false;
+
   /// Input-port semantics. false (default, the paper's model): receive
   /// windows [t+lambda-1, t+lambda) must be exclusive, overlap is a
   /// violation -- every paper algorithm satisfies this. true: simultaneous

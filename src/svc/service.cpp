@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "coord/election.hpp"
 #include "model/params.hpp"
 #include "obs/json_lint.hpp"
 #include "oracle/oracle.hpp"
@@ -34,6 +35,41 @@ BroadcastService::BroadcastService(ServiceOptions options,
       queue_(options_.queue_capacity),
       histogram_(options_.histogram_bits) {
   if (options_.threads == 0) options_.threads = 1;
+  if (options_.coord_ranks > 0) init_coordinator();
+}
+
+void BroadcastService::init_coordinator() {
+  POSTAL_REQUIRE(options_.coord_ranks >= 2 || !(Rational(0) < options_.coord_crash_at),
+                 "BroadcastService: coord_crash_at needs coord_ranks >= 2");
+  const PostalParams params(options_.coord_ranks, options_.coord_lambda);
+  coord::ElectionOptions eopts;
+  eopts.time_path = options_.time_path;
+  eopts.threads = options_.threads;
+  // Fault-free seat of the initial coordinator. Both elections are judged
+  // by the coordination validator; a failure is a library bug.
+  const coord::ElectionReport initial = coord::run_election(params, nullptr, eopts);
+  POSTAL_CHECK(initial.validation.ok && initial.check.ok);
+  coord_leader_ = initial.leader;
+  ++counters_.coord_elections;
+  if (metrics_ != nullptr) metrics_->counter("svc.coord.elections").add();
+  if (!(Rational(0) < options_.coord_crash_at)) return;
+  FaultPlan plan;
+  plan.crashes.push_back(
+      CrashFault{static_cast<ProcId>(coord_leader_), options_.coord_crash_at});
+  const coord::ElectionReport failover = coord::run_election(params, &plan, eopts);
+  POSTAL_CHECK(failover.validation.ok && failover.check.ok && failover.settled);
+  coord_leader_ = failover.leader;
+  coord_window_start_ = options_.coord_crash_at;
+  coord_window_end_ = failover.elected_at;
+  coord_window_open_ = coord_window_start_ < coord_window_end_;
+  ++counters_.coord_elections;
+  ++counters_.coord_failovers;
+  if (metrics_ != nullptr) {
+    metrics_->counter("svc.coord.elections").add();
+    metrics_->counter("svc.coord.failovers").add();
+    metrics_->rational("svc.coord.window")
+        .add(coord_window_end_ - coord_window_start_);
+  }
 }
 
 BroadcastService::PlanResult BroadcastService::plan_job(const Job& job) {
@@ -203,6 +239,14 @@ JobOutcome BroadcastService::submit(const Job& job) {
   }
 
   outcome.start = rmax(job.arrival, server_free_);
+  if (coord_window_open_ && !(outcome.start < coord_window_start_) &&
+      outcome.start < coord_window_end_) {
+    // Leaderless window of the coordinator failover: nobody can grant the
+    // start, so the job waits for the successor's victory.
+    outcome.start = coord_window_end_;
+    ++counters_.coord_deferred;
+    if (metrics_ != nullptr) metrics_->counter("svc.coord.deferred").add();
+  }
   outcome.completion = outcome.start + service_time;
   outcome.sojourn = outcome.completion - job.arrival;
   server_free_ = outcome.completion;
@@ -250,6 +294,12 @@ ServiceReport BroadcastService::drain() {
         Rational(static_cast<std::int64_t>(counters_.completed)) / horizon_;
   }
   if (options_.keep_sojourns) report.sojourns = sojourns_;
+  if (options_.coord_ranks > 0) {
+    report.coord_ranks = options_.coord_ranks;
+    report.coord_leader = coord_leader_;
+    report.coord_window_start = coord_window_start_;
+    report.coord_window_end = coord_window_end_;
+  }
   if (metrics_ != nullptr) metrics_->rational("svc.horizon").add(horizon_);
   return report;
 }
@@ -285,6 +335,17 @@ std::string ServiceReport::to_json() const {
   os << ",\"p99\":\"" << p99.str() << "\"";
   os << ",\"p999\":\"" << p999.str() << "\"";
   os << ",\"throughput\":\"" << throughput.str() << "\"";
+  if (coord_ranks > 0) {
+    // Coordinator routing block: strictly conditional so coord-off reports
+    // (every golden artifact predating the feature) stay byte-identical.
+    os << ",\"coord_ranks\":" << coord_ranks;
+    os << ",\"coord_leader\":" << coord_leader;
+    os << ",\"coord_elections\":" << counters.coord_elections;
+    os << ",\"coord_failovers\":" << counters.coord_failovers;
+    os << ",\"coord_deferred\":" << counters.coord_deferred;
+    os << ",\"coord_window_start\":\"" << coord_window_start.str() << "\"";
+    os << ",\"coord_window_end\":\"" << coord_window_end.str() << "\"";
+  }
   os << "}";
   std::string out = os.str();
   if (const auto error = obs::json_lint(out)) {

@@ -82,6 +82,21 @@ struct ServiceOptions {
   /// Retain the full exact sojourn list in the report (certification
   /// tests); off by default -- the histogram is the scalable path.
   bool keep_sojourns = false;
+  /// > 0: route admissions through a coordinator elected over an
+  /// MPS(coord_ranks, coord_lambda) control plane (docs/COORDINATION.md).
+  /// The election runs at construction; with coord_crash_at > 0 the
+  /// elected coordinator crashes at that model time and a failover
+  /// election installs the deterministic successor -- job starts that
+  /// would land inside the leaderless window are deferred to its end
+  /// (counted in ServiceCounters::coord_deferred). 0 = off; every coord
+  /// field stays out of the report's JSON, so replays are unchanged.
+  std::uint64_t coord_ranks = 0;
+  /// Control-plane latency (>= 1) of coordination runs.
+  Rational coord_lambda{2};
+  /// > 0: crash the coordinator at this model time (mid-workload
+  /// failover; requires coord_ranks >= 2). 0 = the coordinator never
+  /// fails.
+  Rational coord_crash_at{0};
 };
 
 /// What the service decided and predicted for one submitted job.
@@ -117,6 +132,9 @@ struct ServiceCounters {
   std::uint64_t exec_repairs = 0;
   std::uint64_t exec_crashed = 0;
   std::uint64_t sojourn_offgrid = 0;  ///< sojourns ceil-rounded to the grid
+  std::uint64_t coord_elections = 0;  ///< coordination elections run (0 = off)
+  std::uint64_t coord_failovers = 0;  ///< coordinator crashes recovered from
+  std::uint64_t coord_deferred = 0;   ///< starts pushed past the leaderless window
 };
 
 /// The drained run, ready for bench records and `serve` output. Contains
@@ -144,6 +162,13 @@ struct ServiceReport {
   /// Full exact sojourn list in completion order; only populated under
   /// ServiceOptions::keep_sojourns (excluded from to_json()).
   std::vector<Rational> sojourns;
+  /// Coordinator routing (docs/COORDINATION.md); meaningful -- and present
+  /// in to_json() -- only when ServiceOptions::coord_ranks > 0. The window
+  /// is the leaderless interval of the failover ([0, 0) when none).
+  std::uint64_t coord_ranks = 0;
+  std::uint64_t coord_leader = 0;
+  Rational coord_window_start;
+  Rational coord_window_end;
 
   /// One deterministic JSON object (linted, stable key order, exact-string
   /// rationals, no wall times). See docs/SERVICE.md for the schema.
@@ -187,6 +212,9 @@ class BroadcastService {
   };
 
   [[nodiscard]] PlanResult plan_job(const Job& job);
+  /// Elect the coordinator (and run the failover election when
+  /// coord_crash_at > 0); called from the constructor under coord_ranks > 0.
+  void init_coordinator();
   /// Event-driven execution of an admitted job; returns the actual
   /// completion to bill. Updates exec counters and `outcome`.
   [[nodiscard]] Rational execute_job(const Job& job, const Rational& planned,
@@ -207,6 +235,10 @@ class BroadcastService {
   Rational sojourn_total_;
   Rational sojourn_max_;
   std::vector<Rational> sojourns_;  ///< only under keep_sojourns
+  std::uint64_t coord_leader_ = 0;  ///< current coordinator (coord_ranks > 0)
+  bool coord_window_open_ = false;  ///< a failover window exists
+  Rational coord_window_start_;
+  Rational coord_window_end_;
 };
 
 /// The open-loop runner: stream every job of (spec, seed) through a fresh

@@ -27,8 +27,11 @@ struct Scenario {
 };
 
 /// Check the reliability invariants on one scenario; returns the report so
-/// callers can aggregate.
+/// callers can aggregate. A failing scenario dumps its seed and resolved
+/// FaultPlan JSON to stderr (and $POSTAL_CHAOS_ARTIFACTS when set) so the
+/// exact run can be replayed with `postal_cli faults --plan`.
 ReliableBcastReport check_scenario(const Scenario& s) {
+  const int failures_before = test::failure_part_count();
   const ReliableBcastReport report = run_reliable_bcast(s.params, &s.plan);
 
   EXPECT_TRUE(report.covered)
@@ -46,6 +49,9 @@ ReliableBcastReport check_scenario(const Scenario& s) {
   EXPECT_GE(report.counters.data_sends + report.counters.retransmissions,
             s.params.n() - 1 - report.crashed.size())
       << s.tag;
+  if (test::failure_part_count() != failures_before) {
+    test::dump_chaos_artifact(s.tag, s.plan.seed, s.plan);
+  }
   return report;
 }
 

@@ -199,6 +199,94 @@ TEST(ReliableBcast, ShardedFaultFreeRunIsStillAlgorithmBcast) {
   EXPECT_EQ(report.counters.dead_declared, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Backoff boundaries: the retransmission machinery at its edges.
+// ---------------------------------------------------------------------------
+
+TEST(ReliableBcast, ZeroSlackTiesRetransmitSpuriouslyButHarmlessly) {
+  // timeout_slack = 0 puts a leaf child's ack deadline at exactly
+  // 3 f(1) + 2 lambda = 2 lambda -- the precise instant the ack lands (one
+  // lambda out, one lambda back). The Machine resolves the tie in favour of
+  // the timer, so every leaf child costs exactly one spurious
+  // retransmission; the boundary contract is that those retransmissions
+  // are harmless: nobody is declared dead, no repair fires, and the
+  // completion still equals f_lambda(n) to the tick.
+  const struct {
+    std::uint64_t n;
+    Rational lambda;
+  } cases[] = {{2, Rational(1)}, {2, Rational(2)}, {14, Rational(5, 2)},
+               {34, Rational(2)}};
+  for (const auto& c : cases) {
+    ReliableBcastOptions options;
+    options.timeout_slack = Rational(0);
+    const ReliableBcastReport report =
+        run_reliable_bcast(mps(c.n, c.lambda), nullptr, options);
+    EXPECT_TRUE(report.covered);
+    EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+    EXPECT_EQ(report.completion, report.baseline)
+        << "n=" << c.n << " lambda=" << c.lambda.str();
+    EXPECT_GT(report.counters.timeouts, 0u)
+        << "n=" << c.n << " lambda=" << c.lambda.str();
+    EXPECT_EQ(report.counters.retransmissions, report.counters.timeouts);
+    EXPECT_EQ(report.counters.dead_declared, 0u);
+    EXPECT_EQ(report.counters.repairs, 0u);
+  }
+}
+
+TEST(ReliableBcast, SingleAttemptDeclaresDeadWithoutRetransmitting) {
+  // max_attempts = 1 is the zero-retry edge: the first timeout gives up
+  // immediately, so recovery must come entirely from subtree repair.
+  const Rational lambda(2);
+  const PostalParams params = mps(12, lambda);
+  GenFib fib(lambda);
+  const auto relay = static_cast<ProcId>(fib.bcast_split(params.n()));
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{relay, Rational(0)});  // never starts
+  ReliableBcastOptions options;
+  options.max_attempts = 1;
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan, options);
+  EXPECT_TRUE(report.covered);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.counters.retransmissions, 0u);  // zero-retry by contract
+  EXPECT_GE(report.counters.dead_declared, 1u);
+  EXPECT_GE(report.counters.repairs, 1u);
+  EXPECT_LT(report.baseline, report.completion);  // repair costs time
+}
+
+TEST(ReliableBcast, BackoffSaturatesAtShiftTwenty) {
+  // A child that is crashed from t = 0 never acks, so every attempt times
+  // out and the patience doubles each round -- but the exponent clamps at
+  // 20. With 25 attempts the last retransmission leaves at
+  //   base * sum_{k=1}^{24} 2^min(k-1, 20) = base * (5 * 2^20 - 1),
+  // while an unclamped backoff would put it at base * (2^24 - 1) -- three
+  // times later. The exact send times in the schedule expose the clamp.
+  const Rational lambda(1);
+  const PostalParams params = mps(2, lambda);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{1, Rational(0)});
+  ReliableBcastOptions options;
+  options.max_attempts = 25;
+  const ReliableBcastReport report = run_reliable_bcast(params, &plan, options);
+  EXPECT_TRUE(report.validation.ok) << report.validation.summary();
+  EXPECT_EQ(report.counters.timeouts, 25u);
+  EXPECT_EQ(report.counters.retransmissions, 24u);
+  EXPECT_EQ(report.counters.dead_declared, 1u);
+  EXPECT_EQ(report.counters.repairs, 0u);  // nothing left to salvage at n = 2
+
+  GenFib fib(lambda);
+  const Rational base =
+      fib.f(1) * Rational(3) + lambda * Rational(2) + options.timeout_slack;
+  Rational expected_last;  // sum of the 24 clamped patiences
+  for (std::uint32_t attempt = 1; attempt <= 24; ++attempt) {
+    const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 20);
+    expected_last = expected_last + base * Rational(std::int64_t{1} << shift);
+  }
+  const auto& events = report.result.schedule.events();
+  ASSERT_EQ(events.size(), 25u);
+  EXPECT_EQ(events.back().t, expected_last);
+  EXPECT_LT(expected_last, base * Rational((std::int64_t{1} << 24) - 1));
+}
+
 TEST(ReliableBcast, OptionsAreValidated) {
   const PostalParams params = mps(4, Rational(2));
   ReliableBcastOptions zero_attempts;

@@ -1,0 +1,135 @@
+// Coordinator routing in the broadcast service (docs/COORDINATION.md):
+// the control-plane election at construction, the mid-workload failover
+// window deferring job starts, and the strictly conditional report block
+// (coord-off reports must stay byte-identical to the pre-feature schema).
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "coord/election.hpp"
+#include "model/params.hpp"
+#include "support/error.hpp"
+#include "support/rational.hpp"
+#include "svc/service.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+using svc::BroadcastService;
+using svc::Job;
+using svc::JobOutcome;
+using svc::ServiceOptions;
+using svc::ServiceReport;
+
+Job make_job(std::uint64_t id, Rational arrival, std::uint64_t n = 4,
+             Rational lambda = Rational(2)) {
+  Job job;
+  job.id = id;
+  job.arrival = std::move(arrival);
+  job.n = n;
+  job.lambda = std::move(lambda);
+  job.m = 1;
+  return job;
+}
+
+TEST(ServiceCoord, OffByDefaultAndAbsentFromJson) {
+  BroadcastService service;
+  static_cast<void>(service.submit(make_job(0, Rational(0))));
+  const ServiceReport report = service.drain();
+  EXPECT_EQ(report.counters.coord_elections, 0u);
+  EXPECT_EQ(report.coord_ranks, 0u);
+  EXPECT_EQ(report.to_json().find("coord_"), std::string::npos);
+}
+
+TEST(ServiceCoord, FaultFreeElectionSeatsRankZeroWithoutDeferrals) {
+  ServiceOptions options;
+  options.coord_ranks = 5;
+  BroadcastService service(options);
+  EXPECT_EQ(service.counters().coord_elections, 1u);
+  const JobOutcome a = service.submit(make_job(0, Rational(0)));
+  const JobOutcome b = service.submit(make_job(1, Rational(1)));
+  EXPECT_EQ(a.start, Rational(0));
+  EXPECT_EQ(b.start, a.completion);  // FIFO, no coord interference
+  const ServiceReport report = service.drain();
+  EXPECT_EQ(report.coord_ranks, 5u);
+  EXPECT_EQ(report.coord_leader, 0u);
+  EXPECT_EQ(report.counters.coord_failovers, 0u);
+  EXPECT_EQ(report.counters.coord_deferred, 0u);
+  EXPECT_EQ(report.coord_window_start, report.coord_window_end);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"coord_ranks\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"coord_leader\":0"), std::string::npos);
+}
+
+TEST(ServiceCoord, FailoverDefersStartsInsideTheLeaderlessWindow) {
+  ServiceOptions options;
+  options.coord_ranks = 5;
+  options.coord_lambda = Rational(2);
+  options.coord_crash_at = Rational(10);
+
+  // Independent reference run of the failover election: the service's
+  // leaderless window must be exactly [crash, elected_at).
+  const PostalParams params(options.coord_ranks, options.coord_lambda);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{0, options.coord_crash_at});
+  coord::ElectionOptions eopts;
+  eopts.threads = 1;
+  const coord::ElectionReport reference =
+      coord::run_election(params, &plan, eopts);
+  ASSERT_TRUE(reference.check.ok);
+  const Rational window_end = reference.elected_at;
+  ASSERT_TRUE(options.coord_crash_at < window_end);
+
+  BroadcastService service(options);
+  EXPECT_EQ(service.counters().coord_elections, 2u);
+  EXPECT_EQ(service.counters().coord_failovers, 1u);
+
+  // Before the crash: unaffected.
+  const JobOutcome early = service.submit(make_job(0, Rational(0)));
+  EXPECT_EQ(early.start, Rational(0));
+  // Arrival inside the window (the first job's completion is f_2(4) = 5,
+  // so the server is free): deferred to the successor's victory.
+  const JobOutcome inside = service.submit(make_job(1, Rational(12)));
+  EXPECT_EQ(inside.start, window_end);
+  // Well after the window: back to plain max(arrival, server-free).
+  const Rational late_arrival = window_end + inside.planned_makespan + Rational(100);
+  const JobOutcome late = service.submit(make_job(2, late_arrival));
+  EXPECT_EQ(late.start, late_arrival);
+
+  const ServiceReport report = service.drain();
+  EXPECT_EQ(report.coord_leader, reference.leader);
+  EXPECT_EQ(report.coord_leader, 4u);  // classic bully: highest survivor
+  EXPECT_EQ(report.counters.coord_deferred, 1u);
+  EXPECT_EQ(report.coord_window_start, options.coord_crash_at);
+  EXPECT_EQ(report.coord_window_end, window_end);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"coord_failovers\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"coord_deferred\":1"), std::string::npos);
+}
+
+TEST(ServiceCoord, DeferralAppliesWhenTheQueuePushesAStartIntoTheWindow) {
+  ServiceOptions options;
+  options.coord_ranks = 3;
+  options.coord_crash_at = Rational(4);
+  BroadcastService service(options);
+  // Arrives at 0, served immediately: completion 4 (f_2(4)) lands exactly
+  // on the crash, so the *next* job's natural start 4 opens the window.
+  const JobOutcome first = service.submit(make_job(0, Rational(0)));
+  EXPECT_EQ(first.completion, Rational(4));
+  const JobOutcome second = service.submit(make_job(1, Rational(1)));
+  EXPECT_LT(Rational(4), second.start);
+  EXPECT_EQ(service.counters().coord_deferred, 1u);
+  static_cast<void>(service.drain());
+}
+
+TEST(ServiceCoord, CrashRequiresAtLeastTwoRanks) {
+  ServiceOptions options;
+  options.coord_ranks = 1;
+  options.coord_crash_at = Rational(3);
+  POSTAL_EXPECT_THROW(BroadcastService{options}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal
