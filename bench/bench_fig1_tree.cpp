@@ -62,6 +62,6 @@ int main() {
   obs::emit_bench_record({"bench_fig1_tree", params.n(), params.lambda(), 1,
                           report.makespan, wall.elapsed_ms(),
                           shape_ok ? "MATCHES PAPER" : "MISMATCH",
-                          {{"figure", "1"}}});
+                          /*threads_hw=*/0, {{"figure", "1"}}});
   return shape_ok ? 0 : 1;
 }

@@ -26,6 +26,8 @@
 #include "sched/pipeline.hpp"
 #include "sched/repeat.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/par_machine.hpp"
+#include "sim/protocols/bcast_protocol.hpp"
 #include "sim/tick_queue.hpp"
 #include "sim/validator.hpp"
 #include "support/table.hpp"
@@ -226,6 +228,47 @@ void BM_TickBucketQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_TickBucketQueuePushPop);
 
+// --- ParMachine barrier paths (docs/SIMULATION.md, merge-replay v2) ------
+// End-to-end sharded BCAST runs on a *reused* ParMachine, so after the
+// first iteration every window buffer is at its high-water mark and the
+// measured steady state allocates nothing. The barrier wall split
+// (merge_ms = sequential slot assignment + parallel materialization,
+// flush_ms = parallel per-destination mailbox merge) is reported as
+// counters; the flush counter isolates the path that replaced the old
+// per-barrier global std::sort.
+
+void BM_MailboxFlush(benchmark::State& state) {
+  const PostalParams params(static_cast<std::uint64_t>(state.range(0)),
+                            Rational(5, 2));
+  ParMachine machine(params, /*messages=*/1);
+  machine.set_threads(2);
+  auto factory = make_protocol_factory<BcastProtocol>(params);
+  double flush_ms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(factory));
+    flush_ms += machine.last_run_info().flush_ms;
+  }
+  state.counters["flush_ms_per_run"] =
+      flush_ms / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MailboxFlush)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_MergeReplay(benchmark::State& state) {
+  const PostalParams params(static_cast<std::uint64_t>(state.range(0)),
+                            Rational(5, 2));
+  ParMachine machine(params, /*messages=*/1);
+  machine.set_threads(2);
+  auto factory = make_protocol_factory<BcastProtocol>(params);
+  double merge_ms = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(factory));
+    merge_ms += machine.last_run_info().merge_ms;
+  }
+  state.counters["merge_ms_per_run"] =
+      merge_ms / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MergeReplay)->Arg(1 << 12)->Arg(1 << 14);
+
 // --- Bench-record emission ----------------------------------------------
 // The google-benchmark harness owns the console output; for the JSON
 // trajectory we re-time the tick-domain pairs with a plain stopwatch.
@@ -277,11 +320,30 @@ void emit_micro_record() {
     bucket_now = bucket.pop().first;
   });
 
+  // ParMachine barrier split + arena proof: two back-to-back runs on one
+  // engine. The cold run grows every window buffer to its high-water mark;
+  // the warm run must report zero arena growths (the steady state
+  // allocates nothing per window) and stay byte-identical to the cold one.
+  const PostalParams par_params(std::uint64_t{1} << 14, Rational(5, 2));
+  ParMachine par(par_params, /*messages=*/1);
+  par.set_threads(2);
+  auto par_factory = make_protocol_factory<BcastProtocol>(par_params);
+  const MachineResult cold = par.run(par_factory);
+  const std::uint64_t arena_growths_cold = par.last_run_info().arena_growths;
+  const MachineResult warm = par.run(par_factory);
+  const ParRunInfo& warm_info = par.last_run_info();
+  const std::uint64_t arena_growths_warm = warm_info.arena_growths;
+  const bool par_ok = warm_info.parallel_engine &&
+                      arena_growths_warm == 0 &&
+                      warm.schedule.events() == cold.schedule.events() &&
+                      warm.trace.deliveries() == cold.trace.deliveries();
+
   // Sanity gate: the stopwatch loops must have computed the same values
   // the benchmark loops do (racc = kOps * 5/2; both queues back at depth
-  // 256). A desync here means the record is mis-measuring.
+  // 256), and the warm ParMachine rerun must have proven the arena
+  // steady state. A desync here means the record is mis-measuring.
   const bool ok = racc == rstep * Rational(static_cast<std::int64_t>(kOps)) &&
-                  heap.size() == 256 && bucket.size() == 256;
+                  heap.size() == 256 && bucket.size() == 256 && par_ok;
 
   obs::BenchRecord rec;
   rec.bench = "bench_micro";
@@ -301,6 +363,11 @@ void emit_micro_record() {
       {"compare_speedup",
        fmt(tick_cmp_ns > 0 ? rational_cmp_ns / tick_cmp_ns : 0, 2)},
       {"queue_speedup", fmt(bucket_ns > 0 ? heap_ns / bucket_ns : 0, 2)},
+      {"mailbox_flush_ms", fmt(warm_info.flush_ms, 3)},
+      {"merge_replay_ms", fmt(warm_info.merge_ms, 3)},
+      {"flush_fallback_sorts", std::to_string(warm_info.flush_fallback_sorts)},
+      {"arena_growths_cold", std::to_string(arena_growths_cold)},
+      {"arena_growths_warm", std::to_string(arena_growths_warm)},
   };
   obs::emit_bench_record(rec);
 }

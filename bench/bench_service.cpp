@@ -21,6 +21,8 @@
 //     byte-identical report JSON;
 //   * thread invariance: a threads=4 run (sharded ParMachine under the
 //     executed sample) produces the byte-identical report JSON;
+//   * trace-mode invariance: a TraceMode::kCounters run (per-delivery
+//     records elided in the exec tier) produces the byte-identical report;
 //   * percentile certification: the streaming histogram's p50/p99/p999
 //     are held against the exact nearest-rank quantile of the full
 //     sojourn list with the hard bound v <= q <= v + floor(v * 2^-bits)
@@ -100,6 +102,15 @@ void run_section(Section& s) {
   threaded.threads = 4;
   if (svc::run_service(spec, s.seed, threaded).to_json() != reference) {
     s.failure = "threads=4 drift";
+    return;
+  }
+  // Gate 4b: trace-mode invariance. The exec tier only reads the
+  // first-arrival table and the schedule validator, both preserved under
+  // kCounters, so eliding per-delivery records must not move the report.
+  svc::ServiceOptions counters = threaded;
+  counters.trace_mode = TraceMode::kCounters;
+  if (svc::run_service(spec, s.seed, counters).to_json() != reference) {
+    s.failure = "trace-mode drift";
     return;
   }
   // Gate 5: percentile certification against the exact sojourn list.

@@ -104,7 +104,8 @@ int usage() {
             << "  postal_cli bounds <n> <lambda>\n"
             << "  postal_cli trace-export <n> <lambda> [out.json]\n"
             << "  postal_cli metrics <n> <lambda>\n"
-            << "  postal_cli simulate <n> <lambda> [--threads T]\n"
+            << "  postal_cli simulate <n> <lambda> [--threads T] "
+               "[--trace-mode full|counters]\n"
             << "  postal_cli sweep <n,n,...> <lambda,lambda,...> [threads]\n"
             << "  postal_cli faults <n> <lambda> <seed> <crashes> [loss_p] "
                "[--trace out.json] [--threads T]\n"
@@ -220,11 +221,13 @@ int cmd_metrics(std::uint64_t n, const Rational& lambda) {
   return report.ok ? 0 : 1;
 }
 
-int cmd_simulate(std::uint64_t n, const Rational& lambda, unsigned threads) {
+int cmd_simulate(std::uint64_t n, const Rational& lambda, unsigned threads,
+                 TraceMode trace_mode) {
   const PostalParams params(n, lambda);
   const obs::WallClock clock;
   ParMachine machine(params, 1);
   machine.set_threads(threads);
+  machine.set_trace_mode(trace_mode);
   auto factory = make_protocol_factory<BcastProtocol>(params);
   const MachineResult result = machine.run(factory);
   const double wall_ms = clock.elapsed_ms();
@@ -242,9 +245,15 @@ int cmd_simulate(std::uint64_t n, const Rational& lambda, unsigned threads) {
     table.add_row({"barrier events", std::to_string(info.barrier_events)});
     table.add_row({"cross-shard events", std::to_string(info.cross_shard_events)});
     table.add_row({"replayed pops", std::to_string(info.replayed_pops)});
-    table.add_row({"window / merge ms",
-                   fmt(info.window_ms, 2) + " / " + fmt(info.merge_ms, 2)});
+    table.add_row({"window / merge / flush ms",
+                   fmt(info.window_ms, 2) + " / " + fmt(info.merge_ms, 2) +
+                       " / " + fmt(info.flush_ms, 2)});
   }
+  table.add_row({"trace mode", trace_mode == TraceMode::kCounters
+                               ? "counters (" +
+                                     std::to_string(result.trace.delivery_count()) +
+                                     " deliveries elided)"
+                               : "full"});
   table.add_row({"events processed", std::to_string(result.stats.events_processed)});
   table.add_row({"sends enqueued", std::to_string(result.stats.sends_enqueued)});
   table.add_row({"makespan", report.makespan.str()});
@@ -267,7 +276,9 @@ int cmd_simulate(std::uint64_t n, const Rational& lambda, unsigned threads) {
   rec.extra = {{"threads", std::to_string(threads)},
                {"shards", std::to_string(info.shards)},
                {"windows", std::to_string(info.windows)},
-               {"engine", info.parallel_engine ? "sharded" : "sequential"}};
+               {"engine", info.parallel_engine ? "sharded" : "sequential"},
+               {"trace_mode",
+                trace_mode == TraceMode::kCounters ? "counters" : "full"}};
   obs::emit_bench_record(rec);
   return report.ok ? 0 : 1;
 }
@@ -803,11 +814,15 @@ int main(int argc, char** argv) {
       const Rational lambda = Rational::parse(args[1]);
       std::vector<std::string> rest(args.begin() + 2, args.end());
       const std::string t = take_flag(rest, "--threads");
+      const std::string mode = take_flag(rest, "--trace-mode");
       if (!rest.empty()) return usage();
+      if (!mode.empty() && mode != "full" && mode != "counters") return usage();
       const unsigned threads =
           t.empty() ? par::threads_from_env(par::default_threads())
                     : static_cast<unsigned>(std::stoul(t));
-      return cmd_simulate(n, lambda, threads);
+      return cmd_simulate(n, lambda, threads,
+                          mode == "counters" ? TraceMode::kCounters
+                                             : TraceMode::kFull);
     }
     if (cmd == "sweep" && (args.size() == 2 || args.size() == 3)) {
       const unsigned threads =

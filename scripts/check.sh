@@ -186,13 +186,20 @@ if [ "$PERF" -eq 1 ]; then
     POSTAL_BENCH_JSON=build/PERF_records.json "build/bench/$b" > /dev/null
   done
   POSTAL_BENCH_JSON=build/PERF_records.json \
-    build/bench/bench_micro --benchmark_filter='BM_Rational|BM_Tick|BM_EventQueue' \
+    build/bench/bench_micro \
+    --benchmark_filter='BM_Rational|BM_Tick|BM_EventQueue|BM_MailboxFlush|BM_MergeReplay' \
     > /dev/null
   python3 scripts/validate_bench_records.py build/PERF_records.json \
     --expect bench_tick_domain --expect bench_par_sweep \
     --expect bench_bcast_optimality --expect bench_theorem7_bounds \
     --expect bench_multimessage_shootout --expect bench_micro
   grep -q '"bench":"bench_tick_domain".*"verdict":"CONSISTENT"' \
+    build/PERF_records.json
+  # The bench_micro record must carry the ParMachine barrier sections and
+  # prove the arena steady state: a warm rerun on one engine grows nothing.
+  grep -q '"bench":"bench_micro".*"mailbox_flush_ms"' build/PERF_records.json
+  grep -q '"bench":"bench_micro".*"merge_replay_ms"' build/PERF_records.json
+  grep -q '"bench":"bench_micro".*"arena_growths_warm":"0"' \
     build/PERF_records.json
 fi
 

@@ -14,9 +14,12 @@ finding, with deliberately different severity (bench/trajectory/README.md):
     Printed as a warning; exits 1 only under --strict. The default
     tolerance is generous on purpose: trajectory numbers are snapshots of
     whatever box committed them, and CI machines vary wildly.
-
-Usage: compare_trajectory.py FRESH [--baseline-dir DIR] [--tolerance X]
-                                   [--strict]
+  * guarded-metric floor -- a metric in GUARDED_METRICS (currently the
+    ParMachine bcast_1m speedup at 4 lanes) fell below its floor in the
+    *fresh* record. Hard failure only when the fresh record's threads_hw
+    shows the runner actually has the cores to demonstrate it (>= the
+    lane count); on smaller machines (where lanes time-slice one core and
+    a speedup is physically impossible) it demotes to a warning.
 """
 import argparse
 import glob
@@ -25,6 +28,29 @@ import os
 import sys
 
 BAD_VERDICTS = {"MISMATCH", "FAIL"}
+
+# (bench, extra key) -> (floor, hw threads needed to enforce it hard).
+GUARDED_METRICS = {
+    ("bench_par_machine", "bcast_1m_t4_speedup"): (1.0, 4),
+    ("bench_par_machine", "bcast_1m_t2_speedup"): (0.9, 2),
+}
+
+
+def guarded_findings(fresh_by_bench):
+    """Yield (message, hard) for guarded metrics below their floor."""
+    for (bench, key), (floor, hw_needed) in GUARDED_METRICS.items():
+        rec = fresh_by_bench.get(bench)
+        if rec is None:
+            continue
+        value = numeric(rec.get("extra", {}).get(key))
+        if value is None or value >= floor:
+            continue
+        threads_hw = numeric(rec.get("threads_hw")) or 0
+        hard = threads_hw >= hw_needed
+        yield (f"{bench}.extra.{key}: {value:g} below floor {floor:g} "
+               f"(threads_hw={threads_hw:g}, "
+               f"{'enforced' if hard else f'needs >= {hw_needed} cores'})",
+               hard)
 
 
 def load_records(path):
@@ -118,6 +144,12 @@ def main() -> int:
                 drifts.append(
                     f"{name}.{field}: {base_value:g} -> {fresh_value:g} "
                     f"({ratio:.2f}x worse, tolerance {args.tolerance:g}x)")
+
+    for message, hard in guarded_findings(fresh_by_bench):
+        if hard:
+            regressions.append(message)
+        else:
+            drifts.append(message)
 
     for line in regressions:
         print(f"REGRESSION: {line}", file=sys.stderr)

@@ -4,8 +4,8 @@
 Hard errors (exit 1, robust to ``python3 -O`` -- no assert statements):
   * the file is missing or contains zero records,
   * any line fails to parse as JSON,
-  * any record lacks one of the six stable keys
-    {bench, n, lambda, makespan, wall_ms, verdict},
+  * any record lacks one of the seven stable keys
+    {bench, n, lambda, makespan, wall_ms, verdict, threads_hw},
   * any record carries a MISMATCH verdict,
   * any bench named via --expect emitted no record at all,
   * under --svc: no service record at all, or a service record (bench in
@@ -53,7 +53,8 @@ def main() -> int:
             print(f"error: unparseable record line: {line!r} ({exc})",
                   file=sys.stderr)
             return 1
-        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
+        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict",
+                    "threads_hw"):
             if key not in rec:
                 print(f"error: missing key {key!r} in {line}", file=sys.stderr)
                 return 1

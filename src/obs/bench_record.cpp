@@ -1,9 +1,11 @@
 #include "obs/bench_record.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "obs/json_lint.hpp"
 #include "sim/json.hpp"
@@ -12,6 +14,10 @@
 namespace postal::obs {
 
 std::string bench_record_to_json(const BenchRecord& record) {
+  const std::uint64_t threads_hw =
+      record.threads_hw != 0
+          ? record.threads_hw
+          : std::max<std::uint64_t>(1, std::thread::hardware_concurrency());
   std::ostringstream os;
   os.precision(15);
   os << "{\"bench\":\"" << json_escape(record.bench) << "\",\"n\":" << record.n
@@ -19,7 +25,8 @@ std::string bench_record_to_json(const BenchRecord& record) {
      << ",\"makespan\":\"" << record.makespan.str()
      << "\",\"makespan_float\":" << record.makespan.to_double()
      << ",\"wall_ms\":" << record.wall_ms << ",\"verdict\":\""
-     << json_escape(record.verdict) << "\",\"extra\":{";
+     << json_escape(record.verdict) << "\",\"threads_hw\":" << threads_hw
+     << ",\"extra\":{";
   bool first = true;
   for (const auto& [key, value] : record.extra) {
     if (!first) os << ",";

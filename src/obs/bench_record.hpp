@@ -15,9 +15,13 @@
 //    "makespan":"15/2","makespan_float":7.5,"wall_ms":0.41,
 //    "verdict":"MATCHES PAPER","extra":{}}
 //
-// The six keys {bench, n, lambda, makespan, wall_ms, verdict} are the
-// stable contract (scripts/check.sh validates them); "extra" carries
-// bench-specific labels. See docs/OBSERVABILITY.md.
+// The seven keys {bench, n, lambda, makespan, wall_ms, verdict,
+// threads_hw} are the stable contract (scripts/check.sh validates them);
+// "extra" carries bench-specific labels. threads_hw records the runner's
+// hardware concurrency, so trajectory comparisons can tell a genuine
+// speedup regression from a record produced on a smaller machine (the
+// multi-core guards in scripts/compare_trajectory.py key off it). See
+// docs/OBSERVABILITY.md.
 #pragma once
 
 #include <chrono>
@@ -54,6 +58,10 @@ struct BenchRecord {
   Rational makespan;      ///< measured completion time (exact)
   double wall_ms = 0.0;   ///< wall-clock of the bench's measured section
   std::string verdict;    ///< "MATCHES PAPER", "CONSISTENT", "MISMATCH", ...
+  /// Hardware concurrency of the runner. 0 (the default) means "fill in
+  /// std::thread::hardware_concurrency() at serialization time"; set it
+  /// explicitly only to pin a value in tests.
+  std::uint64_t threads_hw = 0;
   /// Additional bench-specific key/value labels ("algorithm": "PIPELINE").
   std::vector<std::pair<std::string, std::string>> extra;
 };

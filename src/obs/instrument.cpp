@@ -51,12 +51,24 @@ void record_par_run(MetricsRegistry& registry, const ParRunInfo& info,
   registry.counter(prefix + ".barrier_events").add(info.barrier_events);
   registry.counter(prefix + ".cross_shard_events").add(info.cross_shard_events);
   registry.counter(prefix + ".replayed_pops").add(info.replayed_pops);
+  registry.counter(prefix + ".merge_deliveries").add(info.merge_deliveries);
+  registry.counter(prefix + ".merge_fault_events").add(info.merge_fault_events);
+  registry.counter(prefix + ".flush_runs").add(info.flush_runs);
+  registry.counter(prefix + ".flush_fallback_sorts").add(info.flush_fallback_sorts);
+  registry.counter(prefix + ".arena_growths").add(info.arena_growths);
+  record_trace_mode(registry, info.trace_mode, prefix);
   for (std::size_t s = 0; s < info.shard.size(); ++s) {
     const std::string base = prefix + ".shard" + std::to_string(s);
     registry.counter(base + ".pops").add(info.shard[s].pops);
     registry.counter(base + ".stalled_windows").add(info.shard[s].stalled_windows);
     registry.counter(base + ".mailbox_in").add(info.shard[s].mailbox_in);
   }
+}
+
+void record_trace_mode(MetricsRegistry& registry, TraceMode mode,
+                       const std::string& prefix) {
+  registry.gauge(prefix + ".trace_mode")
+      .set(mode == TraceMode::kCounters ? 1 : 0);
 }
 
 void record_fault_stats(MetricsRegistry& registry, const FaultStats& stats,

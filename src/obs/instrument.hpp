@@ -40,7 +40,9 @@ void record_sim_report(MetricsRegistry& registry, const SimReport& report,
 /// Fold one ParMachine run's introspection into `registry` under `prefix`:
 ///   <prefix>.parallel_engine (gauge 0/1), .shards (gauge),
 ///   <prefix>.windows, .barrier_events, .cross_shard_events,
-///   <prefix>.replayed_pops                                      (counter)
+///   <prefix>.replayed_pops, .merge_deliveries, .merge_fault_events,
+///   <prefix>.flush_runs, .flush_fallback_sorts, .arena_growths  (counter)
+///   <prefix>.trace_mode (gauge: 0 = kFull, 1 = kCounters)
 ///   <prefix>.shard<s>.pops, .shard<s>.stalled_windows,
 ///   <prefix>.shard<s>.mailbox_in  per shard                     (counter)
 /// The stalled-window counters are the deterministic barrier-stall signal
@@ -49,6 +51,11 @@ void record_sim_report(MetricsRegistry& registry, const SimReport& report,
 /// the registry -- it varies run to run; read it off ParRunInfo directly.
 void record_par_run(MetricsRegistry& registry, const ParRunInfo& info,
                     const std::string& prefix = "par");
+
+/// Record the trace retention mode an engine is configured with:
+///   <prefix>.trace_mode (gauge: 0 = TraceMode::kFull, 1 = kCounters).
+void record_trace_mode(MetricsRegistry& registry, TraceMode mode,
+                       const std::string& prefix = "sim");
 
 /// Fold the faults applied during one run (Machine or PacketNetwork) into
 /// `registry` under `prefix`:

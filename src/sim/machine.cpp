@@ -336,7 +336,7 @@ MachineResult Machine::run(Protocol& protocol, std::uint64_t max_events) {
   }
 
   MachineResult result;
-  result.trace = Trace(n, messages_);
+  result.trace = Trace(n, messages_, trace_mode_);
   trace_ = &result.trace;
 
   for (ProcId p = 0; p < n; ++p) {

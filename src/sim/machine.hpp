@@ -200,6 +200,13 @@ class Machine : private ContextSink {
   void set_time_path(TimePath path) noexcept { time_path_ = path; }
   [[nodiscard]] TimePath time_path() const noexcept { return time_path_; }
 
+  /// Trace retention of subsequent runs (sim/trace.hpp): kFull (default)
+  /// materializes every Delivery; kCounters keeps first arrivals, the
+  /// delivery count, and the makespan only. Schedule, stats, and fault
+  /// timeline are identical either way.
+  void set_trace_mode(TraceMode mode) noexcept { trace_mode_ = mode; }
+  [[nodiscard]] TraceMode trace_mode() const noexcept { return trace_mode_; }
+
   /// Run `protocol` to quiescence (no in-flight packets or timers left).
   /// Throws InvalidArgument if a handler misbehaves (bad processor/message
   /// ids) and LogicError if the run exceeds `max_events` queue events.
@@ -275,6 +282,7 @@ class Machine : private ContextSink {
   std::uint32_t messages_;
   std::unique_ptr<FaultInjector> injector_;
   TimePath time_path_ = TimePath::kAuto;
+  TraceMode trace_mode_ = TraceMode::kFull;
 
   // Per-run state (Rational engine; also the post-transplant target).
   std::vector<Rational> port_free_;

@@ -118,8 +118,25 @@ struct ParRunInfo {
   std::uint64_t barrier_events = 0;   ///< events routed through mailboxes
   std::uint64_t cross_shard_events = 0;  ///< subset that changed shard
   std::uint64_t replayed_pops = 0;    ///< pop-log entries merged at barriers
-  double window_ms = 0.0;             ///< wall time inside parallel windows
-  double merge_ms = 0.0;              ///< wall time in barrier merge + flush
+  /// Deliveries / fault events materialized by the barrier replay (the
+  /// work the parallel materialization pass moved off the sequential
+  /// merge; obs: par.merge_deliveries / par.merge_fault_events).
+  std::uint64_t merge_deliveries = 0;
+  std::uint64_t merge_fault_events = 0;
+  /// Sealed per-(source, destination) outbox runs merged at barriers, and
+  /// the subset whose tick span overflowed the counting buckets and fell
+  /// back to a comparison sort (preamble backlog, extreme spikes).
+  std::uint64_t flush_runs = 0;
+  std::uint64_t flush_fallback_sorts = 0;
+  /// Window-buffer capacity growths observed across the run. Buffers are
+  /// retained across windows *and* across run() calls on one ParMachine,
+  /// so a warm rerun reports 0 here: the steady state allocates nothing
+  /// per window (bench_micro proves it).
+  std::uint64_t arena_growths = 0;
+  double window_ms = 0.0;             ///< wall time in parallel windows (drain + seal)
+  double merge_ms = 0.0;              ///< wall time in barrier merge-replay
+  double flush_ms = 0.0;              ///< wall time flushing mailboxes to shard queues
+  TraceMode trace_mode = TraceMode::kFull;  ///< retention mode of the run
   std::vector<ParShardInfo> shard;    ///< sized `shards` when parallel
 };
 
@@ -129,6 +146,10 @@ class ParMachine {
  public:
   /// `messages` sizes the trace; handlers may send ids in [0, messages).
   ParMachine(PostalParams params, std::uint32_t messages);
+  ~ParMachine();
+
+  ParMachine(const ParMachine&) = delete;
+  ParMachine& operator=(const ParMachine&) = delete;
 
   /// Arm `plan` for subsequent run() calls (validates it against n; copies
   /// it). Attaching an empty plan is equivalent to attaching none.
@@ -140,6 +161,14 @@ class ParMachine {
   /// sequential reference engine: the sharded loops are tick-domain only.
   void set_time_path(TimePath path) noexcept { time_path_ = path; }
   [[nodiscard]] TimePath time_path() const noexcept { return time_path_; }
+
+  /// Trace retention for subsequent runs (sim/trace.hpp): kFull (default)
+  /// keeps every Delivery byte-identical to the sequential Machine;
+  /// kCounters elides the delivery list (first arrivals, delivery count,
+  /// and makespan are still exact) and skips the barrier's delivery
+  /// materialization entirely.
+  void set_trace_mode(TraceMode mode) noexcept { trace_mode_ = mode; }
+  [[nodiscard]] TraceMode trace_mode() const noexcept { return trace_mode_; }
 
   /// Shard/lane count for subsequent runs (clamped to >= 1; also capped to
   /// n at run time so no shard is empty). The result is identical at every
@@ -169,8 +198,16 @@ class ParMachine {
   std::uint32_t messages_;
   std::unique_ptr<FaultInjector> injector_;
   TimePath time_path_ = TimePath::kAuto;
+  TraceMode trace_mode_ = TraceMode::kFull;
   unsigned threads_ = 1;
   ParRunInfo info_;
+  /// Arena-backed engine state (shards, queues, window buffers, replay
+  /// scratch, thread pool), retained across run() calls so steady-state
+  /// windows allocate nothing (sim/par_machine.cpp). Lazily built by the
+  /// first windowed run; every buffer is reset -- capacity kept -- at the
+  /// start of each run, so back-to-back runs stay byte-identical.
+  struct Engine;
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace postal

@@ -247,6 +247,7 @@ ReliableBcastReport run_reliable_bcast(const PostalParams& params,
     ParMachine machine(params, /*messages=*/1);
     machine.set_time_path(options.time_path);
     machine.set_threads(options.threads);
+    machine.set_trace_mode(options.trace_mode);
     if (plan != nullptr) machine.attach_faults(*plan);
     ReliableBcastFactory factory(params, options);
     report.result = machine.run(factory);
@@ -254,6 +255,7 @@ ReliableBcastReport run_reliable_bcast(const PostalParams& params,
   } else {
     Machine machine(params, /*messages=*/1);
     machine.set_time_path(options.time_path);
+    machine.set_trace_mode(options.trace_mode);
     if (plan != nullptr) machine.attach_faults(*plan);
     ReliableBcastProtocol protocol(params, options);
     report.result = machine.run(protocol);

@@ -60,6 +60,10 @@ struct ReliableBcastOptions {
   /// grid only when f_lambda values are (integer lambda): off-grid runs
   /// fall back to the sequential engine automatically.
   unsigned threads = 0;
+  /// Trace retention (sim/trace.hpp). kCounters elides the per-delivery
+  /// trace; completion, counters, and validation are unaffected (they read
+  /// first arrivals and the schedule, both exact in either mode).
+  TraceMode trace_mode = TraceMode::kFull;
 };
 
 /// Traffic/recovery counters of one run.

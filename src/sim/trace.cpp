@@ -7,7 +7,8 @@
 
 namespace postal {
 
-Trace::Trace(std::uint64_t n, std::uint32_t messages) : n_(n), messages_(messages) {
+Trace::Trace(std::uint64_t n, std::uint32_t messages, TraceMode mode)
+    : n_(n), messages_(messages), mode_(mode) {
   POSTAL_REQUIRE(n_ >= 1, "Trace: need at least one processor");
   first_arrival_.resize(n_ * messages_);
 }
@@ -15,7 +16,12 @@ Trace::Trace(std::uint64_t n, std::uint32_t messages) : n_(n), messages_(message
 void Trace::record(const Delivery& d) {
   POSTAL_REQUIRE(d.dst < n_ && d.src < n_, "Trace::record: processor id out of range");
   POSTAL_REQUIRE(d.msg < messages_, "Trace::record: message id out of range");
-  deliveries_.push_back(d);
+  if (mode_ == TraceMode::kCounters) {
+    ++counters_count_;
+    if (d.arrival > counters_makespan_) counters_makespan_ = d.arrival;
+  } else {
+    deliveries_.push_back(d);
+  }
   auto& slot = first_arrival_[d.dst * messages_ + d.msg];
   if (!slot.has_value() || d.arrival < *slot) slot = d.arrival;
 }
@@ -27,9 +33,34 @@ std::optional<Rational> Trace::arrival(ProcId p, MsgId msg) const {
 }
 
 Rational Trace::makespan() const {
+  if (mode_ == TraceMode::kCounters) return counters_makespan_;
   Rational latest(0);
   for (const Delivery& d : deliveries_) latest = rmax(latest, d.arrival);
   return latest;
+}
+
+std::size_t Trace::replay_extend(std::size_t count) {
+  POSTAL_CHECK(mode_ == TraceMode::kFull);
+  const std::size_t base = deliveries_.size();
+  deliveries_.resize(base + count);
+  return base;
+}
+
+void Trace::replay_set(std::size_t index, const Delivery& d) {
+  deliveries_[index] = d;
+  auto& slot = first_arrival_[d.dst * messages_ + d.msg];
+  if (!slot.has_value() || d.arrival < *slot) slot = d.arrival;
+}
+
+void Trace::counters_note(ProcId dst, MsgId msg, const Rational& arrival) {
+  auto& slot = first_arrival_[dst * messages_ + msg];
+  if (!slot.has_value() || arrival < *slot) slot = arrival;
+}
+
+void Trace::counters_fold(std::uint64_t count, const Rational& max_arrival) {
+  POSTAL_CHECK(mode_ == TraceMode::kCounters);
+  counters_count_ += count;
+  if (max_arrival > counters_makespan_) counters_makespan_ = max_arrival;
 }
 
 bool Trace::covers_all(ProcId origin) const { return uncovered(origin).empty(); }

@@ -35,6 +35,10 @@ BroadcastService::BroadcastService(ServiceOptions options,
       queue_(options_.queue_capacity),
       histogram_(options_.histogram_bits) {
   if (options_.threads == 0) options_.threads = 1;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("svc.exec.trace_mode")
+        .set(options_.trace_mode == TraceMode::kCounters ? 1 : 0);
+  }
   if (options_.coord_ranks > 0) init_coordinator();
 }
 
@@ -129,6 +133,7 @@ Rational BroadcastService::execute_job(const Job& job, const Rational& planned,
   ReliableBcastOptions ropts;
   ropts.time_path = options_.time_path;
   ropts.threads = options_.threads;
+  ropts.trace_mode = options_.trace_mode;
   FaultPlan plan;
   const FaultPlan* plan_ptr = nullptr;
   if (options_.fault_seed != 0) {

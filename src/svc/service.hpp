@@ -39,6 +39,7 @@
 #include "faults/fault_plan.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "sim/trace.hpp"
 #include "support/rational.hpp"
 #include "support/ticks.hpp"
 #include "svc/queue.hpp"
@@ -68,6 +69,11 @@ struct ServiceOptions {
   /// Simulation lanes for executed runs (docs/SIMULATION.md); results are
   /// byte-identical at every setting. Clamped to >= 1.
   unsigned threads = 1;
+  /// Trace retention for executed runs (sim/trace.hpp). The service reads
+  /// only first arrivals, completion, and the validated schedule -- all
+  /// exact under kCounters -- so the exec tier can elide per-delivery
+  /// traces on large jobs without changing any report byte.
+  TraceMode trace_mode = TraceMode::kFull;
   /// != 0: executed jobs run under random_fault_plan(params, h(fault_seed,
   /// job.id), fault_options) and bill their actual (recovery-inflated)
   /// completion. 0 = fault-free execution.

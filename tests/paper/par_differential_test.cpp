@@ -289,6 +289,115 @@ TEST_P(ParDifferential, OnGridTimerRelayIsByteIdentical) {
   }
 }
 
+/// TraceMode::kCounters must change exactly one thing: the delivery list
+/// is empty. Schedule, stats, fault timeline, first arrivals, delivery
+/// count, and makespan all stay byte-equal to the kFull reference --
+/// fault-free and fault-injected, at every thread count.
+TEST_P(ParDifferential, CountersModeMatchesFullModeSummaries) {
+  const unsigned threads = GetParam();
+  for (const std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{9}}) {
+    const std::uint64_t n = 48 + seed;
+    const PostalParams params(n, Rational(5, 2));
+    FaultPlan plan;
+    if (seed != 0) {
+      RandomFaultOptions fopts;
+      fopts.crashes = 2;
+      fopts.lossy_links = 4;
+      fopts.loss_p = Rational(1, 3);
+      fopts.spikes = 1;
+      plan = random_fault_plan(params, seed, fopts);
+    }
+    const std::string tag =
+        "threads=" + std::to_string(threads) + " seed=" + std::to_string(seed);
+
+    ParMachine full(params, 1);
+    full.set_threads(threads);
+    if (!plan.empty()) full.attach_faults(plan);
+    auto full_factory = make_protocol_factory<BcastProtocol>(params);
+    const MachineResult ref = full.run(full_factory);
+
+    ParMachine ctr(params, 1);
+    ctr.set_threads(threads);
+    ctr.set_trace_mode(TraceMode::kCounters);
+    if (!plan.empty()) ctr.attach_faults(plan);
+    auto ctr_factory = make_protocol_factory<BcastProtocol>(params);
+    const MachineResult got = ctr.run(ctr_factory);
+
+    EXPECT_EQ(got.trace.mode(), TraceMode::kCounters) << tag;
+    EXPECT_TRUE(got.trace.deliveries().empty()) << tag;
+    EXPECT_EQ(got.trace.delivery_count(), ref.trace.deliveries().size()) << tag;
+    EXPECT_EQ(got.trace.makespan(), ref.trace.makespan()) << tag;
+    for (ProcId p = 0; p < n; ++p) {
+      EXPECT_EQ(got.trace.arrival(p, 0), ref.trace.arrival(p, 0)) << tag;
+    }
+    EXPECT_EQ(got.schedule.events(), ref.schedule.events()) << tag;
+    EXPECT_EQ(got.stats.events_processed, ref.stats.events_processed) << tag;
+    EXPECT_EQ(got.stats.sends_enqueued, ref.stats.sends_enqueued) << tag;
+    EXPECT_EQ(got.stats.port_busy, ref.stats.port_busy) << tag;
+    EXPECT_EQ(got.faults.events, ref.faults.events) << tag;
+    EXPECT_EQ(ctr.last_run_info().trace_mode, TraceMode::kCounters) << tag;
+    // The sequential Machine agrees on the elided summary too.
+    Machine seq(params, 1);
+    seq.set_trace_mode(TraceMode::kCounters);
+    if (!plan.empty()) seq.attach_faults(plan);
+    BcastProtocol protocol(params);
+    const MachineResult seq_got = seq.run(protocol);
+    EXPECT_TRUE(seq_got.trace.deliveries().empty()) << tag;
+    EXPECT_EQ(seq_got.trace.delivery_count(), got.trace.delivery_count()) << tag;
+    EXPECT_EQ(seq_got.trace.makespan(), got.trace.makespan()) << tag;
+  }
+}
+
+/// The arena contract: run() twice on ONE ParMachine (buffers at their
+/// high-water mark the second time) and every result must be byte-equal to
+/// a fresh engine's -- randomized workloads including faults, plus the
+/// zero-growth claim on the warm rerun of the identical workload.
+TEST_P(ParDifferential, BufferReuseAcrossRunsIsByteIdentical) {
+  const unsigned threads = GetParam();
+  Xoshiro256 rng(0xBEEFu + threads);
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t n = rng.uniform(2, 96);
+    const Rational lambda(static_cast<std::int64_t>(rng.uniform(2, 8)),
+                          static_cast<std::int64_t>(rng.uniform(1, 2)));
+    const PostalParams params(n, lambda);
+    FaultPlan plan;
+    if (i % 2 == 1) {
+      RandomFaultOptions fopts;
+      fopts.crashes = static_cast<std::uint64_t>(1 + (i % 3));
+      fopts.lossy_links = 3;
+      fopts.loss_p = Rational(1, 4);
+      plan = random_fault_plan(params, 0x5EEDu + static_cast<unsigned>(i), fopts);
+    }
+    const std::string tag = "threads=" + std::to_string(threads) +
+                            " i=" + std::to_string(i) +
+                            " n=" + std::to_string(n);
+
+    const auto fresh_run = [&] {
+      ParMachine fresh(params, 1);
+      fresh.set_threads(threads);
+      if (!plan.empty()) fresh.attach_faults(plan);
+      auto factory = make_protocol_factory<BcastProtocol>(params);
+      return fresh.run(factory);
+    };
+    const MachineResult ref = fresh_run();
+
+    ParMachine reused(params, 1);
+    reused.set_threads(threads);
+    if (!plan.empty()) reused.attach_faults(plan);
+    auto factory = make_protocol_factory<BcastProtocol>(params);
+    const MachineResult first = reused.run(factory);
+    expect_identical_runs(first, ref, tag + " cold");
+    const MachineResult second = reused.run(factory);
+    expect_identical_runs(second, ref, tag + " warm");
+    if (reused.last_run_info().parallel_engine) {
+      // Same workload, warmed buffers: the steady state allocates nothing.
+      EXPECT_EQ(reused.last_run_info().arena_growths, 0u) << tag;
+    }
+    const MachineResult third = fresh_run();
+    expect_identical_runs(third, ref, tag + " fresh-after");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParDifferential,
                          ::testing::ValuesIn(thread_counts()));
 

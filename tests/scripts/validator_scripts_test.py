@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Tests for the bench-record tooling in scripts/ (docs/OBSERVABILITY.md).
 
-Covers validate_bench_records.py (the CI gate on BENCH_postal.json) and
-compare_sweep_records.py (the sweep determinism contract): happy paths,
+Covers validate_bench_records.py (the CI gate on BENCH_postal.json),
+compare_sweep_records.py (the sweep determinism contract), and
+compare_trajectory.py's guarded-metric floors (the threads_hw-keyed
+ParMachine speedup gate): happy paths,
 malformed JSON lines, missing stable keys, zero-record files, MISMATCH
 verdicts, unmet --expect names, the --svc percentile-key contract on
 service records (docs/SERVICE.md), thread-count and wall-time
@@ -33,6 +35,7 @@ def run_script(name, *args):
 def good_record(**overrides):
     rec = {"bench": "bench_demo", "n": 14, "lambda": "5/2",
            "makespan": "15/2", "wall_ms": 1.25, "verdict": "CONSISTENT",
+           "threads_hw": 4,
            "extra": {"threads": "4", "point_ms": "0.5", "sends": "13"}}
     rec.update(overrides)
     return rec
@@ -86,7 +89,8 @@ class ValidateBenchRecordsTest(unittest.TestCase):
         self.assertIn("unparseable record line", err)
 
     def test_rejects_missing_stable_key(self):
-        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict"):
+        for key in ("bench", "n", "lambda", "makespan", "wall_ms", "verdict",
+                    "threads_hw"):
             rec = good_record()
             del rec[key]
             with TempRecordFile([rec]) as path:
@@ -208,6 +212,49 @@ class CompareSweepRecordsTest(unittest.TestCase):
         code, _, err = run_script("compare_sweep_records.py")
         self.assertEqual(code, 2)
         self.assertIn("Usage", err)
+
+
+class CompareTrajectoryGuardedMetricsTest(unittest.TestCase):
+    """The ParMachine speedup floor: hard only on multi-core runners."""
+
+    @staticmethod
+    def run_compare(fresh_records, baseline_records):
+        with tempfile.TemporaryDirectory() as base_dir:
+            base_path = os.path.join(base_dir, "E24_par_machine.json")
+            with open(base_path, "w", encoding="utf-8") as fh:
+                for rec in baseline_records:
+                    fh.write(json.dumps(rec) + "\n")
+            with TempRecordFile(fresh_records) as fresh_path:
+                return run_script("compare_trajectory.py", fresh_path,
+                                  "--baseline-dir", base_dir)
+
+    @staticmethod
+    def par_record(speedup, threads_hw):
+        return good_record(bench="bench_par_machine", threads_hw=threads_hw,
+                           extra={"bcast_1m_t4_speedup": speedup})
+
+    def test_speedup_below_floor_fails_on_multicore_runner(self):
+        code, _, err = self.run_compare(
+            [self.par_record("0.7", threads_hw=8)],
+            [self.par_record("1.4", threads_hw=8)])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", err)
+        self.assertIn("bcast_1m_t4_speedup", err)
+
+    def test_speedup_below_floor_warns_on_small_runner(self):
+        code, _, err = self.run_compare(
+            [self.par_record("0.7", threads_hw=1)],
+            [self.par_record("1.4", threads_hw=8)])
+        self.assertEqual(code, 0, err)
+        self.assertIn("bcast_1m_t4_speedup", err)
+        self.assertNotIn("REGRESSION", err)
+
+    def test_speedup_at_floor_passes(self):
+        code, _, err = self.run_compare(
+            [self.par_record("1.3", threads_hw=8)],
+            [self.par_record("1.4", threads_hw=8)])
+        self.assertEqual(code, 0, err)
+        self.assertNotIn("bcast_1m_t4_speedup", err)
 
 
 if __name__ == "__main__":
