@@ -1,0 +1,187 @@
+// E27 (engineering) -- the replicated log under leader failure and
+// reconfiguration (docs/COORDINATION.md).
+//
+// For a grid of machine sizes, measure in exact model time:
+//
+//   * commit latency -- fault-free, the time from start to the last rank's
+//     final decide (the whole batch through one lease in view 0);
+//   * crash recovery -- the extra commit latency paid when the view-0
+//     leader (the lease holder) is dead on arrival, versus the fault-free
+//     baseline of the same resolved options;
+//   * reconfig overhead -- the extra commit latency of a run that removes
+//     one rank mid-log, versus the same baseline.
+//
+// All three are reported as exact multiples of lambda (the postal latency
+// is the natural unit of every timeout in the layer), which is what the
+// trajectory baseline tracks: the multiples are a pure function of
+// (n, lambda, plan, reconfig), so any drift is an algorithmic change,
+// never noise.
+//
+// The verdict is *correctness-gated*; wall times are recorded but never
+// gate. Every point must pass:
+//
+//   * the crash-aware machine validation AND the replicated-log validator
+//     (per-slot agreement, validity, single proposer, lease mutual
+//     exclusion, fencing monotonicity, prefix durability, reconfig
+//     safety, guarded liveness) on every run;
+//   * settled runs (disturbances bounded inside the derived horizon);
+//   * fault-free identity: no plan means every slot decides in view 0
+//     under a single never-lapsing lease with zero recovery;
+//   * thread invariance: a threads=4 sharded run produces byte-identical
+//     events, rank logs, and counters.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coord/log.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/bench_record.hpp"
+#include "obs/instrument.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace postal;
+
+struct Point {
+  std::uint64_t n = 0;
+  Rational lambda;
+  // Results.
+  Rational commit_latency;  ///< fault-free batch latency
+  Rational commit_over_lambda;
+  Rational recovery;  ///< leader-DOA commit latency - baseline
+  Rational recovery_over_lambda;
+  Rational reconfig_overhead;  ///< one-removal commit latency - baseline
+  Rational reconfig_over_lambda;
+  double wall_ms = 0.0;
+  bool gates_ok = false;
+  std::string failure;  ///< first failed gate, for the table
+};
+
+bool judged_ok(const coord::LogReport& report) {
+  return report.validation.ok && report.check.ok && report.settled;
+}
+
+void run_point(Point& p) {
+  const PostalParams params(p.n, p.lambda);
+  const obs::WallClock clock;
+
+  // Fault-free identity gates: all slots in view 0, one lease, nothing
+  // fenced, zero recovery.
+  const coord::LogReport quiet = coord::run_log(params);
+  if (!judged_ok(quiet) || quiet.views_used != 0 ||
+      quiet.counters.lease_expiries != 0 ||
+      quiet.counters.stale_rejects != 0 ||
+      quiet.recovery_time != Rational(0)) {
+    p.failure = "fault-free log";
+    return;
+  }
+  p.commit_latency = quiet.commit_latency;
+  p.commit_over_lambda = quiet.commit_latency / p.lambda;
+
+  // Leader dead on arrival: every commit pays at least one full view of
+  // recovery before the successor's lease covers the batch.
+  FaultPlan doa;
+  doa.crashes.push_back(CrashFault{0, Rational(0)});
+  const coord::LogReport crash = coord::run_log(params, &doa);
+  if (!judged_ok(crash)) {
+    p.failure = "crash log";
+    return;
+  }
+  p.recovery = crash.recovery_time;
+  p.recovery_over_lambda = crash.recovery_time / p.lambda;
+
+  // Reconfiguration: remove the highest rank mid-log (a config command
+  // decided like any slot; tree/quorum/leader recomputed at activation).
+  coord::LogOptions ropts;
+  ropts.reconfig.push_back(coord::ReconfigRequest{
+      static_cast<ProcId>(p.n - 1), quiet.options.heartbeat_period});
+  const coord::LogReport reconfig = coord::run_log(params, nullptr, ropts);
+  if (!judged_ok(reconfig) || reconfig.counters.config_applies == 0 ||
+      reconfig.final_members.size() != p.n - 1) {
+    p.failure = "reconfig log";
+    return;
+  }
+  const Rational overhead = reconfig.commit_latency - quiet.commit_latency;
+  p.reconfig_overhead = overhead;
+  p.reconfig_over_lambda = overhead / p.lambda;
+
+  // Thread invariance: the sharded engine must reproduce the crash run
+  // byte for byte.
+  coord::LogOptions topts;
+  topts.threads = 4;
+  const coord::LogReport crash4 = coord::run_log(params, &doa, topts);
+  if (crash4.events != crash.events || crash4.ranks != crash.ranks ||
+      crash4.counters != crash.counters) {
+    p.failure = "log threads=4 drift";
+    return;
+  }
+
+  p.wall_ms = clock.elapsed_ms();
+  p.gates_ok = true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace postal;
+  const obs::WallClock wall;
+  std::cout << "=== E27: replicated log under leader failure and "
+               "reconfiguration ===\n\n";
+
+  std::vector<Point> points;
+  for (const std::uint64_t n : {8ULL, 16ULL, 32ULL}) {
+    Point p;
+    p.n = n;
+    p.lambda = Rational(5, 2);
+    points.push_back(p);
+  }
+  Point integer_lambda;
+  integer_lambda.n = 24;
+  integer_lambda.lambda = Rational(2);
+  points.push_back(integer_lambda);
+
+  bool all_ok = true;
+  TextTable table({"n", "lambda", "commit", "commit/lambda", "recovery",
+                   "recovery/lambda", "reconfig", "reconfig/lambda", "gates"});
+  for (Point& p : points) {
+    run_point(p);
+    table.add_row({std::to_string(p.n), p.lambda.str(), p.commit_latency.str(),
+                   p.commit_over_lambda.str(), p.recovery.str(),
+                   p.recovery_over_lambda.str(), p.reconfig_overhead.str(),
+                   p.reconfig_over_lambda.str(),
+                   p.gates_ok ? "pass" : "FAIL: " + p.failure});
+    all_ok = all_ok && p.gates_ok;
+  }
+  table.print(std::cout);
+  std::cout << "\nE27 verdict: " << (all_ok ? "CERTIFIED" : "MISMATCH")
+            << "  (validator + settle + fault-free-identity + "
+               "thread-invariance gated; wall times recorded, "
+               "machine-dependent)\n";
+
+  const Point& head = points.back();
+  obs::BenchRecord rec;
+  rec.bench = "bench_log";
+  rec.n = head.n;
+  rec.lambda = head.lambda;
+  rec.makespan = head.commit_latency;
+  rec.wall_ms = wall.elapsed_ms();
+  rec.verdict = all_ok ? "CERTIFIED" : "MISMATCH";
+  for (const Point& p : points) {
+    const std::string slug = "n" + std::to_string(p.n) + "_l" + p.lambda.str();
+    rec.extra.emplace_back(slug + "_commit_latency", p.commit_latency.str());
+    rec.extra.emplace_back(slug + "_commit_over_lambda",
+                           p.commit_over_lambda.str());
+    rec.extra.emplace_back(slug + "_recovery", p.recovery.str());
+    rec.extra.emplace_back(slug + "_recovery_over_lambda",
+                           p.recovery_over_lambda.str());
+    rec.extra.emplace_back(slug + "_reconfig_overhead",
+                           p.reconfig_overhead.str());
+    rec.extra.emplace_back(slug + "_reconfig_over_lambda",
+                           p.reconfig_over_lambda.str());
+    rec.extra.emplace_back(slug + "_wall_ms", fmt(p.wall_ms, 2));
+  }
+  obs::emit_bench_record(rec);
+  return all_ok ? 0 : 1;
+}

@@ -72,6 +72,7 @@
 #include "api/communicator.hpp"
 #include "coord/consensus.hpp"
 #include "coord/election.hpp"
+#include "coord/log.hpp"
 #include "coord/metrics.hpp"
 #include "faults/fault_plan.hpp"
 #include "model/bounds.hpp"
@@ -118,6 +119,11 @@ int usage() {
             << "  postal_cli consensus <n> <lambda> [--seed S [--crashes C]] "
                "[--plan file.json]\n"
             << "             [--crash R:T] [--threads T] [--trace out.json]\n"
+            << "  postal_cli log <n> <lambda> [--seed S [--crashes C]] "
+               "[--plan file.json]\n"
+            << "             [--crash R:T] [--reconfig R:T[,R:T...]] "
+               "[--commands K] [--threads T]\n"
+            << "             [--trace out.json]\n"
             << "  postal_cli oracle <n> <lambda> makespan\n"
             << "  postal_cli oracle <n> <lambda> rank <r>\n"
             << "  postal_cli oracle <n> <lambda> range <lo> <hi>\n"
@@ -635,6 +641,72 @@ int cmd_consensus(std::uint64_t n, const Rational& lambda, const FaultPlan& plan
                           std::move(rec), wall_ms);
 }
 
+int cmd_log(std::uint64_t n, const Rational& lambda, const FaultPlan& plan,
+            bool have_plan, const coord::LogOptions& log_options,
+            const std::string& trace_path, unsigned threads) {
+  const PostalParams params(n, lambda);
+  coord::LogOptions options = log_options;
+  options.threads = threads;
+  const obs::WallClock clock;
+  const coord::LogReport report =
+      coord::run_log(params, have_plan ? &plan : nullptr, options);
+  const double wall_ms = clock.elapsed_ms();
+
+  print_plan_header(plan, have_plan);
+  std::uint64_t full_prefixes = 0;
+  for (const coord::RankLog& rl : report.ranks) {
+    if (rl.started && rl.commit_prefix == report.slots) ++full_prefixes;
+  }
+  std::cout << "\nreplicated log on MPS(" << n << ", " << lambda << "):\n";
+  TextTable table({"quantity", "value"});
+  table.add_row({"slots", std::to_string(report.slots)});
+  table.add_row({"quorum", std::to_string(report.quorum)});
+  table.add_row({"final members", std::to_string(report.final_members.size())});
+  table.add_row({"full prefixes", std::to_string(full_prefixes)});
+  table.add_row({"view length", report.options.view_length.str()});
+  table.add_row({"lease length", report.options.lease_length.str()});
+  table.add_row({"heartbeat period", report.options.heartbeat_period.str()});
+  table.add_row({"views used", std::to_string(report.views_used + 1)});
+  table.add_row({"commit latency", report.commit_latency.str()});
+  table.add_row({"fault-free baseline", report.baseline.str()});
+  table.add_row({"recovery time", report.recovery_time.str()});
+  table.add_row({"proposals", std::to_string(report.counters.proposals)});
+  table.add_row({"commits", std::to_string(report.counters.commits)});
+  table.add_row({"catch-up commits",
+                 std::to_string(report.counters.catchup_commits)});
+  table.add_row({"lease acquisitions",
+                 std::to_string(report.counters.lease_acquisitions)});
+  table.add_row({"lease renewals",
+                 std::to_string(report.counters.lease_renewals)});
+  table.add_row({"lease expiries",
+                 std::to_string(report.counters.lease_expiries)});
+  table.add_row({"stale rejects",
+                 std::to_string(report.counters.stale_rejects)});
+  table.add_row({"config applies",
+                 std::to_string(report.counters.config_applies)});
+  table.add_row({"settled", report.settled ? "yes" : "no"});
+  table.print(std::cout);
+
+  obs::BenchRecord rec;
+  rec.bench = "postal_cli_log";
+  rec.n = n;
+  rec.lambda = lambda;
+  rec.makespan = report.commit_latency;
+  rec.verdict = report.validation.ok && report.check.ok ? "COMMITTED" : "FAIL";
+  rec.extra = {{"slots", std::to_string(report.slots)},
+               {"views", std::to_string(report.views_used + 1)},
+               {"members", std::to_string(report.final_members.size())},
+               {"expiries", std::to_string(report.counters.lease_expiries)},
+               {"stale_rejects", std::to_string(report.counters.stale_rejects)},
+               {"recovery", report.recovery_time.str()},
+               {"seed", std::to_string(plan.seed)},
+               {"threads", std::to_string(threads == 0 ? 1 : threads)}};
+  return finish_coord_run(params, report.validation, report.check,
+                          report.result.trace, report.result.faults,
+                          coord::log_markers(report), trace_path,
+                          std::move(rec), wall_ms);
+}
+
 int cmd_oracle_makespan(std::uint64_t n, const Rational& lambda) {
   const oracle::ScheduleOracle oracle(n, lambda);
   const oracle::Rank witness = oracle.last_informed_rank();
@@ -871,7 +943,8 @@ int main(int argc, char** argv) {
       if (!rest.empty()) return usage();
       return cmd_serve(spec, seed, options);
     }
-    if ((cmd == "elect" || cmd == "consensus") && args.size() >= 2) {
+    if ((cmd == "elect" || cmd == "consensus" || cmd == "log") &&
+        args.size() >= 2) {
       const std::uint64_t n = std::stoull(args[0]);
       const Rational lambda = Rational::parse(args[1]);
       std::vector<std::string> rest(args.begin() + 2, args.end());
@@ -886,6 +959,26 @@ int main(int argc, char** argv) {
       const std::string crash_arg = take_flag(rest, "--crash");
       std::string policy_arg;
       if (cmd == "elect") policy_arg = take_flag(rest, "--policy");
+      coord::LogOptions log_options;
+      if (cmd == "log") {
+        const std::string commands_arg = take_flag(rest, "--commands");
+        if (!commands_arg.empty()) {
+          log_options.commands =
+              static_cast<std::uint32_t>(std::stoul(commands_arg));
+        }
+        const std::string reconfig_arg = take_flag(rest, "--reconfig");
+        if (!reconfig_arg.empty()) {
+          // "--reconfig R:T[,R:T...]": toggle rank R's membership at model
+          // time T (remove if present, re-add if previously removed).
+          for (const std::string& op : split_csv(reconfig_arg)) {
+            const std::size_t colon = op.find(':');
+            if (colon == std::string::npos) return usage();
+            log_options.reconfig.push_back(coord::ReconfigRequest{
+                static_cast<ProcId>(std::stoul(op.substr(0, colon))),
+                Rational::parse(op.substr(colon + 1))});
+          }
+        }
+      }
       if (!rest.empty() || (!plan_path.empty() && !seed_arg.empty())) {
         return usage();
       }
@@ -927,6 +1020,10 @@ int main(int argc, char** argv) {
       }
       if (cmd == "elect") {
         return cmd_elect(n, lambda, plan, have_plan, policy, trace_path, threads);
+      }
+      if (cmd == "log") {
+        return cmd_log(n, lambda, plan, have_plan, log_options, trace_path,
+                       threads);
       }
       return cmd_consensus(n, lambda, plan, have_plan, trace_path, threads);
     }

@@ -112,7 +112,7 @@ python3 scripts/validate_bench_records.py build/BENCH_postal.json \
   --expect bench_network_transfer --expect bench_par_sweep \
   --expect bench_fault_recovery --expect bench_tick_domain \
   --expect bench_oracle --expect bench_par_machine \
-  --expect bench_service --expect bench_coord --svc
+  --expect bench_service --expect bench_coord --expect bench_log --svc
 
 # Perf-trajectory drift guard (bench/trajectory/README.md): verdict
 # regressions against the committed baselines are hard failures; wall-time
@@ -157,6 +157,14 @@ if [ "$CHAOS" -eq 1 ]; then
   ./build/tests/test_coord_election
   ./build/tests/test_coord_consensus
   ./build/tests/test_coord_chaos
+
+  # The replicated-log chaos suite (docs/COORDINATION.md): 60+ seeded
+  # scenarios against the multi-decree log -- leader crash mid-batch,
+  # lease-boundary races on the grid, reconfig under crash -- holding the
+  # log validator's safety clauses on every one, plus the log unit suite.
+  echo "== chaos: replicated-log suite"
+  ./build/tests/test_coord_log
+  ./build/tests/test_coord_log_chaos
 
   # Reliability bench records end to end through the CLI: a crash run and a
   # crash+loss run must both emit postal_cli_faults records (schema:

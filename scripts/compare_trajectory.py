@@ -126,9 +126,11 @@ def main() -> int:
     regressions = []
     drifts = []
     compared = 0
+    baselined = set()
     for path in baselines:
         for base in load_records(path):
             name = base.get("bench")
+            baselined.add(name)
             fresh = fresh_by_bench.get(name)
             if fresh is None:
                 continue  # bench not run this time; the --expect gate owns that
@@ -144,6 +146,14 @@ def main() -> int:
                 drifts.append(
                     f"{name}.{field}: {base_value:g} -> {fresh_value:g} "
                     f"({ratio:.2f}x worse, tolerance {args.tolerance:g}x)")
+
+    # A fresh bench with no committed baseline is a coverage gap, not an
+    # error: the first landing of a new bench warns here until its
+    # trajectory file is committed (bench/trajectory/README.md). A silent
+    # skip would read as "compared" when nothing was.
+    for name in sorted(set(fresh_by_bench) - baselined):
+        drifts.append(f"{name}: no committed baseline in "
+                      f"{args.baseline_dir}; commit one to track drift")
 
     for message, hard in guarded_findings(fresh_by_bench):
         if hard:

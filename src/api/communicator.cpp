@@ -67,6 +67,13 @@ coord::ConsensusReport Communicator::run_consensus(
   return coord::run_consensus(params_, plan, effective);
 }
 
+coord::LogReport Communicator::replicate_log(const FaultPlan* plan,
+                                             const coord::LogOptions& options) {
+  coord::LogOptions effective = options;
+  if (effective.threads == 0) effective.threads = threads_;
+  return coord::run_log(params_, plan, effective);
+}
+
 svc::JobOutcome Communicator::broadcast_job(svc::BroadcastService& service,
                                             const Rational& arrival,
                                             std::uint64_t m) const {

@@ -21,6 +21,7 @@
 
 #include "coord/consensus.hpp"
 #include "coord/election.hpp"
+#include "coord/log.hpp"
 #include "faults/fault_plan.hpp"
 #include "model/genfib.hpp"
 #include "model/params.hpp"
@@ -129,6 +130,17 @@ class Communicator {
   [[nodiscard]] coord::ConsensusReport run_consensus(
       const FaultPlan* plan = nullptr,
       const coord::ConsensusOptions& options = {});
+
+  /// Multi-decree replicated log under an optional fault plan
+  /// (docs/COORDINATION.md): per-slot consensus instances sharing one
+  /// view/leader, batched PROPOSE/COMMIT over the view's BCAST tree,
+  /// lambda-scaled leader leases with fencing tokens, catch-up transfer
+  /// for stragglers, and membership reconfiguration decided like any
+  /// other slot. The report carries the crash-aware validation and the
+  /// replicated-log validator's verdict. options.threads == 0 inherits
+  /// set_threads().
+  [[nodiscard]] coord::LogReport replicate_log(
+      const FaultPlan* plan = nullptr, const coord::LogOptions& options = {});
 
   /// Submit one broadcast job with this Communicator's (n, lambda) to a
   /// running BroadcastService (docs/SERVICE.md): the job enters the

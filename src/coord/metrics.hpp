@@ -8,6 +8,7 @@
 
 #include "coord/consensus.hpp"
 #include "coord/election.hpp"
+#include "coord/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 
@@ -31,9 +32,21 @@ void record_consensus(obs::MetricsRegistry& registry,
 [[nodiscard]] std::vector<obs::TraceMarker> election_markers(
     const ElectionReport& report);
 
+/// Record `report` under "coord.log.*": the message counters, the lease
+/// lifecycle tallies (acquisitions, renewals, expiries, stale rejects),
+/// the reconfiguration applies, and commit_latency / recovery_time as
+/// exact Rationals.
+void record_log(obs::MetricsRegistry& registry, const LogReport& report);
+
 /// Chrome-trace overlay markers for a consensus run: view changes,
 /// proposals, and decisions.
 [[nodiscard]] std::vector<obs::TraceMarker> consensus_markers(
     const ConsensusReport& report);
+
+/// Chrome-trace overlay markers for a replicated-log run: view changes,
+/// lease grants/renewals/expiries, per-slot proposals, commits, decides,
+/// fencing rejections, and configuration applies.
+[[nodiscard]] std::vector<obs::TraceMarker> log_markers(
+    const LogReport& report);
 
 }  // namespace postal::coord

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "coord/election.hpp"
+#include "coord/log.hpp"
 #include "model/params.hpp"
 #include "obs/json_lint.hpp"
 #include "oracle/oracle.hpp"
@@ -39,6 +40,8 @@ BroadcastService::BroadcastService(ServiceOptions options,
     metrics_->gauge("svc.exec.trace_mode")
         .set(options_.trace_mode == TraceMode::kCounters ? 1 : 0);
   }
+  POSTAL_REQUIRE(!options_.coord_log || options_.coord_ranks > 0,
+                 "BroadcastService: coord_log requires coord_ranks > 0");
   if (options_.coord_ranks > 0) init_coordinator();
 }
 
@@ -46,6 +49,20 @@ void BroadcastService::init_coordinator() {
   POSTAL_REQUIRE(options_.coord_ranks >= 2 || !(Rational(0) < options_.coord_crash_at),
                  "BroadcastService: coord_crash_at needs coord_ranks >= 2");
   const PostalParams params(options_.coord_ranks, options_.coord_lambda);
+  if (options_.coord_log) {
+    // Certify the control plane's replicated log fault-free and read off
+    // the exact per-command commit latency every admission will be billed.
+    coord::LogOptions lopts;
+    lopts.commands = 1;
+    lopts.time_path = options_.time_path;
+    lopts.threads = options_.threads;
+    const coord::LogReport log = coord::run_log(params, nullptr, lopts);
+    POSTAL_CHECK(log.validation.ok && log.check.ok);
+    coord_log_latency_ = log.commit_latency;
+    if (metrics_ != nullptr) {
+      metrics_->rational("svc.coord.log_latency").add(coord_log_latency_);
+    }
+  }
   coord::ElectionOptions eopts;
   eopts.time_path = options_.time_path;
   eopts.threads = options_.threads;
@@ -252,6 +269,13 @@ JobOutcome BroadcastService::submit(const Job& job) {
     ++counters_.coord_deferred;
     if (metrics_ != nullptr) metrics_->counter("svc.coord.deferred").add();
   }
+  if (options_.coord_log && options_.coord_ranks > 0) {
+    // The admission is a log command: the start is granted only once it
+    // commits on the control plane.
+    outcome.start = outcome.start + coord_log_latency_;
+    ++counters_.coord_log_commands;
+    if (metrics_ != nullptr) metrics_->counter("svc.coord.log_commands").add();
+  }
   outcome.completion = outcome.start + service_time;
   outcome.sojourn = outcome.completion - job.arrival;
   server_free_ = outcome.completion;
@@ -304,6 +328,8 @@ ServiceReport BroadcastService::drain() {
     report.coord_leader = coord_leader_;
     report.coord_window_start = coord_window_start_;
     report.coord_window_end = coord_window_end_;
+    report.coord_log = options_.coord_log;
+    report.coord_log_latency = coord_log_latency_;
   }
   if (metrics_ != nullptr) metrics_->rational("svc.horizon").add(horizon_);
   return report;
@@ -350,6 +376,12 @@ std::string ServiceReport::to_json() const {
     os << ",\"coord_deferred\":" << counters.coord_deferred;
     os << ",\"coord_window_start\":\"" << coord_window_start.str() << "\"";
     os << ",\"coord_window_end\":\"" << coord_window_end.str() << "\"";
+    if (coord_log) {
+      // Log-routing block: conditional inside the coord block for the
+      // same reason -- log-off coord reports keep their exact bytes.
+      os << ",\"coord_log_commands\":" << counters.coord_log_commands;
+      os << ",\"coord_log_latency\":\"" << coord_log_latency.str() << "\"";
+    }
   }
   os << "}";
   std::string out = os.str();

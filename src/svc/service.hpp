@@ -103,6 +103,14 @@ struct ServiceOptions {
   /// failover; requires coord_ranks >= 2). 0 = the coordinator never
   /// fails.
   Rational coord_crash_at{0};
+  /// Route admissions through the replicated log on the coordination
+  /// control plane (docs/COORDINATION.md; requires coord_ranks > 0): a
+  /// fault-free log run over MPS(coord_ranks, coord_lambda) at
+  /// construction certifies the control plane and measures its exact
+  /// commit latency, and every admitted job is billed that latency (its
+  /// start is granted only once the admission command commits). Strictly
+  /// conditional: off (the default), no report byte changes.
+  bool coord_log = false;
 };
 
 /// What the service decided and predicted for one submitted job.
@@ -141,6 +149,7 @@ struct ServiceCounters {
   std::uint64_t coord_elections = 0;  ///< coordination elections run (0 = off)
   std::uint64_t coord_failovers = 0;  ///< coordinator crashes recovered from
   std::uint64_t coord_deferred = 0;   ///< starts pushed past the leaderless window
+  std::uint64_t coord_log_commands = 0;  ///< admissions billed at commit latency
 };
 
 /// The drained run, ready for bench records and `serve` output. Contains
@@ -175,6 +184,10 @@ struct ServiceReport {
   std::uint64_t coord_leader = 0;
   Rational coord_window_start;
   Rational coord_window_end;
+  /// Replicated-log admission routing (ServiceOptions::coord_log); the
+  /// latency is the control plane's exact per-command commit latency.
+  bool coord_log = false;
+  Rational coord_log_latency;
 
   /// One deterministic JSON object (linted, stable key order, exact-string
   /// rationals, no wall times). See docs/SERVICE.md for the schema.
@@ -245,6 +258,7 @@ class BroadcastService {
   bool coord_window_open_ = false;  ///< a failover window exists
   Rational coord_window_start_;
   Rational coord_window_end_;
+  Rational coord_log_latency_;  ///< per-command commit latency (coord_log)
 };
 
 /// The open-loop runner: stream every job of (spec, seed) through a fresh

@@ -163,6 +163,43 @@ class ValidateBenchRecordsTest(unittest.TestCase):
                                       "--svc")
         self.assertEqual(code, 0, err)
 
+    @staticmethod
+    def log_record(**overrides):
+        # The E27 replicated-log record shape (bench/bench_log.cpp): one
+        # slugged extra block per grid point, exact Rational strings.
+        extra = {}
+        for slug in ("n8_l5/2", "n24_l2"):
+            extra[f"{slug}_commit_latency"] = "153/2"
+            extra[f"{slug}_commit_over_lambda"] = "153/5"
+            extra[f"{slug}_recovery"] = "264"
+            extra[f"{slug}_recovery_over_lambda"] = "528/5"
+            extra[f"{slug}_reconfig_overhead"] = "349"
+            extra[f"{slug}_reconfig_over_lambda"] = "698/5"
+            extra[f"{slug}_wall_ms"] = "2.32"
+        rec = good_record(bench="bench_log", n=24, makespan="159",
+                          verdict="CERTIFIED", extra=extra)
+        rec["lambda"] = "2"
+        rec.update(overrides)
+        return rec
+
+    def test_accepts_e27_log_record(self):
+        # The E27 record must satisfy both the stable-key contract and the
+        # --svc contract when it rides in the same file as a service record
+        # (exactly how scripts/check.sh validates BENCH_postal.json).
+        with TempRecordFile([self.log_record(), self.svc_record()]) as path:
+            code, out, err = run_script("validate_bench_records.py", path,
+                                        "--svc", "--expect", "bench_log",
+                                        "--expect", "bench_service")
+        self.assertEqual(code, 0, err)
+        self.assertIn("2 valid record(s)", out)
+
+    def test_e27_mismatch_verdict_fails(self):
+        with TempRecordFile([self.log_record(verdict="MISMATCH")]) as path:
+            code, _, err = run_script("validate_bench_records.py", path,
+                                      "--expect", "bench_log")
+        self.assertEqual(code, 1)
+        self.assertIn("MISMATCH", err)
+
 
 class CompareSweepRecordsTest(unittest.TestCase):
     def test_identical_modulo_walltime_and_threads(self):
@@ -255,6 +292,62 @@ class CompareTrajectoryGuardedMetricsTest(unittest.TestCase):
             [self.par_record("1.4", threads_hw=8)])
         self.assertEqual(code, 0, err)
         self.assertNotIn("bcast_1m_t4_speedup", err)
+
+
+class CompareTrajectoryMissingBaselineTest(unittest.TestCase):
+    """A fresh bench with no committed baseline warns -- never crashes.
+
+    First landing of a new bench (the E27 drift, the reason this test
+    exists): its record rides in BENCH_postal.json before its trajectory
+    file is committed. The guard must flag the coverage gap as a warning
+    and still exit 0 so CI stays green on the landing itself.
+    """
+
+    @staticmethod
+    def log_record():
+        return good_record(bench="bench_log", verdict="CERTIFIED",
+                           extra={"n24_l2_commit_latency": "159",
+                                  "n24_l2_wall_ms": "3.72"})
+
+    def test_missing_baseline_warns_but_passes(self):
+        # Baseline dir covers bench_demo only; the fresh file also carries
+        # the E27 record with no baseline anywhere.
+        with tempfile.TemporaryDirectory() as base_dir:
+            with open(os.path.join(base_dir, "E1_demo.json"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(json.dumps(good_record()) + "\n")
+            with TempRecordFile([good_record(), self.log_record()]) as fresh:
+                code, out, err = run_script("compare_trajectory.py", fresh,
+                                            "--baseline-dir", base_dir)
+        self.assertEqual(code, 0, err)
+        self.assertIn("bench_log", err)
+        self.assertIn("no committed baseline", err)
+        self.assertNotIn("REGRESSION", err)
+        self.assertIn("compared 1 bench(es)", out)
+
+    def test_missing_baseline_fails_only_under_strict(self):
+        with tempfile.TemporaryDirectory() as base_dir:
+            with open(os.path.join(base_dir, "E1_demo.json"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(json.dumps(good_record()) + "\n")
+            with TempRecordFile([self.log_record()]) as fresh:
+                code, _, err = run_script("compare_trajectory.py", fresh,
+                                          "--baseline-dir", base_dir,
+                                          "--strict")
+        self.assertEqual(code, 1)
+        self.assertIn("no committed baseline", err)
+
+    def test_committed_baseline_silences_the_warning(self):
+        with tempfile.TemporaryDirectory() as base_dir:
+            with open(os.path.join(base_dir, "E27_log.json"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(json.dumps(self.log_record()) + "\n")
+            with TempRecordFile([self.log_record()]) as fresh:
+                code, out, err = run_script("compare_trajectory.py", fresh,
+                                            "--baseline-dir", base_dir)
+        self.assertEqual(code, 0, err)
+        self.assertNotIn("no committed baseline", err)
+        self.assertIn("compared 1 bench(es)", out)
 
 
 if __name__ == "__main__":

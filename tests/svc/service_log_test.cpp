@@ -1,0 +1,111 @@
+// Replicated-log admission routing in the broadcast service
+// (docs/COORDINATION.md, docs/SERVICE.md): with coord_log on, every
+// admitted job is a command on the control plane's replicated log and is
+// billed the log's exact fault-free commit latency before service begins.
+// Strictly conditional: coord_log off -- with or without coord_ranks --
+// must not change a single report byte.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "coord/log.hpp"
+#include "model/params.hpp"
+#include "support/error.hpp"
+#include "support/rational.hpp"
+#include "svc/service.hpp"
+#include "test_util.hpp"
+
+namespace postal {
+namespace {
+
+using svc::BroadcastService;
+using svc::Job;
+using svc::JobOutcome;
+using svc::ServiceOptions;
+using svc::ServiceReport;
+
+Job make_job(std::uint64_t id, Rational arrival, std::uint64_t n = 4,
+             Rational lambda = Rational(2)) {
+  Job job;
+  job.id = id;
+  job.arrival = std::move(arrival);
+  job.n = n;
+  job.lambda = std::move(lambda);
+  job.m = 1;
+  return job;
+}
+
+TEST(ServiceLog, AdmissionsAreBilledTheControlPlaneCommitLatency) {
+  ServiceOptions options;
+  options.coord_ranks = 5;
+  options.coord_log = true;
+
+  // Independent reference run of the control plane's log: the billed
+  // latency must be exactly its fault-free commit latency.
+  const PostalParams params(options.coord_ranks, options.coord_lambda);
+  coord::LogOptions lopts;
+  lopts.commands = 1;
+  const coord::LogReport reference = coord::run_log(params, nullptr, lopts);
+  ASSERT_TRUE(reference.check.ok);
+  ASSERT_LT(Rational(0), reference.commit_latency);
+
+  BroadcastService service(options);
+  const JobOutcome a = service.submit(make_job(0, Rational(0)));
+  EXPECT_EQ(a.start, reference.commit_latency);
+  EXPECT_EQ(a.sojourn, reference.commit_latency + a.planned_makespan);
+  const JobOutcome b = service.submit(make_job(1, Rational(1)));
+  // FIFO after the first job plus the second command's own commit.
+  EXPECT_EQ(b.start, a.completion + reference.commit_latency);
+
+  const ServiceReport report = service.drain();
+  EXPECT_TRUE(report.coord_log);
+  EXPECT_EQ(report.coord_log_latency, reference.commit_latency);
+  EXPECT_EQ(report.counters.coord_log_commands, 2u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"coord_log_commands\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"coord_log_latency\":\"" +
+                      reference.commit_latency.str() + "\""),
+            std::string::npos);
+}
+
+TEST(ServiceLog, OffKeepsCoordReportsByteIdentical) {
+  // The same coord-routed workload with and without the coord_log flag
+  // mentioned at all: the off report must not contain any log key, and
+  // two off runs produce identical bytes (replay safety for the existing
+  // golden serve artifacts).
+  ServiceOptions off;
+  off.coord_ranks = 3;
+  BroadcastService a(off);
+  static_cast<void>(a.submit(make_job(0, Rational(0))));
+  const std::string json_a = a.drain().to_json();
+  BroadcastService b(off);
+  static_cast<void>(b.submit(make_job(0, Rational(0))));
+  const std::string json_b = b.drain().to_json();
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_EQ(json_a.find("coord_log"), std::string::npos);
+}
+
+TEST(ServiceLog, ShedJobsAreNotBilled) {
+  ServiceOptions options;
+  options.coord_ranks = 3;
+  options.coord_log = true;
+  options.queue_capacity = 1;
+  BroadcastService service(options);
+  const JobOutcome first = service.submit(make_job(0, Rational(0)));
+  EXPECT_TRUE(first.admitted);
+  const JobOutcome second = service.submit(make_job(1, Rational(0)));
+  EXPECT_FALSE(second.admitted);
+  const ServiceReport report = service.drain();
+  EXPECT_EQ(report.counters.coord_log_commands, 1u);
+  EXPECT_EQ(report.counters.shed, 1u);
+}
+
+TEST(ServiceLog, RequiresACoordControlPlane) {
+  ServiceOptions options;
+  options.coord_log = true;  // coord_ranks left at 0
+  POSTAL_EXPECT_THROW(BroadcastService{options}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace postal
